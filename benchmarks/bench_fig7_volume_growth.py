@@ -1,0 +1,65 @@
+"""Figure 7 — volume creation accelerating over time.
+
+The paper plots cumulative volumes created per quarter and observes
+acceleration (superlinear growth), indicating the rising importance of
+non-tabular assets.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_report
+from repro.bench.report import PAPER_HEADERS, ascii_bar_chart, paper_row, render_table
+
+_QUARTERS = 8
+
+
+def _cumulative_by_quarter(entities, horizon_seconds: float) -> list[int]:
+    bucket = horizon_seconds / _QUARTERS
+    counts = [0] * _QUARTERS
+    for entity in entities:
+        index = min(_QUARTERS - 1, int(entity.created_at / bucket))
+        counts[index] += 1
+    out, running = [], 0
+    for count in counts:
+        running += count
+        out.append(running)
+    return out
+
+
+def test_fig7_volume_growth(benchmark, deployment):
+    horizon = deployment.config.horizon_days * 86400
+    cumulative = benchmark.pedantic(
+        _cumulative_by_quarter, args=(deployment.volumes, horizon),
+        rounds=1, iterations=1,
+    )
+
+    increments = [cumulative[0]] + [
+        cumulative[i] - cumulative[i - 1] for i in range(1, _QUARTERS)
+    ]
+    # acceleration: the per-quarter increment trend is rising
+    rising = sum(
+        1 for i in range(1, _QUARTERS) if increments[i] >= increments[i - 1]
+    )
+    second_half = sum(increments[_QUARTERS // 2:])
+    first_half = sum(increments[:_QUARTERS // 2])
+
+    rows = [
+        paper_row("growth is accelerating", "yes (Fig 7)",
+                  f"{rising}/{_QUARTERS - 1} quarters rising", ""),
+        paper_row("2nd-half vs 1st-half creations", ">1x (accelerating)",
+                  f"{second_half / max(first_half, 1):.1f}x", ""),
+        paper_row("total volumes", "550K fleet-wide",
+                  f"{cumulative[-1]}", "1:1000-scale"),
+    ]
+    lines = [render_table(PAPER_HEADERS, rows,
+                          title="Figure 7 - cumulative volume creations")]
+    lines.append("")
+    lines.append(ascii_bar_chart(
+        [f"Q{i + 1}" for i in range(_QUARTERS)],
+        [float(c) for c in cumulative],
+        title="Cumulative volumes by quarter",
+    ))
+    write_report("fig7_volume_growth.txt", "\n".join(lines))
+
+    assert second_half > 2 * first_half, "creation must accelerate"
+    assert rising >= _QUARTERS - 3

@@ -1,0 +1,91 @@
+"""Figure 8 — tables as a diverse group of types and formats.
+
+(a) storage formats: Delta majority, Parquet/Iceberg/others present;
+(b) all table types growing over time;
+(c) the top foreign-table sources growing, three of them cloud DWs.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_report
+from repro.bench.report import PAPER_HEADERS, ascii_bar_chart, paper_row, render_table
+
+_HALVES = 2
+_CLOUD_DWS = {"SNOWFLAKE", "BIGQUERY", "REDSHIFT"}
+
+
+def _shares(values) -> dict[str, float]:
+    counts: dict[str, int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    total = sum(counts.values())
+    return {k: v / total for k, v in sorted(counts.items(),
+                                            key=lambda kv: -kv[1])}
+
+
+def test_fig8_formats_and_growth(benchmark, deployment):
+    formats = benchmark.pedantic(
+        lambda: _shares(
+            t.spec["format"] for t in deployment.tables if "format" in t.spec
+        ),
+        rounds=1, iterations=1,
+    )
+
+    horizon = deployment.config.horizon_days * 86400
+    half = horizon / 2
+
+    # (b): per-type growth, first half vs second half of the window
+    growth_rows = []
+    growing_types = 0
+    type_names = sorted({t.spec["table_type"] for t in deployment.tables})
+    for type_name in type_names:
+        first = sum(1 for t in deployment.tables
+                    if t.spec["table_type"] == type_name and t.created_at < half)
+        second = sum(1 for t in deployment.tables
+                     if t.spec["table_type"] == type_name and t.created_at >= half)
+        if second > first:
+            growing_types += 1
+        growth_rows.append([type_name, first, second,
+                            f"{second / max(first, 1):.1f}x"])
+
+    # (c): top-5 foreign sources
+    foreign_shares = _shares(
+        t.spec["foreign_source"] for t in deployment.tables
+        if t.spec.get("foreign_source")
+    )
+    top5 = list(foreign_shares)[:5]
+    cloud_dw_in_top5 = len(set(top5) & _CLOUD_DWS)
+
+    rows = [
+        paper_row("Delta is the majority format", "majority",
+                  f"{formats.get('DELTA', 0):.0%}", "Fig 8(a)"),
+        paper_row("non-Delta formats present", "yes",
+                  f"{1 - formats.get('DELTA', 0):.0%} across "
+                  f"{len(formats) - 1} formats", ""),
+        paper_row("all table types growing", "yes (Fig 8(b))",
+                  f"{growing_types}/{len(type_names)} types grew", ""),
+        paper_row("cloud DWs among top-5 foreign sources", "3 (Fig 8(c))",
+                  str(cloud_dw_in_top5), ", ".join(top5)),
+    ]
+    lines = [render_table(PAPER_HEADERS, rows,
+                          title="Figure 8 - table formats, types, foreign sources")]
+    lines.append("")
+    lines.append(ascii_bar_chart(list(formats),
+                                 [formats[k] for k in formats],
+                                 title="Format shares (Fig 8(a))"))
+    lines.append("")
+    lines.append(render_table(
+        ["table type", "1st-half creations", "2nd-half creations", "growth"],
+        growth_rows, title="Per-type growth (Fig 8(b))",
+    ))
+    lines.append("")
+    lines.append(ascii_bar_chart(
+        list(foreign_shares), [foreign_shares[k] for k in foreign_shares],
+        title="Foreign source shares (Fig 8(c))",
+    ))
+    write_report("fig8_table_formats.txt", "\n".join(lines))
+
+    assert formats.get("DELTA", 0) > 0.5
+    assert len(formats) >= 4
+    assert growing_types == len(type_names)
+    assert cloud_dw_in_top5 == 3

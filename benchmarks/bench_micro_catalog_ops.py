@@ -1,0 +1,119 @@
+"""Microbenchmarks of the catalog's hot-path operations (real time).
+
+Not a paper figure — engineering hygiene for the index structures the
+paper names in section 5 ("hash-maps, versioned-lists and URL-tries ...
+serve point lookups for assets, privileges, memberships, as well as
+complex reads" like path-overlap checks). Each kernel is the actual
+production code path, timed by pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clock import SimClock
+from repro.cloudstore.object_store import StoragePath
+from repro.core.model.entity import SecurableKind
+from repro.core.paths import PathTrie
+from repro.core.service.catalog_service import UnityCatalogService
+
+N_TABLES = 400
+
+
+@pytest.fixture(scope="module")
+def loaded_service():
+    clock = SimClock()
+    service = UnityCatalogService(clock=clock, read_version_check=False)
+    service.directory.add_user("admin")
+    service.directory.add_user("reader")
+    mid = service.create_metastore("bench", owner="admin").id
+    service.create_securable(mid, "admin", SecurableKind.CATALOG, "cat")
+    service.create_securable(mid, "admin", SecurableKind.SCHEMA, "cat.sch")
+    names = []
+    for i in range(N_TABLES):
+        name = f"cat.sch.t{i}"
+        service.create_securable(
+            mid, "admin", SecurableKind.TABLE, name,
+            spec={"table_type": "MANAGED",
+                  "columns": [{"name": "a", "type": "INT"}]},
+        )
+        names.append(name)
+    from repro.core.auth.privileges import Privilege
+
+    service.grant(mid, "admin", SecurableKind.CATALOG, "cat", "reader",
+                  Privilege.USE_CATALOG)
+    service.grant(mid, "admin", SecurableKind.SCHEMA, "cat.sch", "reader",
+                  Privilege.USE_SCHEMA)
+    service.grant(mid, "admin", SecurableKind.SCHEMA, "cat.sch", "reader",
+                  Privilege.SELECT)
+    return service, mid, names
+
+
+def test_micro_get_table_cached(benchmark, loaded_service):
+    """Point metadata lookup through the warm cache."""
+    service, mid, names = loaded_service
+    rng = random.Random(0)
+
+    def kernel():
+        service.get_securable(mid, "admin", SecurableKind.TABLE,
+                              rng.choice(names))
+
+    benchmark(kernel)
+
+
+def test_micro_batched_resolution(benchmark, loaded_service):
+    """The full batched query-path call: authz + FGAC + credentials."""
+    service, mid, names = loaded_service
+
+    def kernel():
+        service.resolve_for_query(mid, "reader", names[:8])
+
+    benchmark(kernel)
+
+
+def test_micro_authorization_check(benchmark, loaded_service):
+    """One privilege-inheritance evaluation."""
+    from repro.core.auth.privileges import Privilege
+
+    service, mid, names = loaded_service
+
+    def kernel():
+        service.has_privilege(mid, "reader", SecurableKind.TABLE, names[0],
+                              Privilege.SELECT)
+
+    benchmark(kernel)
+
+
+def test_micro_path_resolution(benchmark, loaded_service):
+    """Path→asset resolution through the cached URL trie."""
+    service, mid, names = loaded_service
+    view = service.view(mid)
+    entity = service.resolve_name(mid, SecurableKind.TABLE, names[7])
+    probe = StoragePath.parse(entity.storage_path).child("data", "part-0")
+
+    def kernel():
+        assert view.resolve_path(probe) is not None
+
+    benchmark(kernel)
+
+
+def test_micro_trie_vs_linear_overlap_check(benchmark):
+    """The section 5 'complex read': find overlapping paths at create time.
+    The trie makes it O(depth) instead of O(assets)."""
+    trie = PathTrie()
+    paths = []
+    for i in range(5000):
+        path = StoragePath.parse(f"s3://bucket/tables/{i:05d}")
+        trie.register(path, f"asset{i}")
+        paths.append(path)
+    probe = StoragePath.parse("s3://bucket/tables/02500/sub/dir")
+
+    def kernel():
+        assert trie.find_overlapping(probe) == ["asset2500"]
+
+    result = benchmark(kernel)
+    # sanity: a linear scan does 5000 overlap checks; the trie walks ~5
+    linear_checks = sum(1 for p in paths if p.overlaps(probe))
+    assert linear_checks == 1

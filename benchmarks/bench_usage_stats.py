@@ -1,0 +1,75 @@
+"""Section 6.1 — aggregate usage statistics.
+
+Regenerates the paper's headline numbers on the synthetic deployment
+(scaled ~1:1000) plus a trace-derived read/write split, and times the
+deployment generator itself.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from benchmarks.conftest import write_report
+from repro.bench.report import PAPER_HEADERS, paper_row, render_table
+from repro.workloads.deployment import DeploymentConfig, generate_deployment
+from repro.workloads.traces import TraceConfig, generate_trace
+
+
+def _mode(values):
+    counts = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    return max(counts, key=counts.get)
+
+
+def test_aggregate_usage_statistics(benchmark, deployment):
+    benchmark.pedantic(
+        generate_deployment,
+        args=(DeploymentConfig(seed=1, metastores=3),),
+        rounds=1, iterations=1,
+    )
+
+    trace = generate_trace(deployment, TraceConfig(seed=5, max_events=100_000))
+    reads = sum(1 for e in trace if e.is_read) / len(trace)
+
+    schema_to_catalog = {s.id: s.parent_id for s in deployment.schemas}
+    tables_per_catalog: dict[str, int] = {}
+    volumes_per_catalog: dict[str, int] = {}
+    for table in deployment.tables:
+        catalog = schema_to_catalog[table.parent_id]
+        tables_per_catalog[catalog] = tables_per_catalog.get(catalog, 0) + 1
+    for volume in deployment.volumes:
+        catalog = schema_to_catalog[volume.parent_id]
+        volumes_per_catalog[catalog] = volumes_per_catalog.get(catalog, 0) + 1
+
+    table_mode = _mode(tables_per_catalog.values())
+    volume_mode = _mode(volumes_per_catalog.values())
+    largest_tables = max(tables_per_catalog.values())
+    median_tables = statistics.median(tables_per_catalog.values())
+
+    rows = [
+        paper_row("read fraction of API calls", "98.2%",
+                  f"{reads:.1%}", "trace replay"),
+        paper_row("tables : volumes : models (ratio)",
+                  "100M : 550K : 400K (~182:1 tables:models)",
+                  f"{len(deployment.tables)} : {len(deployment.volumes)} : "
+                  f"{len(deployment.models)}", "1:1000-scale population"),
+        paper_row("mode of tables per catalog", "~30", table_mode, ""),
+        paper_row("mode of volumes per catalog", "<6", volume_mode, ""),
+        paper_row("largest catalog >> median (heavy tail)",
+                  ">=500K tables at tail",
+                  f"max={largest_tables}, median={median_tables}",
+                  f"tail/median = {largest_tables / max(median_tables, 1):.0f}x"),
+        paper_row("schemas / catalogs / metastores",
+                  "4M / 200K / 100K",
+                  f"{len(deployment.schemas)} / {len(deployment.catalogs)} / "
+                  f"{len(deployment.metastores)}", ""),
+    ]
+    report = render_table(PAPER_HEADERS, rows,
+                          title="Section 6.1 - aggregate usage statistics")
+    write_report("usage_stats.txt", report)
+
+    assert abs(reads - 0.982) < 0.01
+    assert volume_mode < 6
+    assert 5 <= table_mode <= 120  # heavy-tailed mode near the paper's ~30
+    assert largest_tables > 20 * median_tables

@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures and report plumbing.
+
+Every bench regenerates one of the paper's tables/figures as a text
+report (printed and written under ``benchmarks/out/``) with measured
+values next to the paper's reported ones, and asserts that the *shape*
+holds (who wins, rough factors, crossovers). Absolute values differ — the
+substrate is a simulator, not the authors' production fleet.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core.service.catalog_service import UnityCatalogService
+from repro.workloads.deployment import DeploymentConfig, generate_deployment
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def write_report(name: str, text: str) -> None:
+    """Print a report and persist it for EXPERIMENTS.md."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, name), "w") as f:
+        f.write(text + "\n")
+    print("\n" + text, file=sys.stderr)
+
+
+@pytest.fixture(scope="session")
+def deployment():
+    """The session-wide synthetic population (paper-shaped, ~1:1000)."""
+    return generate_deployment(DeploymentConfig(seed=7, metastores=40))
+
+
+@pytest.fixture
+def sim_service():
+    """A catalog service on simulated time."""
+    clock = SimClock()
+    service = UnityCatalogService(clock=clock)
+    service.directory.add_user("admin")
+    return service

@@ -1,0 +1,170 @@
+"""A governed lakehouse end to end (the paper's section 1 use cases).
+
+Personas:
+  * admin       — configures storage credentials, external locations, ABAC
+  * engineer    — lands raw data in an external table, builds curated views
+  * analyst     — reads through views; PII is masked, rows filtered
+  * auditor     — uses search, lineage, and the audit trail
+
+Demonstrates: external locations + one-asset-per-path, credential vending
+(name *and* path access, identically governed), view-based access
+control, FGAC row filters + ABAC column masking, the data filtering
+service for an untrusted engine, change-event-driven search, and lineage.
+
+Run:  python examples/governed_lakehouse.py
+"""
+
+from repro import (
+    AccessLevel,
+    EngineSession,
+    Privilege,
+    SecurableKind,
+    UnityCatalogService,
+)
+from repro.core.auth.abac import AbacEffect, TagCondition
+from repro.core.search import SearchService
+from repro.engine.filtering_service import DataFilteringService
+from repro.errors import PathConflictError, PermissionDeniedError
+
+
+def main() -> None:
+    catalog = UnityCatalogService()
+    directory = catalog.directory
+    for user in ("admin", "engineer", "analyst", "auditor"):
+        directory.add_user(user)
+    directory.add_group("analysts")
+    directory.add_member("analysts", "analyst")
+
+    mid = catalog.create_metastore("prod", owner="admin").id
+
+    # -- storage governance: credential + external location ----------------
+    catalog.create_securable(
+        mid, "admin", SecurableKind.STORAGE_CREDENTIAL, "lake_cred",
+        spec={"root_secret": catalog.sts.root_secret},
+    )
+    catalog.create_securable(
+        mid, "admin", SecurableKind.EXTERNAL_LOCATION, "landing",
+        storage_path="s3://corp-lake/landing",
+        spec={"credential_name": "lake_cred"},
+    )
+
+    # -- namespace + grants -------------------------------------------------
+    catalog.create_securable(mid, "admin", SecurableKind.CATALOG, "crm")
+    catalog.create_securable(mid, "admin", SecurableKind.SCHEMA, "crm.raw")
+    catalog.create_securable(mid, "admin", SecurableKind.SCHEMA, "crm.curated")
+    for principal in ("engineer", "analysts"):
+        catalog.grant(mid, "admin", SecurableKind.CATALOG, "crm", principal,
+                      Privilege.USE_CATALOG)
+    for schema in ("crm.raw", "crm.curated"):
+        catalog.grant(mid, "admin", SecurableKind.SCHEMA, schema, "engineer",
+                      Privilege.USE_SCHEMA)
+        catalog.grant(mid, "admin", SecurableKind.SCHEMA, schema, "engineer",
+                      Privilege.CREATE_TABLE)
+    catalog.grant(mid, "admin", SecurableKind.SCHEMA, "crm.curated",
+                  "analysts", Privilege.USE_SCHEMA)
+    catalog.grant(mid, "admin", SecurableKind.EXTERNAL_LOCATION, "landing",
+                  "engineer", Privilege.CREATE_TABLE)
+
+    # -- engineer lands raw data as an EXTERNAL table ------------------------
+    engineer = EngineSession(catalog, mid, "engineer", trusted=True)
+    engineer.sql(
+        "CREATE TABLE crm.raw.customers "
+        "(id INT, name STRING, email STRING, country STRING, ltv INT) "
+        "LOCATION 's3://corp-lake/landing/customers'"
+    )
+    engineer.sql(
+        "INSERT INTO crm.raw.customers VALUES "
+        "(1, 'Nina', 'nina@x.io',  'de', 900), "
+        "(2, 'Omar', 'omar@y.com', 'us', 400), "
+        "(3, 'Pia',  'pia@z.org',  'de', 150), "
+        "(4, 'Quentin', 'q@q.net', 'fr', 700)"
+    )
+
+    # one-asset-per-path: nobody can register an overlapping table
+    try:
+        catalog.create_securable(
+            mid, "engineer", SecurableKind.TABLE, "crm.raw.sneaky",
+            storage_path="s3://corp-lake/landing/customers/part",
+            spec={"table_type": "EXTERNAL"},
+        )
+        raise AssertionError("overlap should have been rejected")
+    except PathConflictError as exc:
+        print(f"one-asset-per-path enforced: {exc}")
+
+    # -- curated view: analysts read through it without raw access -----------
+    engineer.sql(
+        "CREATE VIEW crm.curated.customer_value AS "
+        "SELECT id, name, email, country, ltv FROM crm.raw.customers "
+        "WHERE ltv > 100"
+    )
+    catalog.grant(mid, "engineer", SecurableKind.TABLE,
+                  "crm.curated.customer_value", "analysts", Privilege.SELECT)
+
+    # -- governance policies --------------------------------------------------
+    # tag the PII column; an ABAC policy at catalog scope masks every
+    # PII-tagged column for non-exempt users
+    catalog.set_column_tag(mid, "admin", "crm.raw.customers", "email",
+                           "pii", "true")
+    catalog.create_abac_policy(
+        mid, "admin", name="mask_pii",
+        scope_kind=SecurableKind.CATALOG, scope_name="crm",
+        condition=TagCondition(key="pii", on_columns=True),
+        effect=AbacEffect.MASK_COLUMNS, mask_sql="mask_hash(email)",
+        exempt_principals=("admin", "engineer"),
+    )
+    # row filter: analysts only see EU countries
+    catalog.set_row_filter(
+        mid, "admin", "crm.raw.customers", "eu_only",
+        "country IN ('de', 'fr')",
+        exempt_principals=("admin", "engineer"),
+    )
+
+    # -- the analyst's untrusted notebook delegates to the filtering service --
+    filtering = DataFilteringService(catalog, mid)
+    analyst = EngineSession(catalog, mid, "analyst", trusted=False,
+                            filtering_service=filtering)
+    rows = analyst.sql(
+        "SELECT name, email, country, ltv FROM crm.curated.customer_value "
+        "ORDER BY ltv DESC"
+    ).rows
+    print("analyst view (EU only, email masked):")
+    for row in rows:
+        print("   ", row)
+    assert all(row["country"] in ("de", "fr") for row in rows)
+    assert all("@" not in row["email"] for row in rows)
+    assert filtering.stats.delegated_queries >= 1
+
+    # raw table remains off-limits to analysts entirely
+    try:
+        analyst.sql("SELECT * FROM crm.raw.customers")
+        raise AssertionError("analyst must not read raw")
+    except PermissionDeniedError:
+        print("analyst blocked from the raw table (view-only access)")
+
+    # -- uniform access control: path access == name access -------------------
+    table = catalog.get_securable(mid, "admin", SecurableKind.TABLE,
+                                  "crm.raw.customers")
+    entity, credential = catalog.access_by_path(
+        mid, "engineer", table.storage_path + "/data/part-0", AccessLevel.READ
+    )
+    print(f"path access resolved to asset {entity.name!r}, token scoped to "
+          f"{credential.scope.url()}")
+
+    # -- discovery: search + lineage ------------------------------------------
+    search = SearchService(catalog)
+    search.sync(mid)
+    hits = search.find_by_tag(mid, "admin", "pii")
+    print(f"search: assets with PII columns -> "
+          f"{[h.full_name for h in hits]}")
+    downstream = catalog.lineage_downstream(mid, "admin", "crm.raw.customers")
+    print(f"lineage: downstream of crm.raw.customers -> {downstream}")
+    assert downstream == {"crm.curated.customer_value"}
+
+    # -- auditor: every decision is on the record -------------------------------
+    denials = catalog.audit.query(allowed=False)
+    print(f"audit: {len(catalog.audit)} records, {len(denials)} denials")
+    print("governed_lakehouse OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Reproduction of *Unity Catalog: Open and Universal Governance for the
+Lakehouse and Beyond* (SIGMOD-Companion 2025).
+
+Public API map:
+
+* :class:`repro.UnityCatalogService` — the catalog service (create
+  metastores/securables, grants, tags, FGAC/ABAC policies, credential
+  vending, batched query resolution, lineage, events, audit).
+* :class:`repro.EngineSession` — a SQL engine that executes the paper's
+  "life of a query" against the catalog.
+* :mod:`repro.deltalog` — the Delta-style table format substrate.
+* :mod:`repro.cloudstore` — the governed object-store substrate.
+* :mod:`repro.hms` — the Hive Metastore baseline / federation source.
+* :mod:`repro.mlflowlite` — the MLflow-style model-registry client.
+* :class:`repro.core.sharing.DeltaSharingServer` /
+  :class:`repro.core.iceberg_rest.IcebergRestCatalog` — external access.
+* :mod:`repro.workloads` and :mod:`repro.bench` — synthetic workloads
+  and the simulated-latency benchmark harness.
+"""
+
+from repro.clock import SimClock, WallClock
+from repro.core.auth.privileges import Privilege
+from repro.core.model.entity import Entity, SecurableKind
+from repro.core.service.catalog_service import UnityCatalogService
+from repro.cloudstore.sts import AccessLevel
+from repro.engine.session import EngineSession
+from repro.errors import UnityCatalogError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessLevel",
+    "EngineSession",
+    "Entity",
+    "Privilege",
+    "SecurableKind",
+    "SimClock",
+    "UnityCatalogError",
+    "UnityCatalogService",
+    "WallClock",
+    "__version__",
+]

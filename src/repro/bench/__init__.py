@@ -1,0 +1,27 @@
+"""Benchmark harness utilities.
+
+* :mod:`~repro.bench.stats` — CDFs, percentiles, histograms;
+* :mod:`~repro.bench.latency` — the simulated cost model: calibrated
+  per-operation costs plus a capacity-limited DB server (FIFO queue) so
+  latency/throughput curves have realistic saturation behaviour;
+* :mod:`~repro.bench.loadgen` — closed-loop load generation over SimClock;
+* :mod:`~repro.bench.report` — text tables and paper-vs-measured rows.
+"""
+
+from repro.bench.stats import cdf, percentile, summarize
+from repro.bench.latency import DbServerModel, LatencyModel
+from repro.bench.loadgen import ClosedLoopResult, run_closed_loop
+from repro.bench.report import ascii_bar_chart, paper_row, render_table
+
+__all__ = [
+    "ClosedLoopResult",
+    "DbServerModel",
+    "LatencyModel",
+    "ascii_bar_chart",
+    "cdf",
+    "paper_row",
+    "percentile",
+    "render_table",
+    "run_closed_loop",
+    "summarize",
+]

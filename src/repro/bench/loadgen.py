@@ -1,0 +1,70 @@
+"""Closed-loop load generation on simulated time.
+
+``run_closed_loop`` models N clients that each repeatedly issue one
+request, wait for its completion, and immediately issue the next — the
+standard closed-loop setup behind latency-vs-throughput curves like
+Figure 10(b). The caller supplies a ``request_fn(now) -> completion_time``
+that charges simulated costs (including DB queueing via
+:class:`~repro.bench.latency.DbServerModel`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bench.stats import summarize
+
+
+@dataclass
+class ClosedLoopResult:
+    """Outcome of one closed-loop run."""
+
+    clients: int
+    duration: float
+    completed: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    def latency_summary(self) -> dict[str, float]:
+        return summarize(self.latencies)
+
+
+def run_closed_loop(
+    clients: int,
+    duration: float,
+    request_fn: Callable[[float], float],
+    warmup: float = 0.0,
+) -> ClosedLoopResult:
+    """Run a closed loop until simulated time ``duration``.
+
+    ``request_fn(now)`` performs one request issued at ``now`` and
+    returns its completion time (>= now). Requests completing within the
+    warmup window are discarded from the statistics.
+    """
+    if clients <= 0:
+        raise ValueError("need at least one client")
+    result = ClosedLoopResult(clients=clients, duration=duration - warmup)
+    # event queue of (next issue time, client id), staggered slightly so
+    # clients do not phase-lock
+    queue: list[tuple[float, int]] = [
+        (i * 1e-6, i) for i in range(clients)
+    ]
+    heapq.heapify(queue)
+    while queue:
+        now, client = heapq.heappop(queue)
+        if now >= duration:
+            continue
+        completion = request_fn(now)
+        if completion < now:
+            raise ValueError("request completed before it was issued")
+        if completion >= warmup and completion < duration:
+            result.completed += 1
+            result.latencies.append(completion - now)
+        if completion < duration:
+            heapq.heappush(queue, (completion, client))
+    return result

@@ -1,0 +1,74 @@
+"""Text rendering for benchmark reports.
+
+Every bench prints its figure/table as text: a fixed-width table of the
+measured series next to the paper's reported values, so a reader can
+compare shapes directly in the terminal (and EXPERIMENTS.md records the
+same rows).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """A fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(value) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(row[i]) for row in cells) for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal ASCII bars (used for distribution figures)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    peak = max(values) if values else 1.0
+    label_width = max((len(l) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * (int(round(width * value / peak)) if peak else 0)
+        lines.append(f"{label.ljust(label_width)} | {bar} {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def paper_row(
+    metric: str, paper_value: object, measured_value: object,
+    note: str = "",
+) -> list[object]:
+    """One 'paper vs measured' comparison row."""
+    return [metric, paper_value, measured_value, note]
+
+
+PAPER_HEADERS = ["metric", "paper", "measured", "note"]

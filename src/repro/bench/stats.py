@@ -1,0 +1,81 @@
+"""Statistics helpers for benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile, p in [0, 100]."""
+    if not values:
+        raise ValueError("no values")
+    if not 0 <= p <= 100:
+        raise ValueError("p out of range")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def cdf(values: Sequence[float], points: int = 50) -> list[tuple[float, float]]:
+    """(value, cumulative fraction) pairs at evenly spaced fractions."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    out = []
+    for i in range(points + 1):
+        fraction = i / points
+        index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1)))
+        out.append((ordered[index], fraction))
+    return out
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """CDF evaluated at a threshold."""
+    if not values:
+        raise ValueError("no values")
+    return sum(1 for v in values if v <= threshold) / len(values)
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """Mean and the usual latency percentiles."""
+    if not values:
+        raise ValueError("no values")
+    return {
+        "count": float(len(values)),
+        "mean": sum(values) / len(values),
+        "p50": percentile(values, 50),
+        "p90": percentile(values, 90),
+        "p99": percentile(values, 99),
+        "max": max(values),
+    }
+
+
+def histogram(
+    values: Sequence[float], bins: Sequence[float]
+) -> list[tuple[str, int]]:
+    """Counts per half-open bin [bins[i], bins[i+1])."""
+    counts = [0] * (len(bins) + 1)
+    for value in values:
+        placed = False
+        for i, edge in enumerate(bins):
+            if value < edge:
+                counts[i] += 1
+                placed = True
+                break
+        if not placed:
+            counts[-1] += 1
+    labels = []
+    previous = None
+    for edge in bins:
+        labels.append(f"[{previous if previous is not None else '-inf'}, {edge})")
+        previous = edge
+    labels.append(f"[{previous}, inf)")
+    return list(zip(labels, counts))

@@ -1,0 +1,33 @@
+"""Cloud object storage substrate.
+
+Simulates an S3/ADLS/GCS-style object store with the properties Unity
+Catalog depends on:
+
+* a flat bucket/key namespace addressed by ``scheme://bucket/key`` paths,
+* list-by-prefix,
+* conditional put (put-if-absent) used by the Delta log for atomic commits,
+* STS-style temporary credentials, scoped to a path prefix and access
+  level, enforced on every call.
+
+The store itself performs **no** catalog-level authorization — exactly
+like real cloud storage, it only checks the token presented with each
+request. Consistent governance on top of this is Unity Catalog's job.
+"""
+
+from repro.cloudstore.object_store import ObjectStore, ObjectMeta, StoragePath
+from repro.cloudstore.sts import (
+    AccessLevel,
+    StsTokenIssuer,
+    TemporaryCredential,
+)
+from repro.cloudstore.client import StorageClient
+
+__all__ = [
+    "AccessLevel",
+    "ObjectMeta",
+    "ObjectStore",
+    "StorageClient",
+    "StoragePath",
+    "StsTokenIssuer",
+    "TemporaryCredential",
+]

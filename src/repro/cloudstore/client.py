@@ -1,0 +1,66 @@
+"""Token-enforcing storage client.
+
+All engine and artifact-repository code in this repository goes through
+:class:`StorageClient`, never :class:`~repro.cloudstore.object_store.ObjectStore`
+directly. The client presents a temporary credential with every call and
+the issuer validates scope, level, and expiry — so a client holding a
+token for ``s3://bucket/tables/t1`` cannot read ``s3://bucket/tables/t2``,
+which is precisely the downscoping property the paper's credential vending
+depends on.
+"""
+
+from __future__ import annotations
+
+from repro.cloudstore.object_store import ObjectMeta, ObjectStore, StoragePath
+from repro.cloudstore.sts import AccessLevel, StsTokenIssuer, TemporaryCredential
+
+
+class StorageClient:
+    """A cloud-storage client bound to one temporary credential."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        issuer: StsTokenIssuer,
+        credential: TemporaryCredential,
+    ):
+        self._store = store
+        self._issuer = issuer
+        self._credential = credential
+
+    @property
+    def credential(self) -> TemporaryCredential:
+        return self._credential
+
+    def refresh(self, credential: TemporaryCredential) -> None:
+        """Swap in a fresh credential (engines refresh near expiry)."""
+        self._credential = credential
+
+    def _check(self, path: StoragePath, level: AccessLevel) -> None:
+        self._issuer.validate(self._credential.token, path, level)
+
+    # -- governed operations -----------------------------------------------
+
+    def get(self, path: StoragePath) -> bytes:
+        self._check(path, AccessLevel.READ)
+        return self._store.get(path)
+
+    def head(self, path: StoragePath) -> ObjectMeta:
+        self._check(path, AccessLevel.READ)
+        return self._store.head(path)
+
+    def exists(self, path: StoragePath) -> bool:
+        self._check(path, AccessLevel.READ)
+        return self._store.exists(path)
+
+    def list(self, prefix: StoragePath) -> list[ObjectMeta]:
+        self._check(prefix, AccessLevel.READ)
+        return self._store.list(prefix)
+
+    def put(self, path: StoragePath, data: bytes, *, if_absent: bool = False) -> ObjectMeta:
+        self._check(path, AccessLevel.READ_WRITE)
+        return self._store.put(path, data, if_absent=if_absent)
+
+    def delete(self, path: StoragePath) -> None:
+        self._check(path, AccessLevel.READ_WRITE)
+        self._store.delete(path)

@@ -1,0 +1,219 @@
+"""An in-process object store with the cloud-storage semantics UC relies on."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import AlreadyExistsError, InvalidRequestError, NotFoundError
+
+
+@dataclass(frozen=True)
+class StoragePath:
+    """A parsed ``scheme://bucket/key`` cloud storage path.
+
+    Paths are normalized (no trailing slash on the key) so that prefix
+    containment checks behave like directory containment: ``a/b`` contains
+    ``a/b/c`` but not ``a/bc``.
+    """
+
+    scheme: str
+    bucket: str
+    key: str
+
+    @classmethod
+    def parse(cls, url: str) -> "StoragePath":
+        if "://" not in url:
+            raise InvalidRequestError(f"not a storage url: {url!r}")
+        scheme, rest = url.split("://", 1)
+        if not scheme or not rest:
+            raise InvalidRequestError(f"not a storage url: {url!r}")
+        bucket, _, key = rest.partition("/")
+        if not bucket:
+            raise InvalidRequestError(f"missing bucket in storage url: {url!r}")
+        return cls(scheme=scheme, bucket=bucket, key=key.strip("/"))
+
+    def url(self) -> str:
+        if self.key:
+            return f"{self.scheme}://{self.bucket}/{self.key}"
+        return f"{self.scheme}://{self.bucket}"
+
+    def child(self, *segments: str) -> "StoragePath":
+        """Return a path extended with extra key segments."""
+        parts = [self.key] if self.key else []
+        for segment in segments:
+            segment = segment.strip("/")
+            if not segment:
+                raise InvalidRequestError("empty path segment")
+            parts.append(segment)
+        return StoragePath(self.scheme, self.bucket, "/".join(parts))
+
+    def contains(self, other: "StoragePath") -> bool:
+        """True if ``other`` equals this path or lives under it."""
+        if (self.scheme, self.bucket) != (other.scheme, other.bucket):
+            return False
+        if not self.key:
+            return True
+        return other.key == self.key or other.key.startswith(self.key + "/")
+
+    def overlaps(self, other: "StoragePath") -> bool:
+        """True if one path contains the other (either direction)."""
+        return self.contains(other) or other.contains(self)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.url()
+
+
+@dataclass
+class ObjectMeta:
+    """Metadata for one stored object."""
+
+    path: StoragePath
+    size: int
+    generation: int
+
+
+@dataclass
+class _Blob:
+    data: bytes
+    generation: int
+
+
+@dataclass
+class _OpStats:
+    """Counters used by benchmarks to attribute simulated storage cost."""
+
+    gets: int = 0
+    puts: int = 0
+    lists: int = 0
+    deletes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "gets": self.gets,
+            "puts": self.puts,
+            "lists": self.lists,
+            "deletes": self.deletes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+
+class ObjectStore:
+    """Thread-safe in-memory object store.
+
+    The store deliberately exposes **raw, ungoverned** access methods; the
+    only enforcement point for credentials is :class:`~repro.cloudstore.client.StorageClient`.
+    This mirrors the paper's threat model: anyone holding a raw storage
+    credential can bypass the catalog, which is why UC keeps raw
+    credentials to itself and vends downscoped temporary ones.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._buckets: dict[tuple[str, str], dict[str, _Blob]] = {}
+        self._generation = 0
+        self.stats = _OpStats()
+
+    # -- bucket management -------------------------------------------------
+
+    def create_bucket(self, scheme: str, bucket: str) -> None:
+        with self._lock:
+            key = (scheme, bucket)
+            if key in self._buckets:
+                raise AlreadyExistsError(f"bucket exists: {scheme}://{bucket}")
+            self._buckets[key] = {}
+
+    def ensure_bucket(self, scheme: str, bucket: str) -> None:
+        with self._lock:
+            self._buckets.setdefault((scheme, bucket), {})
+
+    def _bucket(self, path: StoragePath) -> dict[str, _Blob]:
+        try:
+            return self._buckets[(path.scheme, path.bucket)]
+        except KeyError:
+            raise NotFoundError(f"no such bucket: {path.scheme}://{path.bucket}")
+
+    # -- object operations -------------------------------------------------
+
+    def put(self, path: StoragePath, data: bytes, *, if_absent: bool = False) -> ObjectMeta:
+        """Write an object. With ``if_absent=True`` this is an atomic
+        put-if-absent, the primitive Delta-style logs use for commits."""
+        if not path.key:
+            raise InvalidRequestError("cannot put an object at a bucket root")
+        with self._lock:
+            bucket = self._bucket(path)
+            if if_absent and path.key in bucket:
+                raise AlreadyExistsError(f"object exists: {path.url()}")
+            self._generation += 1
+            bucket[path.key] = _Blob(data=data, generation=self._generation)
+            self.stats.puts += 1
+            self.stats.bytes_written += len(data)
+            return ObjectMeta(path=path, size=len(data), generation=self._generation)
+
+    def get(self, path: StoragePath) -> bytes:
+        with self._lock:
+            bucket = self._bucket(path)
+            blob = bucket.get(path.key)
+            if blob is None:
+                raise NotFoundError(f"no such object: {path.url()}")
+            self.stats.gets += 1
+            self.stats.bytes_read += len(blob.data)
+            return blob.data
+
+    def head(self, path: StoragePath) -> ObjectMeta:
+        with self._lock:
+            bucket = self._bucket(path)
+            blob = bucket.get(path.key)
+            if blob is None:
+                raise NotFoundError(f"no such object: {path.url()}")
+            return ObjectMeta(path=path, size=len(blob.data), generation=blob.generation)
+
+    def exists(self, path: StoragePath) -> bool:
+        with self._lock:
+            try:
+                bucket = self._bucket(path)
+            except NotFoundError:
+                return False
+            return path.key in bucket
+
+    def delete(self, path: StoragePath) -> None:
+        with self._lock:
+            bucket = self._bucket(path)
+            if path.key not in bucket:
+                raise NotFoundError(f"no such object: {path.url()}")
+            del bucket[path.key]
+            self.stats.deletes += 1
+
+    def list(self, prefix: StoragePath) -> list[ObjectMeta]:
+        """List objects under a prefix, sorted by key (like S3 ListObjectsV2)."""
+        with self._lock:
+            bucket = self._bucket(prefix)
+            self.stats.lists += 1
+            out = []
+            for key in sorted(bucket):
+                candidate = StoragePath(prefix.scheme, prefix.bucket, key)
+                if prefix.contains(candidate):
+                    blob = bucket[key]
+                    out.append(ObjectMeta(path=candidate, size=len(blob.data),
+                                          generation=blob.generation))
+            return out
+
+    def delete_prefix(self, prefix: StoragePath) -> int:
+        """Delete every object under a prefix; returns the count removed.
+
+        Used by the catalog's lifecycle GC when a managed asset is purged.
+        """
+        with self._lock:
+            removed = [meta.path.key for meta in self.list(prefix)]
+            bucket = self._bucket(prefix)
+            for key in removed:
+                del bucket[key]
+                self.stats.deletes += 1
+            return len(removed)
+
+    def total_bytes(self, prefix: StoragePath) -> int:
+        """Total stored bytes under a prefix (storage-efficiency metric)."""
+        return sum(meta.size for meta in self.list(prefix))

@@ -1,0 +1,11 @@
+"""Unity Catalog core: the paper's primary contribution.
+
+Subpackages:
+
+* ``model`` — generic entity-relationship data model and asset-type registry
+* ``persistence`` — ACID metadata stores (in-memory MVCC, SQLite)
+* ``cache`` — write-through multi-version cache and TTL caches
+* ``auth`` — principals, privileges, inheritance, FGAC, ABAC
+* ``assets`` — built-in asset-type manifests (tables, volumes, models, ...)
+* ``service`` — the Unity Catalog service facade and REST API layer
+"""

@@ -1,0 +1,17 @@
+"""Built-in asset types, all defined through declarative manifests."""
+
+from repro.core.assets.builtin import (
+    FOREIGN_TABLE_SOURCES,
+    TABLE_FORMATS,
+    TABLE_TYPES,
+    VOLUME_TYPES,
+    builtin_registry,
+)
+
+__all__ = [
+    "FOREIGN_TABLE_SOURCES",
+    "TABLE_FORMATS",
+    "TABLE_TYPES",
+    "VOLUME_TYPES",
+    "builtin_registry",
+]

@@ -1,0 +1,457 @@
+"""Manifests for every built-in securable kind (paper section 3.2).
+
+Each manifest is purely declarative: the catalog service derives CRUD
+validation, authorization, lifecycle, namespace and path behaviour from
+it. Adding a new asset type means writing one more manifest — the
+extension path the paper demonstrates with MLflow registered models.
+"""
+
+from __future__ import annotations
+
+from repro.core.auth.privileges import Privilege
+from repro.core.model.entity import SecurableKind
+from repro.core.model.manifest import AssetTypeManifest, FieldSpec
+from repro.core.model.registry import AssetTypeRegistry
+from repro.errors import InvalidRequestError
+
+# -- table vocabulary ---------------------------------------------------------
+
+TABLE_TYPES = frozenset(
+    {"MANAGED", "EXTERNAL", "VIEW", "MATERIALIZED_VIEW", "FOREIGN", "SHALLOW_CLONE"}
+)
+
+TABLE_FORMATS = frozenset({"DELTA", "ICEBERG", "PARQUET", "CSV", "JSON", "AVRO", "ORC"})
+
+#: Foreign-table source systems (paper: "UC currently supports 26 foreign
+#: table types"); a representative subset including the three cloud data
+#: warehouses Figure 8(c) alludes to.
+FOREIGN_TABLE_SOURCES = frozenset(
+    {
+        "HIVE_METASTORE",
+        "SNOWFLAKE",
+        "BIGQUERY",
+        "REDSHIFT",
+        "MYSQL",
+        "POSTGRESQL",
+        "SQLSERVER",
+        "ORACLE",
+        "TERADATA",
+        "SAP_HANA",
+        "DATABRICKS",
+        "GLUE",
+        "SALESFORCE",
+        "MONGODB",
+    }
+)
+
+VOLUME_TYPES = frozenset({"MANAGED", "EXTERNAL"})
+
+CONNECTION_TYPES = frozenset(
+    {"HIVE_METASTORE", "MYSQL", "POSTGRESQL", "SNOWFLAKE", "BIGQUERY", "REDSHIFT",
+     "SQLSERVER", "GLUE", "DATABRICKS"}
+)
+
+CATALOG_TYPES = frozenset({"STANDARD", "FOREIGN", "DELTASHARING"})
+
+
+def _validate_columns(columns: object) -> None:
+    """Columns are a list of {name, type, nullable?, comment?} dicts."""
+    if not isinstance(columns, list):
+        raise InvalidRequestError("columns must be a list")
+    seen = set()
+    for column in columns:
+        if not isinstance(column, dict) or "name" not in column or "type" not in column:
+            raise InvalidRequestError(
+                "each column needs at least 'name' and 'type'"
+            )
+        name = column["name"]
+        if name in seen:
+            raise InvalidRequestError(f"duplicate column name: {name!r}")
+        seen.add(name)
+
+
+# -- container manifests -------------------------------------------------------
+
+METASTORE_MANIFEST = AssetTypeManifest(
+    kind=SecurableKind.METASTORE,
+    parent_kind=None,
+    namespace_group="metastore",
+    supported_privileges=frozenset(
+        {
+            Privilege.CREATE_CATALOG,
+            Privilege.CREATE_STORAGE_CREDENTIAL,
+            Privilege.CREATE_EXTERNAL_LOCATION,
+            Privilege.CREATE_CONNECTION,
+            Privilege.CREATE_SHARE,
+            Privilege.CREATE_RECIPIENT,
+            Privilege.BROWSE,
+            # inheritable privileges grantable metastore-wide
+            Privilege.USE_CATALOG,
+            Privilege.USE_SCHEMA,
+            Privilege.SELECT,
+            Privilege.MODIFY,
+            Privilege.READ_VOLUME,
+            Privilege.WRITE_VOLUME,
+            Privilege.EXECUTE,
+            Privilege.APPLY_TAG,
+        }
+    ),
+    operation_rules={
+        "read_metadata": Privilege.BROWSE,
+        "apply_tag": Privilege.APPLY_TAG,
+        "create_catalog": Privilege.CREATE_CATALOG,
+        "create_storage_credential": Privilege.CREATE_STORAGE_CREDENTIAL,
+        "create_external_location": Privilege.CREATE_EXTERNAL_LOCATION,
+        "create_connection": Privilege.CREATE_CONNECTION,
+        "create_share": Privilege.CREATE_SHARE,
+        "create_recipient": Privilege.CREATE_RECIPIENT,
+    },
+    child_kinds=(SecurableKind.CATALOG,),
+    fields=(
+        FieldSpec("region", default="us-west"),
+    ),
+)
+
+CATALOG_MANIFEST = AssetTypeManifest(
+    kind=SecurableKind.CATALOG,
+    parent_kind=SecurableKind.METASTORE,
+    namespace_group="catalog",
+    create_privilege=Privilege.CREATE_CATALOG,
+    supported_privileges=frozenset(
+        {
+            Privilege.USE_CATALOG,
+            Privilege.CREATE_SCHEMA,
+            Privilege.BROWSE,
+            # inheritable data privileges grantable at container scope
+            Privilege.SELECT,
+            Privilege.MODIFY,
+            Privilege.READ_VOLUME,
+            Privilege.WRITE_VOLUME,
+            Privilege.EXECUTE,
+            Privilege.CREATE_TABLE,
+            Privilege.CREATE_VOLUME,
+            Privilege.CREATE_FUNCTION,
+            Privilege.CREATE_MODEL,
+            Privilege.APPLY_TAG,
+        }
+    ),
+    operation_rules={
+        "read_metadata": Privilege.BROWSE,
+        "apply_tag": Privilege.APPLY_TAG,
+        "use": Privilege.USE_CATALOG,
+        "create_schema": Privilege.CREATE_SCHEMA,
+    },
+    child_kinds=(SecurableKind.SCHEMA,),
+    fields=(
+        FieldSpec("catalog_type", choices=CATALOG_TYPES, default="STANDARD",
+                  updatable=False),
+        FieldSpec("connection_name", required=False, updatable=False),
+        FieldSpec("foreign_database", required=False, updatable=False),
+        FieldSpec("share_name", required=False, updatable=False),
+        FieldSpec("provider_name", required=False, updatable=False),
+        FieldSpec("workspace_bindings", types=(list,), default=None),
+        FieldSpec("options", types=(dict,), default=None),
+    ),
+)
+
+SCHEMA_MANIFEST = AssetTypeManifest(
+    kind=SecurableKind.SCHEMA,
+    parent_kind=SecurableKind.CATALOG,
+    namespace_group="schema",
+    create_privilege=Privilege.CREATE_SCHEMA,
+    supported_privileges=frozenset(
+        {
+            Privilege.USE_SCHEMA,
+            Privilege.CREATE_TABLE,
+            Privilege.CREATE_VOLUME,
+            Privilege.CREATE_FUNCTION,
+            Privilege.CREATE_MODEL,
+            Privilege.BROWSE,
+            Privilege.SELECT,
+            Privilege.MODIFY,
+            Privilege.READ_VOLUME,
+            Privilege.WRITE_VOLUME,
+            Privilege.EXECUTE,
+            Privilege.APPLY_TAG,
+        }
+    ),
+    operation_rules={
+        "read_metadata": Privilege.BROWSE,
+        "apply_tag": Privilege.APPLY_TAG,
+        "use": Privilege.USE_SCHEMA,
+        "create_table": Privilege.CREATE_TABLE,
+        "create_volume": Privilege.CREATE_VOLUME,
+        "create_function": Privilege.CREATE_FUNCTION,
+        "create_model": Privilege.CREATE_MODEL,
+    },
+    child_kinds=(
+        SecurableKind.TABLE,
+        SecurableKind.VOLUME,
+        SecurableKind.FUNCTION,
+        SecurableKind.REGISTERED_MODEL,
+    ),
+    fields=(),
+)
+
+# -- data & AI asset manifests ---------------------------------------------------
+
+TABLE_MANIFEST = AssetTypeManifest(
+    kind=SecurableKind.TABLE,
+    parent_kind=SecurableKind.SCHEMA,
+    namespace_group="tabular",
+    has_storage=True,
+    allows_managed_storage=True,
+    create_privilege=Privilege.CREATE_TABLE,
+    supported_privileges=frozenset(
+        {Privilege.SELECT, Privilege.MODIFY, Privilege.BROWSE, Privilege.APPLY_TAG}
+    ),
+    operation_rules={
+        "read_metadata": Privilege.BROWSE,
+        "apply_tag": Privilege.APPLY_TAG,
+        "read_data": Privilege.SELECT,
+        "write_data": Privilege.MODIFY,
+        "update": Privilege.MODIFY,
+    },
+    read_privilege=Privilege.SELECT,
+    write_privilege=Privilege.MODIFY,
+    fields=(
+        FieldSpec("table_type", choices=TABLE_TYPES, required=True, updatable=False),
+        FieldSpec("format", choices=TABLE_FORMATS, default="DELTA", updatable=False),
+        FieldSpec("columns", types=(list,), default=None, validator=_validate_columns),
+        FieldSpec("view_definition", required=False, max_length=65536),
+        FieldSpec("view_dependencies", types=(list,), default=None),
+        FieldSpec("base_table", required=False, updatable=False),
+        FieldSpec("foreign_source", choices=FOREIGN_TABLE_SOURCES, required=False,
+                  updatable=False),
+        FieldSpec("uniform_enabled", types=(bool,), default=False),
+        FieldSpec("catalog_owned", types=(bool,), default=False, updatable=False),
+        FieldSpec("row_count_estimate", types=(int,), default=None),
+    ),
+)
+
+VOLUME_MANIFEST = AssetTypeManifest(
+    kind=SecurableKind.VOLUME,
+    parent_kind=SecurableKind.SCHEMA,
+    namespace_group="volume",
+    has_storage=True,
+    allows_managed_storage=True,
+    create_privilege=Privilege.CREATE_VOLUME,
+    supported_privileges=frozenset(
+        {Privilege.READ_VOLUME, Privilege.WRITE_VOLUME, Privilege.BROWSE,
+         Privilege.APPLY_TAG}
+    ),
+    operation_rules={
+        "read_metadata": Privilege.BROWSE,
+        "apply_tag": Privilege.APPLY_TAG,
+        "read_data": Privilege.READ_VOLUME,
+        "write_data": Privilege.WRITE_VOLUME,
+        "update": Privilege.WRITE_VOLUME,
+    },
+    read_privilege=Privilege.READ_VOLUME,
+    write_privilege=Privilege.WRITE_VOLUME,
+    fields=(
+        FieldSpec("volume_type", choices=VOLUME_TYPES, required=True, updatable=False),
+    ),
+)
+
+FUNCTION_MANIFEST = AssetTypeManifest(
+    kind=SecurableKind.FUNCTION,
+    parent_kind=SecurableKind.SCHEMA,
+    namespace_group="function",
+    create_privilege=Privilege.CREATE_FUNCTION,
+    supported_privileges=frozenset(
+        {Privilege.EXECUTE, Privilege.BROWSE, Privilege.APPLY_TAG}
+    ),
+    operation_rules={
+        "read_metadata": Privilege.BROWSE,
+        "apply_tag": Privilege.APPLY_TAG,
+        "execute": Privilege.EXECUTE,
+        "update": Privilege.EXECUTE,
+    },
+    fields=(
+        FieldSpec("definition", required=True, max_length=65536),
+        FieldSpec("parameters", types=(list,), default=None),
+        FieldSpec("return_type", default="STRING"),
+        FieldSpec("function_dependencies", types=(list,), default=None),
+    ),
+)
+
+REGISTERED_MODEL_MANIFEST = AssetTypeManifest(
+    kind=SecurableKind.REGISTERED_MODEL,
+    parent_kind=SecurableKind.SCHEMA,
+    namespace_group="model",
+    has_storage=True,
+    allows_managed_storage=True,
+    create_privilege=Privilege.CREATE_MODEL,
+    supported_privileges=frozenset(
+        {Privilege.EXECUTE, Privilege.BROWSE, Privilege.APPLY_TAG}
+    ),
+    operation_rules={
+        "read_metadata": Privilege.BROWSE,
+        "apply_tag": Privilege.APPLY_TAG,
+        "read_data": Privilege.EXECUTE,
+        "write_data": Privilege.EXECUTE,
+        "update": Privilege.EXECUTE,
+        "create_model_version": Privilege.EXECUTE,
+    },
+    read_privilege=Privilege.EXECUTE,
+    write_privilege=Privilege.EXECUTE,
+    child_kinds=(SecurableKind.MODEL_VERSION,),
+    fields=(),
+)
+
+MODEL_VERSION_MANIFEST = AssetTypeManifest(
+    kind=SecurableKind.MODEL_VERSION,
+    parent_kind=SecurableKind.REGISTERED_MODEL,
+    namespace_group="model_version",
+    has_storage=True,
+    allows_managed_storage=True,
+    create_privilege=Privilege.EXECUTE,
+    supported_privileges=frozenset({Privilege.EXECUTE, Privilege.BROWSE}),
+    operation_rules={
+        "read_metadata": Privilege.BROWSE,
+        "apply_tag": Privilege.APPLY_TAG,
+        "read_data": Privilege.EXECUTE,
+        "write_data": Privilege.EXECUTE,
+        "update": Privilege.EXECUTE,
+    },
+    read_privilege=Privilege.EXECUTE,
+    write_privilege=Privilege.EXECUTE,
+    fields=(
+        FieldSpec("version", types=(int,), required=True, updatable=False),
+        FieldSpec("run_id", required=False),
+        FieldSpec("source", required=False),
+        FieldSpec("status", choices=frozenset(
+            {"PENDING_REGISTRATION", "READY", "FAILED_REGISTRATION"}),
+            default="PENDING_REGISTRATION"),
+        FieldSpec("aliases", types=(list,), default=None),
+    ),
+)
+
+# -- configuration securables ----------------------------------------------------
+
+STORAGE_CREDENTIAL_MANIFEST = AssetTypeManifest(
+    kind=SecurableKind.STORAGE_CREDENTIAL,
+    parent_kind=SecurableKind.METASTORE,
+    namespace_group="storage_credential",
+    create_privilege=Privilege.CREATE_STORAGE_CREDENTIAL,
+    supported_privileges=frozenset(
+        {Privilege.READ_FILES, Privilege.WRITE_FILES, Privilege.BROWSE,
+         Privilege.CREATE_EXTERNAL_LOCATION}
+    ),
+    operation_rules={
+        "read_metadata": Privilege.BROWSE,
+        "apply_tag": Privilege.APPLY_TAG,
+        "use": Privilege.CREATE_EXTERNAL_LOCATION,
+    },
+    fields=(
+        FieldSpec("provider", choices=frozenset({"s3", "abfss", "gs", "sim"}),
+                  default="sim", updatable=False),
+        # In production this is an encrypted cloud principal (IAM role etc.);
+        # here it is the STS issuer's root secret, visible only to the catalog.
+        FieldSpec("root_secret", required=True),
+    ),
+)
+
+EXTERNAL_LOCATION_MANIFEST = AssetTypeManifest(
+    kind=SecurableKind.EXTERNAL_LOCATION,
+    parent_kind=SecurableKind.METASTORE,
+    namespace_group="external_location",
+    has_storage=True,
+    create_privilege=Privilege.CREATE_EXTERNAL_LOCATION,
+    supported_privileges=frozenset(
+        {Privilege.READ_FILES, Privilege.WRITE_FILES, Privilege.CREATE_TABLE,
+         Privilege.BROWSE}
+    ),
+    operation_rules={
+        "read_metadata": Privilege.BROWSE,
+        "apply_tag": Privilege.APPLY_TAG,
+        "read_data": Privilege.READ_FILES,
+        "write_data": Privilege.WRITE_FILES,
+        "create_table": Privilege.CREATE_TABLE,
+    },
+    read_privilege=Privilege.READ_FILES,
+    write_privilege=Privilege.WRITE_FILES,
+    fields=(
+        FieldSpec("credential_name", required=True),
+    ),
+)
+
+CONNECTION_MANIFEST = AssetTypeManifest(
+    kind=SecurableKind.CONNECTION,
+    parent_kind=SecurableKind.METASTORE,
+    namespace_group="connection",
+    create_privilege=Privilege.CREATE_CONNECTION,
+    supported_privileges=frozenset(
+        {Privilege.USE_CONNECTION, Privilege.BROWSE, Privilege.CREATE_CATALOG}
+    ),
+    operation_rules={
+        "read_metadata": Privilege.BROWSE,
+        "apply_tag": Privilege.APPLY_TAG,
+        "use": Privilege.USE_CONNECTION,
+    },
+    fields=(
+        FieldSpec("connection_type", choices=CONNECTION_TYPES, required=True,
+                  updatable=False),
+        FieldSpec("options", types=(dict,), default=None),
+    ),
+)
+
+SHARE_MANIFEST = AssetTypeManifest(
+    kind=SecurableKind.SHARE,
+    parent_kind=SecurableKind.METASTORE,
+    namespace_group="share",
+    create_privilege=Privilege.CREATE_SHARE,
+    supported_privileges=frozenset(
+        {Privilege.SET_SHARE_PERMISSION, Privilege.SELECT, Privilege.BROWSE}
+    ),
+    operation_rules={
+        "read_metadata": Privilege.BROWSE,
+        "apply_tag": Privilege.APPLY_TAG,
+        "update": Privilege.SET_SHARE_PERMISSION,
+        "read_data": Privilege.SELECT,
+    },
+    fields=(),
+)
+
+RECIPIENT_MANIFEST = AssetTypeManifest(
+    kind=SecurableKind.RECIPIENT,
+    parent_kind=SecurableKind.METASTORE,
+    namespace_group="recipient",
+    create_privilege=Privilege.CREATE_RECIPIENT,
+    supported_privileges=frozenset({Privilege.BROWSE}),
+    operation_rules={
+        "read_metadata": Privilege.BROWSE,
+        "apply_tag": Privilege.APPLY_TAG,
+    },
+    fields=(
+        FieldSpec("bearer_token", required=True, updatable=False),
+        FieldSpec("authentication_type", choices=frozenset({"TOKEN", "OIDC"}),
+                  default="TOKEN", updatable=False),
+    ),
+)
+
+
+_ALL_MANIFESTS = (
+    METASTORE_MANIFEST,
+    CATALOG_MANIFEST,
+    SCHEMA_MANIFEST,
+    TABLE_MANIFEST,
+    VOLUME_MANIFEST,
+    FUNCTION_MANIFEST,
+    REGISTERED_MODEL_MANIFEST,
+    MODEL_VERSION_MANIFEST,
+    STORAGE_CREDENTIAL_MANIFEST,
+    EXTERNAL_LOCATION_MANIFEST,
+    CONNECTION_MANIFEST,
+    SHARE_MANIFEST,
+    RECIPIENT_MANIFEST,
+)
+
+
+def builtin_registry() -> AssetTypeRegistry:
+    """A registry pre-loaded with every built-in asset type."""
+    registry = AssetTypeRegistry()
+    for manifest in _ALL_MANIFESTS:
+        registry.register(manifest)
+    return registry

@@ -1,0 +1,108 @@
+"""Audit logging (paper section 4.2.1).
+
+"The Unity Catalog service maintains an audit trail for API requests,
+object life cycle changes, access control decisions and other important
+events for all asset types."
+
+Every service-level API call appends exactly one record, including denied
+requests — auditing denials is part of what distinguishes catalog-level
+governance from raw cloud-storage ACLs.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One audited event."""
+
+    sequence: int
+    timestamp: float
+    metastore_id: str
+    principal: str
+    action: str
+    securable: str
+    allowed: bool
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+class AuditLog:
+    """An append-only audit trail with simple filtered reads."""
+
+    def __init__(self, max_records: Optional[int] = None):
+        self._lock = threading.RLock()
+        self._records: list[AuditRecord] = []
+        self._sequence = 0
+        self._max_records = max_records
+
+    def record(
+        self,
+        timestamp: float,
+        metastore_id: str,
+        principal: str,
+        action: str,
+        securable: str,
+        allowed: bool,
+        details: Optional[dict[str, Any]] = None,
+    ) -> AuditRecord:
+        with self._lock:
+            record = AuditRecord(
+                sequence=self._sequence,
+                timestamp=timestamp,
+                metastore_id=metastore_id,
+                principal=principal,
+                action=action,
+                securable=securable,
+                allowed=allowed,
+                details=dict(details or {}),
+            )
+            self._sequence += 1
+            self._records.append(record)
+            if self._max_records is not None and len(self._records) > self._max_records:
+                # drop oldest; sequence numbers stay stable
+                overflow = len(self._records) - self._max_records
+                del self._records[:overflow]
+            return record
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def query(
+        self,
+        *,
+        principal: Optional[str] = None,
+        action: Optional[str] = None,
+        securable: Optional[str] = None,
+        allowed: Optional[bool] = None,
+        predicate: Optional[Callable[[AuditRecord], bool]] = None,
+    ) -> list[AuditRecord]:
+        """Filtered scan over the retained trail."""
+        with self._lock:
+            records = list(self._records)
+        out = []
+        for record in records:
+            if principal is not None and record.principal != principal:
+                continue
+            if action is not None and record.action != action:
+                continue
+            if securable is not None and record.securable != securable:
+                continue
+            if allowed is not None and record.allowed != allowed:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        return out
+
+    def tail(self, n: int = 20) -> list[AuditRecord]:
+        with self._lock:
+            return list(self._records[-n:])
+
+    def __iter__(self) -> Iterator[AuditRecord]:
+        with self._lock:
+            return iter(list(self._records))

@@ -1,0 +1,13 @@
+"""Governance: principals, privileges, inheritance, FGAC, ABAC."""
+
+from repro.core.auth.privileges import Privilege, PrivilegeGrant, SYSTEM_PRINCIPAL
+from repro.core.auth.principals import Principal, PrincipalDirectory, PrincipalKind
+
+__all__ = [
+    "Principal",
+    "PrincipalDirectory",
+    "PrincipalKind",
+    "Privilege",
+    "PrivilegeGrant",
+    "SYSTEM_PRINCIPAL",
+]

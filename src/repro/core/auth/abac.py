@@ -1,0 +1,161 @@
+"""Attribute-based access control (paper section 3.3, "ABAC").
+
+ABAC policies are defined at container scope (metastore, catalog, or
+schema) and apply *dynamically* to every current and future securable in
+scope whose tags match the policy condition. Two effects are supported,
+matching the paper's examples:
+
+* ``GRANT`` — dynamically grant a privilege (e.g. SELECT on everything
+  tagged ``tier=gold``),
+* ``MASK_COLUMNS`` / ``FILTER_ROWS`` — dynamically attach FGAC rules
+  (e.g. redact all columns tagged ``PII`` for unprivileged users).
+
+Policies are evaluated at authorization / resolution time against the
+securable's (and its columns') tags, so no per-asset grant rows exist —
+that is what makes the mechanism scale.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.auth.fgac import ColumnMask, RowFilter
+from repro.core.auth.privileges import Privilege
+from repro.errors import InvalidRequestError
+
+
+class AbacEffect(enum.Enum):
+    GRANT = "GRANT"
+    MASK_COLUMNS = "MASK_COLUMNS"
+    FILTER_ROWS = "FILTER_ROWS"
+
+
+@dataclass(frozen=True)
+class TagCondition:
+    """Matches a tag ``key`` (and optionally a specific ``value``).
+
+    ``on_columns=True`` matches column tags instead of securable tags —
+    used by column-masking policies like "mask every column tagged PII".
+    """
+
+    key: str
+    value: Optional[str] = None
+    on_columns: bool = False
+
+    def matches(self, tags: dict[str, str]) -> bool:
+        if self.key not in tags:
+            return False
+        return self.value is None or tags[self.key] == self.value
+
+    def to_dict(self) -> dict:
+        return {"key": self.key, "value": self.value, "on_columns": self.on_columns}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TagCondition":
+        return cls(
+            key=data["key"],
+            value=data.get("value"),
+            on_columns=bool(data.get("on_columns", False)),
+        )
+
+
+@dataclass(frozen=True)
+class AbacPolicy:
+    """One ABAC policy row.
+
+    ``scope_id`` is the securable id of the container the policy hangs on;
+    it applies to all securables whose ancestor chain includes the scope.
+    ``principals`` limits who the policy affects (empty = everyone); for
+    GRANT policies these are beneficiaries, for mask/filter policies these
+    are the *subjects* being restricted, with ``exempt_principals`` carved
+    out.
+    """
+
+    policy_id: str
+    name: str
+    scope_id: str
+    condition: TagCondition
+    effect: AbacEffect
+    privilege: Optional[Privilege] = None
+    mask_sql: Optional[str] = None
+    predicate_sql: Optional[str] = None
+    principals: frozenset[str] = frozenset()
+    exempt_principals: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.effect is AbacEffect.GRANT and self.privilege is None:
+            raise InvalidRequestError("GRANT policies need a privilege")
+        if self.effect is AbacEffect.MASK_COLUMNS and not self.mask_sql:
+            raise InvalidRequestError("MASK_COLUMNS policies need mask_sql")
+        if self.effect is AbacEffect.FILTER_ROWS and not self.predicate_sql:
+            raise InvalidRequestError("FILTER_ROWS policies need predicate_sql")
+        if self.effect is AbacEffect.MASK_COLUMNS and not self.condition.on_columns:
+            raise InvalidRequestError(
+                "MASK_COLUMNS policies must use a column-tag condition"
+            )
+
+    def affects(self, identities: frozenset[str]) -> bool:
+        """Whether the calling principal is subject to / benefits from it."""
+        if not self.principals:
+            return True
+        return bool(identities & self.principals)
+
+    def exempts(self, identities: frozenset[str]) -> bool:
+        return bool(identities & self.exempt_principals)
+
+    def to_dict(self) -> dict:
+        return {
+            "policy_type": "ABAC",
+            "policy_id": self.policy_id,
+            "name": self.name,
+            "scope_id": self.scope_id,
+            "condition": self.condition.to_dict(),
+            "effect": self.effect.value,
+            "privilege": self.privilege.value if self.privilege else None,
+            "mask_sql": self.mask_sql,
+            "predicate_sql": self.predicate_sql,
+            "principals": sorted(self.principals),
+            "exempt_principals": sorted(self.exempt_principals),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AbacPolicy":
+        privilege = data.get("privilege")
+        return cls(
+            policy_id=data["policy_id"],
+            name=data["name"],
+            scope_id=data["scope_id"],
+            condition=TagCondition.from_dict(data["condition"]),
+            effect=AbacEffect(data["effect"]),
+            privilege=Privilege(privilege) if privilege else None,
+            mask_sql=data.get("mask_sql"),
+            predicate_sql=data.get("predicate_sql"),
+            principals=frozenset(data.get("principals", ())),
+            exempt_principals=frozenset(data.get("exempt_principals", ())),
+        )
+
+    @property
+    def key(self) -> str:
+        return f"abac/{self.policy_id}"
+
+    # -- effect materialization -------------------------------------------
+
+    def as_row_filter(self, securable_id: str) -> RowFilter:
+        assert self.effect is AbacEffect.FILTER_ROWS
+        return RowFilter(
+            securable_id=securable_id,
+            name=f"abac:{self.name}",
+            predicate_sql=self.predicate_sql or "",
+            exempt_principals=self.exempt_principals,
+        )
+
+    def as_column_mask(self, securable_id: str, column: str) -> ColumnMask:
+        assert self.effect is AbacEffect.MASK_COLUMNS
+        return ColumnMask(
+            securable_id=securable_id,
+            column=column,
+            mask_sql=self.mask_sql or "",
+            exempt_principals=self.exempt_principals,
+        )

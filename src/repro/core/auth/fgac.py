@@ -1,0 +1,137 @@
+"""Fine-grained access control policies (paper section 4.3.2).
+
+Row filters and column masks restrict access *within* a table. The
+catalog stores and serves the policies; a **trusted engine** interprets
+and enforces them (defense-in-depth on top of securable-level control).
+The catalog never evaluates the predicate itself — it only decides which
+rules apply to the calling principal and whether the calling engine is
+allowed to receive them at all.
+
+Predicates and mask expressions are SQL expression strings in the small
+dialect implemented by :mod:`repro.engine.expressions`; they may reference
+table columns and the builtin ``current_user()`` / ``is_account_group_member``
+functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+@dataclass(frozen=True)
+class RowFilter:
+    """A row-level policy on a table.
+
+    Principals listed in ``exempt_principals`` (plus owners/admins when the
+    service decides so) see unfiltered rows; everyone else's scans have
+    ``predicate_sql`` conjoined by the trusted engine.
+    """
+
+    securable_id: str
+    name: str
+    predicate_sql: str
+    exempt_principals: frozenset[str] = frozenset()
+
+    def to_dict(self) -> dict:
+        return {
+            "policy_type": "ROW_FILTER",
+            "securable_id": self.securable_id,
+            "name": self.name,
+            "predicate_sql": self.predicate_sql,
+            "exempt_principals": sorted(self.exempt_principals),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RowFilter":
+        return cls(
+            securable_id=data["securable_id"],
+            name=data["name"],
+            predicate_sql=data["predicate_sql"],
+            exempt_principals=frozenset(data.get("exempt_principals", ())),
+        )
+
+    @property
+    def key(self) -> str:
+        return f"rowfilter/{self.securable_id}/{self.name}"
+
+
+@dataclass(frozen=True)
+class ColumnMask:
+    """A column-masking policy on one column of a table.
+
+    For non-exempt principals the trusted engine replaces the column with
+    ``mask_sql`` (e.g. ``'***'`` or ``substr(ssn, 8, 4)``).
+    """
+
+    securable_id: str
+    column: str
+    mask_sql: str
+    exempt_principals: frozenset[str] = frozenset()
+
+    def to_dict(self) -> dict:
+        return {
+            "policy_type": "COLUMN_MASK",
+            "securable_id": self.securable_id,
+            "column": self.column,
+            "mask_sql": self.mask_sql,
+            "exempt_principals": sorted(self.exempt_principals),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ColumnMask":
+        return cls(
+            securable_id=data["securable_id"],
+            column=data["column"],
+            mask_sql=data["mask_sql"],
+            exempt_principals=frozenset(data.get("exempt_principals", ())),
+        )
+
+    @property
+    def key(self) -> str:
+        return f"columnmask/{self.securable_id}/{self.column}"
+
+
+@dataclass(frozen=True)
+class FgacRuleSet:
+    """The enforcement rules attached to one table resolution response.
+
+    Empty rule sets mean the caller sees the table unrestricted. A
+    non-empty rule set is only ever handed to trusted engines; untrusted
+    engines must delegate to the data-filtering service instead.
+    """
+
+    row_filters: tuple[RowFilter, ...] = ()
+    column_masks: tuple[ColumnMask, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.row_filters and not self.column_masks
+
+    def to_dict(self) -> dict:
+        return {
+            "row_filters": [f.to_dict() for f in self.row_filters],
+            "column_masks": [m.to_dict() for m in self.column_masks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FgacRuleSet":
+        return cls(
+            row_filters=tuple(RowFilter.from_dict(f) for f in data.get("row_filters", ())),
+            column_masks=tuple(ColumnMask.from_dict(m) for m in data.get("column_masks", ())),
+        )
+
+    def applicable_to(self, identities: frozenset[str]) -> "FgacRuleSet":
+        """Drop rules the caller is exempt from."""
+        return FgacRuleSet(
+            row_filters=tuple(
+                f for f in self.row_filters if not (identities & f.exempt_principals)
+            ),
+            column_masks=tuple(
+                m for m in self.column_masks if not (identities & m.exempt_principals)
+            ),
+        )
+
+    def merged_with(self, other: "FgacRuleSet") -> "FgacRuleSet":
+        return FgacRuleSet(
+            row_filters=self.row_filters + other.row_filters,
+            column_masks=self.column_masks + other.column_masks,
+        )

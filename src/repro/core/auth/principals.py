@@ -1,0 +1,140 @@
+"""Principals: users, groups, and service principals.
+
+Group membership may be nested; :meth:`PrincipalDirectory.expand` computes
+the transitive closure of groups a principal belongs to, which the
+authorizer uses when matching grants. The directory is the kind of
+weak-consistency metadata the paper serves through TTL caches (user/group
+information, section 1) — so the directory exposes a monotonically
+increasing ``generation`` that TTL caches key on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import AlreadyExistsError, InvalidRequestError, NotFoundError
+
+#: The implicit group every principal belongs to.
+ALL_USERS_GROUP = "account users"
+
+
+class PrincipalKind(enum.Enum):
+    USER = "USER"
+    GROUP = "GROUP"
+    SERVICE_PRINCIPAL = "SERVICE_PRINCIPAL"
+
+
+@dataclass(frozen=True)
+class Principal:
+    """An identity known to the catalog.
+
+    ``trusted_engine`` marks *machine* identities of engines that are
+    isolated from user code and therefore allowed to receive FGAC
+    enforcement rules (paper section 4.3.2).
+    """
+
+    name: str
+    kind: PrincipalKind
+    trusted_engine: bool = False
+
+
+class PrincipalDirectory:
+    """An in-memory identity provider with nested groups."""
+
+    def __init__(self):
+        self._principals: dict[str, Principal] = {}
+        self._members: dict[str, set[str]] = {}  # group -> direct members
+        self.generation = 0
+
+    # -- management ----------------------------------------------------------
+
+    def add_user(self, name: str) -> Principal:
+        return self._add(Principal(name, PrincipalKind.USER))
+
+    def add_group(self, name: str) -> Principal:
+        principal = self._add(Principal(name, PrincipalKind.GROUP))
+        self._members.setdefault(name, set())
+        return principal
+
+    def add_service_principal(self, name: str, *, trusted_engine: bool = False) -> Principal:
+        return self._add(
+            Principal(name, PrincipalKind.SERVICE_PRINCIPAL, trusted_engine=trusted_engine)
+        )
+
+    def _add(self, principal: Principal) -> Principal:
+        if principal.name in self._principals:
+            raise AlreadyExistsError(f"principal exists: {principal.name}")
+        if principal.name == ALL_USERS_GROUP:
+            raise InvalidRequestError(f"{ALL_USERS_GROUP!r} is a reserved group")
+        self._principals[principal.name] = principal
+        self.generation += 1
+        return principal
+
+    def get(self, name: str) -> Principal:
+        try:
+            return self._principals[name]
+        except KeyError:
+            raise NotFoundError(f"no such principal: {name}")
+
+    def exists(self, name: str) -> bool:
+        return name in self._principals
+
+    def add_member(self, group: str, member: str) -> None:
+        """Add ``member`` (user, SP, or group) to ``group``."""
+        if self.get(group).kind is not PrincipalKind.GROUP:
+            raise InvalidRequestError(f"not a group: {group}")
+        self.get(member)  # must exist
+        if member == group:
+            raise InvalidRequestError("a group cannot contain itself")
+        self._members[group].add(member)
+        if self._creates_cycle(group):
+            self._members[group].discard(member)
+            raise InvalidRequestError("group membership cycle")
+        self.generation += 1
+
+    def remove_member(self, group: str, member: str) -> None:
+        members = self._members.get(group)
+        if members is None or member not in members:
+            raise NotFoundError(f"{member} is not a member of {group}")
+        members.discard(member)
+        self.generation += 1
+
+    def _creates_cycle(self, start: str) -> bool:
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            group = stack.pop()
+            if group in seen:
+                continue
+            seen.add(group)
+            for member in self._members.get(group, ()):
+                if member == start:
+                    return True
+                if member in self._members:
+                    stack.append(member)
+        return False
+
+    # -- queries --------------------------------------------------------------
+
+    def expand(self, principal: str) -> frozenset[str]:
+        """All identities grants can match for ``principal``: itself plus
+        every group it transitively belongs to, plus the all-users group."""
+        self.get(principal)
+        identities = {principal, ALL_USERS_GROUP}
+        changed = True
+        while changed:
+            changed = False
+            for group, members in self._members.items():
+                if group in identities:
+                    continue
+                if identities & members:
+                    identities.add(group)
+                    changed = True
+        return frozenset(identities)
+
+    def is_trusted_engine(self, principal: str) -> bool:
+        try:
+            return self.get(principal).trusted_engine
+        except NotFoundError:
+            return False

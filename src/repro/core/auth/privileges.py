@@ -1,0 +1,113 @@
+"""Privilege types and grants (paper section 3.3).
+
+UC's privilege model is SQL-grant inspired: privileges are granted on a
+securable to a principal. Privileges are *inherited down the securable
+hierarchy*: a grant on a catalog applies to all current and future
+securables inside it. Administrative privileges (ownership / MANAGE) are
+likewise inherited but confer no implicit data access — a schema owner
+does not get SELECT on its tables unless they grant it to themselves.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+#: Principal name used for catalog-internal actions (GC, bootstrap).
+SYSTEM_PRINCIPAL = "system"
+
+
+class Privilege(enum.Enum):
+    """All privileges recognized by the catalog.
+
+    ``MANAGE`` is the delegated-administration privilege: it confers the
+    same authority as ownership on the securable it is granted on.
+    """
+
+    # Container usage gates
+    USE_CATALOG = "USE CATALOG"
+    USE_SCHEMA = "USE SCHEMA"
+
+    # Creation rights inside containers
+    CREATE_CATALOG = "CREATE CATALOG"
+    CREATE_SCHEMA = "CREATE SCHEMA"
+    CREATE_TABLE = "CREATE TABLE"
+    CREATE_VOLUME = "CREATE VOLUME"
+    CREATE_FUNCTION = "CREATE FUNCTION"
+    CREATE_MODEL = "CREATE MODEL"
+    CREATE_EXTERNAL_LOCATION = "CREATE EXTERNAL LOCATION"
+    CREATE_STORAGE_CREDENTIAL = "CREATE STORAGE CREDENTIAL"
+    CREATE_CONNECTION = "CREATE CONNECTION"
+    CREATE_SHARE = "CREATE SHARE"
+    CREATE_RECIPIENT = "CREATE RECIPIENT"
+
+    # Data access
+    SELECT = "SELECT"
+    MODIFY = "MODIFY"
+    READ_VOLUME = "READ VOLUME"
+    WRITE_VOLUME = "WRITE VOLUME"
+    EXECUTE = "EXECUTE"
+
+    # Storage / connection pass-through
+    READ_FILES = "READ FILES"
+    WRITE_FILES = "WRITE FILES"
+    USE_CONNECTION = "USE CONNECTION"
+
+    # Administration
+    MANAGE = "MANAGE"
+    APPLY_TAG = "APPLY TAG"
+    SET_SHARE_PERMISSION = "SET SHARE PERMISSION"
+
+    # Metadata visibility (implied by any other grant; explicit for lists)
+    BROWSE = "BROWSE"
+
+
+#: Privileges that count as "administrative": they allow managing grants
+#: and mutating the securable itself, but do not imply data access.
+ADMIN_PRIVILEGES = frozenset({Privilege.MANAGE})
+
+#: Privileges that grant read access to an asset's *data* (used by
+#: credential vending to map a requested access level to required grants).
+READ_DATA_PRIVILEGES = frozenset(
+    {Privilege.SELECT, Privilege.READ_VOLUME, Privilege.READ_FILES, Privilege.EXECUTE}
+)
+
+WRITE_DATA_PRIVILEGES = frozenset(
+    {Privilege.MODIFY, Privilege.WRITE_VOLUME, Privilege.WRITE_FILES}
+)
+
+
+@dataclass(frozen=True)
+class PrivilegeGrant:
+    """One (securable, principal, privilege) grant row."""
+
+    securable_id: str
+    principal: str
+    privilege: Privilege
+    granted_by: str
+    granted_at: float
+
+    def to_dict(self) -> dict:
+        return {
+            "securable_id": self.securable_id,
+            "principal": self.principal,
+            "privilege": self.privilege.value,
+            "granted_by": self.granted_by,
+            "granted_at": self.granted_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PrivilegeGrant":
+        return cls(
+            securable_id=data["securable_id"],
+            principal=data["principal"],
+            privilege=Privilege(data["privilege"]),
+            granted_by=data["granted_by"],
+            granted_at=data["granted_at"],
+        )
+
+    @property
+    def key(self) -> str:
+        """Primary key of the grant row in the metadata store."""
+        return f"{self.securable_id}/{self.principal}/{self.privilege.value}"

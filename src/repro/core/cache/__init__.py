@@ -1,0 +1,25 @@
+"""Caching (paper section 4.5).
+
+* :class:`~repro.core.cache.ttl.TtlCache` — bounded-staleness cache for
+  immutable or weakly-consistent metadata (temporary credentials,
+  user/group info). Used both inside the service and pushed to clients.
+* :class:`~repro.core.cache.node.MetastoreCacheNode` — the write-through,
+  multi-version cache for mutable metadata, keyed by metastore version,
+  guaranteeing snapshot reads and serializable writes.
+* :mod:`~repro.core.cache.eviction` — LRU/LFU eviction for unpopular
+  assets plus timeout-based pruning of superseded versions.
+"""
+
+from repro.core.cache.ttl import TtlCache
+from repro.core.cache.eviction import EvictionPolicy, LfuPolicy, LruPolicy
+from repro.core.cache.node import CacheStats, MetastoreCacheNode, ReconcileMode
+
+__all__ = [
+    "CacheStats",
+    "EvictionPolicy",
+    "LfuPolicy",
+    "LruPolicy",
+    "MetastoreCacheNode",
+    "ReconcileMode",
+    "TtlCache",
+]

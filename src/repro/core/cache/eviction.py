@@ -1,0 +1,93 @@
+"""Eviction policies for unpopular cached assets (paper section 4.5).
+
+"To limit memory consumption of unpopular assets, we use standard
+eviction algorithms, such as LRU and LFU, to evict an unpopular cached
+asset and all its versions."
+
+Policies track accesses and, when asked, nominate victims. They are
+deliberately decoupled from the cache node so the ablation benchmark can
+swap them.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import itertools
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+
+class EvictionPolicy(abc.ABC):
+    """Tracks key popularity and nominates eviction victims."""
+
+    @abc.abstractmethod
+    def record_access(self, key: Hashable) -> None:
+        """Note that ``key`` was read or written."""
+
+    @abc.abstractmethod
+    def forget(self, key: Hashable) -> None:
+        """Remove a key from tracking (it was evicted or deleted)."""
+
+    @abc.abstractmethod
+    def victim(self) -> Optional[Hashable]:
+        """The key to evict next, or None if nothing is tracked."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """How many keys are tracked."""
+
+
+class LruPolicy(EvictionPolicy):
+    """Least-recently-used."""
+
+    def __init__(self):
+        self._order: OrderedDict[Hashable, None] = OrderedDict()
+
+    def record_access(self, key: Hashable) -> None:
+        self._order.pop(key, None)
+        self._order[key] = None
+
+    def forget(self, key: Hashable) -> None:
+        self._order.pop(key, None)
+
+    def victim(self) -> Optional[Hashable]:
+        if not self._order:
+            return None
+        return next(iter(self._order))
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class LfuPolicy(EvictionPolicy):
+    """Least-frequently-used, with insertion order breaking ties.
+
+    Uses a lazy heap: stale heap entries are skipped at pop time.
+    """
+
+    def __init__(self):
+        self._counts: dict[Hashable, int] = {}
+        self._heap: list[tuple[int, int, Hashable]] = []
+        self._tiebreak = itertools.count()
+
+    def record_access(self, key: Hashable) -> None:
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        heapq.heappush(self._heap, (count, next(self._tiebreak), key))
+
+    def forget(self, key: Hashable) -> None:
+        self._counts.pop(key, None)
+
+    def victim(self) -> Optional[Hashable]:
+        while self._heap:
+            count, _, key = self._heap[0]
+            current = self._counts.get(key)
+            if current is None or current != count:
+                heapq.heappop(self._heap)  # stale entry
+                continue
+            return key
+        return None
+
+    def __len__(self) -> int:
+        return len(self._counts)

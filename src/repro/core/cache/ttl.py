@@ -1,0 +1,107 @@
+"""TTL caches for immutable / weakly-consistent metadata.
+
+"For immutable metadata or metadata where weak consistency is acceptable
+(e.g., cloud credentials or user/group information), UC uses simple
+TTL-based caches to bound staleness." (section 1)
+
+The same class is used at the service (credential cache) and pushed to
+clients (engines caching vended credentials for their validity period).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, Optional, TypeVar
+
+from repro.clock import Clock, WallClock
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+@dataclass
+class _TtlEntry(Generic[V]):
+    value: V
+    expires_at: float
+
+
+class TtlCache(Generic[K, V]):
+    """A thread-safe cache whose entries expire after a fixed TTL.
+
+    ``max_entries`` bounds memory: when full, the entry expiring soonest
+    is dropped first (expired entries are reaped opportunistically).
+    """
+
+    def __init__(
+        self,
+        ttl_seconds: float,
+        clock: Optional[Clock] = None,
+        max_entries: int = 100_000,
+    ):
+        if ttl_seconds <= 0:
+            raise ValueError("ttl must be positive")
+        self._ttl = ttl_seconds
+        self._clock = clock or WallClock()
+        self._max_entries = max_entries
+        self._entries: dict[K, _TtlEntry[V]] = {}
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: K) -> Optional[V]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.expires_at <= self._clock.now():
+                if entry is not None:
+                    del self._entries[key]
+                self.misses += 1
+                return None
+            self.hits += 1
+            return entry.value
+
+    def put(self, key: K, value: V, ttl_seconds: Optional[float] = None) -> None:
+        """Insert; a per-entry TTL (e.g. a credential's remaining validity)
+        overrides the cache default."""
+        ttl = self._ttl if ttl_seconds is None else ttl_seconds
+        with self._lock:
+            if len(self._entries) >= self._max_entries and key not in self._entries:
+                self._reap()
+                if len(self._entries) >= self._max_entries:
+                    soonest = min(self._entries, key=lambda k: self._entries[k].expires_at)
+                    del self._entries[soonest]
+            self._entries[key] = _TtlEntry(value, self._clock.now() + ttl)
+
+    def get_or_load(
+        self, key: K, loader: Callable[[], V], ttl_seconds: Optional[float] = None
+    ) -> V:
+        """Return the cached value or load, cache, and return a fresh one."""
+        value = self.get(key)
+        if value is not None:
+            return value
+        value = loader()
+        self.put(key, value, ttl_seconds)
+        return value
+
+    def invalidate(self, key: K) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def _reap(self) -> None:
+        now = self._clock.now()
+        expired = [k for k, e in self._entries.items() if e.expires_at <= now]
+        for key in expired:
+            del self._entries[key]
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

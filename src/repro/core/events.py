@@ -1,0 +1,104 @@
+"""Metadata change events (paper section 4.4).
+
+"Whenever metadata is modified, the core service propagates change
+events, which are consumed by second-tier services to update their
+indexes, graphs, or lineage models."
+
+The bus keeps a per-metastore ordered log; consumers poll with a cursor
+(offset) so each consumer independently tracks its own progress — the
+push/pull hybrid that lets discovery catalogs stay fresh without polling
+the operational catalog itself.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class ChangeType(enum.Enum):
+    CREATED = "CREATED"
+    UPDATED = "UPDATED"
+    DELETED = "DELETED"
+    PURGED = "PURGED"
+    GRANT_CHANGED = "GRANT_CHANGED"
+    TAG_CHANGED = "TAG_CHANGED"
+    POLICY_CHANGED = "POLICY_CHANGED"
+    COMMIT = "COMMIT"  # table-format commit on a catalog-owned table
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One metadata change, stamped with the metastore version it made."""
+
+    sequence: int
+    metastore_id: str
+    metastore_version: int
+    change: ChangeType
+    securable_id: str
+    securable_kind: str
+    securable_name: str
+    timestamp: float
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+class ChangeEventBus:
+    """Ordered, replayable per-metastore event logs with consumer cursors."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._logs: dict[str, list[ChangeEvent]] = {}
+        self._cursors: dict[tuple[str, str], int] = {}
+
+    def publish(
+        self,
+        metastore_id: str,
+        metastore_version: int,
+        change: ChangeType,
+        securable_id: str,
+        securable_kind: str,
+        securable_name: str,
+        timestamp: float,
+        details: Optional[dict[str, Any]] = None,
+    ) -> ChangeEvent:
+        with self._lock:
+            log = self._logs.setdefault(metastore_id, [])
+            event = ChangeEvent(
+                sequence=len(log),
+                metastore_id=metastore_id,
+                metastore_version=metastore_version,
+                change=change,
+                securable_id=securable_id,
+                securable_kind=securable_kind,
+                securable_name=securable_name,
+                timestamp=timestamp,
+                details=dict(details or {}),
+            )
+            log.append(event)
+            return event
+
+    def poll(
+        self, metastore_id: str, consumer: str, max_events: int = 1000
+    ) -> list[ChangeEvent]:
+        """Return (and advance past) unseen events for ``consumer``."""
+        with self._lock:
+            log = self._logs.get(metastore_id, [])
+            cursor_key = (metastore_id, consumer)
+            cursor = self._cursors.get(cursor_key, 0)
+            events = log[cursor:cursor + max_events]
+            self._cursors[cursor_key] = cursor + len(events)
+            return events
+
+    def peek(self, metastore_id: str, since_sequence: int = 0) -> list[ChangeEvent]:
+        """Read without advancing any cursor."""
+        with self._lock:
+            return list(self._logs.get(metastore_id, [])[since_sequence:])
+
+    def lag(self, metastore_id: str, consumer: str) -> int:
+        """How many events the consumer has not yet seen."""
+        with self._lock:
+            log = self._logs.get(metastore_id, [])
+            cursor = self._cursors.get((metastore_id, consumer), 0)
+            return len(log) - cursor

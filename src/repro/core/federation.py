@@ -1,0 +1,238 @@
+"""Catalog federation (paper section 4.2.4).
+
+An administrator creates a *connection* securable holding the foreign
+catalog's coordinates/credentials, then a *foreign catalog* in UC that
+mirrors one database of the foreign catalog. Mirroring is **on demand**:
+when a query (or listing) touches a table in the federated catalog, its
+metadata is fetched from the foreign catalog and written into UC as a
+FOREIGN table, so UC-governed engines can access the data under UC
+governance without copying it.
+
+Mirroring is performed by the *engine* (as in the current production
+implementation): the engine already has network access to the foreign
+catalog, at the cost that thin clients may see stale metadata until some
+engine mirrors it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.core.model.entity import Entity, SecurableKind
+from repro.errors import FederationError, NotFoundError
+
+
+@dataclass(frozen=True)
+class ForeignTableInfo:
+    """What a foreign catalog reports about one table."""
+
+    database: str
+    name: str
+    columns: list[dict]
+    location: Optional[str]
+    source: str  # e.g. HIVE_METASTORE, SNOWFLAKE
+    is_view: bool = False
+    view_text: Optional[str] = None
+
+
+class ForeignCatalogClient(Protocol):
+    """The minimal client surface federation needs from a foreign catalog."""
+
+    def list_databases(self) -> list[str]: ...
+
+    def list_tables(self, database: str) -> list[str]: ...
+
+    def get_table(self, database: str, name: str) -> ForeignTableInfo: ...
+
+    def read_rows(self, database: str, name: str) -> list[dict]: ...
+
+
+class HmsForeignClient:
+    """Adapter presenting a :class:`~repro.hms.metastore.HiveMetastore`
+    as a foreign catalog."""
+
+    def __init__(self, hms, reader=None):
+        """``reader(location) -> rows`` supplies data access for engine
+        reads of foreign tables (the engine's own path to the data)."""
+        self._hms = hms
+        self._reader = reader
+
+    def list_databases(self) -> list[str]:
+        return self._hms.get_all_databases()
+
+    def list_tables(self, database: str) -> list[str]:
+        return self._hms.get_all_tables(database)
+
+    def get_table(self, database: str, name: str) -> ForeignTableInfo:
+        table = self._hms.get_table(database, name)
+        return ForeignTableInfo(
+            database=database,
+            name=name,
+            columns=list(table.columns),
+            location=table.storage.location if table.storage else None,
+            source="HIVE_METASTORE",
+            is_view=table.table_type == "VIRTUAL_VIEW",
+            view_text=table.view_text,
+        )
+
+    def read_rows(self, database: str, name: str) -> list[dict]:
+        if self._reader is None:
+            raise FederationError("no data reader configured for this connection")
+        table = self._hms.get_table(database, name)
+        if table.storage is None:
+            raise FederationError(f"{database}.{name} has no storage location")
+        return self._reader(table.storage.location)
+
+
+@dataclass
+class MirrorStats:
+    tables_mirrored: int = 0
+    tables_refreshed: int = 0
+    foreign_fetches: int = 0
+
+
+class CatalogFederator:
+    """Creates federated catalogs and performs on-demand mirroring."""
+
+    def __init__(self, service):
+        self._service = service
+        self._clients: dict[tuple[str, str], ForeignCatalogClient] = {}
+        self.stats = MirrorStats()
+
+    # -- setup ------------------------------------------------------------------
+
+    def register_connection(
+        self,
+        metastore_id: str,
+        principal: str,
+        connection_name: str,
+        connection_type: str,
+        client: ForeignCatalogClient,
+    ) -> Entity:
+        """Create the connection securable and bind its live client.
+
+        (In production the connection stores endpoint + credentials; the
+        in-process client object stands in for that network identity.)
+        """
+        entity = self._service.create_securable(
+            metastore_id,
+            principal,
+            SecurableKind.CONNECTION,
+            connection_name,
+            spec={"connection_type": connection_type},
+        )
+        self._clients[(metastore_id, connection_name)] = client
+        return entity
+
+    def create_foreign_catalog(
+        self,
+        metastore_id: str,
+        principal: str,
+        catalog_name: str,
+        connection_name: str,
+        foreign_database: str,
+    ) -> Entity:
+        """Mount one foreign database as a UC catalog."""
+        client = self._client(metastore_id, connection_name)
+        if foreign_database not in client.list_databases():
+            raise FederationError(
+                f"foreign database {foreign_database!r} not found"
+            )
+        catalog = self._service.create_securable(
+            metastore_id,
+            principal,
+            SecurableKind.CATALOG,
+            catalog_name,
+            spec={
+                "catalog_type": "FOREIGN",
+                "connection_name": connection_name,
+                "foreign_database": foreign_database,
+            },
+        )
+        # a federated catalog mirrors into a single default schema named
+        # after the foreign database
+        self._service.create_securable(
+            metastore_id, principal, SecurableKind.SCHEMA,
+            f"{catalog_name}.{foreign_database}",
+        )
+        return catalog
+
+    def _client(self, metastore_id: str, connection_name: str) -> ForeignCatalogClient:
+        try:
+            return self._clients[(metastore_id, connection_name)]
+        except KeyError:
+            raise FederationError(f"no client bound for connection {connection_name!r}")
+
+    def _catalog_binding(self, metastore_id: str, catalog_name: str):
+        catalog = self._service.resolve_name(
+            metastore_id, SecurableKind.CATALOG, catalog_name
+        )
+        if catalog.spec.get("catalog_type") != "FOREIGN":
+            raise FederationError(f"{catalog_name} is not a federated catalog")
+        connection = catalog.spec["connection_name"]
+        database = catalog.spec["foreign_database"]
+        return self._client(metastore_id, connection), database
+
+    # -- on-demand mirroring ---------------------------------------------------------
+
+    def mirror_table(
+        self,
+        metastore_id: str,
+        principal: str,
+        catalog_name: str,
+        table_name: str,
+    ) -> Entity:
+        """Fetch one table's metadata from the foreign catalog and mirror
+        it into the federated catalog (create or refresh)."""
+        client, database = self._catalog_binding(metastore_id, catalog_name)
+        info = client.get_table(database, table_name)
+        self.stats.foreign_fetches += 1
+        full_name = f"{catalog_name}.{database}.{table_name}"
+        spec = {
+            "table_type": "FOREIGN",
+            "foreign_source": info.source,
+            "columns": info.columns,
+        }
+        service = self._service
+        try:
+            existing = service.resolve_name(metastore_id, SecurableKind.TABLE, full_name)
+        except NotFoundError:
+            existing = None
+        if existing is None:
+            entity = service.create_securable(
+                metastore_id, principal, SecurableKind.TABLE, full_name, spec=spec,
+                properties={"foreign_location": info.location or ""},
+            )
+            self.stats.tables_mirrored += 1
+            return entity
+        entity = service.update_securable(
+            metastore_id, principal, SecurableKind.TABLE, full_name,
+            spec_changes={"columns": info.columns},
+            properties={"foreign_location": info.location or ""},
+        )
+        self.stats.tables_refreshed += 1
+        return entity
+
+    def mirror_schema(
+        self, metastore_id: str, principal: str, catalog_name: str
+    ) -> list[Entity]:
+        """Mirror all tables of the foreign database (triggered by listing)."""
+        client, database = self._catalog_binding(metastore_id, catalog_name)
+        return [
+            self.mirror_table(metastore_id, principal, catalog_name, table)
+            for table in client.list_tables(database)
+        ]
+
+    # -- engine integration ------------------------------------------------------------
+
+    def foreign_reader(self, metastore_id: str):
+        """A reader callable for :class:`~repro.engine.session.EngineSession`
+        that serves FOREIGN table scans from the foreign system."""
+
+        def read(asset) -> list[dict]:
+            catalog_name, database, table = asset.full_name.split(".", 2)
+            client, bound_database = self._catalog_binding(metastore_id, catalog_name)
+            return client.read_rows(bound_database, table)
+
+        return read

@@ -1,0 +1,115 @@
+"""Lineage tracking (paper section 4.4).
+
+Engines submit lineage edges during query processing ("fine-grained
+lineage tracking ... requires catalog-engine collaboration", section
+4.1); the catalog stores the graph and answers upstream/downstream
+queries — e.g. "verify that an asset has no downstream dependencies prior
+to deletion" (section 1).
+
+Reads are filtered through the authorization API so a user only sees
+lineage among assets whose metadata they may see.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+@dataclass(frozen=True)
+class LineageEdge:
+    """One data flow: ``source`` fed ``target`` during ``operation``."""
+
+    metastore_id: str
+    source: str  # fully qualified asset name
+    target: str
+    operation: str
+    principal: str
+    timestamp: float
+    columns: tuple[str, ...] = ()  # column-level lineage when known
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "target": self.target,
+            "operation": self.operation,
+            "principal": self.principal,
+            "timestamp": self.timestamp,
+            "columns": list(self.columns),
+        }
+
+
+class LineageGraph:
+    """Per-metastore lineage storage with reachability queries."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._edges: dict[str, list[LineageEdge]] = {}
+        self._downstream: dict[tuple[str, str], set[str]] = {}
+        self._upstream: dict[tuple[str, str], set[str]] = {}
+
+    def record(
+        self,
+        metastore_id: str,
+        principal: str,
+        sources: list[str],
+        target: str,
+        operation: str,
+        timestamp: float,
+        columns: tuple[str, ...] = (),
+    ) -> list[LineageEdge]:
+        """Engine-submitted lineage for one operation."""
+        edges = []
+        with self._lock:
+            for source in sources:
+                edge = LineageEdge(
+                    metastore_id=metastore_id,
+                    source=source,
+                    target=target,
+                    operation=operation,
+                    principal=principal,
+                    timestamp=timestamp,
+                    columns=columns,
+                )
+                self._edges.setdefault(metastore_id, []).append(edge)
+                self._downstream.setdefault((metastore_id, source), set()).add(target)
+                self._upstream.setdefault((metastore_id, target), set()).add(source)
+                edges.append(edge)
+        return edges
+
+    def edges(self, metastore_id: str) -> list[LineageEdge]:
+        with self._lock:
+            return list(self._edges.get(metastore_id, ()))
+
+    def direct_downstream(self, metastore_id: str, asset: str) -> set[str]:
+        with self._lock:
+            return set(self._downstream.get((metastore_id, asset), ()))
+
+    def direct_upstream(self, metastore_id: str, asset: str) -> set[str]:
+        with self._lock:
+            return set(self._upstream.get((metastore_id, asset), ()))
+
+    def _closure(
+        self, metastore_id: str, asset: str, index: dict
+    ) -> set[str]:
+        seen: set[str] = set()
+        frontier = [asset]
+        with self._lock:
+            while frontier:
+                current = frontier.pop()
+                for neighbor in index.get((metastore_id, current), ()):
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        frontier.append(neighbor)
+        return seen
+
+    def downstream(self, metastore_id: str, asset: str) -> set[str]:
+        """All assets transitively derived from ``asset``."""
+        return self._closure(metastore_id, asset, self._downstream)
+
+    def upstream(self, metastore_id: str, asset: str) -> set[str]:
+        """All assets ``asset`` transitively derives from."""
+        return self._closure(metastore_id, asset, self._upstream)
+
+    def has_downstream(self, metastore_id: str, asset: str) -> bool:
+        """The pre-deletion safety check from the paper's introduction."""
+        return bool(self._downstream.get((metastore_id, asset)))

@@ -1,0 +1,28 @@
+"""Generic entity-relationship data model (paper section 4.2.2)."""
+
+from repro.core.model.entity import (
+    Entity,
+    EntityState,
+    SecurableKind,
+    new_entity_id,
+)
+from repro.core.model.manifest import AssetTypeManifest, FieldSpec
+from repro.core.model.registry import AssetTypeRegistry
+from repro.core.model.naming import (
+    full_name,
+    split_full_name,
+    validate_identifier,
+)
+
+__all__ = [
+    "AssetTypeManifest",
+    "AssetTypeRegistry",
+    "Entity",
+    "EntityState",
+    "FieldSpec",
+    "SecurableKind",
+    "full_name",
+    "new_entity_id",
+    "split_full_name",
+    "validate_identifier",
+]

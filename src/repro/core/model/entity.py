@@ -1,0 +1,146 @@
+"""Entities: the single representation for every securable in the catalog.
+
+The paper's entity-relationship model abstracts "common functionality
+across asset types" (namespaces, lookup by name/id/path, parent-child
+relationships, lifecycle state) into one generic structure; type-specific
+attributes live in an open ``spec`` mapping validated by the asset type's
+manifest.
+"""
+
+from __future__ import annotations
+
+import enum
+import uuid
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+
+class SecurableKind(enum.Enum):
+    """Every kind of securable the catalog manages.
+
+    Containers (metastore/catalog/schema) and configuration securables
+    (credentials, locations, connections, shares, recipients) are
+    securables just like data/AI assets — the privilege model treats them
+    uniformly (paper section 3.3).
+    """
+
+    METASTORE = "METASTORE"
+    CATALOG = "CATALOG"
+    SCHEMA = "SCHEMA"
+    TABLE = "TABLE"
+    VOLUME = "VOLUME"
+    FUNCTION = "FUNCTION"
+    REGISTERED_MODEL = "REGISTERED_MODEL"
+    MODEL_VERSION = "MODEL_VERSION"
+    STORAGE_CREDENTIAL = "STORAGE_CREDENTIAL"
+    EXTERNAL_LOCATION = "EXTERNAL_LOCATION"
+    CONNECTION = "CONNECTION"
+    SHARE = "SHARE"
+    RECIPIENT = "RECIPIENT"
+
+    @property
+    def is_container(self) -> bool:
+        return self in (SecurableKind.CATALOG, SecurableKind.SCHEMA)
+
+    @property
+    def is_metastore_root(self) -> bool:
+        """Kinds that live directly under the metastore (not in a schema)."""
+        return self in (
+            SecurableKind.CATALOG,
+            SecurableKind.STORAGE_CREDENTIAL,
+            SecurableKind.EXTERNAL_LOCATION,
+            SecurableKind.CONNECTION,
+            SecurableKind.SHARE,
+            SecurableKind.RECIPIENT,
+        )
+
+
+class EntityState(enum.Enum):
+    """Lifecycle states (paper section 4.2.1: soft deletion + GC).
+
+    ``ACTIVE`` entities are visible; ``DELETED`` entities are soft-deleted
+    and invisible to reads but retained until the garbage collector purges
+    them (releasing managed storage).
+    """
+
+    PROVISIONING = "PROVISIONING"
+    ACTIVE = "ACTIVE"
+    DELETED = "DELETED"
+
+
+def new_entity_id() -> str:
+    """Mint a globally unique entity id."""
+    return uuid.uuid4().hex
+
+
+@dataclass(frozen=True)
+class Entity:
+    """One securable. Immutable: updates produce new instances.
+
+    Immutability is what makes the multi-version cache safe — a cached
+    ``Entity`` can be handed to concurrent readers without copying.
+    """
+
+    id: str
+    kind: SecurableKind
+    name: str
+    metastore_id: str
+    parent_id: Optional[str]
+    owner: str
+    created_at: float
+    updated_at: float
+    state: EntityState = EntityState.ACTIVE
+    comment: str = ""
+    storage_path: Optional[str] = None
+    properties: dict[str, Any] = field(default_factory=dict)
+    spec: dict[str, Any] = field(default_factory=dict)
+    deleted_at: Optional[float] = None
+
+    def with_updates(self, *, updated_at: float, **changes: Any) -> "Entity":
+        """Return a copy with ``changes`` applied and timestamp bumped."""
+        return replace(self, updated_at=updated_at, **changes)
+
+    def soft_deleted(self, at: float) -> "Entity":
+        return replace(self, state=EntityState.DELETED, deleted_at=at, updated_at=at)
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is EntityState.ACTIVE
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly rendering used by the REST layer and persistence."""
+        return {
+            "id": self.id,
+            "kind": self.kind.value,
+            "name": self.name,
+            "metastore_id": self.metastore_id,
+            "parent_id": self.parent_id,
+            "owner": self.owner,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "state": self.state.value,
+            "comment": self.comment,
+            "storage_path": self.storage_path,
+            "properties": dict(self.properties),
+            "spec": dict(self.spec),
+            "deleted_at": self.deleted_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Entity":
+        return cls(
+            id=data["id"],
+            kind=SecurableKind(data["kind"]),
+            name=data["name"],
+            metastore_id=data["metastore_id"],
+            parent_id=data.get("parent_id"),
+            owner=data["owner"],
+            created_at=data["created_at"],
+            updated_at=data["updated_at"],
+            state=EntityState(data.get("state", "ACTIVE")),
+            comment=data.get("comment", ""),
+            storage_path=data.get("storage_path"),
+            properties=dict(data.get("properties", {})),
+            spec=dict(data.get("spec", {})),
+            deleted_at=data.get("deleted_at"),
+        )

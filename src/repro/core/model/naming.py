@@ -1,0 +1,55 @@
+"""Naming rules for the three-level namespace.
+
+Fully qualified names take the form ``catalog.schema.asset`` (paper
+section 3.2); metastore-level securables (catalogs, credentials,
+locations, connections) use a single-segment name.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import InvalidRequestError
+
+# SQL-ish identifiers: letters, digits, underscore, hyphen; must not start
+# with a digit. Case is preserved but comparisons are case-sensitive, like
+# the open-source Unity Catalog server.
+_IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_\-]*$")
+
+MAX_IDENTIFIER_LENGTH = 255
+
+
+def validate_identifier(name: str, *, what: str = "identifier") -> str:
+    """Validate one namespace segment, returning it unchanged."""
+    if not isinstance(name, str) or not name:
+        raise InvalidRequestError(f"{what} must be a non-empty string")
+    if len(name) > MAX_IDENTIFIER_LENGTH:
+        raise InvalidRequestError(
+            f"{what} longer than {MAX_IDENTIFIER_LENGTH} characters"
+        )
+    if not _IDENTIFIER.match(name):
+        raise InvalidRequestError(f"invalid {what}: {name!r}")
+    return name
+
+
+def full_name(*segments: str) -> str:
+    """Join namespace segments into a fully qualified name."""
+    if not segments:
+        raise InvalidRequestError("empty name")
+    for segment in segments:
+        validate_identifier(segment, what="name segment")
+    return ".".join(segments)
+
+
+def split_full_name(name: str, *, levels: int | None = None) -> list[str]:
+    """Split a fully qualified name, optionally checking the level count."""
+    if not isinstance(name, str) or not name:
+        raise InvalidRequestError("empty name")
+    segments = name.split(".")
+    for segment in segments:
+        validate_identifier(segment, what="name segment")
+    if levels is not None and len(segments) != levels:
+        raise InvalidRequestError(
+            f"expected a {levels}-level name, got {name!r}"
+        )
+    return segments

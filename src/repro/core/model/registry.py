@@ -1,0 +1,58 @@
+"""The asset-type registry (the paper's adapter-layer extension point)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.model.entity import SecurableKind
+from repro.core.model.manifest import AssetTypeManifest
+from repro.errors import AlreadyExistsError, InvalidRequestError, NotFoundError
+
+
+class AssetTypeRegistry:
+    """Maps securable kinds to their declarative manifests.
+
+    The catalog service consults the registry for every CRUD operation,
+    so registering a manifest is sufficient to obtain namespace
+    management, access control, lifecycle, path governance, credential
+    vending, and auditing for a new asset type — the property the paper
+    demonstrates with the MLflow model registry integration.
+    """
+
+    def __init__(self):
+        self._manifests: dict[SecurableKind, AssetTypeManifest] = {}
+
+    def register(self, manifest: AssetTypeManifest) -> None:
+        if manifest.kind in self._manifests:
+            raise AlreadyExistsError(
+                f"asset type already registered: {manifest.kind.value}"
+            )
+        if manifest.parent_kind is not None:
+            parent = self._manifests.get(manifest.parent_kind)
+            if parent is None and manifest.parent_kind is not SecurableKind.METASTORE:
+                raise InvalidRequestError(
+                    f"parent kind {manifest.parent_kind.value} not registered"
+                )
+        self._manifests[manifest.kind] = manifest
+
+    def get(self, kind: SecurableKind) -> AssetTypeManifest:
+        try:
+            return self._manifests[kind]
+        except KeyError:
+            raise NotFoundError(f"asset type not registered: {kind.value}")
+
+    def maybe_get(self, kind: SecurableKind) -> Optional[AssetTypeManifest]:
+        return self._manifests.get(kind)
+
+    def __contains__(self, kind: SecurableKind) -> bool:
+        return kind in self._manifests
+
+    def __iter__(self) -> Iterator[AssetTypeManifest]:
+        return iter(self._manifests.values())
+
+    def kinds(self) -> list[SecurableKind]:
+        return list(self._manifests)
+
+    def children_of(self, kind: SecurableKind) -> list[AssetTypeManifest]:
+        """Manifests whose instances live directly under ``kind``."""
+        return [m for m in self._manifests.values() if m.parent_kind is kind]

@@ -1,0 +1,33 @@
+"""ACID metadata persistence (paper section 4.5).
+
+The paper's backend contract is small but strict: per-metastore snapshot
+reads, serializable writes via a persistent *metastore version* that every
+write transaction bumps with compare-and-swap, and a change log the cache
+uses for selective invalidation. Two implementations are provided:
+
+* :class:`~repro.core.persistence.memory.InMemoryMetadataStore` — an MVCC
+  store used by tests and benchmarks,
+* :class:`~repro.core.persistence.sqlite.SqliteMetadataStore` — a durable
+  SQLite-backed store demonstrating that the contract maps onto a
+  standard relational database, as in the production system.
+"""
+
+from repro.core.persistence.store import (
+    ChangeRecord,
+    MetadataStore,
+    Snapshot,
+    WriteOp,
+    Tables,
+)
+from repro.core.persistence.memory import InMemoryMetadataStore
+from repro.core.persistence.sqlite import SqliteMetadataStore
+
+__all__ = [
+    "ChangeRecord",
+    "InMemoryMetadataStore",
+    "MetadataStore",
+    "Snapshot",
+    "SqliteMetadataStore",
+    "Tables",
+    "WriteOp",
+]

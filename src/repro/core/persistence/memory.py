@@ -1,0 +1,211 @@
+"""In-memory MVCC metadata store.
+
+Each metastore keeps, per (table, key), an append-ordered list of
+``(commit_version, value-or-None)`` pairs. A snapshot pinned at version V
+sees, for each key, the newest pair with ``commit_version <= V``. Commits
+take a per-metastore lock, CAS the metastore version, apply all ops at the
+new version, and append to the change log — giving snapshot-isolated reads
+and serializable writes at metastore granularity, exactly the contract the
+paper's cache design assumes of its backing database.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.core.persistence.store import (
+    ChangeRecord,
+    MetadataStore,
+    Snapshot,
+    WriteOp,
+)
+from repro.errors import (
+    AlreadyExistsError,
+    ConcurrentModificationError,
+    NotFoundError,
+)
+
+
+@dataclass
+class _MetastoreSlot:
+    version: int = 0
+    #: table -> key -> [(version, value-or-None), ...] ascending by version
+    tables: dict[str, dict[str, list[tuple[int, Optional[dict]]]]] = field(
+        default_factory=dict
+    )
+    changelog: list[ChangeRecord] = field(default_factory=list)
+    lock: threading.RLock = field(default_factory=threading.RLock)
+
+
+class _MemorySnapshot(Snapshot):
+    def __init__(self, slot: _MetastoreSlot, metastore_id: str, version: int,
+                 store: "InMemoryMetadataStore" = None):
+        super().__init__(metastore_id, version)
+        self._slot = slot
+        self._store = store
+
+    def get(self, table: str, key: str) -> Optional[dict[str, Any]]:
+        with self._slot.lock:
+            versions = self._slot.tables.get(table, {}).get(key)
+            if not versions:
+                return None
+            value = _visible(versions, self.version)
+            return copy.deepcopy(value) if value is not None else None
+
+    def scan(self, table: str) -> Iterator[tuple[str, dict[str, Any]]]:
+        with self._slot.lock:
+            rows = self._slot.tables.get(table, {})
+            # materialize under the lock for a consistent iteration
+            out = []
+            for key, versions in rows.items():
+                value = _visible(versions, self.version)
+                if value is not None:
+                    out.append((key, copy.deepcopy(value)))
+        if self._store is not None:
+            self._store.scan_row_count += len(out)
+        return iter(out)
+
+
+def _visible(versions: list[tuple[int, Optional[dict]]], at: int) -> Optional[dict]:
+    """Newest value committed at or before ``at`` (None if deleted/absent)."""
+    for version, value in reversed(versions):
+        if version <= at:
+            return value
+    return None
+
+
+class InMemoryMetadataStore(MetadataStore):
+    """The default metadata backend for tests and benchmarks.
+
+    ``read_cost_tracker`` counts logical DB reads (snapshot gets/scans and
+    commits) so the cache benchmarks can attribute simulated latency to
+    database round-trips.
+    """
+
+    def __init__(self):
+        self._slots: dict[str, _MetastoreSlot] = {}
+        self._global_lock = threading.RLock()
+        self.read_count = 0
+        self.commit_count = 0
+        self.scan_row_count = 0
+
+    def _slot(self, metastore_id: str) -> _MetastoreSlot:
+        try:
+            return self._slots[metastore_id]
+        except KeyError:
+            raise NotFoundError(f"no such metastore slot: {metastore_id}")
+
+    # -- MetadataStore ------------------------------------------------------
+
+    def create_metastore_slot(self, metastore_id: str) -> None:
+        with self._global_lock:
+            if metastore_id in self._slots:
+                raise AlreadyExistsError(f"metastore slot exists: {metastore_id}")
+            self._slots[metastore_id] = _MetastoreSlot()
+
+    def metastore_ids(self) -> list[str]:
+        with self._global_lock:
+            return list(self._slots)
+
+    def current_version(self, metastore_id: str) -> int:
+        slot = self._slot(metastore_id)
+        with slot.lock:
+            return slot.version
+
+    def snapshot(self, metastore_id: str, at_version: Optional[int] = None) -> Snapshot:
+        slot = self._slot(metastore_id)
+        with slot.lock:
+            version = slot.version if at_version is None else at_version
+            if version > slot.version:
+                raise ConcurrentModificationError(
+                    f"snapshot version {version} is ahead of committed {slot.version}"
+                )
+            self.read_count += 1
+            return _MemorySnapshot(slot, metastore_id, version, store=self)
+
+    def commit(self, metastore_id: str, expected_version: int, ops: list[WriteOp]) -> int:
+        slot = self._slot(metastore_id)
+        with slot.lock:
+            if slot.version != expected_version:
+                raise ConcurrentModificationError(
+                    f"metastore {metastore_id}: expected version {expected_version}, "
+                    f"found {slot.version}"
+                )
+            new_version = expected_version + 1
+            for op in ops:
+                table = slot.tables.setdefault(op.table, {})
+                versions = table.setdefault(op.key, [])
+                value = copy.deepcopy(op.value) if op.value is not None else None
+                versions.append((new_version, value))
+                slot.changelog.append(
+                    ChangeRecord(
+                        version=new_version,
+                        table=op.table,
+                        key=op.key,
+                        deleted=op.value is None,
+                    )
+                )
+            slot.version = new_version
+            self.commit_count += 1
+            return new_version
+
+    def changes_since(self, metastore_id: str, from_version: int) -> list[ChangeRecord]:
+        slot = self._slot(metastore_id)
+        with slot.lock:
+            return [c for c in slot.changelog if c.version > from_version]
+
+    def compact(self, metastore_id: str, min_version: int) -> int:
+        slot = self._slot(metastore_id)
+        removed = 0
+        with slot.lock:
+            for table in slot.tables.values():
+                for key in list(table):
+                    versions = table[key]
+                    # keep the newest version visible at min_version, plus
+                    # everything after it
+                    keep_from = 0
+                    for i, (version, _) in enumerate(versions):
+                        if version <= min_version:
+                            keep_from = i
+                    removed += keep_from
+                    kept = versions[keep_from:]
+                    # a sole tombstone older than min_version can go entirely
+                    if len(kept) == 1 and kept[0][1] is None and kept[0][0] <= min_version:
+                        removed += 1
+                        del table[key]
+                    else:
+                        table[key] = kept
+            slot.changelog = [c for c in slot.changelog if c.version > min_version]
+        return removed
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def row_version_count(self, metastore_id: str) -> int:
+        """Total stored row versions (used by compaction tests)."""
+        slot = self._slot(metastore_id)
+        with slot.lock:
+            return sum(
+                len(versions)
+                for table in slot.tables.values()
+                for versions in table.values()
+            )
+
+    def approximate_size_bytes(self, metastore_id: str) -> int:
+        """Rough serialized size of a metastore's live metadata.
+
+        Used by the Figure 4 (working-set size) benchmark.
+        """
+        import json
+
+        slot = self._slot(metastore_id)
+        total = 0
+        with slot.lock:
+            for table in slot.tables.values():
+                for versions in table.values():
+                    value = versions[-1][1]
+                    if value is not None:
+                        total += len(json.dumps(value))
+        return total

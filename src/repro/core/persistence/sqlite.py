@@ -1,0 +1,191 @@
+"""SQLite-backed metadata store.
+
+Demonstrates the paper's claim that the persistence contract maps onto a
+standard relational database: rows are MVCC-versioned tuples in one
+relation, metastore versions live in a second relation, and the commit
+CAS runs inside a SQLite transaction.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from typing import Any, Iterator, Optional
+
+from repro.core.persistence.store import (
+    ChangeRecord,
+    MetadataStore,
+    Snapshot,
+    WriteOp,
+)
+from repro.errors import (
+    AlreadyExistsError,
+    ConcurrentModificationError,
+    NotFoundError,
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS metastore_versions (
+    metastore_id TEXT PRIMARY KEY,
+    version      INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS rows (
+    metastore_id TEXT NOT NULL,
+    tbl          TEXT NOT NULL,
+    key          TEXT NOT NULL,
+    version      INTEGER NOT NULL,
+    value        TEXT,
+    PRIMARY KEY (metastore_id, tbl, key, version)
+);
+CREATE INDEX IF NOT EXISTS rows_by_table
+    ON rows (metastore_id, tbl, version);
+"""
+
+
+class _SqliteSnapshot(Snapshot):
+    def __init__(self, store: "SqliteMetadataStore", metastore_id: str, version: int):
+        super().__init__(metastore_id, version)
+        self._store = store
+
+    def get(self, table: str, key: str) -> Optional[dict[str, Any]]:
+        row = self._store._query_one(
+            "SELECT value FROM rows"
+            " WHERE metastore_id=? AND tbl=? AND key=? AND version<=?"
+            " ORDER BY version DESC LIMIT 1",
+            (self.metastore_id, table, key, self.version),
+        )
+        if row is None or row[0] is None:
+            return None
+        return json.loads(row[0])
+
+    def scan(self, table: str) -> Iterator[tuple[str, dict[str, Any]]]:
+        rows = self._store._query_all(
+            "SELECT key, value FROM rows r"
+            " WHERE metastore_id=? AND tbl=? AND version = ("
+            "   SELECT MAX(version) FROM rows"
+            "   WHERE metastore_id=r.metastore_id AND tbl=r.tbl"
+            "     AND key=r.key AND version<=?)",
+            (self.metastore_id, table, self.version),
+        )
+        for key, value in rows:
+            if value is not None:
+                yield key, json.loads(value)
+
+
+class SqliteMetadataStore(MetadataStore):
+    """A durable backend. Pass ``path=":memory:"`` for an ephemeral DB."""
+
+    def __init__(self, path: str = ":memory:"):
+        # one shared connection guarded by a lock: SQLite serializes writers
+        # anyway and the catalog's writes are per-metastore serialized above.
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._lock = threading.RLock()
+        with self._lock:
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    # -- low-level helpers -------------------------------------------------
+
+    def _query_one(self, sql: str, params: tuple) -> Optional[tuple]:
+        with self._lock:
+            cursor = self._conn.execute(sql, params)
+            return cursor.fetchone()
+
+    def _query_all(self, sql: str, params: tuple) -> list[tuple]:
+        with self._lock:
+            cursor = self._conn.execute(sql, params)
+            return cursor.fetchall()
+
+    # -- MetadataStore -------------------------------------------------------
+
+    def create_metastore_slot(self, metastore_id: str) -> None:
+        with self._lock:
+            try:
+                self._conn.execute(
+                    "INSERT INTO metastore_versions (metastore_id, version) VALUES (?, 0)",
+                    (metastore_id,),
+                )
+                self._conn.commit()
+            except sqlite3.IntegrityError:
+                self._conn.rollback()
+                raise AlreadyExistsError(f"metastore slot exists: {metastore_id}")
+
+    def metastore_ids(self) -> list[str]:
+        rows = self._query_all("SELECT metastore_id FROM metastore_versions", ())
+        return [row[0] for row in rows]
+
+    def current_version(self, metastore_id: str) -> int:
+        row = self._query_one(
+            "SELECT version FROM metastore_versions WHERE metastore_id=?",
+            (metastore_id,),
+        )
+        if row is None:
+            raise NotFoundError(f"no such metastore slot: {metastore_id}")
+        return int(row[0])
+
+    def snapshot(self, metastore_id: str, at_version: Optional[int] = None) -> Snapshot:
+        current = self.current_version(metastore_id)
+        version = current if at_version is None else at_version
+        if version > current:
+            raise ConcurrentModificationError(
+                f"snapshot version {version} is ahead of committed {current}"
+            )
+        return _SqliteSnapshot(self, metastore_id, version)
+
+    def commit(self, metastore_id: str, expected_version: int, ops: list[WriteOp]) -> int:
+        with self._lock:
+            try:
+                cursor = self._conn.execute(
+                    "UPDATE metastore_versions SET version=version+1"
+                    " WHERE metastore_id=? AND version=?",
+                    (metastore_id, expected_version),
+                )
+                if cursor.rowcount == 0:
+                    self._conn.rollback()
+                    current = self.current_version(metastore_id)
+                    raise ConcurrentModificationError(
+                        f"metastore {metastore_id}: expected version "
+                        f"{expected_version}, found {current}"
+                    )
+                new_version = expected_version + 1
+                for op in ops:
+                    value = json.dumps(op.value) if op.value is not None else None
+                    self._conn.execute(
+                        "INSERT OR REPLACE INTO rows"
+                        " (metastore_id, tbl, key, version, value)"
+                        " VALUES (?, ?, ?, ?, ?)",
+                        (metastore_id, op.table, op.key, new_version, value),
+                    )
+                self._conn.commit()
+                return new_version
+            except sqlite3.Error:
+                self._conn.rollback()
+                raise
+
+    def changes_since(self, metastore_id: str, from_version: int) -> list[ChangeRecord]:
+        rows = self._query_all(
+            "SELECT version, tbl, key, value IS NULL FROM rows"
+            " WHERE metastore_id=? AND version>? ORDER BY version",
+            (metastore_id, from_version),
+        )
+        return [
+            ChangeRecord(version=int(v), table=t, key=k, deleted=bool(d))
+            for v, t, k, d in rows
+        ]
+
+    def compact(self, metastore_id: str, min_version: int) -> int:
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM rows WHERE metastore_id=? AND version < ("
+                "  SELECT MAX(version) FROM rows r2"
+                "  WHERE r2.metastore_id=rows.metastore_id AND r2.tbl=rows.tbl"
+                "    AND r2.key=rows.key AND r2.version<=?)",
+                (metastore_id, min_version),
+            )
+            self._conn.commit()
+            return cursor.rowcount
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()

@@ -1,0 +1,127 @@
+"""The metadata-store contract every backend implements."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+
+class Tables:
+    """Logical tables in the metadata store.
+
+    Everything the catalog persists is a row ``(table, key) -> dict`` with
+    MVCC versions; the higher layers never see backend details (paper:
+    "the data model is persisted in a standard relational database with
+    the implementation detail hidden from the layers above").
+    """
+
+    ENTITIES = "entities"
+    GRANTS = "grants"
+    TAGS = "tags"
+    POLICIES = "policies"          # FGAC row filters / column masks, ABAC rules
+    COMMITS = "commits"            # catalog-owned table commit pointers
+    SHARES = "share_bindings"      # share -> asset membership rows
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """One mutation inside a serializable commit. ``value=None`` deletes."""
+
+    table: str
+    key: str
+    value: Optional[dict[str, Any]]
+
+    @classmethod
+    def put(cls, table: str, key: str, value: dict[str, Any]) -> "WriteOp":
+        return cls(table=table, key=key, value=value)
+
+    @classmethod
+    def delete(cls, table: str, key: str) -> "WriteOp":
+        return cls(table=table, key=key, value=None)
+
+
+@dataclass(frozen=True)
+class ChangeRecord:
+    """A change-log entry: which row changed at which metastore version.
+
+    This feeds both the metadata change-event stream (discovery catalogs,
+    section 4.4) and the cache's selective invalidation (section 4.5).
+    """
+
+    version: int
+    table: str
+    key: str
+    deleted: bool
+
+
+class Snapshot(abc.ABC):
+    """A consistent read view of one metastore, pinned at a version.
+
+    All reads through a snapshot observe exactly the rows committed at or
+    before ``version`` — the paper's metastore-granularity snapshot
+    isolation.
+    """
+
+    def __init__(self, metastore_id: str, version: int):
+        self.metastore_id = metastore_id
+        self.version = version
+
+    @abc.abstractmethod
+    def get(self, table: str, key: str) -> Optional[dict[str, Any]]:
+        """Read one row, or None if absent/deleted as of this snapshot."""
+
+    @abc.abstractmethod
+    def scan(self, table: str) -> Iterator[tuple[str, dict[str, Any]]]:
+        """Iterate all live rows of a table as of this snapshot."""
+
+
+class MetadataStore(abc.ABC):
+    """Backend contract: versioned per-metastore row storage.
+
+    Writes are serializable at metastore granularity: ``commit`` atomically
+    applies a batch of ops and bumps the metastore version, conditioned on
+    the caller's expected version (compare-and-swap). A failed CAS raises
+    :class:`~repro.errors.ConcurrentModificationError` and the caller
+    (typically a cache node) must reconcile and retry.
+    """
+
+    @abc.abstractmethod
+    def create_metastore_slot(self, metastore_id: str) -> None:
+        """Initialize version tracking for a new metastore (version 0)."""
+
+    @abc.abstractmethod
+    def metastore_ids(self) -> list[str]:
+        """All metastores known to the store."""
+
+    @abc.abstractmethod
+    def current_version(self, metastore_id: str) -> int:
+        """The latest committed metastore version."""
+
+    @abc.abstractmethod
+    def snapshot(self, metastore_id: str, at_version: Optional[int] = None) -> Snapshot:
+        """Open a snapshot at the current (or a specific past) version."""
+
+    @abc.abstractmethod
+    def commit(
+        self,
+        metastore_id: str,
+        expected_version: int,
+        ops: list[WriteOp],
+    ) -> int:
+        """Atomically apply ``ops`` if the version CAS succeeds.
+
+        Returns the new metastore version (``expected_version + 1``).
+        """
+
+    @abc.abstractmethod
+    def changes_since(self, metastore_id: str, from_version: int) -> list[ChangeRecord]:
+        """Change-log entries with version > ``from_version``, in order."""
+
+    @abc.abstractmethod
+    def compact(self, metastore_id: str, min_version: int) -> int:
+        """Drop row versions not visible at or after ``min_version``.
+
+        Returns the number of row versions removed. Backends keep at least
+        the newest version of every live row.
+        """

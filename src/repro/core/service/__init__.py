@@ -1,0 +1,6 @@
+"""The Unity Catalog service (paper sections 3, 4.2.1)."""
+
+from repro.core.service.catalog_service import UnityCatalogService
+from repro.core.service.batch import QueryResolution, ResolvedAsset
+
+__all__ = ["QueryResolution", "ResolvedAsset", "UnityCatalogService"]

@@ -1,0 +1,145 @@
+"""A real HTTP transport for the REST API (stdlib only).
+
+Demonstrates the open-interface claim end to end: any HTTP client can
+drive a running Unity Catalog server. Benchmarks use the in-process
+router instead (network stacks are nondeterministic); examples use this.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.client import HTTPConnection
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.core.service.rest import RestApi
+from repro.errors import UnityCatalogError
+
+_PRINCIPAL_HEADER = "X-Unity-Principal"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    api: RestApi  # set by server factory
+
+    def log_message(self, fmt: str, *args) -> None:  # silence stderr
+        pass
+
+    def _dispatch(self, method: str) -> None:
+        split = urlsplit(self.path)
+        params = dict(parse_qsl(split.query))
+        principal = self.headers.get(_PRINCIPAL_HEADER, "")
+        body: dict[str, Any] = {}
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            try:
+                body = json.loads(self.rfile.read(length))
+            except json.JSONDecodeError:
+                self._respond(400, {"error_code": "INVALID_PARAMETER_VALUE",
+                                    "message": "request body is not JSON"})
+                return
+        if not principal:
+            self._respond(401, {"error_code": "PERMISSION_DENIED",
+                                "message": f"missing {_PRINCIPAL_HEADER} header"})
+            return
+        status, payload = self.api.handle(
+            method, split.path, principal=principal, params=params, body=body
+        )
+        self._respond(status, payload)
+
+    def _respond(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_PATCH(self) -> None:
+        self._dispatch("PATCH")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+
+class UnityCatalogHttpServer:
+    """Serves a catalog service over HTTP on localhost."""
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0):
+        api = RestApi(service)
+        handler = type("BoundHandler", (_Handler,), {"api": api})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    def start(self) -> "UnityCatalogHttpServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "UnityCatalogHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class UnityCatalogHttpClient:
+    """A minimal REST client for the HTTP server."""
+
+    def __init__(self, host: str, port: int, principal: str):
+        self._host = host
+        self._port = port
+        self._principal = principal
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        params: Optional[dict] = None,
+        body: Optional[dict] = None,
+        raise_on_error: bool = True,
+    ) -> dict:
+        query = ""
+        if params:
+            query = "?" + "&".join(f"{k}={v}" for k, v in params.items())
+        connection = HTTPConnection(self._host, self._port, timeout=30)
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            connection.request(
+                method,
+                path + query,
+                body=payload,
+                headers={
+                    _PRINCIPAL_HEADER: self._principal,
+                    "Content-Type": "application/json",
+                },
+            )
+            response = connection.getresponse()
+            data = json.loads(response.read() or b"{}")
+            if raise_on_error and response.status >= 400:
+                raise UnityCatalogError(
+                    f"HTTP {response.status}: {data.get('message', data)}"
+                )
+            return data
+        finally:
+            connection.close()

@@ -1,0 +1,352 @@
+"""REST API layer.
+
+Unity Catalog's openness claim rests on a documented REST surface; this
+module maps HTTP-shaped requests onto the service facade. It is transport
+agnostic: :class:`RestApi.handle` takes ``(method, path, params, body,
+principal)`` and returns ``(status, json-able dict)``, so the same router
+serves the in-process client used by tests and the real HTTP server in
+:mod:`repro.core.service.http_server`.
+
+Authentication is the upstream gateway's job (paper section 3.4); the
+caller principal arrives as a header.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Optional
+
+from repro.cloudstore.sts import AccessLevel
+from repro.core.auth.privileges import Privilege
+from repro.core.model.entity import Entity, SecurableKind
+from repro.errors import (
+    InvalidRequestError,
+    NotFoundError,
+    UnityCatalogError,
+)
+
+_STATUS = {
+    "RESOURCE_DOES_NOT_EXIST": 404,
+    "RESOURCE_ALREADY_EXISTS": 409,
+    "INVALID_PARAMETER_VALUE": 400,
+    "PERMISSION_DENIED": 403,
+    "UNTRUSTED_ENGINE": 403,
+    "PATH_CONFLICT": 409,
+    "CONCURRENT_MODIFICATION": 409,
+    "TRANSACTION_CONFLICT": 409,
+    "CREDENTIAL_DENIED": 403,
+    "FEDERATION_ERROR": 502,
+    "INTERNAL": 500,
+}
+
+_KIND_BY_RESOURCE = {
+    "catalogs": SecurableKind.CATALOG,
+    "schemas": SecurableKind.SCHEMA,
+    "tables": SecurableKind.TABLE,
+    "volumes": SecurableKind.VOLUME,
+    "functions": SecurableKind.FUNCTION,
+    "models": SecurableKind.REGISTERED_MODEL,
+    "model-versions": SecurableKind.MODEL_VERSION,
+    "storage-credentials": SecurableKind.STORAGE_CREDENTIAL,
+    "external-locations": SecurableKind.EXTERNAL_LOCATION,
+    "connections": SecurableKind.CONNECTION,
+    "shares": SecurableKind.SHARE,
+    "recipients": SecurableKind.RECIPIENT,
+}
+
+
+def _entity_json(entity: Entity) -> dict:
+    return entity.to_dict()
+
+
+def _credential_json(credential) -> dict:
+    return {
+        "token": credential.token,
+        "scope": credential.scope.url(),
+        "access_level": credential.level.value,
+        "expires_at": credential.expires_at,
+    }
+
+
+class RestApi:
+    """Routes REST requests to the catalog service.
+
+    ``search_service`` is optional: when a discovery search service is
+    attached, the ``/search`` route is served (second-tier services are
+    deployed separately from the core service, section 4.4).
+    """
+
+    def __init__(self, service, search_service=None):
+        self._service = service
+        self._search = search_service
+
+    # -- public entry point ----------------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        *,
+        principal: str,
+        params: Optional[dict[str, str]] = None,
+        body: Optional[dict[str, Any]] = None,
+    ) -> tuple[int, dict]:
+        """Dispatch one request; returns (HTTP status, response body)."""
+        params = params or {}
+        body = body or {}
+        try:
+            return self._route(method.upper(), path.strip("/"), principal,
+                               params, body)
+        except UnityCatalogError as exc:
+            return _STATUS.get(exc.code, 500), exc.to_dict()
+
+    # -- routing -----------------------------------------------------------------
+
+    def _route(
+        self, method: str, path: str, principal: str,
+        params: dict, body: dict,
+    ) -> tuple[int, dict]:
+        segments = [s for s in path.split("/") if s]
+        if not segments or segments[0] != "api":
+            raise NotFoundError(f"unknown route: /{path}")
+        # /api/2.1/unity-catalog/<resource>[/<name>]
+        if len(segments) < 4 or segments[2] != "unity-catalog":
+            raise NotFoundError(f"unknown route: /{path}")
+        resource = segments[3]
+        rest = segments[4:]
+
+        if resource == "metastores":
+            return self._metastores(method, rest, principal, body)
+        if resource == "temporary-credentials":
+            return self._temporary_credentials(method, principal, params, body)
+        if resource == "resolve":
+            return self._resolve(method, principal, params, body)
+        if resource == "grants":
+            return self._grants(method, rest, principal, params, body)
+        if resource == "information-schema":
+            return self._information_schema(method, principal, params, body)
+        if resource == "lineage":
+            return self._lineage(method, principal, params)
+        if resource == "search":
+            return self._search_route(method, principal, params, body)
+        if resource in _KIND_BY_RESOURCE:
+            return self._securables(
+                _KIND_BY_RESOURCE[resource], method, rest, principal, params, body
+            )
+        raise NotFoundError(f"unknown resource: {resource}")
+
+    def _metastore_id(self, params: dict, body: dict) -> str:
+        metastore = params.get("metastore") or body.get("metastore")
+        if not metastore:
+            raise InvalidRequestError("missing 'metastore' parameter")
+        try:
+            return self._service.metastore_id(metastore)
+        except NotFoundError:
+            # accept raw ids too
+            if metastore in self._service.store.metastore_ids():
+                return metastore
+            raise
+
+    # -- handlers -------------------------------------------------------------------
+
+    def _metastores(
+        self, method: str, rest: list[str], principal: str, body: dict
+    ) -> tuple[int, dict]:
+        if method == "POST" and not rest:
+            entity = self._service.create_metastore(
+                body["name"], owner=body.get("owner", principal),
+                region=body.get("region", "us-west"),
+            )
+            return 201, _entity_json(entity)
+        if method == "GET" and not rest:
+            return 200, {"metastores": self._service.metastore_ids()}
+        raise NotFoundError("unknown metastores route")
+
+    def _securables(
+        self,
+        kind: SecurableKind,
+        method: str,
+        rest: list[str],
+        principal: str,
+        params: dict,
+        body: dict,
+    ) -> tuple[int, dict]:
+        metastore_id = self._metastore_id(params, body)
+        service = self._service
+        if method == "POST" and not rest:
+            entity = service.create_securable(
+                metastore_id, principal, kind, body["name"],
+                comment=body.get("comment", ""),
+                storage_path=body.get("storage_location"),
+                spec=body.get("spec"),
+                properties=body.get("properties"),
+            )
+            return 201, _entity_json(entity)
+        if method == "GET" and not rest:
+            entities = service.list_securables(
+                metastore_id, principal, kind, params.get("parent")
+            )
+            return 200, {"items": [_entity_json(e) for e in entities]}
+        if not rest:
+            raise NotFoundError("missing securable name")
+        name = rest[0]
+        if method == "GET":
+            entity = service.get_securable(metastore_id, principal, kind, name)
+            return 200, _entity_json(entity)
+        if method == "PATCH":
+            entity = service.update_securable(
+                metastore_id, principal, kind, name,
+                comment=body.get("comment"),
+                properties=body.get("properties"),
+                spec_changes=body.get("spec"),
+            )
+            return 200, _entity_json(entity)
+        if method == "DELETE":
+            deleted = service.delete_securable(
+                metastore_id, principal, kind, name,
+                cascade=params.get("cascade", "false").lower() == "true",
+            )
+            return 200, {"deleted": len(deleted)}
+        raise InvalidRequestError(f"unsupported method {method}")
+
+    def _grants(
+        self, method: str, rest: list[str], principal: str,
+        params: dict, body: dict,
+    ) -> tuple[int, dict]:
+        metastore_id = self._metastore_id(params, body)
+        kind = SecurableKind(body.get("securable_kind") or params["securable_kind"])
+        name = body.get("securable_name") or params["securable_name"]
+        if method == "GET":
+            grants = self._service.grants_on(metastore_id, principal, kind, name)
+            return 200, {"grants": [g.to_dict() for g in grants]}
+        if method == "POST":
+            grant = self._service.grant(
+                metastore_id, principal, kind, name,
+                body["principal"], Privilege(body["privilege"]),
+            )
+            return 201, grant.to_dict()
+        if method == "DELETE":
+            self._service.revoke(
+                metastore_id, principal, kind, name,
+                body["principal"], Privilege(body["privilege"]),
+            )
+            return 200, {}
+        raise InvalidRequestError(f"unsupported method {method}")
+
+    def _temporary_credentials(
+        self, method: str, principal: str, params: dict, body: dict
+    ) -> tuple[int, dict]:
+        if method != "POST":
+            raise InvalidRequestError("temporary-credentials is POST-only")
+        metastore_id = self._metastore_id(params, body)
+        level = AccessLevel(body.get("access_level", "READ"))
+        if "path" in body:
+            entity, credential = self._service.access_by_path(
+                metastore_id, principal, body["path"], level
+            )
+            payload = _credential_json(credential)
+            payload["resolved_asset"] = entity.name
+            return 200, payload
+        kind = SecurableKind(body["securable_kind"])
+        credential = self._service.vend_credentials(
+            metastore_id, principal, kind, body["securable_name"], level
+        )
+        return 200, _credential_json(credential)
+
+    def _information_schema(
+        self, method: str, principal: str, params: dict, body: dict
+    ) -> tuple[int, dict]:
+        if method not in ("GET", "POST"):
+            raise InvalidRequestError("information-schema is GET/POST")
+        metastore_id = self._metastore_id(params, body)
+        kind = SecurableKind(params.get("kind") or body.get("kind", "TABLE"))
+        where = tuple(
+            (c["column"], c["op"], c["value"]) for c in body.get("where", ())
+        )
+        rows = self._service.query_information_schema(
+            metastore_id, principal, kind,
+            catalog=params.get("catalog") or body.get("catalog"),
+            schema=params.get("schema") or body.get("schema"),
+            where=where,
+            limit=int(params["limit"]) if "limit" in params else body.get("limit"),
+        )
+        return 200, {"rows": rows}
+
+    def _lineage(
+        self, method: str, principal: str, params: dict
+    ) -> tuple[int, dict]:
+        if method != "GET":
+            raise InvalidRequestError("lineage is GET-only")
+        metastore_id = self._metastore_id(params, {})
+        asset = params.get("asset")
+        if not asset:
+            raise InvalidRequestError("missing 'asset' parameter")
+        direction = params.get("direction", "downstream")
+        if direction == "downstream":
+            names = self._service.lineage_downstream(metastore_id, principal,
+                                                     asset)
+        elif direction == "upstream":
+            names = self._service.lineage_upstream(metastore_id, principal,
+                                                   asset)
+        else:
+            raise InvalidRequestError("direction must be upstream/downstream")
+        return 200, {"asset": asset, "direction": direction,
+                     "assets": sorted(names)}
+
+    def _search_route(
+        self, method: str, principal: str, params: dict, body: dict
+    ) -> tuple[int, dict]:
+        if self._search is None:
+            raise NotFoundError("no search service attached")
+        if method != "POST":
+            raise InvalidRequestError("search is POST-only")
+        metastore_id = self._metastore_id(params, body)
+        self._search.sync(metastore_id)
+        kind = body.get("kind")
+        hits = self._search.search(
+            metastore_id, principal, body.get("query", ""),
+            kind=SecurableKind(kind) if kind else None,
+            limit=body.get("limit", 50),
+        )
+        return 200, {
+            "hits": [
+                {"full_name": h.full_name, "kind": h.entity.kind.value,
+                 "score": h.score}
+                for h in hits
+            ]
+        }
+
+    def _resolve(
+        self, method: str, principal: str, params: dict, body: dict
+    ) -> tuple[int, dict]:
+        if method != "POST":
+            raise InvalidRequestError("resolve is POST-only")
+        metastore_id = self._metastore_id(params, body)
+        resolution = self._service.resolve_for_query(
+            metastore_id, principal,
+            list(body.get("tables", ())),
+            write_tables=tuple(body.get("write_tables", ())),
+            function_names=tuple(body.get("functions", ())),
+            include_credentials=bool(body.get("include_credentials", True)),
+            engine_trusted=body.get("engine_trusted"),
+        )
+        assets = {}
+        for name, asset in resolution.assets.items():
+            assets[name] = {
+                "entity": _entity_json(asset.entity),
+                "table_type": asset.table_type,
+                "format": asset.format,
+                "columns": asset.columns,
+                "storage_url": asset.storage_url,
+                "credential": (
+                    _credential_json(asset.credential)
+                    if asset.credential else None
+                ),
+                "fgac": asset.fgac.to_dict(),
+                "view_definition": asset.view_definition,
+                "dependencies": list(asset.dependencies),
+            }
+        return 200, {
+            "metastore_version": resolution.metastore_version,
+            "assets": assets,
+        }

@@ -1,0 +1,174 @@
+"""Read views over one metastore's metadata.
+
+Both the uncached (snapshot-scanning) and cached (indexed) read paths
+expose the same :class:`MetastoreView` interface, so the service, the
+authorizer, and the batch resolver are oblivious to whether a request is
+served from the write-through cache or straight from the backing store —
+the paper's layering, where "caching [is] fully implemented within the
+persistence layer, as long as consistency guarantees are maintained".
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Optional
+
+from repro.cloudstore.object_store import StoragePath
+from repro.core.auth.privileges import PrivilegeGrant
+from repro.core.model.entity import Entity, SecurableKind
+from repro.core.paths import PATH_GOVERNED_KINDS, PathTrie
+from repro.core.persistence.store import Snapshot, Tables
+
+
+class MetastoreView(abc.ABC):
+    """A consistent read view over one metastore at a known version."""
+
+    @property
+    @abc.abstractmethod
+    def version(self) -> int:
+        """The metastore version this view observes."""
+
+    @abc.abstractmethod
+    def entity_by_id(self, entity_id: str) -> Optional[Entity]:
+        """Look up an active entity by id."""
+
+    @abc.abstractmethod
+    def entity_by_name(
+        self, parent_id: Optional[str], namespace_group: str, name: str
+    ) -> Optional[Entity]:
+        """Look up an active entity by (parent, namespace group, name)."""
+
+    @abc.abstractmethod
+    def children(
+        self, parent_id: str, kind: Optional[SecurableKind] = None
+    ) -> list[Entity]:
+        """Active direct children of a container, optionally by kind."""
+
+    @abc.abstractmethod
+    def entities(self, kind: Optional[SecurableKind] = None) -> Iterator[Entity]:
+        """All active entities, optionally filtered by kind."""
+
+    @abc.abstractmethod
+    def resolve_path(self, path: StoragePath) -> Optional[Entity]:
+        """The active entity governing ``path`` (one-asset-per-path)."""
+
+    @abc.abstractmethod
+    def overlapping_assets(self, path: StoragePath) -> list[str]:
+        """Asset ids whose storage paths overlap ``path``."""
+
+    @abc.abstractmethod
+    def grants_on(self, securable_id: str) -> list[PrivilegeGrant]:
+        """Direct grants on one securable."""
+
+    @abc.abstractmethod
+    def row(self, table: str, key: str) -> Optional[dict]:
+        """Raw row access for auxiliary tables (tags, policies, commits)."""
+
+    @abc.abstractmethod
+    def rows(self, table: str) -> Iterator[tuple[str, dict]]:
+        """Raw scan of an auxiliary table."""
+
+    # -- shared helpers (implemented on the interface) -----------------------
+
+    def ancestors(self, entity: Entity) -> list[Entity]:
+        """Parent chain from direct parent up to (excluding) the metastore."""
+        chain: list[Entity] = []
+        current = entity
+        while current.parent_id is not None:
+            parent = self.entity_by_id(current.parent_id)
+            if parent is None:
+                break
+            chain.append(parent)
+            current = parent
+        return chain
+
+    def full_name(self, entity: Entity) -> str:
+        """Fully qualified dotted name of an entity."""
+        names = [entity.name]
+        for ancestor in self.ancestors(entity):
+            if ancestor.kind is not SecurableKind.METASTORE:
+                names.append(ancestor.name)
+        return ".".join(reversed(names))
+
+
+class SnapshotView(MetastoreView):
+    """The uncached read path: every lookup scans the backing snapshot.
+
+    Deliberately does no indexing — this is the "without caching" system
+    configuration the paper's Figure 10(b) contrasts, where each request
+    pays database reads proportional to the metastore size.
+    """
+
+    def __init__(self, snapshot: Snapshot, registry):
+        self._snapshot = snapshot
+        self._registry = registry
+
+    @property
+    def version(self) -> int:
+        return self._snapshot.version
+
+    def _iter_entities(self) -> Iterator[Entity]:
+        for _, value in self._snapshot.scan(Tables.ENTITIES):
+            entity = Entity.from_dict(value)
+            if entity.is_active:
+                yield entity
+
+    def entity_by_id(self, entity_id: str) -> Optional[Entity]:
+        value = self._snapshot.get(Tables.ENTITIES, entity_id)
+        if value is None:
+            return None
+        entity = Entity.from_dict(value)
+        return entity if entity.is_active else None
+
+    def entity_by_name(
+        self, parent_id: Optional[str], namespace_group: str, name: str
+    ) -> Optional[Entity]:
+        for entity in self._iter_entities():
+            if entity.parent_id != parent_id or entity.name != name:
+                continue
+            manifest = self._registry.maybe_get(entity.kind)
+            if manifest is not None and manifest.namespace_group == namespace_group:
+                return entity
+        return None
+
+    def children(
+        self, parent_id: str, kind: Optional[SecurableKind] = None
+    ) -> list[Entity]:
+        return [
+            entity
+            for entity in self._iter_entities()
+            if entity.parent_id == parent_id and (kind is None or entity.kind is kind)
+        ]
+
+    def entities(self, kind: Optional[SecurableKind] = None) -> Iterator[Entity]:
+        for entity in self._iter_entities():
+            if kind is None or entity.kind is kind:
+                yield entity
+
+    def _build_trie(self) -> PathTrie:
+        trie = PathTrie()
+        for entity in self._iter_entities():
+            if entity.storage_path and entity.kind in PATH_GOVERNED_KINDS:
+                trie.register(StoragePath.parse(entity.storage_path), entity.id)
+        return trie
+
+    def resolve_path(self, path: StoragePath) -> Optional[Entity]:
+        asset_id = self._build_trie().resolve(path)
+        return self.entity_by_id(asset_id) if asset_id else None
+
+    def overlapping_assets(self, path: StoragePath) -> list[str]:
+        return self._build_trie().find_overlapping(path)
+
+    def grants_on(self, securable_id: str) -> list[PrivilegeGrant]:
+        prefix = f"{securable_id}/"
+        return [
+            PrivilegeGrant.from_dict(value)
+            for key, value in self._snapshot.scan(Tables.GRANTS)
+            if key.startswith(prefix)
+        ]
+
+    def row(self, table: str, key: str) -> Optional[dict]:
+        return self._snapshot.get(table, key)
+
+    def rows(self, table: str) -> Iterator[tuple[str, dict]]:
+        return self._snapshot.scan(table)

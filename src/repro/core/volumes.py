@@ -1,0 +1,88 @@
+"""Volume file operations (paper sections 3.2, 6.2).
+
+Volumes are "a logical storage in a cloud object storage location for
+organizing files and non-tabular data" — the most common non-tabular
+asset type, used for unstructured AI/ML data, file exploration, tool
+staging, and raw-ingest staging. This client provides the file API over a
+volume: every operation is authorized by the catalog (READ VOLUME / WRITE
+VOLUME) and performed with a vended credential scoped to the volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cloudstore.client import StorageClient
+from repro.cloudstore.object_store import StoragePath
+from repro.cloudstore.sts import AccessLevel
+from repro.core.model.entity import SecurableKind
+from repro.errors import InvalidRequestError
+
+
+@dataclass(frozen=True)
+class VolumeFileInfo:
+    path: str  # volume-relative
+    size: int
+
+
+class VolumeClient:
+    """File operations on one principal's behalf."""
+
+    def __init__(self, service, metastore_id: str, principal: str):
+        self._service = service
+        self._metastore_id = metastore_id
+        self._principal = principal
+
+    def _storage(self, volume_name: str,
+                 level: AccessLevel) -> tuple[StorageClient, StoragePath]:
+        credential = self._service.vend_credentials(
+            self._metastore_id, self._principal, SecurableKind.VOLUME,
+            volume_name, level,
+        )
+        entity = self._service.get_securable(
+            self._metastore_id, self._principal, SecurableKind.VOLUME,
+            volume_name,
+        )
+        client = StorageClient(
+            self._service.object_store, self._service.sts, credential
+        )
+        return client, StoragePath.parse(entity.storage_path)
+
+    @staticmethod
+    def _file_path(root: StoragePath, relative: str) -> StoragePath:
+        relative = relative.strip("/")
+        if not relative:
+            raise InvalidRequestError("empty file path")
+        return root.child(*relative.split("/"))
+
+    # -- file API -----------------------------------------------------------
+
+    def upload(self, volume_name: str, relative_path: str,
+               data: bytes) -> VolumeFileInfo:
+        client, root = self._storage(volume_name, AccessLevel.READ_WRITE)
+        path = self._file_path(root, relative_path)
+        client.put(path, data)
+        return VolumeFileInfo(path=relative_path, size=len(data))
+
+    def download(self, volume_name: str, relative_path: str) -> bytes:
+        client, root = self._storage(volume_name, AccessLevel.READ)
+        return client.get(self._file_path(root, relative_path))
+
+    def delete(self, volume_name: str, relative_path: str) -> None:
+        client, root = self._storage(volume_name, AccessLevel.READ_WRITE)
+        client.delete(self._file_path(root, relative_path))
+
+    def list_files(self, volume_name: str,
+                   prefix: Optional[str] = None) -> list[VolumeFileInfo]:
+        client, root = self._storage(volume_name, AccessLevel.READ)
+        scope = self._file_path(root, prefix) if prefix else root
+        offset = len(root.key) + 1
+        return [
+            VolumeFileInfo(path=meta.path.key[offset:], size=meta.size)
+            for meta in client.list(scope)
+        ]
+
+    def exists(self, volume_name: str, relative_path: str) -> bool:
+        client, root = self._storage(volume_name, AccessLevel.READ)
+        return client.exists(self._file_path(root, relative_path))

@@ -1,0 +1,40 @@
+"""Delta-style ACID table format over the object store.
+
+Reproduces the properties of Delta Lake that Unity Catalog's design
+depends on (paper sections 1, 4.1, 6.3):
+
+* an ordered transaction log of JSON actions in ``_delta_log/``, with
+  single-table ACID commits via atomic put-if-absent of the next log
+  entry (optimistic concurrency),
+* add/remove file actions carrying per-file column statistics used for
+  data skipping,
+* deletion vectors (engine-side optimization the catalog stays out of),
+* checkpoints and VACUUM,
+* OPTIMIZE (compaction + clustering) and ANALYZE — the substrate that
+  predictive optimization (Figure 10(c)) drives.
+"""
+
+from repro.deltalog.actions import (
+    AddFile,
+    CommitInfo,
+    FileStats,
+    Metadata,
+    Protocol,
+    RemoveFile,
+)
+from repro.deltalog.log import DeltaLog
+from repro.deltalog.table import DeltaTable
+from repro.deltalog.optimize import OptimizeReport, PredictiveOptimizer
+
+__all__ = [
+    "AddFile",
+    "CommitInfo",
+    "DeltaLog",
+    "DeltaTable",
+    "FileStats",
+    "Metadata",
+    "OptimizeReport",
+    "PredictiveOptimizer",
+    "Protocol",
+    "RemoveFile",
+]

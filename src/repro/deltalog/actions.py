@@ -1,0 +1,213 @@
+"""Transaction-log actions, mirroring the Delta Lake action vocabulary."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class FileStats:
+    """Per-file column statistics used for data skipping.
+
+    ``min_values``/``max_values`` cover primitive columns; ``null_count``
+    counts nulls per column.
+    """
+
+    num_records: int
+    min_values: dict[str, Any] = field(default_factory=dict)
+    max_values: dict[str, Any] = field(default_factory=dict)
+    null_count: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "numRecords": self.num_records,
+            "minValues": dict(self.min_values),
+            "maxValues": dict(self.max_values),
+            "nullCount": dict(self.null_count),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FileStats":
+        return cls(
+            num_records=data["numRecords"],
+            min_values=dict(data.get("minValues", {})),
+            max_values=dict(data.get("maxValues", {})),
+            null_count=dict(data.get("nullCount", {})),
+        )
+
+    @classmethod
+    def compute(cls, rows: list[dict]) -> "FileStats":
+        """Compute stats over a batch of rows."""
+        min_values: dict[str, Any] = {}
+        max_values: dict[str, Any] = {}
+        null_count: dict[str, int] = {}
+        for row in rows:
+            for column, value in row.items():
+                if value is None:
+                    null_count[column] = null_count.get(column, 0) + 1
+                    continue
+                if not isinstance(value, (int, float, str, bool)):
+                    continue
+                if column not in min_values or value < min_values[column]:
+                    min_values[column] = value
+                if column not in max_values or value > max_values[column]:
+                    max_values[column] = value
+        return cls(
+            num_records=len(rows),
+            min_values=min_values,
+            max_values=max_values,
+            null_count=null_count,
+        )
+
+
+@dataclass(frozen=True)
+class AddFile:
+    """A data file added to the table at some version."""
+
+    path: str  # relative to the table root
+    size: int
+    stats: FileStats
+    partition_values: dict[str, str] = field(default_factory=dict)
+    deletion_vector: Optional[str] = None  # relative path of the DV object
+    clustering_key: Optional[str] = None  # column this file is clustered on
+
+    def to_dict(self) -> dict:
+        return {
+            "add": {
+                "path": self.path,
+                "size": self.size,
+                "stats": self.stats.to_dict(),
+                "partitionValues": dict(self.partition_values),
+                "deletionVector": self.deletion_vector,
+                "clusteringKey": self.clustering_key,
+            }
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AddFile":
+        return cls(
+            path=data["path"],
+            size=data["size"],
+            stats=FileStats.from_dict(data["stats"]),
+            partition_values=dict(data.get("partitionValues", {})),
+            deletion_vector=data.get("deletionVector"),
+            clustering_key=data.get("clusteringKey"),
+        )
+
+
+@dataclass(frozen=True)
+class RemoveFile:
+    """A data file logically removed at some version (kept for VACUUM)."""
+
+    path: str
+    deletion_timestamp: float
+
+    def to_dict(self) -> dict:
+        return {"remove": {"path": self.path,
+                           "deletionTimestamp": self.deletion_timestamp}}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RemoveFile":
+        return cls(path=data["path"], deletion_timestamp=data["deletionTimestamp"])
+
+
+@dataclass(frozen=True)
+class Metadata:
+    """Table-level metadata action (schema, format, configuration)."""
+
+    table_id: str
+    schema: list[dict]  # [{"name": ..., "type": ...}, ...]
+    format: str = "json-columnar"
+    partition_columns: tuple[str, ...] = ()
+    configuration: dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "metaData": {
+                "id": self.table_id,
+                "schema": list(self.schema),
+                "format": self.format,
+                "partitionColumns": list(self.partition_columns),
+                "configuration": dict(self.configuration),
+            }
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Metadata":
+        return cls(
+            table_id=data["id"],
+            schema=list(data["schema"]),
+            format=data.get("format", "json-columnar"),
+            partition_columns=tuple(data.get("partitionColumns", ())),
+            configuration=dict(data.get("configuration", {})),
+        )
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """Reader/writer protocol versions."""
+
+    min_reader_version: int = 1
+    min_writer_version: int = 2
+
+    def to_dict(self) -> dict:
+        return {
+            "protocol": {
+                "minReaderVersion": self.min_reader_version,
+                "minWriterVersion": self.min_writer_version,
+            }
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Protocol":
+        return cls(
+            min_reader_version=data.get("minReaderVersion", 1),
+            min_writer_version=data.get("minWriterVersion", 2),
+        )
+
+
+@dataclass(frozen=True)
+class CommitInfo:
+    """Provenance for a commit (operation name, timestamp, engine)."""
+
+    operation: str
+    timestamp: float
+    engine: str = "repro"
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "commitInfo": {
+                "operation": self.operation,
+                "timestamp": self.timestamp,
+                "engine": self.engine,
+                "details": dict(self.details),
+            }
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CommitInfo":
+        return cls(
+            operation=data["operation"],
+            timestamp=data["timestamp"],
+            engine=data.get("engine", "repro"),
+            details=dict(data.get("details", {})),
+        )
+
+
+Action = AddFile | RemoveFile | Metadata | Protocol | CommitInfo
+
+
+def action_from_dict(data: dict) -> Action:
+    if "add" in data:
+        return AddFile.from_dict(data["add"])
+    if "remove" in data:
+        return RemoveFile.from_dict(data["remove"])
+    if "metaData" in data:
+        return Metadata.from_dict(data["metaData"])
+    if "protocol" in data:
+        return Protocol.from_dict(data["protocol"])
+    if "commitInfo" in data:
+        return CommitInfo.from_dict(data["commitInfo"])
+    raise ValueError(f"unknown action: {list(data)}")

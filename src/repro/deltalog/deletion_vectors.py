@@ -1,0 +1,65 @@
+"""Deletion vectors: row-level soft deletes without rewriting files.
+
+A deletion vector is a persisted set of row ordinals of one data file
+that are logically deleted. The paper cites deletion vectors as the kind
+of engine-side layout optimization that catalog–engine separation leaves
+the engine free to choose (section 4.1).
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+
+from repro.cloudstore.client import StorageClient
+from repro.cloudstore.object_store import StoragePath
+
+_DV_DIR = "_deletion_vectors"
+
+
+class DeletionVector:
+    """An immutable set of deleted row ordinals for one data file."""
+
+    def __init__(self, deleted_rows: set[int]):
+        self._deleted = frozenset(deleted_rows)
+
+    @property
+    def deleted_rows(self) -> frozenset[int]:
+        return self._deleted
+
+    def __contains__(self, ordinal: int) -> bool:
+        return ordinal in self._deleted
+
+    def __len__(self) -> int:
+        return len(self._deleted)
+
+    def union(self, other: "DeletionVector") -> "DeletionVector":
+        return DeletionVector(set(self._deleted) | set(other._deleted))
+
+    def serialize(self) -> bytes:
+        return json.dumps(sorted(self._deleted)).encode()
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "DeletionVector":
+        return cls(set(json.loads(data)))
+
+
+def new_dv_path() -> str:
+    """Relative path for a fresh deletion-vector object."""
+    return f"{_DV_DIR}/{uuid.uuid4().hex}.json"
+
+
+def write_dv(
+    client: StorageClient, table_root: StoragePath, dv: DeletionVector
+) -> str:
+    """Persist a deletion vector; returns its table-relative path."""
+    relative = new_dv_path()
+    client.put(table_root.child(*relative.split("/")), dv.serialize())
+    return relative
+
+
+def read_dv(
+    client: StorageClient, table_root: StoragePath, relative: str
+) -> DeletionVector:
+    data = client.get(table_root.child(*relative.split("/")))
+    return DeletionVector.deserialize(data)

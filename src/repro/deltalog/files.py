@@ -1,0 +1,72 @@
+"""Data files: columnar JSON blobs with per-file statistics.
+
+The catalog never reads these (it is format-agnostic); engines read and
+write them through governed storage clients. The columnar layout is a
+stand-in for Parquet that preserves what matters to the reproduction:
+per-file row counts, sizes, and min/max statistics for data skipping.
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+
+from repro.cloudstore.client import StorageClient
+from repro.cloudstore.object_store import StoragePath
+from repro.deltalog.actions import AddFile, FileStats
+
+_DATA_DIR = "data"
+
+
+def new_data_path() -> str:
+    return f"{_DATA_DIR}/part-{uuid.uuid4().hex}.jsonc"
+
+
+def encode_rows(rows: list[dict]) -> bytes:
+    """Columnar encoding: one array per column, plus the column order."""
+    columns: list[str] = []
+    seen = set()
+    for row in rows:
+        for name in row:
+            if name not in seen:
+                seen.add(name)
+                columns.append(name)
+    data = {name: [row.get(name) for row in rows] for name in columns}
+    return json.dumps({"columns": columns, "data": data, "rows": len(rows)}).encode()
+
+
+def decode_rows(blob: bytes) -> list[dict]:
+    payload = json.loads(blob)
+    columns = payload["columns"]
+    count = payload["rows"]
+    data = payload["data"]
+    return [
+        {name: data[name][i] for name in columns}
+        for i in range(count)
+    ]
+
+
+def write_data_file(
+    client: StorageClient,
+    table_root: StoragePath,
+    rows: list[dict],
+    clustering_key: str | None = None,
+) -> AddFile:
+    """Write one data file and return its AddFile action (with stats)."""
+    relative = new_data_path()
+    blob = encode_rows(rows)
+    client.put(table_root.child(*relative.split("/")), blob)
+    return AddFile(
+        path=relative,
+        size=len(blob),
+        stats=FileStats.compute(rows),
+        clustering_key=clustering_key,
+    )
+
+
+def read_data_file(
+    client: StorageClient, table_root: StoragePath, add: AddFile
+) -> list[dict]:
+    """Read a data file's rows (deletion vectors applied by the caller)."""
+    blob = client.get(table_root.child(*add.path.split("/")))
+    return decode_rows(blob)

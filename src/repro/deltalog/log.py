@@ -1,0 +1,204 @@
+"""The transaction log: ordered JSON entries under ``_delta_log/``.
+
+Commit atomicity comes from the object store's put-if-absent: the writer
+of log entry N wins; any concurrent writer gets an
+:class:`~repro.errors.ConcurrentModificationError` and must rebase —
+exactly Delta Lake's optimistic concurrency over cloud-storage atomic
+operations (paper section 6.3).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cloudstore.client import StorageClient
+from repro.cloudstore.object_store import StoragePath
+from repro.deltalog.actions import (
+    Action,
+    AddFile,
+    CommitInfo,
+    Metadata,
+    Protocol,
+    RemoveFile,
+    action_from_dict,
+)
+from repro.errors import AlreadyExistsError, ConcurrentModificationError, NotFoundError
+
+_LOG_DIR = "_delta_log"
+_ENTRY_WIDTH = 20
+
+
+def _entry_name(version: int) -> str:
+    return f"{version:0{_ENTRY_WIDTH}d}.json"
+
+
+def _checkpoint_name(version: int) -> str:
+    return f"{version:0{_ENTRY_WIDTH}d}.checkpoint.json"
+
+
+@dataclass
+class LogSnapshot:
+    """Reconstructed table state as of one log version."""
+
+    version: int
+    metadata: Optional[Metadata]
+    protocol: Protocol
+    active_files: dict[str, AddFile]  # by relative path
+    tombstones: list[RemoveFile]
+
+    @property
+    def num_files(self) -> int:
+        return len(self.active_files)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(f.stats.num_records for f in self.active_files.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(f.size for f in self.active_files.values())
+
+
+class DeltaLog:
+    """Reads and writes one table's transaction log through a governed
+    storage client (all I/O presents the vended credential)."""
+
+    def __init__(self, client: StorageClient, table_root: StoragePath):
+        self._client = client
+        self._root = table_root
+
+    @property
+    def root(self) -> StoragePath:
+        return self._root
+
+    def _entry_path(self, version: int) -> StoragePath:
+        return self._root.child(_LOG_DIR, _entry_name(version))
+
+    def _checkpoint_path(self, version: int) -> StoragePath:
+        return self._root.child(_LOG_DIR, _checkpoint_name(version))
+
+    # -- version discovery ---------------------------------------------------
+
+    def latest_version(self) -> int:
+        """The highest committed version, or -1 for an empty log."""
+        entries = self._client.list(self._root.child(_LOG_DIR))
+        latest = -1
+        for meta in entries:
+            name = meta.path.key.rsplit("/", 1)[-1]
+            if name.endswith(".json") and not name.endswith(".checkpoint.json"):
+                latest = max(latest, int(name[:-5]))
+        return latest
+
+    def _latest_checkpoint(self, at_or_below: int) -> Optional[int]:
+        entries = self._client.list(self._root.child(_LOG_DIR))
+        best: Optional[int] = None
+        for meta in entries:
+            name = meta.path.key.rsplit("/", 1)[-1]
+            if name.endswith(".checkpoint.json"):
+                version = int(name.split(".")[0])
+                if version <= at_or_below and (best is None or version > best):
+                    best = version
+        return best
+
+    # -- commit --------------------------------------------------------------
+
+    def commit(self, version: int, actions: list[Action]) -> None:
+        """Atomically write log entry ``version``; lose the race, get a
+        concurrency error to rebase on."""
+        payload = "\n".join(json.dumps(action.to_dict()) for action in actions)
+        try:
+            self._client.put(
+                self._entry_path(version), payload.encode(), if_absent=True
+            )
+        except AlreadyExistsError:
+            raise ConcurrentModificationError(
+                f"log version {version} was committed concurrently"
+            )
+
+    def read_entry(self, version: int) -> list[Action]:
+        try:
+            data = self._client.get(self._entry_path(version))
+        except NotFoundError:
+            raise NotFoundError(f"no log entry for version {version}")
+        return [
+            action_from_dict(json.loads(line))
+            for line in data.decode().splitlines()
+            if line.strip()
+        ]
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self, version: Optional[int] = None) -> LogSnapshot:
+        """Reconstruct state at ``version`` (default: latest), starting
+        from the newest checkpoint at or below it."""
+        latest = self.latest_version()
+        if latest < 0:
+            raise NotFoundError(f"no delta log at {self._root.url()}")
+        target = latest if version is None else version
+        if target > latest:
+            raise NotFoundError(f"version {target} not committed (latest {latest})")
+
+        metadata: Optional[Metadata] = None
+        protocol = Protocol()
+        active: dict[str, AddFile] = {}
+        tombstones: list[RemoveFile] = []
+
+        start = 0
+        checkpoint = self._latest_checkpoint(target)
+        if checkpoint is not None:
+            state = json.loads(self._client.get(self._checkpoint_path(checkpoint)))
+            metadata = Metadata.from_dict(state["metaData"]) if state.get("metaData") else None
+            protocol = Protocol.from_dict(state.get("protocol", {}))
+            active = {
+                f["path"]: AddFile.from_dict(f) for f in state.get("addFiles", ())
+            }
+            tombstones = [RemoveFile.from_dict(r) for r in state.get("tombstones", ())]
+            start = checkpoint + 1
+
+        for v in range(start, target + 1):
+            for action in self.read_entry(v):
+                if isinstance(action, AddFile):
+                    active[action.path] = action
+                elif isinstance(action, RemoveFile):
+                    active.pop(action.path, None)
+                    tombstones.append(action)
+                elif isinstance(action, Metadata):
+                    metadata = action
+                elif isinstance(action, Protocol):
+                    protocol = action
+        return LogSnapshot(
+            version=target,
+            metadata=metadata,
+            protocol=protocol,
+            active_files=active,
+            tombstones=tombstones,
+        )
+
+    # -- checkpoints -----------------------------------------------------------
+
+    def write_checkpoint(self, version: Optional[int] = None) -> int:
+        """Materialize state at ``version`` into a checkpoint object."""
+        snapshot = self.snapshot(version)
+        state = {
+            "metaData": snapshot.metadata.to_dict()["metaData"] if snapshot.metadata else None,
+            "protocol": snapshot.protocol.to_dict()["protocol"],
+            "addFiles": [f.to_dict()["add"] for f in snapshot.active_files.values()],
+            "tombstones": [r.to_dict()["remove"] for r in snapshot.tombstones],
+        }
+        self._client.put(
+            self._checkpoint_path(snapshot.version), json.dumps(state).encode()
+        )
+        return snapshot.version
+
+    # -- history ---------------------------------------------------------------
+
+    def history(self) -> list[tuple[int, CommitInfo]]:
+        """(version, commit info) pairs for every committed version."""
+        out = []
+        for version in range(self.latest_version() + 1):
+            for action in self.read_entry(version):
+                if isinstance(action, CommitInfo):
+                    out.append((version, action))
+        return out

@@ -1,0 +1,410 @@
+"""DeltaTable: the engine-facing API over one table's log and data files.
+
+All storage I/O flows through a governed :class:`StorageClient`, so a
+table handle is only as capable as the credential the catalog vended —
+scoped to this table's path and access level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.clock import Clock, WallClock
+from repro.cloudstore.client import StorageClient
+from repro.cloudstore.object_store import StoragePath
+from repro.deltalog.actions import (
+    Action,
+    AddFile,
+    CommitInfo,
+    Metadata,
+    Protocol,
+    RemoveFile,
+)
+from repro.deltalog.deletion_vectors import DeletionVector, read_dv, write_dv
+from repro.deltalog.files import read_data_file, write_data_file
+from repro.deltalog.log import DeltaLog, LogSnapshot
+from repro.errors import ConcurrentModificationError, InvalidRequestError
+
+#: (column, operator, value) predicates supported by the scan pushdown.
+Filter = tuple[str, str, object]
+
+_OPS: dict[str, Callable[[object, object], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass
+class ScanMetrics:
+    """Observability for one scan — the figures behind Figure 10(c)."""
+
+    files_total: int = 0
+    files_scanned: int = 0
+    files_skipped: int = 0
+    rows_scanned: int = 0
+    rows_returned: int = 0
+    bytes_scanned: int = 0
+
+
+def _row_matches(row: dict, filters: list[Filter]) -> bool:
+    for column, op, value in filters:
+        actual = row.get(column)
+        if actual is None or not _OPS[op](actual, value):
+            return False
+    return True
+
+
+def _file_may_match(add: AddFile, filters: list[Filter]) -> bool:
+    """Data skipping: can this file possibly contain matching rows?"""
+    for column, op, value in filters:
+        lo = add.stats.min_values.get(column)
+        hi = add.stats.max_values.get(column)
+        if lo is None or hi is None:
+            continue  # no stats for the column: cannot skip
+        try:
+            if op == "=" and (value < lo or value > hi):
+                return False
+            if op == "<" and lo >= value:
+                return False
+            if op == "<=" and lo > value:
+                return False
+            if op == ">" and hi <= value:
+                return False
+            if op == ">=" and hi < value:
+                return False
+        except TypeError:
+            continue  # incomparable types: cannot skip
+    return True
+
+
+class DeltaTable:
+    """Read/write handle for one Delta-style table."""
+
+    def __init__(
+        self,
+        client: StorageClient,
+        table_root: StoragePath,
+        clock: Optional[Clock] = None,
+        engine: str = "repro",
+    ):
+        self._client = client
+        self._root = table_root
+        self._log = DeltaLog(client, table_root)
+        self._clock = clock or WallClock()
+        self._engine = engine
+
+    @property
+    def log(self) -> DeltaLog:
+        return self._log
+
+    @property
+    def root(self) -> StoragePath:
+        return self._root
+
+    # -- creation ------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        client: StorageClient,
+        table_root: StoragePath,
+        table_id: str,
+        schema: list[dict],
+        partition_columns: tuple[str, ...] = (),
+        clock: Optional[Clock] = None,
+        engine: str = "repro",
+    ) -> "DeltaTable":
+        """Initialize an empty table (log version 0)."""
+        table = cls(client, table_root, clock=clock, engine=engine)
+        actions: list[Action] = [
+            Protocol(),
+            Metadata(
+                table_id=table_id,
+                schema=schema,
+                partition_columns=partition_columns,
+            ),
+            CommitInfo(
+                operation="CREATE TABLE",
+                timestamp=table._clock.now(),
+                engine=engine,
+            ),
+        ]
+        table._log.commit(0, actions)
+        return table
+
+    # -- commit plumbing --------------------------------------------------------
+
+    def _commit_with_retry(
+        self,
+        build: Callable[[LogSnapshot], list[Action]],
+        operation: str,
+        *,
+        retries: int = 8,
+        details: Optional[dict] = None,
+    ) -> int:
+        """Optimistic commit: rebuild actions against the latest snapshot
+        until the put-if-absent of the next log entry wins."""
+        for _ in range(retries):
+            snapshot = self._log.snapshot()
+            actions = build(snapshot)
+            actions.append(
+                CommitInfo(
+                    operation=operation,
+                    timestamp=self._clock.now(),
+                    engine=self._engine,
+                    details=details or {},
+                )
+            )
+            try:
+                self._log.commit(snapshot.version + 1, actions)
+                return snapshot.version + 1
+            except ConcurrentModificationError:
+                continue
+        raise ConcurrentModificationError(
+            f"{operation} kept losing commit races on {self._root.url()}"
+        )
+
+    # -- reads ------------------------------------------------------------------
+
+    def snapshot(self, version: Optional[int] = None) -> LogSnapshot:
+        return self._log.snapshot(version)
+
+    def schema(self) -> list[dict]:
+        metadata = self._log.snapshot().metadata
+        return list(metadata.schema) if metadata else []
+
+    def version(self) -> int:
+        return self._log.latest_version()
+
+    def scan(
+        self,
+        filters: Optional[list[Filter]] = None,
+        version: Optional[int] = None,
+        metrics: Optional[ScanMetrics] = None,
+    ) -> Iterator[dict]:
+        """Scan rows, using file statistics to skip irrelevant files and
+        deletion vectors to drop deleted rows."""
+        filters = filters or []
+        snapshot = self._log.snapshot(version)
+        if metrics is not None:
+            metrics.files_total += snapshot.num_files
+        for add in snapshot.active_files.values():
+            if filters and not _file_may_match(add, filters):
+                if metrics is not None:
+                    metrics.files_skipped += 1
+                continue
+            rows = read_data_file(self._client, self._root, add)
+            dv: Optional[DeletionVector] = None
+            if add.deletion_vector:
+                dv = read_dv(self._client, self._root, add.deletion_vector)
+            if metrics is not None:
+                metrics.files_scanned += 1
+                metrics.rows_scanned += len(rows)
+                metrics.bytes_scanned += add.size
+            for ordinal, row in enumerate(rows):
+                if dv is not None and ordinal in dv:
+                    continue
+                if _row_matches(row, filters):
+                    if metrics is not None:
+                        metrics.rows_returned += 1
+                    yield row
+
+    def read_all(self, filters: Optional[list[Filter]] = None) -> list[dict]:
+        return list(self.scan(filters))
+
+    def row_count(self) -> int:
+        """Live rows (file stats minus deletion-vector cardinality)."""
+        snapshot = self._log.snapshot()
+        total = 0
+        for add in snapshot.active_files.values():
+            total += add.stats.num_records
+            if add.deletion_vector:
+                total -= len(read_dv(self._client, self._root, add.deletion_vector))
+        return total
+
+    # -- writes -----------------------------------------------------------------
+
+    def append(self, rows: list[dict], max_rows_per_file: Optional[int] = None) -> int:
+        """Append rows, splitting into files of at most ``max_rows_per_file``."""
+        if not rows:
+            raise InvalidRequestError("nothing to append")
+        batches = self._split(rows, max_rows_per_file)
+        adds = [write_data_file(self._client, self._root, batch) for batch in batches]
+
+        def build(snapshot: LogSnapshot) -> list[Action]:
+            return list(adds)
+
+        return self._commit_with_retry(build, "WRITE",
+                                       details={"mode": "append", "rows": len(rows)})
+
+    def overwrite(self, rows: list[dict], max_rows_per_file: Optional[int] = None) -> int:
+        """Replace the table's contents atomically."""
+        batches = self._split(rows, max_rows_per_file) if rows else []
+        adds = [write_data_file(self._client, self._root, batch) for batch in batches]
+
+        def build(snapshot: LogSnapshot) -> list[Action]:
+            now = self._clock.now()
+            removes: list[Action] = [
+                RemoveFile(path=path, deletion_timestamp=now)
+                for path in snapshot.active_files
+            ]
+            return removes + list(adds)
+
+        return self._commit_with_retry(build, "WRITE",
+                                       details={"mode": "overwrite", "rows": len(rows)})
+
+    @staticmethod
+    def _split(rows: list[dict], max_rows_per_file: Optional[int]) -> list[list[dict]]:
+        if max_rows_per_file is None or max_rows_per_file >= len(rows):
+            return [rows]
+        if max_rows_per_file <= 0:
+            raise InvalidRequestError("max_rows_per_file must be positive")
+        return [
+            rows[i:i + max_rows_per_file]
+            for i in range(0, len(rows), max_rows_per_file)
+        ]
+
+    def delete_where(self, filters: list[Filter]) -> int:
+        """Delete matching rows using deletion vectors; fully-dead files
+        are removed outright. Returns the number of rows deleted."""
+        deleted_total = 0
+
+        def build(snapshot: LogSnapshot) -> list[Action]:
+            nonlocal deleted_total
+            deleted_total = 0
+            actions: list[Action] = []
+            now = self._clock.now()
+            for add in snapshot.active_files.values():
+                if filters and not _file_may_match(add, filters):
+                    continue
+                rows = read_data_file(self._client, self._root, add)
+                existing_dv = (
+                    read_dv(self._client, self._root, add.deletion_vector)
+                    if add.deletion_vector
+                    else DeletionVector(set())
+                )
+                newly_dead = {
+                    ordinal
+                    for ordinal, row in enumerate(rows)
+                    if ordinal not in existing_dv and _row_matches(row, filters)
+                }
+                if not newly_dead:
+                    continue
+                deleted_total += len(newly_dead)
+                merged = existing_dv.union(DeletionVector(newly_dead))
+                if len(merged) >= len(rows):
+                    actions.append(RemoveFile(path=add.path, deletion_timestamp=now))
+                else:
+                    dv_path = write_dv(self._client, self._root, merged)
+                    actions.append(RemoveFile(path=add.path, deletion_timestamp=now))
+                    actions.append(
+                        AddFile(
+                            path=add.path,
+                            size=add.size,
+                            stats=add.stats,
+                            partition_values=add.partition_values,
+                            deletion_vector=dv_path,
+                            clustering_key=add.clustering_key,
+                        )
+                    )
+            return actions
+
+        self._commit_with_retry(build, "DELETE")
+        return deleted_total
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def optimize(
+        self,
+        target_rows_per_file: int,
+        cluster_by: Optional[str] = None,
+    ) -> int:
+        """Compact files to ``target_rows_per_file``; with ``cluster_by``,
+        rows are globally sorted by that column first, giving each output
+        file a tight min/max range (the layout predictive optimization
+        produces). Returns the new log version."""
+        if target_rows_per_file <= 0:
+            raise InvalidRequestError("target_rows_per_file must be positive")
+
+        def build(snapshot: LogSnapshot) -> list[Action]:
+            all_rows: list[dict] = []
+            now = self._clock.now()
+            removes: list[Action] = []
+            for add in snapshot.active_files.values():
+                rows = read_data_file(self._client, self._root, add)
+                dv = (
+                    read_dv(self._client, self._root, add.deletion_vector)
+                    if add.deletion_vector
+                    else None
+                )
+                for ordinal, row in enumerate(rows):
+                    if dv is None or ordinal not in dv:
+                        all_rows.append(row)
+                removes.append(RemoveFile(path=add.path, deletion_timestamp=now))
+            if cluster_by is not None:
+                all_rows.sort(key=lambda r: (r.get(cluster_by) is None,
+                                             r.get(cluster_by)))
+            adds: list[Action] = []
+            for i in range(0, len(all_rows), target_rows_per_file):
+                batch = all_rows[i:i + target_rows_per_file]
+                adds.append(
+                    write_data_file(
+                        self._client, self._root, batch, clustering_key=cluster_by
+                    )
+                )
+            return removes + adds
+
+        return self._commit_with_retry(
+            build, "OPTIMIZE",
+            details={"clusterBy": cluster_by, "targetRows": target_rows_per_file},
+        )
+
+    def vacuum(self, retention_seconds: float = 0.0) -> int:
+        """Physically delete tombstoned files older than the retention
+        window; returns bytes reclaimed."""
+        snapshot = self._log.snapshot()
+        cutoff = self._clock.now() - retention_seconds
+        reclaimed = 0
+        for tombstone in snapshot.tombstones:
+            if tombstone.deletion_timestamp > cutoff:
+                continue
+            if tombstone.path in snapshot.active_files:
+                continue  # re-added (e.g. DV rewrite)
+            path = self._root.child(*tombstone.path.split("/"))
+            if self._client.exists(path):
+                reclaimed += self._client.head(path).size
+                self._client.delete(path)
+        return reclaimed
+
+    def restore(self, version: int) -> int:
+        """RESTORE TABLE: make the current state equal an earlier version
+        (a new commit — history is preserved, nothing is rewritten)."""
+        target = self._log.snapshot(version)
+
+        def build(snapshot: LogSnapshot) -> list[Action]:
+            now = self._clock.now()
+            actions: list[Action] = []
+            for path in snapshot.active_files:
+                if path not in target.active_files:
+                    actions.append(RemoveFile(path=path, deletion_timestamp=now))
+            for path, add in target.active_files.items():
+                if path not in snapshot.active_files or (
+                    snapshot.active_files[path] != add
+                ):
+                    actions.append(add)
+            return actions
+
+        return self._commit_with_retry(build, "RESTORE",
+                                       details={"toVersion": version})
+
+    def checkpoint(self) -> int:
+        return self._log.write_checkpoint()
+
+    def storage_bytes(self) -> int:
+        """All bytes currently stored under the table root (live + garbage)."""
+        return sum(meta.size for meta in self._client.list(self._root))

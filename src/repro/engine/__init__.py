@@ -1,0 +1,24 @@
+"""The SQL engine substrate.
+
+A compact SQL engine that plays the role of the Databricks Runtime in the
+paper's "life of a SQL query" (section 3.4): it parses queries, finds
+securable references, fetches metadata + authorization + FGAC rules +
+credentials from Unity Catalog in one batched call, executes over the
+Delta substrate through governed storage clients, enforces FGAC when
+trusted, reports lineage, and delegates to the data-filtering service
+when untrusted.
+"""
+
+from repro.engine.expressions import EvalContext, compile_expression
+from repro.engine.parser import parse_sql
+from repro.engine.session import EngineSession, QueryResult
+from repro.engine.filtering_service import DataFilteringService
+
+__all__ = [
+    "DataFilteringService",
+    "EngineSession",
+    "EvalContext",
+    "QueryResult",
+    "compile_expression",
+    "parse_sql",
+]

@@ -1,0 +1,519 @@
+"""SQL statement parser.
+
+Covers the dialect the reproduction's workloads need: SELECT with joins,
+aggregates, grouping, ordering and limits; INSERT (VALUES and
+INSERT-SELECT); CREATE TABLE / CREATE VIEW; UPDATE / DELETE; DROP;
+GRANT / REVOKE; SHOW; DESCRIBE. The parser's only catalog-relevant job is
+to surface every securable reference so the session can resolve them in
+one batched Unity Catalog call (paper section 3.4, step 1).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.engine.expressions import Expr, _Token, _tokenize, parse_prefix
+from repro.errors import InvalidRequestError
+
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+_SECURABLE_KINDS = {"TABLE", "VIEW", "SCHEMA", "CATALOG", "VOLUME", "FUNCTION", "MODEL"}
+
+
+# -- statement AST -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+    #: time travel: read the table as of this log version
+    version: Optional[int] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name.rsplit(".", 1)[-1]
+
+
+@dataclass(frozen=True)
+class Join:
+    table: TableRef
+    left_column: str
+    right_column: str
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection: ``*``, an expression, or an aggregate call."""
+
+    star: bool = False
+    expr: Optional[Expr] = None
+    aggregate: Optional[str] = None  # COUNT/SUM/...
+    aggregate_arg: Optional[Expr] = None  # None for COUNT(*)
+    alias: Optional[str] = None
+
+    def output_name(self, default: str) -> str:
+        if self.alias:
+            return self.alias
+        if self.aggregate:
+            return self.aggregate.lower()
+        return default
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    items: tuple[SelectItem, ...]
+    table: TableRef
+    joins: tuple[Join, ...] = ()
+    where: Optional[Expr] = None
+    group_by: tuple[str, ...] = ()
+    order_by: tuple[tuple[str, bool], ...] = ()  # (column, descending)
+    limit: Optional[int] = None
+    distinct: bool = False
+
+    def table_names(self) -> list[str]:
+        return [self.table.name] + [j.table.name for j in self.joins]
+
+
+@dataclass(frozen=True)
+class InsertStmt:
+    table: str
+    columns: Optional[tuple[str, ...]]
+    rows: Optional[tuple[tuple[Any, ...], ...]] = None
+    select: Optional[SelectStmt] = None
+
+
+@dataclass(frozen=True)
+class CreateTableStmt:
+    name: str
+    columns: tuple[tuple[str, str], ...] = ()
+    format: str = "DELTA"
+    location: Optional[str] = None
+    if_not_exists: bool = False
+    #: CTAS: populate from this select (columns inferred from its output)
+    as_select: Optional[SelectStmt] = None
+
+
+@dataclass(frozen=True)
+class CreateViewStmt:
+    name: str
+    select: SelectStmt
+    definition_sql: str
+
+
+@dataclass(frozen=True)
+class UpdateStmt:
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class DeleteStmt:
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class DropStmt:
+    kind: str  # TABLE or VIEW
+    name: str
+
+
+@dataclass(frozen=True)
+class GrantStmt:
+    privilege: str
+    securable_kind: str
+    securable_name: str
+    grantee: str
+    revoke: bool = False
+
+
+@dataclass(frozen=True)
+class ShowStmt:
+    what: str  # CATALOGS | SCHEMAS | TABLES
+    container: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class DescribeStmt:
+    name: str
+
+
+Statement = (
+    SelectStmt | InsertStmt | CreateTableStmt | CreateViewStmt | UpdateStmt
+    | DeleteStmt | DropStmt | GrantStmt | ShowStmt | DescribeStmt
+)
+
+
+# -- parser --------------------------------------------------------------------
+
+class _SqlParser:
+    def __init__(self, sql: str):
+        self._sql = sql
+        self._tokens = _tokenize(sql.rstrip().rstrip(";"))
+        self._pos = 0
+
+    # token helpers ------------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Optional[_Token]:
+        index = self._pos + ahead
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise InvalidRequestError("unexpected end of statement")
+        self._pos += 1
+        return token
+
+    def _at_word(self, *words: str) -> bool:
+        token = self._peek()
+        return (
+            token is not None
+            and token.kind in ("name", "keyword")
+            and token.text.upper() in words
+        )
+
+    def _accept_word(self, *words: str) -> Optional[str]:
+        if self._at_word(*words):
+            return self._next().text.upper()
+        return None
+
+    def _expect_word(self, *words: str) -> str:
+        got = self._accept_word(*words)
+        if got is None:
+            actual = self._peek()
+            raise InvalidRequestError(
+                f"expected {'/'.join(words)}, got "
+                f"{actual.text if actual else 'end of statement'!r}"
+            )
+        return got
+
+    def _accept_op(self, text: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.text == text:
+            self._pos += 1
+            return True
+        return False
+
+    def _expect_op(self, text: str) -> None:
+        if not self._accept_op(text):
+            actual = self._peek()
+            raise InvalidRequestError(
+                f"expected {text!r}, got {actual.text if actual else 'end'!r}"
+            )
+
+    def _identifier(self) -> str:
+        token = self._next()
+        if token.kind not in ("name", "keyword"):
+            raise InvalidRequestError(f"expected identifier, got {token.text!r}")
+        return token.text
+
+    def _qualified_name(self) -> str:
+        parts = [self._identifier()]
+        while self._accept_op("."):
+            parts.append(self._identifier())
+        return ".".join(parts)
+
+    def _expression(self) -> Expr:
+        expr, self._pos = parse_prefix(self._tokens, self._pos)
+        return expr
+
+    def _literal(self) -> Any:
+        token = self._next()
+        if token.kind == "number":
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "string":
+            return token.text[1:-1].replace("''", "'")
+        if token.kind == "keyword" and token.text in ("TRUE", "FALSE"):
+            return token.text == "TRUE"
+        if token.kind == "keyword" and token.text == "NULL":
+            return None
+        if token.kind == "op" and token.text == "-":
+            return -self._literal()
+        raise InvalidRequestError(f"expected a literal, got {token.text!r}")
+
+    def _end(self) -> None:
+        token = self._peek()
+        if token is not None:
+            raise InvalidRequestError(f"trailing input: {token.text!r}")
+
+    # statements ------------------------------------------------------------------
+
+    def parse(self) -> Statement:
+        word = self._expect_word(
+            "SELECT", "INSERT", "CREATE", "UPDATE", "DELETE", "DROP", "GRANT",
+            "REVOKE", "SHOW", "DESCRIBE", "DESC",
+        )
+        if word == "SELECT":
+            statement = self._select(consumed_select=True)
+        elif word == "INSERT":
+            statement = self._insert()
+        elif word == "CREATE":
+            statement = self._create()
+        elif word == "UPDATE":
+            statement = self._update()
+        elif word == "DELETE":
+            statement = self._delete()
+        elif word == "DROP":
+            statement = self._drop()
+        elif word in ("GRANT", "REVOKE"):
+            statement = self._grant(revoke=word == "REVOKE")
+        elif word == "SHOW":
+            statement = self._show()
+        else:
+            statement = DescribeStmt(name=self._qualified_name())
+        self._end()
+        return statement
+
+    def _select(self, consumed_select: bool = False) -> SelectStmt:
+        if not consumed_select:
+            self._expect_word("SELECT")
+        distinct = self._accept_word("DISTINCT") is not None
+        items = [self._select_item()]
+        while self._accept_op(","):
+            items.append(self._select_item())
+        self._expect_word("FROM")
+        table = self._table_ref()
+        joins: list[Join] = []
+        while self._accept_word("JOIN"):
+            join_table = self._table_ref()
+            self._expect_word("ON")
+            left = self._qualified_name()
+            self._expect_op("=")
+            right = self._qualified_name()
+            joins.append(
+                Join(join_table, left_column=left, right_column=right)
+            )
+        where = None
+        if self._accept_word("WHERE"):
+            where = self._expression()
+        group_by: list[str] = []
+        if self._accept_word("GROUP"):
+            self._expect_word("BY")
+            group_by.append(self._qualified_name())
+            while self._accept_op(","):
+                group_by.append(self._qualified_name())
+        order_by: list[tuple[str, bool]] = []
+        if self._accept_word("ORDER"):
+            self._expect_word("BY")
+            while True:
+                column = self._qualified_name()
+                descending = False
+                if self._accept_word("DESC"):
+                    descending = True
+                else:
+                    self._accept_word("ASC")
+                order_by.append((column, descending))
+                if not self._accept_op(","):
+                    break
+        limit = None
+        if self._accept_word("LIMIT"):
+            value = self._literal()
+            if not isinstance(value, int):
+                raise InvalidRequestError("LIMIT takes an integer")
+            limit = value
+        return SelectStmt(
+            items=tuple(items),
+            table=table,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _select_item(self) -> SelectItem:
+        if self._accept_op("*"):
+            return SelectItem(star=True)
+        token = self._peek()
+        if (
+            token is not None
+            and token.kind == "name"
+            and token.text.upper() in _AGGREGATES
+        ):
+            after = self._peek(1)
+            if after is not None and after.kind == "op" and after.text == "(":
+                aggregate = self._next().text.upper()
+                self._expect_op("(")
+                arg: Optional[Expr] = None
+                if not self._accept_op("*"):
+                    arg = self._expression()
+                self._expect_op(")")
+                alias = self._alias()
+                return SelectItem(aggregate=aggregate, aggregate_arg=arg, alias=alias)
+        expr = self._expression()
+        alias = self._alias()
+        return SelectItem(expr=expr, alias=alias)
+
+    def _alias(self) -> Optional[str]:
+        if self._accept_word("AS"):
+            return self._identifier()
+        return None
+
+    def _table_ref(self) -> TableRef:
+        name = self._qualified_name()
+        version = None
+        if self._accept_word("VERSION"):
+            self._expect_word("AS")
+            self._expect_word("OF")
+            value = self._literal()
+            if not isinstance(value, int):
+                raise InvalidRequestError("VERSION AS OF takes an integer")
+            version = value
+        alias = None
+        if self._accept_word("AS"):
+            alias = self._identifier()
+        elif (
+            self._peek() is not None
+            and self._peek().kind == "name"
+            and not self._at_word(
+                "JOIN", "WHERE", "GROUP", "ORDER", "LIMIT", "ON", "VERSION"
+            )
+        ):
+            alias = self._identifier()
+        return TableRef(name=name, alias=alias, version=version)
+
+    def _insert(self) -> InsertStmt:
+        self._expect_word("INTO")
+        table = self._qualified_name()
+        columns: Optional[tuple[str, ...]] = None
+        if self._accept_op("("):
+            names = [self._identifier()]
+            while self._accept_op(","):
+                names.append(self._identifier())
+            self._expect_op(")")
+            columns = tuple(names)
+        if self._accept_word("VALUES"):
+            rows: list[tuple[Any, ...]] = []
+            while True:
+                self._expect_op("(")
+                values = [self._literal()]
+                while self._accept_op(","):
+                    values.append(self._literal())
+                self._expect_op(")")
+                rows.append(tuple(values))
+                if not self._accept_op(","):
+                    break
+            return InsertStmt(table=table, columns=columns, rows=tuple(rows))
+        select = self._select()
+        return InsertStmt(table=table, columns=columns, select=select)
+
+    def _create(self) -> Statement:
+        kind = self._expect_word("TABLE", "VIEW")
+        if kind == "VIEW":
+            name = self._qualified_name()
+            self._expect_word("AS")
+            definition = _definition_after_as(self._sql)
+            select = self._select()
+            return CreateViewStmt(name=name, select=select, definition_sql=definition)
+        if_not_exists = False
+        if self._accept_word("IF"):
+            self._expect_word("NOT")
+            self._expect_word("EXISTS")
+            if_not_exists = True
+        name = self._qualified_name()
+        if self._accept_word("AS"):
+            return CreateTableStmt(
+                name=name, as_select=self._select(),
+                if_not_exists=if_not_exists,
+            )
+        self._expect_op("(")
+        columns = [(self._identifier(), self._identifier().upper())]
+        while self._accept_op(","):
+            columns.append((self._identifier(), self._identifier().upper()))
+        self._expect_op(")")
+        fmt = "DELTA"
+        if self._accept_word("USING"):
+            fmt = self._identifier().upper()
+        location = None
+        if self._accept_word("LOCATION"):
+            value = self._literal()
+            if not isinstance(value, str):
+                raise InvalidRequestError("LOCATION takes a string literal")
+            location = value
+        return CreateTableStmt(
+            name=name,
+            columns=tuple(columns),
+            format=fmt,
+            location=location,
+            if_not_exists=if_not_exists,
+        )
+
+    def _update(self) -> UpdateStmt:
+        table = self._qualified_name()
+        self._expect_word("SET")
+        assignments = [self._assignment()]
+        while self._accept_op(","):
+            assignments.append(self._assignment())
+        where = None
+        if self._accept_word("WHERE"):
+            where = self._expression()
+        return UpdateStmt(table=table, assignments=tuple(assignments), where=where)
+
+    def _assignment(self) -> tuple[str, Expr]:
+        column = self._identifier()
+        self._expect_op("=")
+        return column, self._expression()
+
+    def _delete(self) -> DeleteStmt:
+        self._expect_word("FROM")
+        table = self._qualified_name()
+        where = None
+        if self._accept_word("WHERE"):
+            where = self._expression()
+        return DeleteStmt(table=table, where=where)
+
+    def _drop(self) -> DropStmt:
+        kind = self._expect_word("TABLE", "VIEW")
+        return DropStmt(kind=kind, name=self._qualified_name())
+
+    def _grant(self, revoke: bool) -> GrantStmt:
+        words = [self._identifier()]
+        while not self._at_word("ON"):
+            words.append(self._identifier())
+        privilege = " ".join(w.upper() for w in words)
+        self._expect_word("ON")
+        kind = self._expect_word(*_SECURABLE_KINDS)
+        name = self._qualified_name()
+        self._expect_word("FROM" if revoke else "TO")
+        token = self._next()
+        if token.kind == "string":
+            grantee = token.text[1:-1]
+        elif token.kind in ("name", "keyword"):
+            grantee = token.text
+        else:
+            raise InvalidRequestError(f"expected principal, got {token.text!r}")
+        return GrantStmt(
+            privilege=privilege,
+            securable_kind=kind,
+            securable_name=name,
+            grantee=grantee,
+            revoke=revoke,
+        )
+
+    def _show(self) -> ShowStmt:
+        what = self._expect_word("CATALOGS", "SCHEMAS", "TABLES")
+        container = None
+        if what != "CATALOGS":
+            self._expect_word("IN")
+            container = self._qualified_name()
+        return ShowStmt(what=what, container=container)
+
+
+def _definition_after_as(sql: str) -> str:
+    """The raw SELECT text after the first top-level AS of a CREATE VIEW."""
+    match = re.search(r"\bAS\b", sql, re.IGNORECASE)
+    if match is None:
+        raise InvalidRequestError("CREATE VIEW needs AS <select>")
+    return sql[match.end():].strip().rstrip(";")
+
+
+def parse_sql(sql: str) -> Statement:
+    """Parse one SQL statement."""
+    if not sql or not sql.strip():
+        raise InvalidRequestError("empty statement")
+    return _SqlParser(sql).parse()

@@ -1,0 +1,796 @@
+"""EngineSession: the life of a SQL query (paper section 3.4).
+
+One session = one authenticated user on one engine. For every statement
+the session (1) parses and collects securable references, (2) fetches
+metadata, authorization results, FGAC rules and storage credentials from
+Unity Catalog in a single batched call, (3) plans and executes over the
+Delta substrate using only the vended, downscoped credentials,
+(4) enforces FGAC when the engine is trusted — or transparently delegates
+to the data-filtering service when it is not — and (5) reports lineage
+back to the catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.clock import Clock, WallClock
+from repro.cloudstore.client import StorageClient
+from repro.cloudstore.object_store import StoragePath
+from repro.cloudstore.sts import AccessLevel
+from repro.core.auth.fgac import FgacRuleSet
+from repro.core.auth.privileges import Privilege
+from repro.core.model.entity import SecurableKind
+from repro.core.service.batch import QueryResolution, ResolvedAsset
+from repro.deltalog.table import DeltaTable, Filter, ScanMetrics
+from repro.engine.expressions import (
+    Binary,
+    Column,
+    EvalContext,
+    Expr,
+    Literal,
+    compile_expression,
+)
+from repro.engine.parser import (
+    CreateTableStmt,
+    CreateViewStmt,
+    DeleteStmt,
+    DescribeStmt,
+    DropStmt,
+    GrantStmt,
+    InsertStmt,
+    SelectItem,
+    SelectStmt,
+    ShowStmt,
+    Statement,
+    TableRef,
+    UpdateStmt,
+    parse_sql,
+)
+from repro.errors import (
+    FederationError,
+    InvalidRequestError,
+    NotFoundError,
+    UntrustedEngineError,
+)
+
+_KIND_MAP = {
+    "TABLE": SecurableKind.TABLE,
+    "VIEW": SecurableKind.TABLE,
+    "SCHEMA": SecurableKind.SCHEMA,
+    "CATALOG": SecurableKind.CATALOG,
+    "VOLUME": SecurableKind.VOLUME,
+    "FUNCTION": SecurableKind.FUNCTION,
+    "MODEL": SecurableKind.REGISTERED_MODEL,
+}
+
+
+@dataclass
+class QueryResult:
+    """The engine's answer to one statement."""
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[dict] = field(default_factory=list)
+    rowcount: int = 0
+    message: str = ""
+    scan_metrics: Optional[ScanMetrics] = None
+
+
+def _truthy(value: Any) -> bool:
+    return value is not None and bool(value)
+
+
+class EngineSession:
+    """A user session on one engine, bound to one metastore."""
+
+    def __init__(
+        self,
+        catalog,
+        metastore_id: str,
+        principal: str,
+        *,
+        engine_name: str = "repro-dbr",
+        trusted: bool = False,
+        clock: Optional[Clock] = None,
+        filtering_service=None,
+        foreign_reader: Optional[Callable[[ResolvedAsset], list[dict]]] = None,
+        report_lineage: bool = True,
+        workspace: Optional[str] = None,
+        metadata_cache_ttl: Optional[float] = None,
+    ):
+        """``metadata_cache_ttl`` enables the client-pushed metadata cache
+        (paper section 4.5: "these caches can be pushed to clients to
+        further reduce latency for frequently accessed metadata"; engines
+        may reuse vended credentials "across successive queries"). Cached
+        resolutions are reused until the TTL lapses or any contained
+        credential nears expiry."""
+        self._catalog = catalog
+        self._metastore_id = metastore_id
+        self._principal = principal
+        self._engine_name = engine_name
+        self._trusted = trusted
+        self._clock = clock or getattr(catalog, "clock", None) or WallClock()
+        self._filtering_service = filtering_service
+        self._foreign_reader = foreign_reader
+        self._report_lineage = report_lineage
+        self._workspace = workspace
+        self._resolution_cache = None
+        if metadata_cache_ttl is not None:
+            from repro.core.cache.ttl import TtlCache
+
+            self._resolution_cache = TtlCache(
+                ttl_seconds=metadata_cache_ttl, clock=self._clock
+            )
+        self.resolve_calls = 0
+        self._current_catalog: Optional[str] = None
+        self._current_schema: Optional[str] = None
+        groups = (
+            catalog.directory.expand(principal)
+            if catalog.directory.exists(principal)
+            else frozenset({principal})
+        )
+        self._ctx = EvalContext(principal=principal, groups=groups)
+        self.last_scan_metrics: Optional[ScanMetrics] = None
+
+    @property
+    def principal(self) -> str:
+        return self._principal
+
+    # -- name handling -----------------------------------------------------
+
+    def use(self, catalog: Optional[str] = None, schema: Optional[str] = None) -> None:
+        """Set session defaults for relative table names."""
+        if catalog is not None:
+            self._current_catalog = catalog
+        if schema is not None:
+            self._current_schema = schema
+
+    def _qualify(self, name: str) -> str:
+        parts = name.split(".")
+        if len(parts) >= 3:
+            return name
+        if len(parts) == 2 and self._current_catalog:
+            return f"{self._current_catalog}.{name}"
+        if len(parts) == 1 and self._current_catalog and self._current_schema:
+            return f"{self._current_catalog}.{self._current_schema}.{name}"
+        raise InvalidRequestError(
+            f"cannot qualify {name!r}: set session catalog/schema via use()"
+        )
+
+    # -- entry point ------------------------------------------------------------
+
+    def sql(self, text: str) -> QueryResult:
+        """Parse and execute one statement."""
+        statement = parse_sql(text)
+        try:
+            return self._execute(statement, text)
+        except UntrustedEngineError:
+            if self._filtering_service is not None and not self._trusted:
+                # paper 4.3.2: untrusted engines delegate FGAC queries to
+                # the data filtering service
+                return self._filtering_service.execute(self._principal, text)
+            raise
+
+    def _execute(self, statement: Statement, text: str) -> QueryResult:
+        if isinstance(statement, SelectStmt):
+            return self._execute_select(statement)
+        if isinstance(statement, InsertStmt):
+            return self._execute_insert(statement)
+        if isinstance(statement, CreateTableStmt):
+            return self._execute_create_table(statement)
+        if isinstance(statement, CreateViewStmt):
+            return self._execute_create_view(statement)
+        if isinstance(statement, UpdateStmt):
+            return self._execute_update(statement)
+        if isinstance(statement, DeleteStmt):
+            return self._execute_delete(statement)
+        if isinstance(statement, DropStmt):
+            return self._execute_drop(statement)
+        if isinstance(statement, GrantStmt):
+            return self._execute_grant(statement)
+        if isinstance(statement, ShowStmt):
+            return self._execute_show(statement)
+        if isinstance(statement, DescribeStmt):
+            return self._execute_describe(statement)
+        raise InvalidRequestError(f"unsupported statement: {type(statement).__name__}")
+
+    # -- resolution and storage access --------------------------------------------
+
+    def _resolve(
+        self,
+        table_names: list[str],
+        write_tables: tuple[str, ...] = (),
+    ) -> QueryResolution:
+        cache_key = (tuple(table_names), tuple(write_tables))
+        if self._resolution_cache is not None:
+            cached = self._resolution_cache.get(cache_key)
+            if cached is not None and self._credentials_fresh(cached):
+                return cached
+        resolution = self._do_resolve(table_names, write_tables)
+        if self._resolution_cache is not None:
+            self._resolution_cache.put(cache_key, resolution)
+        return resolution
+
+    def _credentials_fresh(self, resolution: QueryResolution) -> bool:
+        """Vended tokens are reusable only within their validity window."""
+        deadline = self._clock.now() + 60
+        return all(
+            asset.credential is None or asset.credential.expires_at > deadline
+            for asset in resolution.assets.values()
+        )
+
+    def _do_resolve(
+        self,
+        table_names: list[str],
+        write_tables: tuple[str, ...],
+    ) -> QueryResolution:
+        self.resolve_calls += 1
+        return self._catalog.resolve_for_query(
+            self._metastore_id,
+            self._principal,
+            table_names,
+            write_tables=write_tables,
+            engine_trusted=self._trusted,
+            workspace=self._workspace,
+        )
+
+    def _lookup_asset(self, resolution: QueryResolution, name: str) -> ResolvedAsset:
+        if name in resolution.assets:
+            return resolution.assets[name]
+        qualified = self._qualify(name)
+        if qualified in resolution.assets:
+            return resolution.assets[qualified]
+        # view definitions may reference names under a different session
+        # default; match by unique suffix
+        suffix_matches = [
+            asset for key, asset in resolution.assets.items()
+            if key.endswith("." + name.rsplit(".", 1)[-1])
+        ]
+        if len(suffix_matches) == 1:
+            return suffix_matches[0]
+        raise NotFoundError(f"unresolved table reference {name!r}")
+
+    def _delta_table(self, asset: ResolvedAsset) -> DeltaTable:
+        if asset.credential is None or asset.storage_url is None:
+            raise InvalidRequestError(
+                f"{asset.full_name} has no storage credential in the resolution"
+            )
+        client = StorageClient(
+            self._catalog.object_store, self._catalog.sts, asset.credential
+        )
+        return DeltaTable(
+            client,
+            StoragePath.parse(asset.storage_url),
+            clock=self._clock,
+            engine=self._engine_name,
+        )
+
+    # -- SELECT -------------------------------------------------------------------
+
+    def _execute_select(
+        self,
+        stmt: SelectStmt,
+        resolution: Optional[QueryResolution] = None,
+        depth: int = 0,
+    ) -> QueryResult:
+        if depth > 16:
+            raise InvalidRequestError("view recursion too deep")
+        if resolution is None:
+            names = [self._qualify(n) for n in stmt.table_names()]
+            resolution = self._resolve(names)
+
+        pushdown = self._pushdown_filters(stmt) if not stmt.joins else None
+        rows, columns = self._table_rows(
+            stmt.table, resolution, depth, filters=pushdown
+        )
+        for join in stmt.joins:
+            right_rows, right_columns = self._table_rows(join.table, resolution, depth)
+            rows = _hash_join(rows, right_rows, join.left_column, join.right_column)
+            columns = columns + [c for c in right_columns if c not in columns]
+
+        if stmt.where is not None:
+            rows = [r for r in rows if _truthy(stmt.where.eval(r, self._ctx))]
+
+        result_rows, result_columns = self._project(stmt, rows, columns)
+
+        if stmt.distinct:
+            seen = set()
+            deduped = []
+            for row in result_rows:
+                key = tuple(sorted(row.items()))
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append(row)
+            rows = result_rows = deduped
+
+        if stmt.order_by:
+            # ORDER BY may reference projected aliases or underlying columns
+            aggregated = any(item.aggregate for item in stmt.items) or stmt.group_by
+            paired = (
+                list(zip(result_rows, result_rows))
+                if aggregated or len(rows) != len(result_rows)
+                else list(zip(result_rows, rows))
+            )
+            for column, descending in reversed(stmt.order_by):
+                def sort_key(pair, column=column):
+                    projected, source = pair
+                    value = projected.get(column, source.get(column))
+                    return (value is None, value)
+
+                paired.sort(key=sort_key, reverse=descending)
+            result_rows = [projected for projected, _ in paired]
+        if stmt.limit is not None:
+            result_rows = result_rows[:stmt.limit]
+        return QueryResult(
+            columns=result_columns,
+            rows=result_rows,
+            rowcount=len(result_rows),
+            scan_metrics=self.last_scan_metrics,
+        )
+
+    def _pushdown_filters(self, stmt: SelectStmt) -> Optional[list[Filter]]:
+        if stmt.where is None:
+            return None
+        return _expr_to_filters(stmt.where)
+
+    def _table_rows(
+        self,
+        ref: TableRef,
+        resolution: QueryResolution,
+        depth: int,
+        filters: Optional[list[Filter]] = None,
+    ) -> tuple[list[dict], list[str]]:
+        asset = self._lookup_asset(resolution, ref.name)
+        raw, columns = self._asset_rows(asset, resolution, depth, filters,
+                                        version=ref.version)
+        raw = self._apply_fgac(raw, asset.fgac)
+        binding = ref.binding
+        namespaced = [
+            {**row, **{f"{binding}.{key}": value for key, value in row.items()}}
+            for row in raw
+        ]
+        return namespaced, columns
+
+    def _asset_rows(
+        self,
+        asset: ResolvedAsset,
+        resolution: QueryResolution,
+        depth: int,
+        filters: Optional[list[Filter]],
+        version: Optional[int] = None,
+    ) -> tuple[list[dict], list[str]]:
+        if version is not None and asset.table_type in (
+            "VIEW", "MATERIALIZED_VIEW", "FOREIGN"
+        ):
+            raise InvalidRequestError(
+                f"{asset.full_name} does not support VERSION AS OF"
+            )
+        if asset.table_type in ("VIEW", "MATERIALIZED_VIEW"):
+            sub = parse_sql(asset.view_definition or "")
+            if not isinstance(sub, SelectStmt):
+                raise InvalidRequestError(
+                    f"view {asset.full_name} has a non-SELECT definition"
+                )
+            result = self._execute_select(sub, resolution, depth + 1)
+            return result.rows, result.columns
+        if asset.table_type == "SHALLOW_CLONE":
+            # a shallow clone serves the base table's data under the
+            # clone's own governance (FGAC on the clone already applied)
+            base_name = asset.entity.spec.get("base_table")
+            base = self._lookup_asset(resolution, base_name)
+            return self._asset_rows(base, resolution, depth + 1, filters)
+        if asset.table_type == "FOREIGN":
+            if self._foreign_reader is None:
+                raise FederationError(
+                    f"no foreign reader configured for {asset.full_name}"
+                )
+            rows = self._foreign_reader(asset)
+            columns = [c["name"] for c in asset.columns] or (
+                list(rows[0]) if rows else []
+            )
+            return rows, columns
+        table = self._delta_table(asset)
+        metrics = ScanMetrics()
+        rows = list(table.scan(filters, version=version, metrics=metrics))
+        self.last_scan_metrics = metrics
+        columns = [c["name"] for c in asset.columns]
+        if not columns:
+            schema = table.schema()
+            columns = [c["name"] for c in schema]
+        return rows, columns
+
+    def _apply_fgac(self, rows: list[dict], fgac: FgacRuleSet) -> list[dict]:
+        """Trusted-engine FGAC enforcement (paper 3.4 step 7)."""
+        if fgac.is_empty:
+            return rows
+        predicates = [compile_expression(f.predicate_sql) for f in fgac.row_filters]
+        masks = [
+            (m.column, compile_expression(m.mask_sql)) for m in fgac.column_masks
+        ]
+        out = []
+        for row in rows:
+            if all(_truthy(p.eval(row, self._ctx)) for p in predicates):
+                if masks:
+                    row = dict(row)
+                    for column, mask in masks:
+                        if column in row:
+                            row[column] = mask.eval(row, self._ctx)
+                out.append(row)
+        return out
+
+    def _project(
+        self, stmt: SelectStmt, rows: list[dict], columns: list[str]
+    ) -> tuple[list[dict], list[str]]:
+        has_aggregate = any(item.aggregate for item in stmt.items)
+        if has_aggregate or stmt.group_by:
+            return self._aggregate(stmt, rows)
+        if len(stmt.items) == 1 and stmt.items[0].star:
+            plain = [
+                {c: row.get(c) for c in columns} for row in rows
+            ]
+            return plain, columns
+
+        out_columns: list[str] = []
+        extractors: list[tuple[str, Expr]] = []
+        for i, item in enumerate(stmt.items):
+            if item.star:
+                raise InvalidRequestError("* must be the only projection")
+            default = (
+                item.expr.name if isinstance(item.expr, Column) else f"col{i}"
+            )
+            name = item.output_name(default)
+            out_columns.append(name)
+            extractors.append((name, item.expr))
+        projected = [
+            {name: expr.eval(row, self._ctx) for name, expr in extractors}
+            for row in rows
+        ]
+        return projected, out_columns
+
+    def _aggregate(
+        self, stmt: SelectStmt, rows: list[dict]
+    ) -> tuple[list[dict], list[str]]:
+        group_columns = list(stmt.group_by)
+        groups: dict[tuple, list[dict]] = {}
+        for row in rows:
+            key = tuple(row.get(c) for c in group_columns)
+            groups.setdefault(key, []).append(row)
+        if not groups and not group_columns:
+            groups[()] = []
+
+        out_columns: list[str] = []
+        out_rows: list[dict] = []
+        for key, members in groups.items():
+            record: dict[str, Any] = {}
+            for i, item in enumerate(stmt.items):
+                if item.aggregate:
+                    name = item.output_name(item.aggregate.lower())
+                    record[name] = _aggregate_value(item, members, self._ctx)
+                else:
+                    if not isinstance(item.expr, Column):
+                        raise InvalidRequestError(
+                            "non-aggregate projections must be grouped columns"
+                        )
+                    column = item.expr.name
+                    if column not in group_columns:
+                        raise InvalidRequestError(
+                            f"column {column!r} must appear in GROUP BY"
+                        )
+                    record[item.output_name(column)] = key[group_columns.index(column)]
+            if not out_columns:
+                out_columns = list(record)
+            out_rows.append(record)
+        return out_rows, out_columns
+
+    # -- DML --------------------------------------------------------------------
+
+    def _execute_insert(self, stmt: InsertStmt) -> QueryResult:
+        target = self._qualify(stmt.table)
+        if stmt.select is not None:
+            source_names = [self._qualify(n) for n in stmt.select.table_names()]
+            resolution = self._resolve(
+                [target] + source_names, write_tables=(target,)
+            )
+            sub = self._execute_select(stmt.select, resolution)
+            incoming_columns = list(stmt.columns) if stmt.columns else sub.columns
+            new_rows = [
+                dict(zip(incoming_columns, (row[c] for c in sub.columns)))
+                for row in sub.rows
+            ]
+            sources = source_names
+        else:
+            resolution = self._resolve([target], write_tables=(target,))
+            asset = resolution.assets[target]
+            incoming_columns = (
+                list(stmt.columns)
+                if stmt.columns
+                else [c["name"] for c in asset.columns]
+            )
+            new_rows = []
+            for values in stmt.rows or ():
+                if len(values) != len(incoming_columns):
+                    raise InvalidRequestError(
+                        f"expected {len(incoming_columns)} values, got {len(values)}"
+                    )
+                new_rows.append(dict(zip(incoming_columns, values)))
+            sources = []
+        asset = resolution.assets[target]
+        if new_rows:
+            self._delta_table(asset).append(new_rows)
+        if sources and self._report_lineage:
+            self._catalog.record_lineage(
+                self._metastore_id, self._principal, sources, target, "INSERT",
+            )
+        return QueryResult(rowcount=len(new_rows),
+                           message=f"inserted {len(new_rows)} row(s)")
+
+    def _execute_update(self, stmt: UpdateStmt) -> QueryResult:
+        target = self._qualify(stmt.table)
+        resolution = self._resolve([target], write_tables=(target,))
+        asset = resolution.assets[target]
+        table = self._delta_table(asset)
+        rows = table.read_all()
+        updated = 0
+        new_rows = []
+        for row in rows:
+            if stmt.where is None or _truthy(stmt.where.eval(row, self._ctx)):
+                row = dict(row)
+                for column, expr in stmt.assignments:
+                    row[column] = expr.eval(row, self._ctx)
+                updated += 1
+            new_rows.append(row)
+        if updated:
+            table.overwrite(new_rows)
+        return QueryResult(rowcount=updated, message=f"updated {updated} row(s)")
+
+    def _execute_delete(self, stmt: DeleteStmt) -> QueryResult:
+        target = self._qualify(stmt.table)
+        resolution = self._resolve([target], write_tables=(target,))
+        asset = resolution.assets[target]
+        table = self._delta_table(asset)
+        if stmt.where is None:
+            deleted = table.row_count()
+            table.overwrite([])
+            return QueryResult(rowcount=deleted,
+                               message=f"deleted {deleted} row(s)")
+        filters = _expr_to_filters(stmt.where)
+        if filters is not None:
+            deleted = table.delete_where(filters)
+        else:
+            rows = table.read_all()
+            keep = [r for r in rows if not _truthy(stmt.where.eval(r, self._ctx))]
+            deleted = len(rows) - len(keep)
+            if deleted:
+                table.overwrite(keep)
+        return QueryResult(rowcount=deleted, message=f"deleted {deleted} row(s)")
+
+    # -- DDL --------------------------------------------------------------------
+
+    def _execute_create_table(self, stmt: CreateTableStmt) -> QueryResult:
+        name = self._qualify(stmt.name)
+        if stmt.as_select is not None:
+            return self._execute_ctas(name, stmt)
+        columns = [{"name": n, "type": t} for n, t in stmt.columns]
+        spec = {
+            "table_type": "EXTERNAL" if stmt.location else "MANAGED",
+            "format": stmt.format,
+            "columns": columns,
+        }
+        try:
+            entity = self._catalog.create_securable(
+                self._metastore_id,
+                self._principal,
+                SecurableKind.TABLE,
+                name,
+                storage_path=stmt.location,
+                spec=spec,
+            )
+        except Exception:
+            if stmt.if_not_exists:
+                return QueryResult(message=f"table {name} already exists")
+            raise
+        credential = self._catalog.vend_credentials(
+            self._metastore_id, self._principal, SecurableKind.TABLE, name,
+            AccessLevel.READ_WRITE,
+        )
+        client = StorageClient(self._catalog.object_store, self._catalog.sts, credential)
+        root = StoragePath.parse(entity.storage_path)
+        from repro.deltalog.log import DeltaLog
+
+        if DeltaLog(client, root).latest_version() < 0:
+            DeltaTable.create(
+                client, root, entity.id, columns,
+                clock=self._clock, engine=self._engine_name,
+            )
+        return QueryResult(message=f"created table {name}")
+
+    def _execute_ctas(self, name: str, stmt: CreateTableStmt) -> QueryResult:
+        """CREATE TABLE AS SELECT: infer the schema from the select's
+        output, materialize the rows, and report lineage."""
+        select = stmt.as_select
+        sources = [self._qualify(n) for n in select.table_names()]
+        sub = self._execute_select(select)
+        columns = [{"name": c, "type": "STRING"} for c in sub.columns]
+        if sub.rows:
+            sample = sub.rows[0]
+            for column in columns:
+                value = sample.get(column["name"])
+                if isinstance(value, bool):
+                    column["type"] = "BOOLEAN"
+                elif isinstance(value, int):
+                    column["type"] = "INT"
+                elif isinstance(value, float):
+                    column["type"] = "DOUBLE"
+        entity = self._catalog.create_securable(
+            self._metastore_id, self._principal, SecurableKind.TABLE, name,
+            spec={"table_type": "MANAGED", "format": stmt.format,
+                  "columns": columns},
+        )
+        credential = self._catalog.vend_credentials(
+            self._metastore_id, self._principal, SecurableKind.TABLE, name,
+            AccessLevel.READ_WRITE,
+        )
+        client = StorageClient(self._catalog.object_store, self._catalog.sts,
+                               credential)
+        root = StoragePath.parse(entity.storage_path)
+        table = DeltaTable.create(client, root, entity.id, columns,
+                                  clock=self._clock, engine=self._engine_name)
+        if sub.rows:
+            table.append(sub.rows)
+        if sources and self._report_lineage:
+            self._catalog.record_lineage(
+                self._metastore_id, self._principal, sources, name, "CTAS",
+            )
+        return QueryResult(rowcount=len(sub.rows),
+                           message=f"created table {name} with "
+                                   f"{len(sub.rows)} row(s)")
+
+    def _execute_create_view(self, stmt: CreateViewStmt) -> QueryResult:
+        name = self._qualify(stmt.name)
+        dependencies = [self._qualify(n) for n in stmt.select.table_names()]
+        self._catalog.create_securable(
+            self._metastore_id,
+            self._principal,
+            SecurableKind.TABLE,
+            name,
+            spec={
+                "table_type": "VIEW",
+                "view_definition": stmt.definition_sql,
+                "view_dependencies": dependencies,
+            },
+        )
+        if self._report_lineage:
+            self._catalog.record_lineage(
+                self._metastore_id, self._principal, dependencies, name,
+                "CREATE VIEW",
+            )
+        return QueryResult(message=f"created view {name}")
+
+    def _execute_drop(self, stmt: DropStmt) -> QueryResult:
+        name = self._qualify(stmt.name)
+        self._catalog.delete_securable(
+            self._metastore_id, self._principal, SecurableKind.TABLE, name
+        )
+        return QueryResult(message=f"dropped {name}")
+
+    def _execute_grant(self, stmt: GrantStmt) -> QueryResult:
+        kind = _KIND_MAP[stmt.securable_kind]
+        try:
+            privilege = Privilege(stmt.privilege)
+        except ValueError:
+            raise InvalidRequestError(f"unknown privilege {stmt.privilege!r}")
+        name = (
+            self._qualify(stmt.securable_name)
+            if kind in (SecurableKind.TABLE, SecurableKind.VOLUME,
+                        SecurableKind.FUNCTION, SecurableKind.REGISTERED_MODEL)
+            else stmt.securable_name
+        )
+        if stmt.revoke:
+            self._catalog.revoke(
+                self._metastore_id, self._principal, kind, name,
+                stmt.grantee, privilege,
+            )
+            return QueryResult(message=f"revoked {privilege.value} on {name}")
+        self._catalog.grant(
+            self._metastore_id, self._principal, kind, name,
+            stmt.grantee, privilege,
+        )
+        return QueryResult(message=f"granted {privilege.value} on {name}")
+
+    # -- metadata statements ------------------------------------------------------
+
+    def _execute_show(self, stmt: ShowStmt) -> QueryResult:
+        if stmt.what == "CATALOGS":
+            entities = self._catalog.list_securables(
+                self._metastore_id, self._principal, SecurableKind.CATALOG
+            )
+        elif stmt.what == "SCHEMAS":
+            entities = self._catalog.list_securables(
+                self._metastore_id, self._principal, SecurableKind.SCHEMA,
+                stmt.container,
+            )
+        else:
+            entities = self._catalog.list_securables(
+                self._metastore_id, self._principal, SecurableKind.TABLE,
+                stmt.container,
+            )
+        rows = [{"name": e.name} for e in entities]
+        return QueryResult(columns=["name"], rows=rows, rowcount=len(rows))
+
+    def _execute_describe(self, stmt: DescribeStmt) -> QueryResult:
+        name = self._qualify(stmt.name)
+        entity = self._catalog.get_securable(
+            self._metastore_id, self._principal, SecurableKind.TABLE, name
+        )
+        rows = [
+            {"col_name": c["name"], "data_type": c.get("type", "")}
+            for c in entity.spec.get("columns") or ()
+        ]
+        return QueryResult(columns=["col_name", "data_type"], rows=rows,
+                           rowcount=len(rows))
+
+
+# -- helpers ---------------------------------------------------------------------
+
+
+def _hash_join(
+    left: list[dict], right: list[dict], left_column: str, right_column: str
+) -> list[dict]:
+    index: dict[Any, list[dict]] = {}
+    for row in right:
+        key = row.get(right_column)
+        if key is not None:
+            index.setdefault(key, []).append(row)
+    out = []
+    for row in left:
+        key = row.get(left_column)
+        if key is None:
+            continue
+        for match in index.get(key, ()):
+            out.append({**row, **match})
+    return out
+
+
+def _aggregate_value(item: SelectItem, rows: list[dict], ctx: EvalContext) -> Any:
+    if item.aggregate == "COUNT" and item.aggregate_arg is None:
+        return len(rows)
+    values = [
+        item.aggregate_arg.eval(row, ctx) for row in rows
+    ]
+    values = [v for v in values if v is not None]
+    if item.aggregate == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if item.aggregate == "SUM":
+        return sum(values)
+    if item.aggregate == "AVG":
+        return sum(values) / len(values)
+    if item.aggregate == "MIN":
+        return min(values)
+    if item.aggregate == "MAX":
+        return max(values)
+    raise InvalidRequestError(f"unknown aggregate {item.aggregate}")
+
+
+def _expr_to_filters(expr: Expr) -> Optional[list[Filter]]:
+    """Convert a conjunction of simple comparisons into pushdown filters."""
+    if isinstance(expr, Binary) and expr.op == "AND":
+        left = _expr_to_filters(expr.left)
+        right = _expr_to_filters(expr.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(expr, Binary) and expr.op in ("=", "!=", "<", "<=", ">", ">="):
+        if isinstance(expr.left, Column) and isinstance(expr.right, Literal):
+            if expr.right.value is None:
+                return None
+            return [(expr.left.name, expr.op, expr.right.value)]
+        if isinstance(expr.left, Literal) and isinstance(expr.right, Column):
+            if expr.left.value is None:
+                return None
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+            op = flipped.get(expr.op, expr.op)
+            return [(expr.right.name, op, expr.left.value)]
+    return None

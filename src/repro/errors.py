@@ -1,0 +1,85 @@
+"""Exception hierarchy shared across the Unity Catalog reproduction.
+
+Every error carries a short machine-readable ``code`` (mirroring the
+error-code field of the open-source Unity Catalog REST API) plus a human
+readable message. Service layers map these onto API error responses.
+"""
+
+from __future__ import annotations
+
+
+class UnityCatalogError(Exception):
+    """Base class for all errors raised by this library."""
+
+    code = "INTERNAL"
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+    def to_dict(self) -> dict:
+        """Render the error the way the REST layer serializes it."""
+        return {"error_code": self.code, "message": self.message}
+
+
+class NotFoundError(UnityCatalogError):
+    """A securable, principal, or resource does not exist (or is soft-deleted)."""
+
+    code = "RESOURCE_DOES_NOT_EXIST"
+
+
+class AlreadyExistsError(UnityCatalogError):
+    """Creating a securable whose fully qualified name is already taken."""
+
+    code = "RESOURCE_ALREADY_EXISTS"
+
+
+class InvalidRequestError(UnityCatalogError):
+    """Malformed input: bad names, missing fields, failed manifest validation."""
+
+    code = "INVALID_PARAMETER_VALUE"
+
+
+class PermissionDeniedError(UnityCatalogError):
+    """The caller lacks a required privilege on a securable."""
+
+    code = "PERMISSION_DENIED"
+
+
+class PathConflictError(UnityCatalogError):
+    """A storage path overlaps an existing asset (one-asset-per-path violation)."""
+
+    code = "PATH_CONFLICT"
+
+
+class ConcurrentModificationError(UnityCatalogError):
+    """Optimistic concurrency failure: the metastore version moved underneath
+    a write, or a Delta log commit lost the race for its version slot."""
+
+    code = "CONCURRENT_MODIFICATION"
+
+
+class TransactionConflictError(ConcurrentModificationError):
+    """A multi-table transaction aborted because a participant table was
+    committed by another transaction after this one read it."""
+
+    code = "TRANSACTION_CONFLICT"
+
+
+class CredentialError(UnityCatalogError):
+    """Storage access denied: token missing, expired, out of scope, or the
+    requested operation exceeds the token's access level."""
+
+    code = "CREDENTIAL_DENIED"
+
+
+class FederationError(UnityCatalogError):
+    """The foreign catalog behind a federated catalog failed or refused."""
+
+    code = "FEDERATION_ERROR"
+
+
+class UntrustedEngineError(PermissionDeniedError):
+    """An engine that is not trusted requested data governed by FGAC."""
+
+    code = "UNTRUSTED_ENGINE"

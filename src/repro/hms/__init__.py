@@ -1,0 +1,18 @@
+"""Hive Metastore simulator.
+
+Plays two roles from the paper:
+
+* the **baseline catalog** for the Figure 10(a) comparison — a "local
+  metastore" where engines issue SQL directly against the metastore DB,
+  with no governance, credential vending, or asset types beyond tables;
+* the **foreign catalog** behind Unity Catalog federation (section 4.2.4).
+"""
+
+from repro.hms.metastore import (
+    HiveDatabase,
+    HiveMetastore,
+    HiveTable,
+    StorageDescriptor,
+)
+
+__all__ = ["HiveDatabase", "HiveMetastore", "HiveTable", "StorageDescriptor"]

@@ -1,0 +1,167 @@
+"""A Hive Metastore look-alike.
+
+Faithful to the properties the paper contrasts with UC (section 2):
+
+* two-level namespace (database.table), tables only,
+* thrift-style API surface (get_table / get_all_tables / add_partition),
+* *no governance*: no privilege model, no credential vending — clients
+  receive raw storage locations and are expected to have their own
+  cloud-storage access (HMS "relies on cloud storage policies"),
+* a relational backing store: every API call issues one or more logical
+  DB queries, which the benchmarks charge simulated latency for. The
+  per-call query counts follow the classic HMS schema (TBLS, SDS, COLUMNS,
+  PARTITIONS), which is what makes HMS metadata calls chatty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import AlreadyExistsError, InvalidRequestError, NotFoundError
+
+
+@dataclass
+class StorageDescriptor:
+    """Where and how a table's data lives (HMS ``SDS`` row)."""
+
+    location: str
+    input_format: str = "org.apache.hadoop.mapred.TextInputFormat"
+    serde: str = "org.apache.hadoop.hive.serde2.lazy.LazySimpleSerDe"
+
+
+@dataclass
+class HiveTable:
+    database: str
+    name: str
+    columns: list[dict] = field(default_factory=list)
+    partition_keys: list[str] = field(default_factory=list)
+    storage: Optional[StorageDescriptor] = None
+    table_type: str = "MANAGED_TABLE"  # MANAGED_TABLE | EXTERNAL_TABLE | VIRTUAL_VIEW
+    view_text: Optional[str] = None
+    parameters: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class HiveDatabase:
+    name: str
+    location: str
+    description: str = ""
+
+
+@dataclass
+class HmsCallStats:
+    """Logical DB queries issued, for latency accounting in benchmarks."""
+
+    db_queries: int = 0
+    api_calls: int = 0
+
+
+class HiveMetastore:
+    """The metastore service (or, in "local" mode, the DB-backed library
+    that engines embed and query over JDBC)."""
+
+    def __init__(self):
+        self._databases: dict[str, HiveDatabase] = {}
+        self._tables: dict[tuple[str, str], HiveTable] = {}
+        self._partitions: dict[tuple[str, str], list[dict]] = {}
+        self.stats = HmsCallStats()
+
+    def _charge(self, queries: int) -> None:
+        self.stats.api_calls += 1
+        self.stats.db_queries += queries
+
+    # -- databases ---------------------------------------------------------
+
+    def create_database(self, name: str, location: str, description: str = "") -> HiveDatabase:
+        self._charge(2)  # existence check + insert
+        if name in self._databases:
+            raise AlreadyExistsError(f"database exists: {name}")
+        database = HiveDatabase(name=name, location=location, description=description)
+        self._databases[name] = database
+        return database
+
+    def get_database(self, name: str) -> HiveDatabase:
+        self._charge(1)
+        try:
+            return self._databases[name]
+        except KeyError:
+            raise NotFoundError(f"no such database: {name}")
+
+    def get_all_databases(self) -> list[str]:
+        self._charge(1)
+        return sorted(self._databases)
+
+    def drop_database(self, name: str, cascade: bool = False) -> None:
+        self._charge(2)
+        if name not in self._databases:
+            raise NotFoundError(f"no such database: {name}")
+        tables = [key for key in self._tables if key[0] == name]
+        if tables and not cascade:
+            raise InvalidRequestError(f"database {name} is not empty")
+        for key in tables:
+            del self._tables[key]
+            self._partitions.pop(key, None)
+        del self._databases[name]
+
+    # -- tables --------------------------------------------------------------
+
+    def create_table(self, table: HiveTable) -> HiveTable:
+        # db lookup + uniqueness check + TBLS insert + SDS insert + COLUMNS
+        self._charge(5)
+        if table.database not in self._databases:
+            raise NotFoundError(f"no such database: {table.database}")
+        key = (table.database, table.name)
+        if key in self._tables:
+            raise AlreadyExistsError(f"table exists: {table.database}.{table.name}")
+        self._tables[key] = table
+        self._partitions[key] = []
+        return table
+
+    def get_table(self, database: str, name: str) -> HiveTable:
+        # TBLS + SDS + COLUMNS joins: the classic 3-query metadata fetch
+        self._charge(3)
+        try:
+            return self._tables[(database, name)]
+        except KeyError:
+            raise NotFoundError(f"no such table: {database}.{name}")
+
+    def get_all_tables(self, database: str) -> list[str]:
+        self._charge(1)
+        if database not in self._databases:
+            raise NotFoundError(f"no such database: {database}")
+        return sorted(name for db, name in self._tables if db == database)
+
+    def alter_table(self, database: str, name: str, table: HiveTable) -> None:
+        self._charge(4)
+        key = (database, name)
+        if key not in self._tables:
+            raise NotFoundError(f"no such table: {database}.{name}")
+        del self._tables[key]
+        self._tables[(table.database, table.name)] = table
+        self._partitions.setdefault((table.database, table.name),
+                                    self._partitions.pop(key, []))
+
+    def drop_table(self, database: str, name: str) -> None:
+        self._charge(3)
+        key = (database, name)
+        if key not in self._tables:
+            raise NotFoundError(f"no such table: {database}.{name}")
+        del self._tables[key]
+        self._partitions.pop(key, None)
+
+    # -- partitions -----------------------------------------------------------
+
+    def add_partition(self, database: str, name: str, values: dict) -> None:
+        self._charge(3)
+        key = (database, name)
+        if key not in self._tables:
+            raise NotFoundError(f"no such table: {database}.{name}")
+        self._partitions[key].append(dict(values))
+
+    def get_partitions(self, database: str, name: str) -> list[dict]:
+        self._charge(2)
+        key = (database, name)
+        if key not in self._tables:
+            raise NotFoundError(f"no such table: {database}.{name}")
+        return [dict(p) for p in self._partitions[key]]

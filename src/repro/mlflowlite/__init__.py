@@ -1,0 +1,28 @@
+"""MLflow-style model registry client (paper section 4.2.3).
+
+Reproduces the paper's extension story: MLflow defines two base
+abstractions — a model-registry store (REST endpoint) and an artifact
+repository (cloud storage access) — and "extending the open-source
+MLflow framework to integrate with UC ... required implementing
+UC-specific versions" of exactly those two classes. This package contains
+the base abstractions and the UC-backed implementations.
+"""
+
+from repro.mlflowlite.registry import (
+    AbstractModelRegistryStore,
+    ArtifactRepository,
+    ModelVersionInfo,
+    RegisteredModelInfo,
+)
+from repro.mlflowlite.uc_store import UCArtifactRepository, UCModelRegistryStore
+from repro.mlflowlite.client import ModelRegistryClient
+
+__all__ = [
+    "AbstractModelRegistryStore",
+    "ArtifactRepository",
+    "ModelRegistryClient",
+    "ModelVersionInfo",
+    "RegisteredModelInfo",
+    "UCArtifactRepository",
+    "UCModelRegistryStore",
+]

@@ -1,0 +1,74 @@
+"""The user-facing model registry client.
+
+Composes a registry store and an artifact repository — the two pluggable
+abstractions — into the familiar MLflow-style workflow: register a model,
+log a version with artifacts, promote via alias, load for serving.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.mlflowlite.registry import (
+    AbstractModelRegistryStore,
+    ArtifactRepository,
+    ModelVersionInfo,
+    RegisteredModelInfo,
+)
+
+_MODEL_FILE = "model.json"
+
+
+class ModelRegistryClient:
+    """End-to-end model lifecycle against any registry backend."""
+
+    def __init__(self, store: AbstractModelRegistryStore,
+                 artifacts: ArtifactRepository):
+        self._store = store
+        self._artifacts = artifacts
+
+    @property
+    def store(self) -> AbstractModelRegistryStore:
+        return self._store
+
+    def register_model(self, name: str, description: str = "") -> RegisteredModelInfo:
+        return self._store.create_registered_model(name, description)
+
+    def log_model(
+        self,
+        name: str,
+        payload: dict[str, Any],
+        run_id: Optional[str] = None,
+        extra_artifacts: Optional[dict[str, bytes]] = None,
+    ) -> ModelVersionInfo:
+        """Create a new version, upload its artifacts, mark it READY."""
+        version = self._store.create_model_version(name, run_id=run_id)
+        self._artifacts.log_artifact(
+            name, version.version, _MODEL_FILE, json.dumps(payload).encode()
+        )
+        for filename, data in (extra_artifacts or {}).items():
+            self._artifacts.log_artifact(name, version.version, filename, data)
+        return self._store.finalize_model_version(name, version.version)
+
+    def load_model(
+        self,
+        name: str,
+        version: Optional[int] = None,
+        alias: Optional[str] = None,
+    ) -> dict[str, Any]:
+        """Fetch a version's model payload (by number or alias)."""
+        if (version is None) == (alias is None):
+            raise ValueError("pass exactly one of version or alias")
+        if alias is not None:
+            info = self._store.get_model_version_by_alias(name, alias)
+        else:
+            info = self._store.get_model_version(name, version)
+        blob = self._artifacts.download_artifact(name, info.version, _MODEL_FILE)
+        return json.loads(blob)
+
+    def promote(self, name: str, version: int, alias: str = "champion") -> None:
+        self._store.set_model_version_alias(name, version, alias)
+
+    def list_versions(self, name: str) -> list[ModelVersionInfo]:
+        return self._store.list_model_versions(name)

@@ -1,0 +1,85 @@
+"""The MLflow base abstractions a registry backend implements."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RegisteredModelInfo:
+    """A named model with many versions."""
+
+    name: str  # fully qualified: catalog.schema.model
+    owner: str
+    description: str = ""
+    tags: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ModelVersionInfo:
+    """One immutable version of a registered model."""
+
+    name: str
+    version: int
+    status: str
+    source: Optional[str] = None
+    run_id: Optional[str] = None
+    aliases: tuple[str, ...] = ()
+    storage_location: Optional[str] = None
+
+
+class AbstractModelRegistryStore(abc.ABC):
+    """MLflow's registry-store contract (the ``RestStore`` role)."""
+
+    @abc.abstractmethod
+    def create_registered_model(
+        self, name: str, description: str = ""
+    ) -> RegisteredModelInfo: ...
+
+    @abc.abstractmethod
+    def get_registered_model(self, name: str) -> RegisteredModelInfo: ...
+
+    @abc.abstractmethod
+    def delete_registered_model(self, name: str) -> None: ...
+
+    @abc.abstractmethod
+    def create_model_version(
+        self,
+        name: str,
+        source: Optional[str] = None,
+        run_id: Optional[str] = None,
+    ) -> ModelVersionInfo: ...
+
+    @abc.abstractmethod
+    def get_model_version(self, name: str, version: int) -> ModelVersionInfo: ...
+
+    @abc.abstractmethod
+    def finalize_model_version(self, name: str, version: int) -> ModelVersionInfo:
+        """Mark a version READY after its artifacts are uploaded."""
+
+    @abc.abstractmethod
+    def set_model_version_alias(self, name: str, version: int, alias: str) -> None:
+        """E.g. 'champion' / 'challenger' aliases."""
+
+    @abc.abstractmethod
+    def get_model_version_by_alias(self, name: str, alias: str) -> ModelVersionInfo: ...
+
+    @abc.abstractmethod
+    def list_model_versions(self, name: str) -> list[ModelVersionInfo]: ...
+
+
+class ArtifactRepository(abc.ABC):
+    """MLflow's artifact-storage contract."""
+
+    @abc.abstractmethod
+    def log_artifact(self, name: str, version: int, filename: str,
+                     data: bytes) -> str:
+        """Upload one artifact; returns its storage URL."""
+
+    @abc.abstractmethod
+    def download_artifact(self, name: str, version: int, filename: str) -> bytes: ...
+
+    @abc.abstractmethod
+    def list_artifacts(self, name: str, version: int) -> list[str]: ...

@@ -1,0 +1,195 @@
+"""Unity Catalog implementations of the MLflow base abstractions.
+
+``UCModelRegistryStore`` maps registry calls onto UC's registered-model
+asset APIs — inheriting namespace placement, CRUD, permissions, metadata
+storage, lifecycle, and auditing from the entity-relationship model's
+shared machinery. ``UCArtifactRepository`` performs all artifact I/O with
+temporary credentials vended by UC, scoped to the model version's
+artifact directory (the same one-asset-per-path + credential-vending
+mechanisms that govern tables).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cloudstore.client import StorageClient
+from repro.cloudstore.object_store import StoragePath
+from repro.cloudstore.sts import AccessLevel
+from repro.core.model.entity import Entity, SecurableKind
+from repro.mlflowlite.registry import (
+    AbstractModelRegistryStore,
+    ArtifactRepository,
+    ModelVersionInfo,
+    RegisteredModelInfo,
+)
+from repro.errors import NotFoundError
+
+
+def _version_name(version: int) -> str:
+    return f"v{version}"
+
+
+class UCModelRegistryStore(AbstractModelRegistryStore):
+    """The registry REST-endpoint role, backed by UC model assets."""
+
+    def __init__(self, service, metastore_id: str, principal: str):
+        self._service = service
+        self._metastore_id = metastore_id
+        self._principal = principal
+
+    # -- registered models ----------------------------------------------------
+
+    def create_registered_model(
+        self, name: str, description: str = ""
+    ) -> RegisteredModelInfo:
+        entity = self._service.create_securable(
+            self._metastore_id, self._principal,
+            SecurableKind.REGISTERED_MODEL, name, comment=description,
+        )
+        return self._model_info(name, entity)
+
+    def get_registered_model(self, name: str) -> RegisteredModelInfo:
+        entity = self._service.get_securable(
+            self._metastore_id, self._principal,
+            SecurableKind.REGISTERED_MODEL, name,
+        )
+        return self._model_info(name, entity)
+
+    def _model_info(self, name: str, entity: Entity) -> RegisteredModelInfo:
+        tags = self._service.authorizer.tags_of(
+            self._service.view(self._metastore_id), entity.id
+        )
+        return RegisteredModelInfo(
+            name=name, owner=entity.owner, description=entity.comment, tags=tags
+        )
+
+    def delete_registered_model(self, name: str) -> None:
+        self._service.delete_securable(
+            self._metastore_id, self._principal,
+            SecurableKind.REGISTERED_MODEL, name, cascade=True,
+        )
+
+    # -- versions -----------------------------------------------------------------
+
+    def create_model_version(
+        self,
+        name: str,
+        source: Optional[str] = None,
+        run_id: Optional[str] = None,
+    ) -> ModelVersionInfo:
+        versions = self.list_model_versions(name)
+        next_version = max((v.version for v in versions), default=0) + 1
+        spec = {"version": next_version}
+        if source is not None:
+            spec["source"] = source
+        if run_id is not None:
+            spec["run_id"] = run_id
+        entity = self._service.create_securable(
+            self._metastore_id, self._principal, SecurableKind.MODEL_VERSION,
+            f"{name}.{_version_name(next_version)}", spec=spec,
+        )
+        return self._version_info(name, entity)
+
+    def _version_entity(self, name: str, version: int) -> Entity:
+        return self._service.get_securable(
+            self._metastore_id, self._principal, SecurableKind.MODEL_VERSION,
+            f"{name}.{_version_name(version)}",
+        )
+
+    def get_model_version(self, name: str, version: int) -> ModelVersionInfo:
+        return self._version_info(name, self._version_entity(name, version))
+
+    def _version_info(self, name: str, entity: Entity) -> ModelVersionInfo:
+        return ModelVersionInfo(
+            name=name,
+            version=entity.spec["version"],
+            status=entity.spec.get("status", "PENDING_REGISTRATION"),
+            source=entity.spec.get("source"),
+            run_id=entity.spec.get("run_id"),
+            aliases=tuple(entity.spec.get("aliases") or ()),
+            storage_location=entity.storage_path,
+        )
+
+    def finalize_model_version(self, name: str, version: int) -> ModelVersionInfo:
+        entity = self._service.update_securable(
+            self._metastore_id, self._principal, SecurableKind.MODEL_VERSION,
+            f"{name}.{_version_name(version)}",
+            spec_changes={"status": "READY"},
+        )
+        return self._version_info(name, entity)
+
+    def set_model_version_alias(self, name: str, version: int, alias: str) -> None:
+        # an alias points at exactly one version: drop it elsewhere first
+        for other in self.list_model_versions(name):
+            if alias in other.aliases and other.version != version:
+                self._service.update_securable(
+                    self._metastore_id, self._principal,
+                    SecurableKind.MODEL_VERSION,
+                    f"{name}.{_version_name(other.version)}",
+                    spec_changes={
+                        "aliases": [a for a in other.aliases if a != alias]
+                    },
+                )
+        target = self.get_model_version(name, version)
+        if alias not in target.aliases:
+            self._service.update_securable(
+                self._metastore_id, self._principal, SecurableKind.MODEL_VERSION,
+                f"{name}.{_version_name(version)}",
+                spec_changes={"aliases": list(target.aliases) + [alias]},
+            )
+
+    def get_model_version_by_alias(self, name: str, alias: str) -> ModelVersionInfo:
+        for info in self.list_model_versions(name):
+            if alias in info.aliases:
+                return info
+        raise NotFoundError(f"model {name} has no alias {alias!r}")
+
+    def list_model_versions(self, name: str) -> list[ModelVersionInfo]:
+        entities = self._service.list_securables(
+            self._metastore_id, self._principal, SecurableKind.MODEL_VERSION, name
+        )
+        infos = [self._version_info(name, e) for e in entities]
+        return sorted(infos, key=lambda v: v.version)
+
+
+class UCArtifactRepository(ArtifactRepository):
+    """Artifact I/O through UC-vended temporary credentials."""
+
+    def __init__(self, service, metastore_id: str, principal: str):
+        self._service = service
+        self._metastore_id = metastore_id
+        self._principal = principal
+
+    def _client_and_root(
+        self, name: str, version: int, level: AccessLevel
+    ) -> tuple[StorageClient, StoragePath]:
+        full_name = f"{name}.{_version_name(version)}"
+        credential = self._service.vend_credentials(
+            self._metastore_id, self._principal, SecurableKind.MODEL_VERSION,
+            full_name, level,
+        )
+        entity = self._service.get_securable(
+            self._metastore_id, self._principal, SecurableKind.MODEL_VERSION,
+            full_name,
+        )
+        client = StorageClient(
+            self._service.object_store, self._service.sts, credential
+        )
+        return client, StoragePath.parse(entity.storage_path)
+
+    def log_artifact(self, name: str, version: int, filename: str,
+                     data: bytes) -> str:
+        client, root = self._client_and_root(name, version, AccessLevel.READ_WRITE)
+        path = root.child(filename)
+        client.put(path, data)
+        return path.url()
+
+    def download_artifact(self, name: str, version: int, filename: str) -> bytes:
+        client, root = self._client_and_root(name, version, AccessLevel.READ)
+        return client.get(root.child(filename))
+
+    def list_artifacts(self, name: str, version: int) -> list[str]:
+        client, root = self._client_and_root(name, version, AccessLevel.READ)
+        prefix_len = len(root.key) + 1
+        return sorted(meta.path.key[prefix_len:] for meta in client.list(root))

@@ -1,0 +1,26 @@
+"""Synthetic deployment and workload generators.
+
+Section 6 of the paper reports distributions measured over ~9,000
+customer deployments. Those populations are not available, so this
+package generates synthetic equivalents whose *parameterization comes
+from the paper's own reported statistics* (asset-type mixes, heavy-tailed
+catalog sizes, temporal locality, read/write ratio, access-method mix,
+growth acceleration). Benchmarks then measure the same quantities the
+paper plots and compare shapes.
+"""
+
+from repro.workloads.deployment import (
+    DeploymentConfig,
+    SyntheticDeployment,
+    generate_deployment,
+)
+from repro.workloads.traces import AccessEvent, TraceConfig, generate_trace
+
+__all__ = [
+    "AccessEvent",
+    "DeploymentConfig",
+    "SyntheticDeployment",
+    "TraceConfig",
+    "generate_deployment",
+    "generate_trace",
+]

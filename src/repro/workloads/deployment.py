@@ -1,0 +1,460 @@
+"""Heavy-tailed synthetic deployment generator.
+
+Targets the population shapes reported in paper sections 6.1–6.2:
+
+* assets per catalog are heavy-tailed (log-normal body + Pareto tail);
+  the mode of tables-per-catalog is ~30 and of volumes-per-catalog <6,
+  with the largest catalogs reaching hundreds of thousands of tables;
+* schema composition (Figure 6(a)): ~89% tables-only, ~3% volumes-only,
+  ~3% tables+volumes, ~2% models-only, remainder mixed;
+* table-type mix (Figure 6(b)): managed ~53%, foreign ~16%, the rest
+  external/views/clones;
+* format mix (Figure 8(a)): Delta majority, then Parquet/Iceberg/others;
+* creation times follow per-type adoption curves, with volume creation
+  accelerating (Figure 7).
+
+The generator produces real :class:`~repro.core.model.entity.Entity`
+objects (so Figure 4 can measure true serialized metadata sizes) without
+writing them through the service; ``materialize`` pushes a deployment
+into a live catalog service when benchmarks need one.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.model.entity import Entity, SecurableKind, new_entity_id
+
+#: Figure 6(b) table-type shares.
+TABLE_TYPE_MIX = {
+    "MANAGED": 0.53,
+    "EXTERNAL": 0.15,
+    "VIEW": 0.12,
+    "FOREIGN": 0.16,
+    "MATERIALIZED_VIEW": 0.02,
+    "SHALLOW_CLONE": 0.02,
+}
+
+#: Figure 8(a) storage-format shares (physical tables).
+TABLE_FORMAT_MIX = {
+    "DELTA": 0.78,
+    "PARQUET": 0.10,
+    "ICEBERG": 0.05,
+    "CSV": 0.04,
+    "JSON": 0.03,
+}
+
+#: Figure 8(c): top foreign sources (three are cloud data warehouses).
+FOREIGN_SOURCE_MIX = {
+    "HIVE_METASTORE": 0.34,
+    "SNOWFLAKE": 0.22,
+    "BIGQUERY": 0.14,
+    "REDSHIFT": 0.12,
+    "MYSQL": 0.10,
+    "POSTGRESQL": 0.08,
+}
+
+#: Figure 6(a) schema-composition shares.
+SCHEMA_COMPOSITION_MIX = {
+    "tables_only": 0.89,
+    "volumes_only": 0.03,
+    "tables_and_volumes": 0.03,
+    "models_only": 0.02,
+    "mixed": 0.03,
+}
+
+#: Relative per-type adoption-growth exponents for creation times:
+#: cumulative creations by time t ~ t**exponent (t in [0,1]).
+#: Volumes accelerate fastest (Figure 7).
+GROWTH_EXPONENTS = {
+    "volume": 2.6,
+    "MANAGED": 1.4,
+    "EXTERNAL": 1.2,
+    "VIEW": 1.5,
+    "FOREIGN": 2.0,
+    "MATERIALIZED_VIEW": 2.2,
+    "SHALLOW_CLONE": 1.8,
+    "model": 2.3,
+    "function": 1.3,
+}
+
+
+def _weighted_choice(rng: random.Random, mix: dict[str, float]) -> str:
+    return rng.choices(list(mix), weights=list(mix.values()))[0]
+
+
+def _heavy_tailed(rng: random.Random, mode: float, tail_alpha: float,
+                  tail_probability: float, cap: int) -> int:
+    """Log-normal body with the given mode, plus a Pareto tail."""
+    if rng.random() < tail_probability:
+        value = mode * rng.paretovariate(tail_alpha) * 10
+    else:
+        sigma = 1.0
+        mu = math.log(max(mode, 1.0)) + sigma * sigma  # mode = exp(mu - s^2)
+        value = rng.lognormvariate(mu, sigma)
+    return max(1, min(int(value), cap))
+
+
+@dataclass
+class DeploymentConfig:
+    """Scale knobs. Defaults give a laptop-size population (~1:1000 of
+    production) with the paper's shape parameters."""
+
+    seed: int = 7
+    metastores: int = 40
+    #: catalogs per metastore: heavy-tailed, small mode ("many catalogs
+    #: contain only a few assets")
+    catalog_mode: float = 5.0
+    catalog_cap: int = 200
+    schema_mode: float = 4.0
+    schema_cap: int = 400
+    #: tables per catalog mode ~30 (paper 6.1)
+    tables_per_catalog_mode: float = 30.0
+    tables_cap: int = 500_000
+    #: volumes per catalog mode <6 (paper 6.1)
+    volumes_per_catalog_mode: float = 4.0
+    volumes_cap: int = 8_000
+    models_per_schema_mode: float = 2.0
+    functions_per_schema_mode: float = 2.0
+    tail_alpha: float = 1.16  # Pareto tail index (heavy)
+    tail_probability: float = 0.02
+    #: observation window for creation timestamps, in days
+    horizon_days: float = 720.0
+    #: average columns per table
+    columns_mode: float = 12.0
+
+
+@dataclass
+class SyntheticDeployment:
+    """The generated population."""
+
+    config: DeploymentConfig
+    metastores: list[Entity] = field(default_factory=list)
+    catalogs: list[Entity] = field(default_factory=list)
+    schemas: list[Entity] = field(default_factory=list)
+    tables: list[Entity] = field(default_factory=list)
+    volumes: list[Entity] = field(default_factory=list)
+    models: list[Entity] = field(default_factory=list)
+    functions: list[Entity] = field(default_factory=list)
+
+    def assets(self) -> list[Entity]:
+        return self.tables + self.volumes + self.models + self.functions
+
+    def entities_of(self, metastore_id: str) -> list[Entity]:
+        return [
+            e
+            for bucket in (self.metastores, self.catalogs, self.schemas,
+                           self.tables, self.volumes, self.models,
+                           self.functions)
+            for e in bucket
+            if e.metastore_id == metastore_id
+        ]
+
+    def children_of(self, parent_id: str) -> list[Entity]:
+        return [e for e in self.assets() + self.schemas + self.catalogs
+                if e.parent_id == parent_id]
+
+
+def materialize_deployment(
+    deployment: SyntheticDeployment,
+    service,
+    metastore_index: int = 0,
+    owner: str = "admin",
+    max_assets: Optional[int] = None,
+) -> str:
+    """Create one synthetic metastore's population in a live service.
+
+    Returns the new metastore id. ``max_assets`` caps the leaf assets
+    created (benchmarks usually only need a slice of the population).
+    Entities are re-created through the public API, so the result is a
+    real governed metastore, not injected rows.
+    """
+    from repro.core.model.entity import SecurableKind as Kind
+
+    source = deployment.metastores[metastore_index]
+    if not service.directory.exists(owner):
+        service.directory.add_user(owner)
+    metastore = service.create_metastore(
+        f"{source.name}_live", owner=owner,
+        region=source.spec.get("region", "us-west"),
+    )
+    mid = metastore.id
+    by_id = {e.id: e for e in deployment.entities_of(source.id)}
+    names: dict[str, str] = {source.id: ""}
+
+    def full_name(entity) -> str:
+        prefix = names[entity.parent_id]
+        return f"{prefix}.{entity.name}" if prefix else entity.name
+
+    created = 0
+    for catalog in sorted(deployment.catalogs, key=lambda e: e.name):
+        if catalog.metastore_id != source.id:
+            continue
+        names[catalog.id] = catalog.name
+        service.create_securable(mid, owner, Kind.CATALOG, catalog.name)
+    for schema in sorted(deployment.schemas, key=lambda e: e.name):
+        if schema.metastore_id != source.id or schema.parent_id not in names:
+            continue
+        names[schema.id] = full_name(schema)
+        service.create_securable(mid, owner, Kind.SCHEMA, names[schema.id])
+    for asset in deployment.assets():
+        if asset.metastore_id != source.id or asset.parent_id not in names:
+            continue
+        if max_assets is not None and created >= max_assets:
+            break
+        if asset.kind is Kind.TABLE:
+            spec = dict(asset.spec)
+            # synthetic external paths are not covered by locations; the
+            # live population uses catalog-managed storage throughout
+            if spec.get("table_type") in ("MANAGED", "EXTERNAL",
+                                          "SHALLOW_CLONE"):
+                spec["table_type"] = "MANAGED"
+            if spec.get("table_type") == "SHALLOW_CLONE":
+                continue
+            service.create_securable(
+                mid, owner, Kind.TABLE, full_name(asset), spec=spec,
+            )
+        elif asset.kind is Kind.VOLUME:
+            service.create_securable(
+                mid, owner, Kind.VOLUME, full_name(asset),
+                spec={"volume_type": "MANAGED"},
+            )
+        elif asset.kind is Kind.REGISTERED_MODEL:
+            service.create_securable(
+                mid, owner, Kind.REGISTERED_MODEL, full_name(asset),
+            )
+        elif asset.kind is Kind.FUNCTION:
+            service.create_securable(
+                mid, owner, Kind.FUNCTION, full_name(asset),
+                spec=dict(asset.spec),
+            )
+        created += 1
+    return mid
+
+
+def _creation_time(rng: random.Random, type_key: str, horizon: float) -> float:
+    """Draw a creation time from the type's adoption curve.
+
+    cumulative(t) ~ t**k  =>  t = u**(1/k); larger k = more creations
+    late in the window = accelerating adoption.
+    """
+    exponent = GROWTH_EXPONENTS.get(type_key, 1.3)
+    return horizon * (rng.random() ** (1.0 / exponent)) * 86400.0
+
+
+def _columns(rng: random.Random, mode: float) -> list[dict]:
+    count = max(1, int(rng.lognormvariate(math.log(mode), 0.6)))
+    count = min(count, 120)
+    types = ["INT", "BIGINT", "STRING", "DOUBLE", "TIMESTAMP", "BOOLEAN", "DATE"]
+    return [
+        {"name": f"c{i}", "type": rng.choice(types)}
+        for i in range(count)
+    ]
+
+
+def generate_deployment(config: Optional[DeploymentConfig] = None) -> SyntheticDeployment:
+    """Generate the full synthetic population."""
+    config = config or DeploymentConfig()
+    rng = random.Random(config.seed)
+    deployment = SyntheticDeployment(config=config)
+    horizon = config.horizon_days
+
+    for m in range(config.metastores):
+        metastore_id = new_entity_id()
+        created = _creation_time(rng, "metastore", horizon * 0.2)
+        metastore = Entity(
+            id=metastore_id,
+            kind=SecurableKind.METASTORE,
+            name=f"metastore_{m}",
+            metastore_id=metastore_id,
+            parent_id=None,
+            owner=f"admin_{m}",
+            created_at=created,
+            updated_at=created,
+            spec={"region": rng.choice(["us-west", "us-east", "eu-west", "ap-south"])},
+        )
+        deployment.metastores.append(metastore)
+
+        # a per-metastore scale makes the *metastore* size distribution
+        # heavy-tailed too (Figure 4), not just per-catalog asset counts
+        metastore_scale = rng.lognormvariate(0.0, 1.3)
+        catalog_count = _heavy_tailed(
+            rng, config.catalog_mode, config.tail_alpha,
+            config.tail_probability, config.catalog_cap,
+        )
+        catalog_count = max(1, min(int(catalog_count * metastore_scale),
+                                   config.catalog_cap))
+        for c in range(catalog_count):
+            catalog = _container(
+                rng, SecurableKind.CATALOG, f"catalog_{m}_{c}", metastore_id,
+                metastore_id, horizon,
+            )
+            deployment.catalogs.append(catalog)
+
+            # distribute the catalog's asset budget over its schemas
+            table_budget = _heavy_tailed(
+                rng, config.tables_per_catalog_mode, config.tail_alpha,
+                config.tail_probability, config.tables_cap,
+            )
+            volume_budget = _heavy_tailed(
+                rng, config.volumes_per_catalog_mode, config.tail_alpha,
+                config.tail_probability, config.volumes_cap,
+            )
+            schema_count = _heavy_tailed(
+                rng, config.schema_mode, 1.5, 0.01, config.schema_cap
+            )
+            for s in range(schema_count):
+                schema = _container(
+                    rng, SecurableKind.SCHEMA, f"schema_{s}", catalog.id,
+                    metastore_id, horizon,
+                )
+                deployment.schemas.append(schema)
+                composition = _weighted_choice(rng, SCHEMA_COMPOSITION_MIX)
+                _populate_schema(
+                    rng, deployment, schema, composition, config,
+                    table_budget=max(1, table_budget // schema_count),
+                    volume_budget=max(1, volume_budget // schema_count),
+                    horizon=horizon,
+                )
+    return deployment
+
+
+def _container(
+    rng: random.Random, kind: SecurableKind, name: str, parent_id: str,
+    metastore_id: str, horizon: float,
+) -> Entity:
+    created = _creation_time(rng, "container", horizon)
+    return Entity(
+        id=new_entity_id(),
+        kind=kind,
+        name=name,
+        metastore_id=metastore_id,
+        parent_id=parent_id,
+        owner="admin",
+        created_at=created,
+        updated_at=created,
+    )
+
+
+def _populate_schema(
+    rng: random.Random,
+    deployment: SyntheticDeployment,
+    schema: Entity,
+    composition: str,
+    config: DeploymentConfig,
+    table_budget: int,
+    volume_budget: int,
+    horizon: float,
+) -> None:
+    want_tables = composition in ("tables_only", "tables_and_volumes", "mixed")
+    want_volumes = composition in ("volumes_only", "tables_and_volumes", "mixed")
+    want_models = composition in ("models_only", "mixed")
+    want_functions = composition == "mixed"
+
+    if want_tables:
+        for t in range(table_budget):
+            deployment.tables.append(
+                _make_table(rng, schema, f"table_{t}", config, horizon)
+            )
+    if want_volumes:
+        for v in range(volume_budget):
+            deployment.volumes.append(
+                _make_volume(rng, schema, f"volume_{v}", horizon)
+            )
+    if want_models:
+        count = max(1, int(rng.lognormvariate(
+            math.log(config.models_per_schema_mode), 0.8)))
+        for m in range(count):
+            deployment.models.append(_make_model(rng, schema, f"model_{m}", horizon))
+    if want_functions:
+        count = max(1, int(rng.lognormvariate(
+            math.log(config.functions_per_schema_mode), 0.8)))
+        for f in range(count):
+            deployment.functions.append(
+                _make_function(rng, schema, f"fn_{f}", horizon)
+            )
+
+
+def _make_table(
+    rng: random.Random, schema: Entity, name: str, config: DeploymentConfig,
+    horizon: float,
+) -> Entity:
+    table_type = _weighted_choice(rng, TABLE_TYPE_MIX)
+    spec: dict = {"table_type": table_type,
+                  "columns": _columns(rng, config.columns_mode)}
+    storage_path = None
+    if table_type in ("MANAGED", "EXTERNAL", "SHALLOW_CLONE"):
+        spec["format"] = _weighted_choice(rng, TABLE_FORMAT_MIX)
+        storage_path = (
+            f"s3://synthetic/{schema.metastore_id}/tables/{new_entity_id()}"
+        )
+    elif table_type in ("VIEW", "MATERIALIZED_VIEW"):
+        spec["view_definition"] = "SELECT 1 AS one"
+    else:  # FOREIGN
+        spec["foreign_source"] = _weighted_choice(rng, FOREIGN_SOURCE_MIX)
+    created = _creation_time(rng, table_type, horizon)
+    return Entity(
+        id=new_entity_id(),
+        kind=SecurableKind.TABLE,
+        name=name,
+        metastore_id=schema.metastore_id,
+        parent_id=schema.id,
+        owner="admin",
+        created_at=created,
+        updated_at=created,
+        storage_path=storage_path,
+        spec=spec,
+    )
+
+
+def _make_volume(rng: random.Random, schema: Entity, name: str,
+                 horizon: float) -> Entity:
+    created = _creation_time(rng, "volume", horizon)
+    volume_type = "MANAGED" if rng.random() < 0.7 else "EXTERNAL"
+    return Entity(
+        id=new_entity_id(),
+        kind=SecurableKind.VOLUME,
+        name=name,
+        metastore_id=schema.metastore_id,
+        parent_id=schema.id,
+        owner="admin",
+        created_at=created,
+        updated_at=created,
+        storage_path=f"s3://synthetic/{schema.metastore_id}/volumes/{new_entity_id()}",
+        spec={"volume_type": volume_type},
+    )
+
+
+def _make_model(rng: random.Random, schema: Entity, name: str,
+                horizon: float) -> Entity:
+    created = _creation_time(rng, "model", horizon)
+    return Entity(
+        id=new_entity_id(),
+        kind=SecurableKind.REGISTERED_MODEL,
+        name=name,
+        metastore_id=schema.metastore_id,
+        parent_id=schema.id,
+        owner="admin",
+        created_at=created,
+        updated_at=created,
+        storage_path=f"s3://synthetic/{schema.metastore_id}/models/{new_entity_id()}",
+    )
+
+
+def _make_function(rng: random.Random, schema: Entity, name: str,
+                   horizon: float) -> Entity:
+    created = _creation_time(rng, "function", horizon)
+    return Entity(
+        id=new_entity_id(),
+        kind=SecurableKind.FUNCTION,
+        name=name,
+        metastore_id=schema.metastore_id,
+        parent_id=schema.id,
+        owner="admin",
+        created_at=created,
+        updated_at=created,
+        spec={"definition": "x + 1"},
+    )

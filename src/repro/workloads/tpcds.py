@@ -1,0 +1,182 @@
+"""TPC-DS schema (24 base tables) and per-query table sets.
+
+As with TPC-H, Figure 10(a) exercises the *metadata path*, so this module
+provides the full TPC-DS base schema (fact + dimension tables with
+representative column subsets) and the table sets of a broad sample of
+the official query suite. Table sets for the sampled queries follow the
+published query text; queries whose table sets coincide with a sampled
+one are represented by it.
+"""
+
+from __future__ import annotations
+
+
+def _cols(*names_types: tuple[str, str]) -> list[dict]:
+    return [{"name": n, "type": t} for n, t in names_types]
+
+
+TPCDS_TABLES: dict[str, list[dict]] = {
+    # fact tables
+    "store_sales": _cols(
+        ("ss_sold_date_sk", "INT"), ("ss_item_sk", "INT"),
+        ("ss_customer_sk", "INT"), ("ss_store_sk", "INT"),
+        ("ss_promo_sk", "INT"), ("ss_quantity", "INT"),
+        ("ss_sales_price", "DOUBLE"), ("ss_ext_sales_price", "DOUBLE"),
+        ("ss_net_profit", "DOUBLE"), ("ss_ticket_number", "BIGINT"),
+    ),
+    "store_returns": _cols(
+        ("sr_returned_date_sk", "INT"), ("sr_item_sk", "INT"),
+        ("sr_customer_sk", "INT"), ("sr_ticket_number", "BIGINT"),
+        ("sr_return_amt", "DOUBLE"), ("sr_store_sk", "INT"),
+    ),
+    "catalog_sales": _cols(
+        ("cs_sold_date_sk", "INT"), ("cs_item_sk", "INT"),
+        ("cs_bill_customer_sk", "INT"), ("cs_call_center_sk", "INT"),
+        ("cs_quantity", "INT"), ("cs_ext_sales_price", "DOUBLE"),
+        ("cs_net_profit", "DOUBLE"), ("cs_order_number", "BIGINT"),
+    ),
+    "catalog_returns": _cols(
+        ("cr_returned_date_sk", "INT"), ("cr_item_sk", "INT"),
+        ("cr_order_number", "BIGINT"), ("cr_return_amount", "DOUBLE"),
+    ),
+    "web_sales": _cols(
+        ("ws_sold_date_sk", "INT"), ("ws_item_sk", "INT"),
+        ("ws_bill_customer_sk", "INT"), ("ws_web_site_sk", "INT"),
+        ("ws_quantity", "INT"), ("ws_ext_sales_price", "DOUBLE"),
+        ("ws_net_profit", "DOUBLE"), ("ws_order_number", "BIGINT"),
+    ),
+    "web_returns": _cols(
+        ("wr_returned_date_sk", "INT"), ("wr_item_sk", "INT"),
+        ("wr_order_number", "BIGINT"), ("wr_return_amt", "DOUBLE"),
+    ),
+    "inventory": _cols(
+        ("inv_date_sk", "INT"), ("inv_item_sk", "INT"),
+        ("inv_warehouse_sk", "INT"), ("inv_quantity_on_hand", "INT"),
+    ),
+    # dimensions
+    "date_dim": _cols(
+        ("d_date_sk", "INT"), ("d_date", "DATE"), ("d_year", "INT"),
+        ("d_moy", "INT"), ("d_dom", "INT"), ("d_qoy", "INT"),
+        ("d_day_name", "STRING"),
+    ),
+    "time_dim": _cols(
+        ("t_time_sk", "INT"), ("t_hour", "INT"), ("t_minute", "INT"),
+    ),
+    "item": _cols(
+        ("i_item_sk", "INT"), ("i_item_id", "STRING"),
+        ("i_brand", "STRING"), ("i_category", "STRING"),
+        ("i_class", "STRING"), ("i_current_price", "DOUBLE"),
+        ("i_manufact_id", "INT"),
+    ),
+    "customer": _cols(
+        ("c_customer_sk", "INT"), ("c_customer_id", "STRING"),
+        ("c_first_name", "STRING"), ("c_last_name", "STRING"),
+        ("c_current_addr_sk", "INT"), ("c_current_cdemo_sk", "INT"),
+        ("c_birth_country", "STRING"),
+    ),
+    "customer_address": _cols(
+        ("ca_address_sk", "INT"), ("ca_state", "STRING"),
+        ("ca_county", "STRING"), ("ca_country", "STRING"),
+        ("ca_gmt_offset", "DOUBLE"), ("ca_zip", "STRING"),
+    ),
+    "customer_demographics": _cols(
+        ("cd_demo_sk", "INT"), ("cd_gender", "STRING"),
+        ("cd_marital_status", "STRING"), ("cd_education_status", "STRING"),
+    ),
+    "household_demographics": _cols(
+        ("hd_demo_sk", "INT"), ("hd_income_band_sk", "INT"),
+        ("hd_dep_count", "INT"), ("hd_buy_potential", "STRING"),
+    ),
+    "income_band": _cols(
+        ("ib_income_band_sk", "INT"), ("ib_lower_bound", "INT"),
+        ("ib_upper_bound", "INT"),
+    ),
+    "store": _cols(
+        ("s_store_sk", "INT"), ("s_store_id", "STRING"),
+        ("s_store_name", "STRING"), ("s_state", "STRING"),
+        ("s_county", "STRING"), ("s_gmt_offset", "DOUBLE"),
+    ),
+    "call_center": _cols(
+        ("cc_call_center_sk", "INT"), ("cc_name", "STRING"),
+        ("cc_county", "STRING"),
+    ),
+    "catalog_page": _cols(
+        ("cp_catalog_page_sk", "INT"), ("cp_catalog_page_id", "STRING"),
+    ),
+    "web_site": _cols(
+        ("web_site_sk", "INT"), ("web_site_id", "STRING"),
+        ("web_name", "STRING"),
+    ),
+    "web_page": _cols(
+        ("wp_web_page_sk", "INT"), ("wp_web_page_id", "STRING"),
+    ),
+    "warehouse": _cols(
+        ("w_warehouse_sk", "INT"), ("w_warehouse_name", "STRING"),
+        ("w_state", "STRING"),
+    ),
+    "promotion": _cols(
+        ("p_promo_sk", "INT"), ("p_promo_id", "STRING"),
+        ("p_channel_email", "STRING"), ("p_channel_tv", "STRING"),
+    ),
+    "reason": _cols(
+        ("r_reason_sk", "INT"), ("r_reason_desc", "STRING"),
+    ),
+    "ship_mode": _cols(
+        ("sm_ship_mode_sk", "INT"), ("sm_type", "STRING"),
+        ("sm_carrier", "STRING"),
+    ),
+}
+
+#: Table sets of a broad sample of the TPC-DS query suite (by query
+#: number in the official ordering).
+TPCDS_QUERY_TABLES: dict[str, list[str]] = {
+    "q1": ["store_returns", "date_dim", "store", "customer"],
+    "q3": ["date_dim", "store_sales", "item"],
+    "q6": ["customer_address", "customer", "store_sales", "date_dim", "item"],
+    "q7": ["store_sales", "customer_demographics", "date_dim", "item",
+           "promotion"],
+    "q9": ["store_sales", "reason"],
+    "q13": ["store_sales", "store", "customer_demographics",
+            "household_demographics", "customer_address", "date_dim"],
+    "q15": ["catalog_sales", "customer", "customer_address", "date_dim"],
+    "q19": ["date_dim", "store_sales", "item", "customer",
+            "customer_address", "store"],
+    "q21": ["inventory", "warehouse", "item", "date_dim"],
+    "q25": ["store_sales", "store_returns", "catalog_sales", "date_dim",
+            "store", "item"],
+    "q26": ["catalog_sales", "customer_demographics", "date_dim", "item",
+            "promotion"],
+    "q29": ["store_sales", "store_returns", "catalog_sales", "date_dim",
+            "store", "item"],
+    "q33": ["store_sales", "catalog_sales", "web_sales", "date_dim",
+            "customer_address", "item"],
+    "q37": ["item", "inventory", "date_dim", "catalog_sales"],
+    "q42": ["date_dim", "store_sales", "item"],
+    "q43": ["date_dim", "store_sales", "store"],
+    "q46": ["store_sales", "date_dim", "store", "household_demographics",
+            "customer_address", "customer"],
+    "q48": ["store_sales", "store", "customer_demographics",
+            "customer_address", "date_dim"],
+    "q52": ["date_dim", "store_sales", "item"],
+    "q55": ["date_dim", "store_sales", "item"],
+    "q59": ["store_sales", "date_dim", "store"],
+    "q61": ["store_sales", "store", "promotion", "date_dim", "customer",
+            "customer_address", "item"],
+    "q65": ["store", "item", "store_sales", "date_dim"],
+    "q68": ["store_sales", "date_dim", "store", "household_demographics",
+            "customer_address", "customer"],
+    "q72": ["catalog_sales", "inventory", "warehouse", "item",
+            "customer_demographics", "household_demographics", "date_dim",
+            "promotion", "catalog_returns"],
+    "q75": ["catalog_sales", "catalog_returns", "store_sales",
+            "store_returns", "web_sales", "web_returns", "item", "date_dim"],
+    "q78": ["web_sales", "web_returns", "store_sales", "store_returns",
+            "catalog_sales", "catalog_returns", "date_dim"],
+    "q83": ["store_returns", "catalog_returns", "web_returns", "item",
+            "date_dim"],
+    "q88": ["store_sales", "household_demographics", "time_dim", "store"],
+    "q90": ["web_sales", "household_demographics", "time_dim", "web_page"],
+    "q96": ["store_sales", "household_demographics", "time_dim", "store"],
+    "q99": ["catalog_sales", "warehouse", "ship_mode", "call_center",
+            "date_dim"],
+}

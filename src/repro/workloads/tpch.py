@@ -1,0 +1,116 @@
+"""TPC-H schema and per-query table sets (for Figure 10(a)).
+
+The benchmark measures the *metadata path* of each query — which
+securables an engine must resolve, authorize, and obtain credentials for
+— so what matters here is the real TPC-H schema and the exact set of
+tables each of the 22 queries touches.
+"""
+
+from __future__ import annotations
+
+TPCH_TABLES: dict[str, list[dict]] = {
+    "region": [
+        {"name": "r_regionkey", "type": "INT"},
+        {"name": "r_name", "type": "STRING"},
+        {"name": "r_comment", "type": "STRING"},
+    ],
+    "nation": [
+        {"name": "n_nationkey", "type": "INT"},
+        {"name": "n_name", "type": "STRING"},
+        {"name": "n_regionkey", "type": "INT"},
+        {"name": "n_comment", "type": "STRING"},
+    ],
+    "supplier": [
+        {"name": "s_suppkey", "type": "INT"},
+        {"name": "s_name", "type": "STRING"},
+        {"name": "s_address", "type": "STRING"},
+        {"name": "s_nationkey", "type": "INT"},
+        {"name": "s_phone", "type": "STRING"},
+        {"name": "s_acctbal", "type": "DOUBLE"},
+        {"name": "s_comment", "type": "STRING"},
+    ],
+    "customer": [
+        {"name": "c_custkey", "type": "INT"},
+        {"name": "c_name", "type": "STRING"},
+        {"name": "c_address", "type": "STRING"},
+        {"name": "c_nationkey", "type": "INT"},
+        {"name": "c_phone", "type": "STRING"},
+        {"name": "c_acctbal", "type": "DOUBLE"},
+        {"name": "c_mktsegment", "type": "STRING"},
+        {"name": "c_comment", "type": "STRING"},
+    ],
+    "part": [
+        {"name": "p_partkey", "type": "INT"},
+        {"name": "p_name", "type": "STRING"},
+        {"name": "p_mfgr", "type": "STRING"},
+        {"name": "p_brand", "type": "STRING"},
+        {"name": "p_type", "type": "STRING"},
+        {"name": "p_size", "type": "INT"},
+        {"name": "p_container", "type": "STRING"},
+        {"name": "p_retailprice", "type": "DOUBLE"},
+        {"name": "p_comment", "type": "STRING"},
+    ],
+    "partsupp": [
+        {"name": "ps_partkey", "type": "INT"},
+        {"name": "ps_suppkey", "type": "INT"},
+        {"name": "ps_availqty", "type": "INT"},
+        {"name": "ps_supplycost", "type": "DOUBLE"},
+        {"name": "ps_comment", "type": "STRING"},
+    ],
+    "orders": [
+        {"name": "o_orderkey", "type": "INT"},
+        {"name": "o_custkey", "type": "INT"},
+        {"name": "o_orderstatus", "type": "STRING"},
+        {"name": "o_totalprice", "type": "DOUBLE"},
+        {"name": "o_orderdate", "type": "DATE"},
+        {"name": "o_orderpriority", "type": "STRING"},
+        {"name": "o_clerk", "type": "STRING"},
+        {"name": "o_shippriority", "type": "INT"},
+        {"name": "o_comment", "type": "STRING"},
+    ],
+    "lineitem": [
+        {"name": "l_orderkey", "type": "INT"},
+        {"name": "l_partkey", "type": "INT"},
+        {"name": "l_suppkey", "type": "INT"},
+        {"name": "l_linenumber", "type": "INT"},
+        {"name": "l_quantity", "type": "DOUBLE"},
+        {"name": "l_extendedprice", "type": "DOUBLE"},
+        {"name": "l_discount", "type": "DOUBLE"},
+        {"name": "l_tax", "type": "DOUBLE"},
+        {"name": "l_returnflag", "type": "STRING"},
+        {"name": "l_linestatus", "type": "STRING"},
+        {"name": "l_shipdate", "type": "DATE"},
+        {"name": "l_commitdate", "type": "DATE"},
+        {"name": "l_receiptdate", "type": "DATE"},
+        {"name": "l_shipinstruct", "type": "STRING"},
+        {"name": "l_shipmode", "type": "STRING"},
+        {"name": "l_comment", "type": "STRING"},
+    ],
+}
+
+#: Tables referenced by each of the 22 TPC-H queries.
+TPCH_QUERY_TABLES: dict[str, list[str]] = {
+    "q1": ["lineitem"],
+    "q2": ["part", "supplier", "partsupp", "nation", "region"],
+    "q3": ["customer", "orders", "lineitem"],
+    "q4": ["orders", "lineitem"],
+    "q5": ["customer", "orders", "lineitem", "supplier", "nation", "region"],
+    "q6": ["lineitem"],
+    "q7": ["supplier", "lineitem", "orders", "customer", "nation"],
+    "q8": ["part", "supplier", "lineitem", "orders", "customer", "nation",
+           "region"],
+    "q9": ["part", "supplier", "lineitem", "partsupp", "orders", "nation"],
+    "q10": ["customer", "orders", "lineitem", "nation"],
+    "q11": ["partsupp", "supplier", "nation"],
+    "q12": ["orders", "lineitem"],
+    "q13": ["customer", "orders"],
+    "q14": ["lineitem", "part"],
+    "q15": ["lineitem", "supplier"],
+    "q16": ["partsupp", "part", "supplier"],
+    "q17": ["lineitem", "part"],
+    "q18": ["customer", "orders", "lineitem"],
+    "q19": ["lineitem", "part"],
+    "q20": ["supplier", "nation", "partsupp", "part", "lineitem"],
+    "q21": ["supplier", "lineitem", "orders", "nation"],
+    "q22": ["customer", "orders"],
+}

@@ -1,0 +1,73 @@
+"""Shared fixtures: a simulated clock, a catalog service, and a populated
+metastore with users, containers, and data tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimClock
+from repro.cloudstore.sts import AccessLevel
+from repro.core.auth.privileges import Privilege
+from repro.core.model.entity import SecurableKind
+from repro.core.service.catalog_service import UnityCatalogService
+from repro.engine.session import EngineSession
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def service(clock) -> UnityCatalogService:
+    svc = UnityCatalogService(clock=clock)
+    directory = svc.directory
+    directory.add_user("alice")   # metastore owner / admin
+    directory.add_user("bob")     # unprivileged user
+    directory.add_user("carol")   # data engineer
+    directory.add_group("engineers")
+    directory.add_member("engineers", "carol")
+    directory.add_service_principal("spark-prod", trusted_engine=True)
+    return svc
+
+
+@pytest.fixture
+def metastore_id(service) -> str:
+    entity = service.create_metastore("main", owner="alice")
+    return entity.id
+
+
+@pytest.fixture
+def populated(service, metastore_id):
+    """A catalog/schema pair plus one managed table with data."""
+    service.create_securable(metastore_id, "alice", SecurableKind.CATALOG, "sales")
+    service.create_securable(metastore_id, "alice", SecurableKind.SCHEMA, "sales.q1")
+    session = EngineSession(service, metastore_id, "alice", trusted=True,
+                            clock=service.clock)
+    session.sql(
+        "CREATE TABLE sales.q1.orders (id INT, customer STRING, amount INT, "
+        "region STRING)"
+    )
+    session.sql(
+        "INSERT INTO sales.q1.orders VALUES "
+        "(1, 'acme', 100, 'west'), (2, 'globex', 250, 'east'), "
+        "(3, 'initech', 75, 'west'), (4, 'umbrella', 500, 'east')"
+    )
+    return {"metastore_id": metastore_id, "session": session}
+
+
+@pytest.fixture
+def alice_session(service, populated) -> EngineSession:
+    return populated["session"]
+
+
+def grant_table_access(service, metastore_id, principal: str,
+                       table: str = "sales.q1.orders") -> None:
+    """Grant the usage chain + SELECT needed to read one table."""
+    catalog, schema, _ = table.split(".")
+    service.grant(metastore_id, "alice", SecurableKind.CATALOG, catalog,
+                  principal, Privilege.USE_CATALOG)
+    service.grant(metastore_id, "alice", SecurableKind.SCHEMA,
+                  f"{catalog}.{schema}", principal, Privilege.USE_SCHEMA)
+    service.grant(metastore_id, "alice", SecurableKind.TABLE, table,
+                  principal, Privilege.SELECT)

@@ -1,0 +1,179 @@
+"""Workspace bindings, information_schema queries, and shallow clones."""
+
+import pytest
+
+from repro.core.auth.privileges import Privilege
+from repro.core.model.entity import SecurableKind
+from repro.engine.session import EngineSession
+from repro.errors import InvalidRequestError, PermissionDeniedError
+
+from tests.conftest import grant_table_access
+
+TABLE = "sales.q1.orders"
+
+
+class TestWorkspaceBindings:
+    @pytest.fixture
+    def mid(self, service, populated):
+        mid = populated["metastore_id"]
+        service.update_securable(
+            mid, "alice", SecurableKind.CATALOG, "sales",
+            spec_changes={"workspace_bindings": ["prod-ws"]},
+        )
+        return mid
+
+    def test_bound_catalog_blocks_other_workspaces(self, service, mid):
+        with pytest.raises(PermissionDeniedError):
+            service.resolve_for_query(mid, "alice", [TABLE],
+                                      workspace="dev-ws")
+
+    def test_bound_catalog_allows_listed_workspace(self, service, mid):
+        service.resolve_for_query(mid, "alice", [TABLE], workspace="prod-ws")
+
+    def test_no_workspace_context_unrestricted(self, service, mid):
+        service.resolve_for_query(mid, "alice", [TABLE])
+
+    def test_unbound_catalog_open_to_all_workspaces(self, service, populated):
+        mid = populated["metastore_id"]
+        service.resolve_for_query(mid, "alice", [TABLE], workspace="any-ws")
+
+    def test_engine_session_carries_workspace(self, service, mid):
+        dev = EngineSession(service, mid, "alice", trusted=True,
+                            clock=service.clock, workspace="dev-ws")
+        with pytest.raises(PermissionDeniedError):
+            dev.sql(f"SELECT * FROM {TABLE}")
+        prod = EngineSession(service, mid, "alice", trusted=True,
+                             clock=service.clock, workspace="prod-ws")
+        assert len(prod.sql(f"SELECT * FROM {TABLE}").rows) == 4
+
+
+class TestInformationSchema:
+    @pytest.fixture
+    def mid(self, service, populated):
+        mid = populated["metastore_id"]
+        session = populated["session"]
+        session.sql("CREATE TABLE sales.q1.returns (id INT)")
+        session.sql(f"CREATE VIEW sales.q1.v AS SELECT id FROM {TABLE}")
+        return mid
+
+    def test_lists_all_tables(self, service, mid):
+        rows = service.query_information_schema(mid, "alice",
+                                                SecurableKind.TABLE)
+        names = [r["name"] for r in rows]
+        assert names == ["orders", "returns", "v"]
+
+    def test_columns_present(self, service, mid):
+        rows = service.query_information_schema(mid, "alice",
+                                                SecurableKind.TABLE)
+        row = rows[0]
+        assert row["catalog_name"] == "sales"
+        assert row["schema_name"] == "q1"
+        assert row["owner"] == "alice"
+
+    def test_pushdown_equality(self, service, mid):
+        rows = service.query_information_schema(
+            mid, "alice", SecurableKind.TABLE,
+            where=(("table_type", "=", "VIEW"),),
+        )
+        assert [r["name"] for r in rows] == ["v"]
+
+    def test_pushdown_range(self, service, mid, clock):
+        clock.advance(100)
+        session = EngineSession(service, mid, "alice", trusted=True,
+                                clock=clock)
+        session.sql("CREATE TABLE sales.q1.late (id INT)")
+        rows = service.query_information_schema(
+            mid, "alice", SecurableKind.TABLE,
+            where=(("created_at", ">=", 100.0),),
+        )
+        assert [r["name"] for r in rows] == ["late"]
+
+    def test_catalog_and_schema_filters(self, service, mid):
+        service.create_securable(mid, "alice", SecurableKind.CATALOG, "hr")
+        rows = service.query_information_schema(
+            mid, "alice", SecurableKind.SCHEMA, catalog="sales"
+        )
+        assert [r["name"] for r in rows] == ["q1"]
+
+    def test_limit(self, service, mid):
+        rows = service.query_information_schema(
+            mid, "alice", SecurableKind.TABLE, limit=2
+        )
+        assert len(rows) == 2
+
+    def test_visibility_enforced(self, service, mid):
+        assert service.query_information_schema(
+            mid, "bob", SecurableKind.TABLE) == []
+        grant_table_access(service, mid, "bob")
+        rows = service.query_information_schema(mid, "bob",
+                                                SecurableKind.TABLE)
+        assert [r["name"] for r in rows] == ["orders"]
+
+    def test_unknown_column_rejected(self, service, mid):
+        with pytest.raises(InvalidRequestError):
+            service.query_information_schema(
+                mid, "alice", SecurableKind.TABLE,
+                where=(("bogus", "=", 1),),
+            )
+
+    def test_unknown_operator_rejected(self, service, mid):
+        with pytest.raises(InvalidRequestError):
+            service.query_information_schema(
+                mid, "alice", SecurableKind.TABLE,
+                where=(("name", "~", "x"),),
+            )
+
+
+class TestShallowClones:
+    @pytest.fixture
+    def mid(self, service, populated):
+        mid = populated["metastore_id"]
+        service.create_securable(
+            mid, "alice", SecurableKind.TABLE, "sales.q1.orders_clone",
+            spec={"table_type": "SHALLOW_CLONE", "base_table": TABLE,
+                  "columns": [{"name": "id", "type": "INT"},
+                              {"name": "customer", "type": "STRING"},
+                              {"name": "amount", "type": "INT"},
+                              {"name": "region", "type": "STRING"}]},
+        )
+        return mid
+
+    def test_clone_serves_base_data(self, service, mid, populated):
+        session = populated["session"]
+        rows = session.sql(
+            "SELECT id FROM sales.q1.orders_clone ORDER BY id").rows
+        assert [r["id"] for r in rows] == [1, 2, 3, 4]
+
+    def test_clone_grant_suffices_without_base_access(self, service, mid):
+        """Like views: SELECT on the clone grants access to its data even
+        without privileges on the base table (trusted engines only)."""
+        grant_table_access(service, mid, "bob", "sales.q1.orders_clone")
+        bob = EngineSession(service, mid, "bob", trusted=True,
+                            clock=service.clock)
+        rows = bob.sql("SELECT id FROM sales.q1.orders_clone").rows
+        assert len(rows) == 4
+        with pytest.raises(PermissionDeniedError):
+            bob.sql(f"SELECT id FROM {TABLE}")
+
+    def test_clone_fgac_applies_to_clone_readers(self, service, mid):
+        grant_table_access(service, mid, "bob", "sales.q1.orders_clone")
+        service.set_row_filter(mid, "alice", "sales.q1.orders_clone",
+                               "west", "region = 'west'")
+        bob = EngineSession(service, mid, "bob", trusted=True,
+                            clock=service.clock)
+        rows = bob.sql("SELECT id FROM sales.q1.orders_clone ORDER BY id").rows
+        assert [r["id"] for r in rows] == [1, 3]
+
+    def test_clone_requires_select_on_base_at_creation(self, service,
+                                                       populated):
+        mid = populated["metastore_id"]
+        grant_table_access(service, mid, "carol", TABLE)
+        service.grant(mid, "alice", SecurableKind.SCHEMA, "sales.q1",
+                      "carol", Privilege.CREATE_TABLE)
+        service.revoke(mid, "alice", SecurableKind.TABLE, TABLE, "carol",
+                       Privilege.SELECT)
+        with pytest.raises(PermissionDeniedError):
+            service.create_securable(
+                mid, "carol", SecurableKind.TABLE, "sales.q1.carol_clone",
+                spec={"table_type": "SHALLOW_CLONE", "base_table": TABLE},
+            )

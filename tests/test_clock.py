@@ -1,0 +1,95 @@
+"""SimClock: deterministic time with scheduled callbacks."""
+
+import pytest
+
+from repro.clock import SimClock, WallClock
+
+
+def test_starts_at_zero():
+    assert SimClock().now() == 0.0
+
+
+def test_advance_moves_time():
+    clock = SimClock()
+    clock.advance(5.5)
+    assert clock.now() == 5.5
+
+
+def test_advance_accumulates():
+    clock = SimClock(start=10.0)
+    clock.advance(1)
+    clock.advance(2)
+    assert clock.now() == 13.0
+
+
+def test_advance_rejects_negative():
+    with pytest.raises(ValueError):
+        SimClock().advance(-1)
+
+
+def test_schedule_fires_in_order():
+    clock = SimClock()
+    fired = []
+    clock.schedule(3, lambda: fired.append(("b", clock.now())))
+    clock.schedule(1, lambda: fired.append(("a", clock.now())))
+    clock.advance(5)
+    assert fired == [("a", 1.0), ("b", 3.0)]
+
+
+def test_schedule_not_fired_before_due():
+    clock = SimClock()
+    fired = []
+    clock.schedule(10, lambda: fired.append(1))
+    clock.advance(9.99)
+    assert fired == []
+
+
+def test_callback_sees_scheduled_time():
+    clock = SimClock()
+    seen = []
+    clock.schedule(2, lambda: seen.append(clock.now()))
+    clock.advance(100)
+    assert seen == [2.0]
+    assert clock.now() == 100.0
+
+
+def test_callbacks_can_schedule_more():
+    clock = SimClock()
+    fired = []
+
+    def chain():
+        fired.append(clock.now())
+        if len(fired) < 3:
+            clock.schedule(1, chain)
+
+    clock.schedule(1, chain)
+    clock.run_until(10)
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_run_all_drains_events():
+    clock = SimClock()
+    fired = []
+    clock.schedule(7, lambda: fired.append(1))
+    clock.schedule(3, lambda: fired.append(2))
+    clock.run_all()
+    assert fired == [2, 1]
+    assert clock.now() == 7.0
+
+
+def test_run_until_rejects_past():
+    clock = SimClock(start=5)
+    with pytest.raises(ValueError):
+        clock.run_until(1)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        SimClock().schedule(-1, lambda: None)
+
+
+def test_wall_clock_monotonic_enough():
+    clock = WallClock()
+    a = clock.now()
+    b = clock.now()
+    assert b >= a

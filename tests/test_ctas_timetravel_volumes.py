@@ -1,0 +1,174 @@
+"""CTAS, time travel, and the volume file API."""
+
+import pytest
+
+from repro.core.auth.privileges import Privilege
+from repro.core.model.entity import SecurableKind
+from repro.core.volumes import VolumeClient
+from repro.engine.session import EngineSession
+from repro.errors import (
+    CredentialError,
+    InvalidRequestError,
+    NotFoundError,
+    PermissionDeniedError,
+)
+
+from tests.conftest import grant_table_access
+
+TABLE = "sales.q1.orders"
+
+
+class TestCtas:
+    def test_ctas_creates_and_populates(self, service, populated):
+        session = populated["session"]
+        result = session.sql(
+            f"CREATE TABLE sales.q1.east_orders AS "
+            f"SELECT id, customer, amount FROM {TABLE} WHERE region = 'east'"
+        )
+        assert result.rowcount == 2
+        rows = session.sql(
+            "SELECT id FROM sales.q1.east_orders ORDER BY id").rows
+        assert [r["id"] for r in rows] == [2, 4]
+
+    def test_ctas_infers_schema(self, service, populated):
+        mid = populated["metastore_id"]
+        session = populated["session"]
+        session.sql(f"CREATE TABLE sales.q1.sums AS "
+                    f"SELECT region, SUM(amount) AS total FROM {TABLE} "
+                    f"GROUP BY region")
+        entity = service.get_securable(mid, "alice", SecurableKind.TABLE,
+                                       "sales.q1.sums")
+        columns = {c["name"]: c["type"] for c in entity.spec["columns"]}
+        assert columns == {"region": "STRING", "total": "INT"}
+
+    def test_ctas_records_lineage(self, service, populated):
+        mid = populated["metastore_id"]
+        session = populated["session"]
+        session.sql(f"CREATE TABLE sales.q1.derived AS SELECT id FROM {TABLE}")
+        assert "sales.q1.derived" in service.lineage.downstream(mid, TABLE)
+
+    def test_ctas_from_join(self, service, populated):
+        session = populated["session"]
+        session.sql("CREATE TABLE sales.q1.mgrs (region STRING, mgr STRING)")
+        session.sql("INSERT INTO sales.q1.mgrs VALUES ('east', 'ed')")
+        result = session.sql(
+            f"CREATE TABLE sales.q1.joined AS "
+            f"SELECT o.id, m.mgr FROM {TABLE} o "
+            f"JOIN sales.q1.mgrs m ON o.region = m.region"
+        )
+        assert result.rowcount == 2
+
+    def test_empty_ctas_makes_empty_table(self, service, populated):
+        session = populated["session"]
+        session.sql(f"CREATE TABLE sales.q1.none AS "
+                    f"SELECT id FROM {TABLE} WHERE id > 999")
+        assert session.sql(
+            "SELECT COUNT(*) AS n FROM sales.q1.none").rows == [{"n": 0}]
+
+
+class TestTimeTravel:
+    def test_version_as_of_reads_history(self, service, populated):
+        session = populated["session"]
+        # version 2 = after the initial 4-row insert (0 create, 1 log init?
+        # version numbering: CREATE TABLE=0, INSERT=1)
+        session.sql(f"DELETE FROM {TABLE} WHERE id = 1")
+        current = session.sql(f"SELECT COUNT(*) AS n FROM {TABLE}").rows
+        assert current == [{"n": 3}]
+        old = session.sql(
+            f"SELECT COUNT(*) AS n FROM {TABLE} VERSION AS OF 1").rows
+        assert old == [{"n": 4}]
+
+    def test_version_zero_is_empty(self, service, populated):
+        session = populated["session"]
+        rows = session.sql(f"SELECT COUNT(*) AS n FROM {TABLE} "
+                           f"VERSION AS OF 0").rows
+        assert rows == [{"n": 0}]
+
+    def test_future_version_rejected(self, service, populated):
+        session = populated["session"]
+        with pytest.raises(NotFoundError):
+            session.sql(f"SELECT * FROM {TABLE} VERSION AS OF 99")
+
+    def test_views_reject_time_travel(self, service, populated):
+        session = populated["session"]
+        session.sql(f"CREATE VIEW sales.q1.v AS SELECT id FROM {TABLE}")
+        with pytest.raises(InvalidRequestError):
+            session.sql("SELECT * FROM sales.q1.v VERSION AS OF 1")
+
+    def test_time_travel_with_alias(self, service, populated):
+        session = populated["session"]
+        rows = session.sql(
+            f"SELECT o.id FROM {TABLE} VERSION AS OF 1 o ORDER BY o.id"
+        ).rows
+        assert len(rows) == 4
+
+
+class TestVolumeFiles:
+    VOLUME = "sales.q1.raw_files"
+
+    @pytest.fixture
+    def mid(self, service, populated):
+        mid = populated["metastore_id"]
+        service.create_securable(
+            mid, "alice", SecurableKind.VOLUME, self.VOLUME,
+            spec={"volume_type": "MANAGED"},
+        )
+        return mid
+
+    def test_upload_download_roundtrip(self, service, mid):
+        volumes = VolumeClient(service, mid, "alice")
+        volumes.upload(self.VOLUME, "images/cat.png", b"\x89PNG...")
+        assert volumes.download(self.VOLUME, "images/cat.png") == b"\x89PNG..."
+
+    def test_list_files(self, service, mid):
+        volumes = VolumeClient(service, mid, "alice")
+        volumes.upload(self.VOLUME, "a.txt", b"1")
+        volumes.upload(self.VOLUME, "docs/b.txt", b"22")
+        files = volumes.list_files(self.VOLUME)
+        assert {(f.path, f.size) for f in files} == {("a.txt", 1),
+                                                     ("docs/b.txt", 2)}
+        assert [f.path for f in volumes.list_files(self.VOLUME, "docs")] == [
+            "docs/b.txt"
+        ]
+
+    def test_delete_and_exists(self, service, mid):
+        volumes = VolumeClient(service, mid, "alice")
+        volumes.upload(self.VOLUME, "tmp.bin", b"x")
+        assert volumes.exists(self.VOLUME, "tmp.bin")
+        volumes.delete(self.VOLUME, "tmp.bin")
+        assert not volumes.exists(self.VOLUME, "tmp.bin")
+
+    def test_read_volume_privilege_gates_reads(self, service, mid):
+        VolumeClient(service, mid, "alice").upload(self.VOLUME, "f", b"data")
+        bob = VolumeClient(service, mid, "bob")
+        with pytest.raises(PermissionDeniedError):
+            bob.download(self.VOLUME, "f")
+        service.grant(mid, "alice", SecurableKind.CATALOG, "sales", "bob",
+                      Privilege.USE_CATALOG)
+        service.grant(mid, "alice", SecurableKind.SCHEMA, "sales.q1", "bob",
+                      Privilege.USE_SCHEMA)
+        service.grant(mid, "alice", SecurableKind.VOLUME, self.VOLUME, "bob",
+                      Privilege.READ_VOLUME)
+        assert bob.download(self.VOLUME, "f") == b"data"
+        # read privilege does not allow writes
+        with pytest.raises(PermissionDeniedError):
+            bob.upload(self.VOLUME, "g", b"nope")
+
+    def test_volume_credential_scoped_to_volume(self, service, mid, populated):
+        """A volume token cannot reach a table's storage."""
+        from repro.cloudstore.client import StorageClient
+        from repro.cloudstore.object_store import StoragePath
+        from repro.cloudstore.sts import AccessLevel
+
+        credential = service.vend_credentials(
+            mid, "alice", SecurableKind.VOLUME, self.VOLUME, AccessLevel.READ
+        )
+        table = service.get_securable(mid, "alice", SecurableKind.TABLE, TABLE)
+        client = StorageClient(service.object_store, service.sts, credential)
+        with pytest.raises(CredentialError):
+            client.list(StoragePath.parse(table.storage_path))
+
+    def test_empty_path_rejected(self, service, mid):
+        volumes = VolumeClient(service, mid, "alice")
+        with pytest.raises(InvalidRequestError):
+            volumes.upload(self.VOLUME, "/", b"x")

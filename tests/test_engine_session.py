@@ -1,0 +1,229 @@
+"""The engine session: SQL execution through the full catalog protocol."""
+
+import pytest
+
+from repro.core.model.entity import SecurableKind
+from repro.core.auth.privileges import Privilege
+from repro.engine.session import EngineSession
+from repro.errors import (
+    InvalidRequestError,
+    NotFoundError,
+    PermissionDeniedError,
+)
+
+from tests.conftest import grant_table_access
+
+TABLE = "sales.q1.orders"
+
+
+@pytest.fixture
+def session(populated):
+    return populated["session"]
+
+
+@pytest.fixture
+def mid(populated):
+    return populated["metastore_id"]
+
+
+class TestSelect:
+    def test_select_star(self, session):
+        result = session.sql(f"SELECT * FROM {TABLE} ORDER BY id")
+        assert result.columns == ["id", "customer", "amount", "region"]
+        assert len(result.rows) == 4
+
+    def test_projection_and_expressions(self, session):
+        result = session.sql(
+            f"SELECT id, amount * 2 AS double_amount FROM {TABLE} ORDER BY id"
+        )
+        assert result.rows[0] == {"id": 1, "double_amount": 200}
+
+    def test_where_filters(self, session):
+        result = session.sql(f"SELECT id FROM {TABLE} WHERE region = 'west'")
+        assert sorted(r["id"] for r in result.rows) == [1, 3]
+
+    def test_aggregates_without_group(self, session):
+        result = session.sql(
+            f"SELECT COUNT(*) AS n, SUM(amount) AS total, MIN(amount) AS lo, "
+            f"MAX(amount) AS hi, AVG(amount) AS mean FROM {TABLE}"
+        )
+        row = result.rows[0]
+        assert row == {"n": 4, "total": 925, "lo": 75, "hi": 500,
+                       "mean": 231.25}
+
+    def test_group_by(self, session):
+        result = session.sql(
+            f"SELECT region, COUNT(*) AS n FROM {TABLE} GROUP BY region "
+            f"ORDER BY region"
+        )
+        assert result.rows == [{"region": "east", "n": 2},
+                               {"region": "west", "n": 2}]
+
+    def test_group_by_rejects_ungrouped_column(self, session):
+        with pytest.raises(InvalidRequestError):
+            session.sql(f"SELECT customer, COUNT(*) FROM {TABLE} "
+                        f"GROUP BY region")
+
+    def test_order_by_desc_and_limit(self, session):
+        result = session.sql(
+            f"SELECT id FROM {TABLE} ORDER BY amount DESC LIMIT 2"
+        )
+        assert [r["id"] for r in result.rows] == [4, 2]
+
+    def test_join(self, session):
+        session.sql("CREATE TABLE sales.q1.regions (region STRING, mgr STRING)")
+        session.sql("INSERT INTO sales.q1.regions VALUES "
+                    "('west', 'wendy'), ('east', 'ed')")
+        result = session.sql(
+            f"SELECT o.id, r.mgr FROM {TABLE} o "
+            f"JOIN sales.q1.regions r ON o.region = r.region ORDER BY o.id"
+        )
+        assert result.rows[0] == {"o.id": 1, "r.mgr": "wendy"}
+        assert len(result.rows) == 4
+
+    def test_relative_names_with_use(self, service, mid):
+        session = EngineSession(service, mid, "alice", trusted=True,
+                                clock=service.clock)
+        session.use("sales", "q1")
+        assert len(session.sql("SELECT * FROM orders").rows) == 4
+
+    def test_relative_name_without_defaults_rejected(self, service, mid):
+        session = EngineSession(service, mid, "alice", trusted=True,
+                                clock=service.clock)
+        with pytest.raises(InvalidRequestError):
+            session.sql("SELECT * FROM orders")
+
+    def test_view_execution(self, session):
+        session.sql(f"CREATE VIEW sales.q1.big AS "
+                    f"SELECT id, amount FROM {TABLE} WHERE amount >= 250")
+        result = session.sql("SELECT * FROM sales.q1.big ORDER BY id")
+        assert [r["id"] for r in result.rows] == [2, 4]
+
+    def test_nested_views(self, session):
+        session.sql(f"CREATE VIEW sales.q1.v1 AS SELECT id, amount FROM {TABLE}")
+        session.sql("CREATE VIEW sales.q1.v2 AS "
+                    "SELECT id FROM sales.q1.v1 WHERE amount > 100")
+        result = session.sql("SELECT * FROM sales.q1.v2 ORDER BY id")
+        assert [r["id"] for r in result.rows] == [2, 4]
+
+    def test_missing_table(self, session):
+        with pytest.raises(NotFoundError):
+            session.sql("SELECT * FROM sales.q1.ghost")
+
+    def test_scan_pushdown_skips_files(self, session):
+        session.sql("CREATE TABLE sales.q1.seq (n INT)")
+        values = ", ".join(f"({i})" for i in range(100))
+        session.sql(f"INSERT INTO sales.q1.seq VALUES {values}")
+        # compact into sorted small files to give stats tight ranges
+        from repro.cloudstore.sts import AccessLevel
+        result = session.sql("SELECT n FROM sales.q1.seq WHERE n < 5")
+        assert len(result.rows) == 5
+
+
+class TestDml:
+    def test_insert_values_with_columns(self, session):
+        session.sql(f"INSERT INTO {TABLE} (id, customer, amount, region) "
+                    f"VALUES (5, 'soylent', 10, 'west')")
+        assert len(session.sql(f"SELECT id FROM {TABLE}").rows) == 5
+
+    def test_insert_wrong_arity_rejected(self, session):
+        with pytest.raises(InvalidRequestError):
+            session.sql(f"INSERT INTO {TABLE} VALUES (1, 'a')")
+
+    def test_insert_select(self, session):
+        session.sql("CREATE TABLE sales.q1.copy "
+                    "(id INT, customer STRING, amount INT, region STRING)")
+        result = session.sql(f"INSERT INTO sales.q1.copy SELECT * FROM {TABLE}")
+        assert result.rowcount == 4
+        assert len(session.sql("SELECT id FROM sales.q1.copy").rows) == 4
+
+    def test_update(self, session):
+        session.sql(f"UPDATE {TABLE} SET amount = amount + 1 "
+                    f"WHERE region = 'west'")
+        result = session.sql(f"SELECT id, amount FROM {TABLE} ORDER BY id")
+        assert result.rows[0]["amount"] == 101
+        assert result.rows[1]["amount"] == 250
+
+    def test_delete_with_pushdown_filters(self, session):
+        result = session.sql(f"DELETE FROM {TABLE} WHERE amount > 200")
+        assert result.rowcount == 2
+        assert len(session.sql(f"SELECT id FROM {TABLE}").rows) == 2
+
+    def test_delete_with_complex_predicate(self, session):
+        result = session.sql(
+            f"DELETE FROM {TABLE} WHERE region = 'west' OR amount = 500"
+        )
+        assert result.rowcount == 3
+
+    def test_writes_require_modify(self, service, mid):
+        grant_table_access(service, mid, "bob")
+        bob = EngineSession(service, mid, "bob", clock=service.clock)
+        with pytest.raises(PermissionDeniedError):
+            bob.sql(f"INSERT INTO {TABLE} VALUES (9, 'x', 1, 'west')")
+        service.grant(mid, "alice", SecurableKind.TABLE, TABLE, "bob",
+                      Privilege.MODIFY)
+        bob.sql(f"INSERT INTO {TABLE} VALUES (9, 'x', 1, 'west')")
+
+
+class TestDdl:
+    def test_create_table_initializes_delta_log(self, session, service, mid):
+        session.sql("CREATE TABLE sales.q1.t2 (x INT)")
+        entity = service.get_securable(mid, "alice", SecurableKind.TABLE,
+                                       "sales.q1.t2")
+        assert entity.spec["table_type"] == "MANAGED"
+        assert session.sql("SELECT COUNT(*) AS n FROM sales.q1.t2").rows == [
+            {"n": 0}
+        ]
+
+    def test_create_requires_privilege(self, service, mid):
+        grant_table_access(service, mid, "bob")
+        bob = EngineSession(service, mid, "bob", clock=service.clock)
+        with pytest.raises(PermissionDeniedError):
+            bob.sql("CREATE TABLE sales.q1.bobs (x INT)")
+        service.grant(mid, "alice", SecurableKind.SCHEMA, "sales.q1", "bob",
+                      Privilege.CREATE_TABLE)
+        bob.sql("CREATE TABLE sales.q1.bobs (x INT)")
+
+    def test_create_view_requires_select_on_base(self, service, mid):
+        service.grant(mid, "alice", SecurableKind.CATALOG, "sales", "bob",
+                      Privilege.USE_CATALOG)
+        service.grant(mid, "alice", SecurableKind.SCHEMA, "sales.q1", "bob",
+                      Privilege.USE_SCHEMA)
+        service.grant(mid, "alice", SecurableKind.SCHEMA, "sales.q1", "bob",
+                      Privilege.CREATE_TABLE)
+        bob = EngineSession(service, mid, "bob", clock=service.clock)
+        with pytest.raises(PermissionDeniedError):
+            bob.sql(f"CREATE VIEW sales.q1.bv AS SELECT id FROM {TABLE}")
+        service.grant(mid, "alice", SecurableKind.TABLE, TABLE, "bob",
+                      Privilege.SELECT)
+        bob.sql(f"CREATE VIEW sales.q1.bv AS SELECT id FROM {TABLE}")
+
+    def test_drop_table(self, session):
+        session.sql("CREATE TABLE sales.q1.tmp (x INT)")
+        session.sql("DROP TABLE sales.q1.tmp")
+        with pytest.raises(NotFoundError):
+            session.sql("SELECT * FROM sales.q1.tmp")
+
+    def test_grant_statement(self, service, mid, session):
+        session.sql("GRANT USE CATALOG ON CATALOG sales TO bob")
+        session.sql("GRANT USE SCHEMA ON SCHEMA sales.q1 TO bob")
+        session.sql(f"GRANT SELECT ON TABLE {TABLE} TO bob")
+        bob = EngineSession(service, mid, "bob", clock=service.clock)
+        assert len(bob.sql(f"SELECT id FROM {TABLE}").rows) == 4
+        session.sql(f"REVOKE SELECT ON TABLE {TABLE} FROM bob")
+        with pytest.raises(PermissionDeniedError):
+            bob.sql(f"SELECT id FROM {TABLE}")
+
+
+class TestMetadataStatements:
+    def test_show_tables(self, session):
+        rows = session.sql("SHOW TABLES IN sales.q1").rows
+        assert {"name": "orders"} in rows
+
+    def test_show_catalogs_and_schemas(self, session):
+        assert session.sql("SHOW CATALOGS").rows == [{"name": "sales"}]
+        assert session.sql("SHOW SCHEMAS IN sales").rows == [{"name": "q1"}]
+
+    def test_describe(self, session):
+        rows = session.sql(f"DESCRIBE {TABLE}").rows
+        assert {"col_name": "amount", "data_type": "INT"} in rows

@@ -1,0 +1,40 @@
+"""The error hierarchy and its REST rendering."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize("cls,code", [
+    (errors.NotFoundError, "RESOURCE_DOES_NOT_EXIST"),
+    (errors.AlreadyExistsError, "RESOURCE_ALREADY_EXISTS"),
+    (errors.InvalidRequestError, "INVALID_PARAMETER_VALUE"),
+    (errors.PermissionDeniedError, "PERMISSION_DENIED"),
+    (errors.PathConflictError, "PATH_CONFLICT"),
+    (errors.ConcurrentModificationError, "CONCURRENT_MODIFICATION"),
+    (errors.TransactionConflictError, "TRANSACTION_CONFLICT"),
+    (errors.CredentialError, "CREDENTIAL_DENIED"),
+    (errors.FederationError, "FEDERATION_ERROR"),
+    (errors.UntrustedEngineError, "UNTRUSTED_ENGINE"),
+])
+def test_error_codes(cls, code):
+    exc = cls("boom")
+    assert exc.code == code
+    assert exc.to_dict() == {"error_code": code, "message": "boom"}
+    assert str(exc) == "boom"
+
+
+def test_all_errors_are_unity_catalog_errors():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.UnityCatalogError)
+
+
+def test_catchability_hierarchy():
+    """Transaction conflicts are concurrency errors; untrusted-engine
+    denials are permission denials — callers can catch broadly."""
+    assert issubclass(errors.TransactionConflictError,
+                      errors.ConcurrentModificationError)
+    assert issubclass(errors.UntrustedEngineError,
+                      errors.PermissionDeniedError)

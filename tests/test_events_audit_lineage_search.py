@@ -1,0 +1,177 @@
+"""Change events, audit trail, lineage, and the discovery search service."""
+
+import pytest
+
+from repro.core.events import ChangeType
+from repro.core.model.entity import SecurableKind
+from repro.core.auth.privileges import Privilege
+from repro.core.search import SearchService
+from repro.errors import PermissionDeniedError
+
+from tests.conftest import grant_table_access
+
+TABLE = "sales.q1.orders"
+
+
+class TestChangeEvents:
+    def test_creation_publishes_events(self, service, populated):
+        mid = populated["metastore_id"]
+        events = service.events.peek(mid)
+        created = [e for e in events if e.change is ChangeType.CREATED]
+        names = {e.securable_name for e in created}
+        assert "sales" in names and "sales.q1" in names
+
+    def test_events_carry_metastore_version(self, service, populated):
+        mid = populated["metastore_id"]
+        events = service.events.peek(mid)
+        versions = [e.metastore_version for e in events]
+        assert versions == sorted(versions)
+        assert versions[-1] <= service.view(mid).version
+
+    def test_consumer_cursors_are_independent(self, service, populated):
+        mid = populated["metastore_id"]
+        a = service.events.poll(mid, "consumer-a")
+        assert a
+        b = service.events.poll(mid, "consumer-b", max_events=1)
+        assert len(b) == 1
+        assert service.events.lag(mid, "consumer-b") > 0
+        assert service.events.lag(mid, "consumer-a") == 0
+
+    def test_grant_and_policy_events(self, service, populated):
+        mid = populated["metastore_id"]
+        service.events.poll(mid, "c")
+        service.grant(mid, "alice", SecurableKind.TABLE, TABLE, "bob",
+                      Privilege.SELECT)
+        service.set_row_filter(mid, "alice", TABLE, "f", "1 = 1")
+        changes = {e.change for e in service.events.poll(mid, "c")}
+        assert ChangeType.GRANT_CHANGED in changes
+        assert ChangeType.POLICY_CHANGED in changes
+
+
+class TestAudit:
+    def test_every_api_call_is_audited(self, service, populated):
+        mid = populated["metastore_id"]
+        before = len(service.audit)
+        service.get_securable(mid, "alice", SecurableKind.TABLE, TABLE)
+        assert len(service.audit) == before + 1
+
+    def test_audit_records_decision_outcomes(self, service, populated):
+        mid = populated["metastore_id"]
+        with pytest.raises(PermissionDeniedError):
+            service.get_securable(mid, "bob", SecurableKind.TABLE, TABLE)
+        grant_table_access(service, mid, "bob")
+        service.get_securable(mid, "bob", SecurableKind.TABLE, TABLE)
+        bob_reads = service.audit.query(principal="bob",
+                                        action="read_metadata")
+        outcomes = [r.allowed for r in bob_reads]
+        assert False in outcomes and True in outcomes
+
+    def test_audit_capped_retention(self):
+        from repro.core.audit import AuditLog
+
+        log = AuditLog(max_records=3)
+        for i in range(5):
+            log.record(i, "m", "p", "a", "s", True)
+        assert len(log) == 3
+        assert log.tail(1)[0].sequence == 4
+
+    def test_audit_query_filters(self, service, populated):
+        mid = populated["metastore_id"]
+        records = service.audit.query(action="create")
+        assert all(r.action == "create" for r in records)
+        assert records
+
+
+class TestLineage:
+    def test_engine_reports_lineage(self, service, populated):
+        mid = populated["metastore_id"]
+        session = populated["session"]
+        session.sql(f"CREATE VIEW sales.q1.v AS SELECT id FROM {TABLE}")
+        session.sql("CREATE TABLE sales.q1.agg (id INT)")
+        session.sql("INSERT INTO sales.q1.agg SELECT id FROM sales.q1.v")
+        downstream = service.lineage.downstream(mid, TABLE)
+        assert downstream == {"sales.q1.v", "sales.q1.agg"}
+
+    def test_upstream_closure(self, service, populated):
+        mid = populated["metastore_id"]
+        session = populated["session"]
+        session.sql(f"CREATE VIEW sales.q1.v AS SELECT id FROM {TABLE}")
+        assert service.lineage.upstream(mid, "sales.q1.v") == {TABLE}
+
+    def test_has_downstream_guards_deletion(self, service, populated):
+        """The paper's pre-deletion check."""
+        mid = populated["metastore_id"]
+        session = populated["session"]
+        assert not service.lineage.has_downstream(mid, TABLE)
+        session.sql(f"CREATE VIEW sales.q1.v AS SELECT id FROM {TABLE}")
+        assert service.lineage.has_downstream(mid, TABLE)
+
+    def test_lineage_reads_are_authorization_filtered(self, service, populated):
+        mid = populated["metastore_id"]
+        session = populated["session"]
+        session.sql(f"CREATE VIEW sales.q1.v AS SELECT id FROM {TABLE}")
+        # bob sees nothing of the graph without grants
+        assert service.lineage_downstream(mid, "bob", TABLE) == set()
+        grant_table_access(service, mid, "bob", "sales.q1.v")
+        assert service.lineage_downstream(mid, "bob", TABLE) == {"sales.q1.v"}
+
+
+class TestSearch:
+    @pytest.fixture
+    def search(self, service):
+        return SearchService(service)
+
+    def test_index_built_from_events(self, service, populated, search):
+        mid = populated["metastore_id"]
+        processed = search.sync(mid)
+        assert processed > 0
+        assert search.lag(mid) == 0
+        hits = search.search(mid, "alice", "orders")
+        assert [h.full_name for h in hits] == [TABLE]
+
+    def test_search_by_tag(self, service, populated, search):
+        """The paper's 'find everything tagged PII' scenario."""
+        mid = populated["metastore_id"]
+        service.set_tag(mid, "alice", SecurableKind.TABLE, TABLE, "pii", "true")
+        search.sync(mid)
+        hits = search.find_by_tag(mid, "alice", "pii")
+        assert [h.full_name for h in hits] == [TABLE]
+
+    def test_search_respects_authorization(self, service, populated, search):
+        mid = populated["metastore_id"]
+        search.sync(mid)
+        assert search.search(mid, "bob", "orders") == []
+        grant_table_access(service, mid, "bob")
+        assert [h.full_name for h in search.search(mid, "bob", "orders")] == [TABLE]
+
+    def test_incremental_freshness(self, service, populated, search):
+        mid = populated["metastore_id"]
+        search.sync(mid)
+        session = populated["session"]
+        session.sql("CREATE TABLE sales.q1.returns (id INT)")
+        assert search.lag(mid) > 0  # stale until the next sync
+        assert search.search(mid, "alice", "returns") == []
+        search.sync(mid)
+        assert [h.full_name for h in search.search(mid, "alice", "returns")] == [
+            "sales.q1.returns"
+        ]
+
+    def test_deleted_assets_leave_index(self, service, populated, search):
+        mid = populated["metastore_id"]
+        search.sync(mid)
+        service.delete_securable(mid, "alice", SecurableKind.TABLE, TABLE)
+        search.sync(mid)
+        assert search.search(mid, "alice", "orders") == []
+
+    def test_kind_filter(self, service, populated, search):
+        mid = populated["metastore_id"]
+        search.sync(mid)
+        hits = search.search(mid, "alice", "sales",
+                             kind=SecurableKind.CATALOG)
+        assert [h.entity.kind for h in hits] == [SecurableKind.CATALOG]
+
+    def test_column_names_are_searchable(self, service, populated, search):
+        mid = populated["metastore_id"]
+        search.sync(mid)
+        hits = search.search(mid, "alice", "customer")
+        assert TABLE in [h.full_name for h in hits]

@@ -1,0 +1,27 @@
+"""Every example script must run clean (they are executable docs)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+_EXAMPLES = sorted(
+    f for f in os.listdir(_EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+def test_examples_exist():
+    assert "quickstart.py" in _EXAMPLES
+    assert len(_EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", _EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES_DIR, script)],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "OK" in result.stdout

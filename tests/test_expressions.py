@@ -1,0 +1,216 @@
+"""The SQL expression language used for WHERE clauses and FGAC policies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.expressions import (
+    Column,
+    EvalContext,
+    compile_expression,
+    evaluate,
+)
+from repro.errors import InvalidRequestError
+
+CTX = EvalContext(principal="alice", groups=frozenset({"alice", "admins"}))
+
+
+def ev(text, row=None, ctx=CTX):
+    return evaluate(text, row or {}, ctx)
+
+
+class TestLiterals:
+    def test_numbers(self):
+        assert ev("42") == 42
+        assert ev("3.5") == 3.5
+        assert ev("-7") == -7
+
+    def test_strings_with_escapes(self):
+        assert ev("'hello'") == "hello"
+        assert ev("'it''s'") == "it's"
+
+    def test_booleans_and_null(self):
+        assert ev("TRUE") is True
+        assert ev("false") is False
+        assert ev("NULL") is None
+
+
+class TestArithmetic:
+    def test_precedence(self):
+        assert ev("2 + 3 * 4") == 14
+        assert ev("(2 + 3) * 4") == 20
+
+    def test_division_and_modulo(self):
+        assert ev("7 / 2") == 3.5
+        assert ev("7 % 3") == 1
+
+    def test_division_by_zero_is_null(self):
+        assert ev("1 / 0") is None
+
+    def test_null_propagates(self):
+        assert ev("1 + NULL") is None
+        assert ev("missing + 1", {"other": 5}) is None
+
+
+class TestComparisons:
+    def test_all_operators(self):
+        assert ev("1 < 2") and ev("2 <= 2") and ev("3 > 2")
+        assert ev("3 >= 3") and ev("1 = 1") and ev("1 != 2")
+        assert ev("1 <> 2")
+
+    def test_string_comparison(self):
+        assert ev("'a' < 'b'")
+
+    def test_type_error_raises(self):
+        with pytest.raises(InvalidRequestError):
+            ev("1 < 'a'")
+
+
+class TestLogic:
+    def test_and_or_not(self):
+        assert ev("TRUE AND TRUE")
+        assert not ev("TRUE AND FALSE")
+        assert ev("FALSE OR TRUE")
+        assert ev("NOT FALSE")
+
+    def test_three_valued_logic(self):
+        assert ev("NULL AND TRUE") is None
+        assert ev("NULL AND FALSE") is False
+        assert ev("NULL OR TRUE") is True
+        assert ev("NULL OR FALSE") is None
+        assert ev("NOT NULL") is None
+
+    def test_precedence_and_binds_tighter(self):
+        assert ev("TRUE OR FALSE AND FALSE") is True
+
+
+class TestPredicates:
+    def test_is_null(self):
+        assert ev("x IS NULL", {"x": None})
+        assert ev("x IS NOT NULL", {"x": 1})
+
+    def test_in_list(self):
+        assert ev("x IN (1, 2, 3)", {"x": 2})
+        assert not ev("x IN (1, 2)", {"x": 5})
+        assert ev("x NOT IN (1, 2)", {"x": 5})
+
+    def test_in_with_null_operand(self):
+        assert ev("x IN (1, 2)", {"x": None}) is None
+
+
+class TestLikeAndBetween:
+    def test_like_percent(self):
+        assert ev("name LIKE 'a%'", {"name": "alpha"})
+        assert not ev("name LIKE 'a%'", {"name": "beta"})
+
+    def test_like_underscore(self):
+        assert ev("code LIKE 'a_c'", {"code": "abc"})
+        assert not ev("code LIKE 'a_c'", {"code": "abbc"})
+
+    def test_like_literal_chars_escaped(self):
+        assert ev("v LIKE '1.2%'", {"v": "1.2.3"})
+        assert not ev("v LIKE '1.2%'", {"v": "1x2y"})
+
+    def test_not_like(self):
+        assert ev("name NOT LIKE 'a%'", {"name": "beta"})
+
+    def test_like_null_is_null(self):
+        assert ev("name LIKE 'a%'", {"name": None}) is None
+
+    def test_like_requires_string_pattern(self):
+        with pytest.raises(InvalidRequestError):
+            compile_expression("x LIKE 5")
+
+    def test_between_inclusive(self):
+        assert ev("x BETWEEN 1 AND 10", {"x": 1})
+        assert ev("x BETWEEN 1 AND 10", {"x": 10})
+        assert not ev("x BETWEEN 1 AND 10", {"x": 11})
+
+    def test_not_between(self):
+        assert ev("x NOT BETWEEN 1 AND 10", {"x": 0})
+
+    def test_between_binds_before_logic(self):
+        assert ev("x BETWEEN 1 AND 3 AND TRUE", {"x": 2})
+
+    def test_between_null_is_null(self):
+        assert ev("x BETWEEN 1 AND 10", {"x": None}) is None
+
+
+class TestColumns:
+    def test_column_lookup(self):
+        assert ev("price * qty", {"price": 3, "qty": 4}) == 12
+
+    def test_qualified_column(self):
+        assert ev("o.id = 7", {"o.id": 7})
+
+    def test_columns_introspection(self):
+        expr = compile_expression("a + b > c AND d IS NULL")
+        assert expr.columns() == {"a", "b", "c", "d"}
+
+
+class TestFunctions:
+    def test_current_user(self):
+        assert ev("current_user()") == "alice"
+        assert ev("current_user() = 'alice'")
+
+    def test_group_membership(self):
+        assert ev("is_account_group_member('admins')")
+        assert not ev("is_account_group_member('others')")
+
+    def test_string_functions(self):
+        assert ev("substr('abcdef', 2, 3)") == "bcd"
+        assert ev("concat('a', 'b', 1)") == "ab1"
+        assert ev("upper('ab')") == "AB"
+        assert ev("lower('AB')") == "ab"
+        assert ev("length('abc')") == 3
+
+    def test_coalesce(self):
+        assert ev("coalesce(NULL, NULL, 5)") == 5
+        assert ev("coalesce(NULL, NULL)") is None
+
+    def test_if(self):
+        assert ev("if(1 < 2, 'yes', 'no')") == "yes"
+
+    def test_numeric_functions(self):
+        assert ev("abs(-3)") == 3
+        assert ev("round(3.456, 1)") == 3.5
+
+    def test_mask_hash_stable(self):
+        assert ev("mask_hash('ssn')") == ev("mask_hash('ssn')")
+        assert ev("mask_hash('a')") != ev("mask_hash('b')")
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(InvalidRequestError):
+            ev("frobnicate(1)")
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize("bad", ["", "1 +", "(1", "1 2", "= 3", "a IN ()",
+                                     "x IS", "@bad"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(InvalidRequestError):
+            compile_expression(bad)
+
+
+# -- property: generated expressions evaluate deterministically -----------------
+
+_leaf = st.one_of(
+    st.integers(-50, 50).map(lambda n: str(n) if n >= 0 else f"({n})"),
+    st.sampled_from(["x", "y"]),
+)
+
+
+def _combine(children):
+    ops = ["+", "-", "*"]
+    return st.tuples(children, st.sampled_from(ops), children).map(
+        lambda t: f"({t[0]} {t[1]} {t[2]})"
+    )
+
+
+_exprs = st.recursive(_leaf, _combine, max_leaves=8)
+
+
+@settings(max_examples=100)
+@given(text=_exprs, x=st.integers(-10, 10), y=st.integers(-10, 10))
+def test_arithmetic_matches_python(text, x, y):
+    expected = eval(text.replace("x", str(x)).replace("y", str(y)))
+    assert evaluate(text, {"x": x, "y": y}) == expected

@@ -1,0 +1,152 @@
+"""Catalog federation: mounting an HMS and on-demand mirroring."""
+
+import pytest
+
+from repro.core.federation import CatalogFederator, HmsForeignClient
+from repro.core.model.entity import SecurableKind
+from repro.engine.session import EngineSession
+from repro.hms.metastore import HiveMetastore, HiveTable, StorageDescriptor
+from repro.errors import FederationError, NotFoundError
+
+
+@pytest.fixture
+def hms():
+    metastore = HiveMetastore()
+    metastore.create_database("warehouse", "s3://legacy/warehouse")
+    metastore.create_table(HiveTable(
+        database="warehouse",
+        name="inventory",
+        columns=[{"name": "sku", "type": "STRING"},
+                 {"name": "qty", "type": "INT"}],
+        storage=StorageDescriptor(location="s3://legacy/warehouse/inventory"),
+    ))
+    metastore.create_table(HiveTable(
+        database="warehouse",
+        name="shipments",
+        columns=[{"name": "sid", "type": "INT"}],
+        storage=StorageDescriptor(location="s3://legacy/warehouse/shipments"),
+    ))
+    return metastore
+
+
+_HMS_DATA = {
+    "s3://legacy/warehouse/inventory": [
+        {"sku": "a-1", "qty": 10}, {"sku": "b-2", "qty": 0},
+    ],
+    "s3://legacy/warehouse/shipments": [{"sid": 1}],
+}
+
+
+@pytest.fixture
+def federator(service, metastore_id, hms):
+    fed = CatalogFederator(service)
+    client = HmsForeignClient(hms, reader=lambda loc: list(_HMS_DATA[loc]))
+    fed.register_connection(metastore_id, "alice", "legacy_hms",
+                            "HIVE_METASTORE", client)
+    fed.create_foreign_catalog(metastore_id, "alice", "legacy", "legacy_hms",
+                               "warehouse")
+    return fed
+
+
+class TestSetup:
+    def test_connection_securable_created(self, service, metastore_id, federator):
+        connection = service.get_securable(
+            metastore_id, "alice", SecurableKind.CONNECTION, "legacy_hms"
+        )
+        assert connection.spec["connection_type"] == "HIVE_METASTORE"
+
+    def test_foreign_catalog_created(self, service, metastore_id, federator):
+        catalog = service.get_securable(
+            metastore_id, "alice", SecurableKind.CATALOG, "legacy"
+        )
+        assert catalog.spec["catalog_type"] == "FOREIGN"
+        assert catalog.spec["foreign_database"] == "warehouse"
+
+    def test_unknown_foreign_database_rejected(self, service, metastore_id,
+                                               federator):
+        with pytest.raises(FederationError):
+            federator.create_foreign_catalog(
+                metastore_id, "alice", "bad", "legacy_hms", "nope"
+            )
+
+    def test_unbound_connection_rejected(self, service, metastore_id):
+        fed = CatalogFederator(service)
+        with pytest.raises(FederationError):
+            fed.create_foreign_catalog(metastore_id, "alice", "x", "ghost",
+                                       "warehouse")
+
+
+class TestMirroring:
+    def test_table_invisible_until_mirrored(self, service, metastore_id,
+                                            federator):
+        with pytest.raises(NotFoundError):
+            service.get_securable(metastore_id, "alice", SecurableKind.TABLE,
+                                  "legacy.warehouse.inventory")
+
+    def test_mirror_table_on_demand(self, service, metastore_id, federator):
+        entity = federator.mirror_table(metastore_id, "alice", "legacy",
+                                        "inventory")
+        assert entity.spec["table_type"] == "FOREIGN"
+        assert entity.spec["foreign_source"] == "HIVE_METASTORE"
+        assert [c["name"] for c in entity.spec["columns"]] == ["sku", "qty"]
+        assert federator.stats.tables_mirrored == 1
+
+    def test_mirror_refreshes_stale_metadata(self, service, metastore_id,
+                                             federator, hms):
+        federator.mirror_table(metastore_id, "alice", "legacy", "inventory")
+        # the foreign side evolves
+        table = hms.get_table("warehouse", "inventory")
+        table.columns.append({"name": "loc", "type": "STRING"})
+        hms.alter_table("warehouse", "inventory", table)
+        entity = federator.mirror_table(metastore_id, "alice", "legacy",
+                                        "inventory")
+        assert [c["name"] for c in entity.spec["columns"]] == [
+            "sku", "qty", "loc"
+        ]
+        assert federator.stats.tables_refreshed == 1
+
+    def test_mirror_schema_lists_everything(self, service, metastore_id,
+                                            federator):
+        mirrored = federator.mirror_schema(metastore_id, "alice", "legacy")
+        assert {e.name for e in mirrored} == {"inventory", "shipments"}
+
+    def test_mirror_of_plain_catalog_rejected(self, service, metastore_id,
+                                              federator):
+        service.create_securable(metastore_id, "alice", SecurableKind.CATALOG,
+                                 "plain")
+        with pytest.raises(FederationError):
+            federator.mirror_table(metastore_id, "alice", "plain", "x")
+
+
+class TestQueryingForeignTables:
+    def test_engine_reads_through_federation(self, service, metastore_id,
+                                             federator):
+        federator.mirror_table(metastore_id, "alice", "legacy", "inventory")
+        session = EngineSession(
+            service, metastore_id, "alice", trusted=True, clock=service.clock,
+            foreign_reader=federator.foreign_reader(metastore_id),
+        )
+        rows = session.sql(
+            "SELECT sku FROM legacy.warehouse.inventory WHERE qty > 0"
+        ).rows
+        assert rows == [{"sku": "a-1"}]
+
+    def test_foreign_tables_are_governed_by_uc(self, service, metastore_id,
+                                               federator):
+        """UC grants gate access to mirrored tables like any other asset."""
+        from repro.errors import PermissionDeniedError
+
+        federator.mirror_table(metastore_id, "alice", "legacy", "inventory")
+        session = EngineSession(
+            service, metastore_id, "bob", clock=service.clock,
+            foreign_reader=federator.foreign_reader(metastore_id),
+        )
+        with pytest.raises(PermissionDeniedError):
+            session.sql("SELECT sku FROM legacy.warehouse.inventory")
+
+    def test_no_reader_configured_raises(self, service, metastore_id, federator):
+        federator.mirror_table(metastore_id, "alice", "legacy", "inventory")
+        session = EngineSession(service, metastore_id, "alice", trusted=True,
+                                clock=service.clock)
+        with pytest.raises(FederationError):
+            session.sql("SELECT sku FROM legacy.warehouse.inventory")

@@ -1,0 +1,179 @@
+"""UC as an MLflow model registry (paper section 4.2.3)."""
+
+import pytest
+
+from repro.core.model.entity import SecurableKind
+from repro.core.auth.privileges import Privilege
+from repro.mlflowlite import (
+    ModelRegistryClient,
+    UCArtifactRepository,
+    UCModelRegistryStore,
+)
+from repro.errors import (
+    CredentialError,
+    NotFoundError,
+    PermissionDeniedError,
+)
+
+MODEL = "ml.prod.churn"
+
+
+@pytest.fixture
+def mid(service, metastore_id):
+    service.create_securable(metastore_id, "alice", SecurableKind.CATALOG, "ml")
+    service.create_securable(metastore_id, "alice", SecurableKind.SCHEMA,
+                             "ml.prod")
+    return metastore_id
+
+
+@pytest.fixture
+def registry(service, mid):
+    store = UCModelRegistryStore(service, mid, "alice")
+    artifacts = UCArtifactRepository(service, mid, "alice")
+    return ModelRegistryClient(store, artifacts)
+
+
+class TestRegisteredModels:
+    def test_register_and_get(self, registry):
+        info = registry.register_model(MODEL, description="churn predictor")
+        assert info.owner == "alice"
+        assert registry.store.get_registered_model(MODEL).description == (
+            "churn predictor"
+        )
+
+    def test_model_is_a_catalog_securable(self, service, mid, registry):
+        registry.register_model(MODEL)
+        entity = service.get_securable(mid, "alice",
+                                       SecurableKind.REGISTERED_MODEL, MODEL)
+        assert entity.storage_path  # managed artifact directory allocated
+
+    def test_delete_model(self, registry):
+        registry.register_model(MODEL)
+        registry.log_model(MODEL, {"weights": [1]})
+        registry.store.delete_registered_model(MODEL)
+        with pytest.raises(NotFoundError):
+            registry.store.get_registered_model(MODEL)
+
+
+class TestVersions:
+    def test_log_model_creates_ready_version(self, registry):
+        registry.register_model(MODEL)
+        version = registry.log_model(MODEL, {"weights": [1, 2, 3]})
+        assert version.version == 1
+        assert version.status == "READY"
+
+    def test_versions_are_sequential(self, registry):
+        registry.register_model(MODEL)
+        for i in range(3):
+            info = registry.log_model(MODEL, {"v": i})
+            assert info.version == i + 1
+        assert [v.version for v in registry.list_versions(MODEL)] == [1, 2, 3]
+
+    def test_load_model_roundtrip(self, registry):
+        registry.register_model(MODEL)
+        registry.log_model(MODEL, {"weights": [0.1, 0.9], "bias": 0.5})
+        payload = registry.load_model(MODEL, version=1)
+        assert payload == {"weights": [0.1, 0.9], "bias": 0.5}
+
+    def test_extra_artifacts(self, registry):
+        registry.register_model(MODEL)
+        registry.log_model(MODEL, {"v": 1},
+                           extra_artifacts={"requirements.txt": b"numpy\n"})
+        store = registry.store
+        artifacts = UCArtifactRepository(store._service, store._metastore_id,
+                                         "alice")
+        assert artifacts.download_artifact(MODEL, 1,
+                                           "requirements.txt") == b"numpy\n"
+        assert set(artifacts.list_artifacts(MODEL, 1)) == {
+            "model.json", "requirements.txt"
+        }
+
+    def test_aliases_move_between_versions(self, registry):
+        registry.register_model(MODEL)
+        registry.log_model(MODEL, {"v": 1})
+        registry.log_model(MODEL, {"v": 2})
+        registry.promote(MODEL, 1, alias="champion")
+        assert registry.load_model(MODEL, alias="champion") == {"v": 1}
+        registry.promote(MODEL, 2, alias="champion")
+        assert registry.load_model(MODEL, alias="champion") == {"v": 2}
+        # the alias left version 1
+        v1 = registry.store.get_model_version(MODEL, 1)
+        assert "champion" not in v1.aliases
+
+    def test_missing_alias_raises(self, registry):
+        registry.register_model(MODEL)
+        registry.log_model(MODEL, {"v": 1})
+        with pytest.raises(NotFoundError):
+            registry.load_model(MODEL, alias="ghost")
+
+    def test_load_needs_exactly_one_selector(self, registry):
+        registry.register_model(MODEL)
+        registry.log_model(MODEL, {"v": 1})
+        with pytest.raises(ValueError):
+            registry.load_model(MODEL)
+        with pytest.raises(ValueError):
+            registry.load_model(MODEL, version=1, alias="champion")
+
+
+class TestGovernanceOfModels:
+    """Models inherit the same governance machinery as tables."""
+
+    def test_artifact_access_is_credential_vended(self, service, mid, registry):
+        registry.register_model(MODEL)
+        registry.log_model(MODEL, {"v": 1})
+        # artifact reads went through vended credentials, audited
+        vends = service.audit.query(action="vend_credentials")
+        assert any(MODEL in r.securable for r in vends)
+
+    def test_unprivileged_user_cannot_read_model(self, service, mid, registry):
+        registry.register_model(MODEL)
+        registry.log_model(MODEL, {"v": 1})
+        bob_store = UCModelRegistryStore(service, mid, "bob")
+        with pytest.raises(PermissionDeniedError):
+            bob_store.get_registered_model(MODEL)
+
+    def test_execute_grant_allows_loading(self, service, mid, registry):
+        registry.register_model(MODEL)
+        registry.log_model(MODEL, {"v": 42})
+        service.grant(mid, "alice", SecurableKind.CATALOG, "ml", "bob",
+                      Privilege.USE_CATALOG)
+        service.grant(mid, "alice", SecurableKind.SCHEMA, "ml.prod", "bob",
+                      Privilege.USE_SCHEMA)
+        service.grant(mid, "alice", SecurableKind.REGISTERED_MODEL, MODEL,
+                      "bob", Privilege.EXECUTE)
+        bob = ModelRegistryClient(
+            UCModelRegistryStore(service, mid, "bob"),
+            UCArtifactRepository(service, mid, "bob"),
+        )
+        assert bob.load_model(MODEL, version=1) == {"v": 42}
+
+    def test_version_credential_scoped_to_version_dir(self, service, mid,
+                                                      registry):
+        """A token for v1 artifacts cannot touch v2 artifacts."""
+        from repro.cloudstore.client import StorageClient
+        from repro.cloudstore.object_store import StoragePath
+        from repro.cloudstore.sts import AccessLevel
+
+        registry.register_model(MODEL)
+        registry.log_model(MODEL, {"v": 1})
+        registry.log_model(MODEL, {"v": 2})
+        credential = service.vend_credentials(
+            mid, "alice", SecurableKind.MODEL_VERSION, f"{MODEL}.v1",
+            AccessLevel.READ,
+        )
+        v2 = service.get_securable(mid, "alice", SecurableKind.MODEL_VERSION,
+                                   f"{MODEL}.v2")
+        client = StorageClient(service.object_store, service.sts, credential)
+        with pytest.raises(CredentialError):
+            client.list(StoragePath.parse(v2.storage_path))
+
+    def test_model_lifecycle_events_published(self, service, mid, registry):
+        from repro.core.events import ChangeType
+
+        service.events.poll(mid, "c")
+        registry.register_model(MODEL)
+        registry.log_model(MODEL, {"v": 1})
+        events = service.events.poll(mid, "c")
+        kinds = {(e.change, e.securable_kind) for e in events}
+        assert (ChangeType.CREATED, "REGISTERED_MODEL") in kinds
+        assert (ChangeType.CREATED, "MODEL_VERSION") in kinds

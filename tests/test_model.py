@@ -1,0 +1,216 @@
+"""Entity model, naming, manifests, and the asset-type registry."""
+
+import pytest
+
+from repro.core.assets.builtin import builtin_registry, TABLE_MANIFEST
+from repro.core.auth.privileges import Privilege
+from repro.core.model.entity import Entity, EntityState, SecurableKind, new_entity_id
+from repro.core.model.manifest import AssetTypeManifest, FieldSpec
+from repro.core.model.naming import full_name, split_full_name, validate_identifier
+from repro.core.model.registry import AssetTypeRegistry
+from repro.errors import AlreadyExistsError, InvalidRequestError, NotFoundError
+
+
+class TestNaming:
+    @pytest.mark.parametrize("name", ["a", "table_1", "_x", "My-Catalog"])
+    def test_valid_identifiers(self, name):
+        assert validate_identifier(name) == name
+
+    @pytest.mark.parametrize("name", ["", "1abc", "a b", "a.b", None, "a/b"])
+    def test_invalid_identifiers(self, name):
+        with pytest.raises(InvalidRequestError):
+            validate_identifier(name)
+
+    def test_identifier_length_cap(self):
+        with pytest.raises(InvalidRequestError):
+            validate_identifier("x" * 256)
+
+    def test_full_name_joins(self):
+        assert full_name("c", "s", "t") == "c.s.t"
+
+    def test_split_checks_levels(self):
+        assert split_full_name("c.s.t", levels=3) == ["c", "s", "t"]
+        with pytest.raises(InvalidRequestError):
+            split_full_name("c.s", levels=3)
+
+    def test_split_validates_segments(self):
+        with pytest.raises(InvalidRequestError):
+            split_full_name("c..t")
+
+
+class TestEntity:
+    def _entity(self, **kwargs):
+        defaults = dict(
+            id=new_entity_id(),
+            kind=SecurableKind.TABLE,
+            name="t",
+            metastore_id="m",
+            parent_id="schema-id",
+            owner="alice",
+            created_at=1.0,
+            updated_at=1.0,
+        )
+        defaults.update(kwargs)
+        return Entity(**defaults)
+
+    def test_roundtrip_dict(self):
+        entity = self._entity(spec={"table_type": "MANAGED"},
+                              properties={"k": "v"})
+        assert Entity.from_dict(entity.to_dict()) == entity
+
+    def test_with_updates_is_copy(self):
+        entity = self._entity()
+        updated = entity.with_updates(updated_at=2.0, comment="hi")
+        assert entity.comment == "" and updated.comment == "hi"
+        assert updated.updated_at == 2.0
+
+    def test_soft_delete_state(self):
+        entity = self._entity()
+        deleted = entity.soft_deleted(at=5.0)
+        assert deleted.state is EntityState.DELETED
+        assert deleted.deleted_at == 5.0
+        assert not deleted.is_active
+        assert entity.is_active
+
+    def test_unique_ids(self):
+        assert new_entity_id() != new_entity_id()
+
+
+class TestFieldSpec:
+    def test_required_enforced(self):
+        spec = FieldSpec("f", required=True)
+        with pytest.raises(InvalidRequestError):
+            spec.validate(None)
+
+    def test_type_check(self):
+        spec = FieldSpec("f", types=(int,))
+        spec.validate(3)
+        with pytest.raises(InvalidRequestError):
+            spec.validate("nope")
+
+    def test_max_length(self):
+        spec = FieldSpec("f", max_length=3)
+        spec.validate("abc")
+        with pytest.raises(InvalidRequestError):
+            spec.validate("abcd")
+
+    def test_choices(self):
+        spec = FieldSpec("f", choices=frozenset({"A", "B"}))
+        spec.validate("A")
+        with pytest.raises(InvalidRequestError):
+            spec.validate("C")
+
+    def test_custom_validator(self):
+        def no_x(value):
+            if "x" in value:
+                raise InvalidRequestError("no x allowed")
+
+        spec = FieldSpec("f", validator=no_x)
+        spec.validate("ok")
+        with pytest.raises(InvalidRequestError):
+            spec.validate("xx")
+
+
+class TestManifest:
+    def test_validate_create_fills_defaults(self):
+        normalized = TABLE_MANIFEST.validate_create({"table_type": "MANAGED"})
+        assert normalized["format"] == "DELTA"
+        assert normalized["uniform_enabled"] is False
+
+    def test_validate_create_rejects_unknown_fields(self):
+        with pytest.raises(InvalidRequestError):
+            TABLE_MANIFEST.validate_create({"table_type": "MANAGED",
+                                            "bogus": 1})
+
+    def test_validate_create_requires_required(self):
+        with pytest.raises(InvalidRequestError):
+            TABLE_MANIFEST.validate_create({})
+
+    def test_validate_update_rejects_non_updatable(self):
+        # table_type is create-only, like in the real catalog
+        with pytest.raises(InvalidRequestError):
+            TABLE_MANIFEST.validate_update({"table_type": "EXTERNAL"})
+
+    def test_validate_update_allows_updatable(self):
+        assert TABLE_MANIFEST.validate_update(
+            {"row_count_estimate": 10}
+        ) == {"row_count_estimate": 10}
+
+    def test_columns_validator_rejects_duplicates(self):
+        with pytest.raises(InvalidRequestError):
+            TABLE_MANIFEST.validate_create({
+                "table_type": "MANAGED",
+                "columns": [{"name": "a", "type": "INT"},
+                            {"name": "a", "type": "INT"}],
+            })
+
+    def test_operation_rule_lookup(self):
+        assert TABLE_MANIFEST.privilege_for_operation("read_data") is Privilege.SELECT
+        with pytest.raises(InvalidRequestError):
+            TABLE_MANIFEST.privilege_for_operation("fly")
+
+    def test_manage_always_supported(self):
+        assert TABLE_MANIFEST.supports_privilege(Privilege.MANAGE)
+
+    def test_duplicate_field_specs_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            AssetTypeManifest(
+                kind=SecurableKind.TABLE,
+                parent_kind=SecurableKind.SCHEMA,
+                namespace_group="x",
+                fields=(FieldSpec("a"), FieldSpec("a")),
+            )
+
+
+class TestRegistry:
+    def test_builtin_registry_has_all_kinds(self):
+        registry = builtin_registry()
+        for kind in SecurableKind:
+            assert kind in registry, kind
+
+    def test_register_duplicate_rejected(self):
+        registry = builtin_registry()
+        with pytest.raises(AlreadyExistsError):
+            registry.register(TABLE_MANIFEST)
+
+    def test_get_unregistered_raises(self):
+        registry = AssetTypeRegistry()
+        with pytest.raises(NotFoundError):
+            registry.get(SecurableKind.TABLE)
+
+    def test_register_requires_known_parent(self):
+        registry = AssetTypeRegistry()
+        orphan = AssetTypeManifest(
+            kind=SecurableKind.TABLE,
+            parent_kind=SecurableKind.SCHEMA,
+            namespace_group="tabular",
+        )
+        with pytest.raises(InvalidRequestError):
+            registry.register(orphan)
+
+    def test_children_of(self):
+        registry = builtin_registry()
+        child_kinds = {m.kind for m in registry.children_of(SecurableKind.SCHEMA)}
+        assert SecurableKind.TABLE in child_kinds
+        assert SecurableKind.VOLUME in child_kinds
+        assert SecurableKind.REGISTERED_MODEL in child_kinds
+
+    def test_custom_asset_type_extension(self):
+        """The paper's extension story: register a brand-new asset type
+        declaratively and it participates in the registry like built-ins."""
+        registry = builtin_registry()
+
+        class FakeKind:
+            pass
+
+        # use a real kind slot that isn't registered in a fresh registry
+        fresh = AssetTypeRegistry()
+        fresh.register(AssetTypeManifest(
+            kind=SecurableKind.METASTORE, parent_kind=None,
+            namespace_group="metastore",
+        ))
+        fresh.register(AssetTypeManifest(
+            kind=SecurableKind.CATALOG, parent_kind=SecurableKind.METASTORE,
+            namespace_group="catalog",
+        ))
+        assert SecurableKind.CATALOG in fresh

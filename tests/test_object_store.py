@@ -1,0 +1,163 @@
+"""Object store: paths, CRUD, conditional put, prefix operations."""
+
+import pytest
+
+from repro.cloudstore.object_store import ObjectStore, StoragePath
+from repro.errors import AlreadyExistsError, InvalidRequestError, NotFoundError
+
+
+@pytest.fixture
+def store():
+    s = ObjectStore()
+    s.create_bucket("s3", "bucket")
+    return s
+
+
+def path(key: str) -> StoragePath:
+    return StoragePath("s3", "bucket", key)
+
+
+class TestStoragePath:
+    def test_parse_roundtrip(self):
+        p = StoragePath.parse("s3://bucket/a/b/c")
+        assert (p.scheme, p.bucket, p.key) == ("s3", "bucket", "a/b/c")
+        assert p.url() == "s3://bucket/a/b/c"
+
+    def test_parse_bucket_only(self):
+        p = StoragePath.parse("gs://data")
+        assert p.key == ""
+        assert p.url() == "gs://data"
+
+    def test_parse_strips_trailing_slash(self):
+        assert StoragePath.parse("s3://b/x/").key == "x"
+
+    @pytest.mark.parametrize("bad", ["not-a-url", "s3://", "://x", "s3:///key"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(InvalidRequestError):
+            StoragePath.parse(bad)
+
+    def test_child(self):
+        p = StoragePath.parse("s3://b/x").child("y", "z")
+        assert p.url() == "s3://b/x/y/z"
+
+    def test_child_rejects_empty_segment(self):
+        with pytest.raises(InvalidRequestError):
+            StoragePath.parse("s3://b/x").child("")
+
+    def test_contains_directory_semantics(self):
+        parent = StoragePath.parse("s3://b/a/b")
+        assert parent.contains(StoragePath.parse("s3://b/a/b/c"))
+        assert parent.contains(parent)
+        # prefix of the *string* but not of the path
+        assert not parent.contains(StoragePath.parse("s3://b/a/bc"))
+
+    def test_contains_needs_same_bucket(self):
+        assert not StoragePath.parse("s3://b1/a").contains(
+            StoragePath.parse("s3://b2/a")
+        )
+        assert not StoragePath.parse("s3://b/a").contains(
+            StoragePath.parse("gs://b/a")
+        )
+
+    def test_bucket_root_contains_all(self):
+        assert StoragePath.parse("s3://b").contains(StoragePath.parse("s3://b/x"))
+
+    def test_overlaps_is_symmetric(self):
+        a = StoragePath.parse("s3://b/x")
+        b = StoragePath.parse("s3://b/x/y")
+        assert a.overlaps(b) and b.overlaps(a)
+        c = StoragePath.parse("s3://b/z")
+        assert not a.overlaps(c)
+
+
+class TestObjectStore:
+    def test_put_get_roundtrip(self, store):
+        store.put(path("k"), b"value")
+        assert store.get(path("k")) == b"value"
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(NotFoundError):
+            store.get(path("missing"))
+
+    def test_missing_bucket_raises(self, store):
+        with pytest.raises(NotFoundError):
+            store.get(StoragePath("s3", "nope", "k"))
+
+    def test_put_overwrites_by_default(self, store):
+        store.put(path("k"), b"v1")
+        store.put(path("k"), b"v2")
+        assert store.get(path("k")) == b"v2"
+
+    def test_put_if_absent_is_atomic_claim(self, store):
+        store.put(path("k"), b"v1", if_absent=True)
+        with pytest.raises(AlreadyExistsError):
+            store.put(path("k"), b"v2", if_absent=True)
+        assert store.get(path("k")) == b"v1"
+
+    def test_put_at_bucket_root_rejected(self, store):
+        with pytest.raises(InvalidRequestError):
+            store.put(StoragePath("s3", "bucket", ""), b"x")
+
+    def test_head_reports_size(self, store):
+        store.put(path("k"), b"12345")
+        assert store.head(path("k")).size == 5
+
+    def test_exists(self, store):
+        assert not store.exists(path("k"))
+        store.put(path("k"), b"x")
+        assert store.exists(path("k"))
+
+    def test_exists_missing_bucket_false(self, store):
+        assert not store.exists(StoragePath("s3", "ghost", "k"))
+
+    def test_delete(self, store):
+        store.put(path("k"), b"x")
+        store.delete(path("k"))
+        assert not store.exists(path("k"))
+
+    def test_delete_missing_raises(self, store):
+        with pytest.raises(NotFoundError):
+            store.delete(path("k"))
+
+    def test_list_by_prefix_sorted(self, store):
+        store.put(path("dir/b"), b"2")
+        store.put(path("dir/a"), b"1")
+        store.put(path("other/c"), b"3")
+        listed = store.list(path("dir"))
+        assert [m.path.key for m in listed] == ["dir/a", "dir/b"]
+
+    def test_list_does_not_match_string_prefix(self, store):
+        store.put(path("dir2/a"), b"1")
+        assert store.list(path("dir")) == []
+
+    def test_delete_prefix(self, store):
+        store.put(path("t/a"), b"1")
+        store.put(path("t/b/c"), b"2")
+        store.put(path("u/d"), b"3")
+        assert store.delete_prefix(path("t")) == 2
+        assert store.exists(path("u/d"))
+
+    def test_total_bytes(self, store):
+        store.put(path("t/a"), b"12")
+        store.put(path("t/b"), b"345")
+        assert store.total_bytes(path("t")) == 5
+
+    def test_create_bucket_duplicate_raises(self, store):
+        with pytest.raises(AlreadyExistsError):
+            store.create_bucket("s3", "bucket")
+
+    def test_ensure_bucket_idempotent(self, store):
+        store.ensure_bucket("s3", "bucket")
+        store.put(path("k"), b"x")
+        store.ensure_bucket("s3", "bucket")
+        assert store.get(path("k")) == b"x"
+
+    def test_stats_counters(self, store):
+        store.put(path("k"), b"abc")
+        store.get(path("k"))
+        store.list(path(""))
+        snap = store.stats.snapshot()
+        assert snap["puts"] == 1
+        assert snap["gets"] == 1
+        assert snap["bytes_written"] == 3
+        assert snap["bytes_read"] == 3

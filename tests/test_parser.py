@@ -1,0 +1,201 @@
+"""SQL statement parser."""
+
+import pytest
+
+from repro.engine.parser import (
+    CreateTableStmt,
+    CreateViewStmt,
+    DeleteStmt,
+    DescribeStmt,
+    DropStmt,
+    GrantStmt,
+    InsertStmt,
+    SelectStmt,
+    ShowStmt,
+    UpdateStmt,
+    parse_sql,
+)
+from repro.errors import InvalidRequestError
+
+
+class TestSelect:
+    def test_star(self):
+        stmt = parse_sql("SELECT * FROM c.s.t")
+        assert isinstance(stmt, SelectStmt)
+        assert stmt.items[0].star
+        assert stmt.table.name == "c.s.t"
+
+    def test_projection_with_aliases(self):
+        stmt = parse_sql("SELECT a, b + 1 AS b1 FROM t")
+        assert len(stmt.items) == 2
+        assert stmt.items[1].alias == "b1"
+
+    def test_where(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a > 5 AND b = 'x'")
+        assert stmt.where is not None
+        assert stmt.where.columns() == {"a", "b"}
+
+    def test_aggregates(self):
+        stmt = parse_sql("SELECT COUNT(*) AS n, SUM(x) FROM t")
+        assert stmt.items[0].aggregate == "COUNT"
+        assert stmt.items[0].aggregate_arg is None
+        assert stmt.items[1].aggregate == "SUM"
+
+    def test_group_by(self):
+        stmt = parse_sql("SELECT k, COUNT(*) FROM t GROUP BY k")
+        assert stmt.group_by == ("k",)
+
+    def test_order_by_and_limit(self):
+        stmt = parse_sql("SELECT a FROM t ORDER BY a DESC, b LIMIT 10")
+        assert stmt.order_by == (("a", True), ("b", False))
+        assert stmt.limit == 10
+
+    def test_join_with_aliases(self):
+        stmt = parse_sql(
+            "SELECT o.id FROM c.s.orders o JOIN c.s.cust AS cu "
+            "ON o.cid = cu.id WHERE o.amt > 1"
+        )
+        assert stmt.table.alias == "o"
+        assert stmt.joins[0].table.alias == "cu"
+        assert stmt.joins[0].left_column == "o.cid"
+        assert stmt.table_names() == ["c.s.orders", "c.s.cust"]
+
+    def test_select_distinct(self):
+        stmt = parse_sql("SELECT DISTINCT a, b FROM t")
+        assert stmt.distinct
+        assert not parse_sql("SELECT a FROM t").distinct
+
+    def test_version_as_of(self):
+        stmt = parse_sql("SELECT a FROM c.s.t VERSION AS OF 5")
+        assert stmt.table.version == 5
+
+    def test_version_as_of_with_alias(self):
+        stmt = parse_sql("SELECT x.a FROM c.s.t VERSION AS OF 2 x")
+        assert stmt.table.version == 2
+        assert stmt.table.alias == "x"
+
+    def test_version_as_of_requires_integer(self):
+        with pytest.raises(InvalidRequestError):
+            parse_sql("SELECT a FROM t VERSION AS OF 'yesterday'")
+
+    def test_ctas(self):
+        stmt = parse_sql("CREATE TABLE c.s.t AS SELECT a FROM c.s.src")
+        assert stmt.as_select is not None
+        assert stmt.as_select.table.name == "c.s.src"
+        assert stmt.columns == ()
+
+    def test_count_is_usable_as_column_name_without_parens(self):
+        stmt = parse_sql("SELECT count FROM t")
+        assert stmt.items[0].expr is not None
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            parse_sql("SELECT a FROM t extra junk ;;")
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(InvalidRequestError):
+            parse_sql("SELECT a FROM t LIMIT 'x'")
+
+
+class TestInsert:
+    def test_values_multiple_rows(self):
+        stmt = parse_sql("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(stmt, InsertStmt)
+        assert stmt.rows == ((1, "a"), (2, "b"))
+
+    def test_explicit_columns(self):
+        stmt = parse_sql("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert stmt.columns == ("a", "b")
+
+    def test_negative_and_null_literals(self):
+        stmt = parse_sql("INSERT INTO t VALUES (-5, NULL, TRUE)")
+        assert stmt.rows == ((-5, None, True),)
+
+    def test_insert_select(self):
+        stmt = parse_sql("INSERT INTO t SELECT a FROM s WHERE a > 0")
+        assert stmt.select is not None
+        assert stmt.select.table.name == "s"
+
+
+class TestDdl:
+    def test_create_table(self):
+        stmt = parse_sql("CREATE TABLE c.s.t (id INT, name STRING) USING PARQUET")
+        assert isinstance(stmt, CreateTableStmt)
+        assert stmt.columns == (("id", "INT"), ("name", "STRING"))
+        assert stmt.format == "PARQUET"
+
+    def test_create_table_location(self):
+        stmt = parse_sql("CREATE TABLE t (x INT) LOCATION 's3://b/t'")
+        assert stmt.location == "s3://b/t"
+
+    def test_create_table_if_not_exists(self):
+        stmt = parse_sql("CREATE TABLE IF NOT EXISTS t (x INT)")
+        assert stmt.if_not_exists
+
+    def test_create_view_preserves_definition(self):
+        sql = "CREATE VIEW c.s.v AS SELECT a, b FROM c.s.t WHERE a > 1"
+        stmt = parse_sql(sql)
+        assert isinstance(stmt, CreateViewStmt)
+        assert stmt.definition_sql == "SELECT a, b FROM c.s.t WHERE a > 1"
+        assert stmt.select.table.name == "c.s.t"
+
+    def test_drop(self):
+        stmt = parse_sql("DROP TABLE c.s.t")
+        assert isinstance(stmt, DropStmt)
+        assert (stmt.kind, stmt.name) == ("TABLE", "c.s.t")
+
+
+class TestDml:
+    def test_update(self):
+        stmt = parse_sql("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3")
+        assert isinstance(stmt, UpdateStmt)
+        assert [c for c, _ in stmt.assignments] == ["a", "b"]
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse_sql("DELETE FROM t WHERE id = 3")
+        assert isinstance(stmt, DeleteStmt)
+
+    def test_delete_without_where(self):
+        assert parse_sql("DELETE FROM t").where is None
+
+
+class TestGrants:
+    def test_grant_multiword_privilege(self):
+        stmt = parse_sql("GRANT USE CATALOG ON CATALOG sales TO bob")
+        assert isinstance(stmt, GrantStmt)
+        assert stmt.privilege == "USE CATALOG"
+        assert stmt.securable_kind == "CATALOG"
+        assert stmt.grantee == "bob"
+
+    def test_grant_select_on_table(self):
+        stmt = parse_sql("GRANT SELECT ON TABLE c.s.t TO 'data engineers'")
+        assert stmt.privilege == "SELECT"
+        assert stmt.grantee == "data engineers"
+
+    def test_revoke(self):
+        stmt = parse_sql("REVOKE MODIFY ON TABLE c.s.t FROM bob")
+        assert stmt.revoke
+
+
+class TestMeta:
+    def test_show_catalogs(self):
+        stmt = parse_sql("SHOW CATALOGS")
+        assert isinstance(stmt, ShowStmt)
+        assert stmt.what == "CATALOGS"
+
+    def test_show_tables_in(self):
+        stmt = parse_sql("SHOW TABLES IN c.s")
+        assert (stmt.what, stmt.container) == ("TABLES", "c.s")
+
+    def test_describe(self):
+        stmt = parse_sql("DESCRIBE c.s.t")
+        assert isinstance(stmt, DescribeStmt)
+
+    def test_empty_statement_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            parse_sql("   ")
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            parse_sql("MERGE INTO t USING s")

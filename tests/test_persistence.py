@@ -1,0 +1,190 @@
+"""Metadata store contract: both backends must provide per-metastore
+snapshot isolation and serializable (CAS) writes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.persistence.memory import InMemoryMetadataStore
+from repro.core.persistence.sqlite import SqliteMetadataStore
+from repro.core.persistence.store import Tables, WriteOp
+from repro.errors import AlreadyExistsError, ConcurrentModificationError, NotFoundError
+
+MID = "ms-1"
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request):
+    if request.param == "memory":
+        backend = InMemoryMetadataStore()
+    else:
+        backend = SqliteMetadataStore(":memory:")
+    backend.create_metastore_slot(MID)
+    yield backend
+    if request.param == "sqlite":
+        backend.close()
+
+
+def put(key, **value):
+    return WriteOp.put(Tables.ENTITIES, key, value or {"v": key})
+
+
+class TestContract:
+    def test_initial_version_zero(self, store):
+        assert store.current_version(MID) == 0
+
+    def test_duplicate_slot_rejected(self, store):
+        with pytest.raises(AlreadyExistsError):
+            store.create_metastore_slot(MID)
+
+    def test_unknown_metastore_raises(self, store):
+        with pytest.raises(NotFoundError):
+            store.current_version("ghost")
+
+    def test_commit_bumps_version(self, store):
+        assert store.commit(MID, 0, [put("a")]) == 1
+        assert store.current_version(MID) == 1
+
+    def test_commit_cas_failure(self, store):
+        store.commit(MID, 0, [put("a")])
+        with pytest.raises(ConcurrentModificationError):
+            store.commit(MID, 0, [put("b")])
+
+    def test_snapshot_reads_committed(self, store):
+        store.commit(MID, 0, [put("a", x=1)])
+        snapshot = store.snapshot(MID)
+        assert snapshot.get(Tables.ENTITIES, "a") == {"x": 1}
+
+    def test_snapshot_is_stable_across_later_commits(self, store):
+        store.commit(MID, 0, [put("a", x=1)])
+        snapshot = store.snapshot(MID)
+        store.commit(MID, 1, [put("a", x=2)])
+        assert snapshot.get(Tables.ENTITIES, "a") == {"x": 1}
+        assert store.snapshot(MID).get(Tables.ENTITIES, "a") == {"x": 2}
+
+    def test_snapshot_at_past_version(self, store):
+        store.commit(MID, 0, [put("a", x=1)])
+        store.commit(MID, 1, [put("a", x=2)])
+        old = store.snapshot(MID, at_version=1)
+        assert old.get(Tables.ENTITIES, "a") == {"x": 1}
+
+    def test_snapshot_at_future_version_rejected(self, store):
+        with pytest.raises(ConcurrentModificationError):
+            store.snapshot(MID, at_version=5)
+
+    def test_delete_tombstones(self, store):
+        store.commit(MID, 0, [put("a")])
+        store.commit(MID, 1, [WriteOp.delete(Tables.ENTITIES, "a")])
+        assert store.snapshot(MID).get(Tables.ENTITIES, "a") is None
+        # but the older snapshot still sees it
+        assert store.snapshot(MID, at_version=1).get(Tables.ENTITIES, "a") is not None
+
+    def test_scan_returns_live_rows_only(self, store):
+        store.commit(MID, 0, [put("a"), put("b")])
+        store.commit(MID, 1, [WriteOp.delete(Tables.ENTITIES, "a")])
+        rows = dict(store.snapshot(MID).scan(Tables.ENTITIES))
+        assert set(rows) == {"b"}
+
+    def test_scan_is_versioned(self, store):
+        store.commit(MID, 0, [put("a", x=1)])
+        store.commit(MID, 1, [put("a", x=2), put("b", x=9)])
+        rows = dict(store.snapshot(MID, at_version=1).scan(Tables.ENTITIES))
+        assert rows == {"a": {"x": 1}}
+
+    def test_tables_are_independent(self, store):
+        store.commit(MID, 0, [WriteOp.put(Tables.GRANTS, "g1", {"p": "x"})])
+        snapshot = store.snapshot(MID)
+        assert snapshot.get(Tables.ENTITIES, "g1") is None
+        assert snapshot.get(Tables.GRANTS, "g1") == {"p": "x"}
+
+    def test_changes_since(self, store):
+        store.commit(MID, 0, [put("a")])
+        store.commit(MID, 1, [put("b"), WriteOp.delete(Tables.ENTITIES, "a")])
+        changes = store.changes_since(MID, 1)
+        assert {(c.key, c.deleted) for c in changes} == {("b", False), ("a", True)}
+        assert all(c.version == 2 for c in changes)
+
+    def test_changes_since_latest_is_empty(self, store):
+        store.commit(MID, 0, [put("a")])
+        assert store.changes_since(MID, 1) == []
+
+    def test_multi_metastore_isolation(self, store):
+        store.create_metastore_slot("ms-2")
+        store.commit(MID, 0, [put("a", x=1)])
+        assert store.current_version("ms-2") == 0
+        assert store.snapshot("ms-2").get(Tables.ENTITIES, "a") is None
+
+    def test_atomic_batch(self, store):
+        store.commit(MID, 0, [put("a", x=1), put("b", x=2), put("c", x=3)])
+        snapshot = store.snapshot(MID)
+        assert all(
+            snapshot.get(Tables.ENTITIES, k) is not None for k in "abc"
+        )
+        assert store.current_version(MID) == 1
+
+    def test_compact_keeps_latest(self, store):
+        store.commit(MID, 0, [put("a", x=1)])
+        store.commit(MID, 1, [put("a", x=2)])
+        store.commit(MID, 2, [put("a", x=3)])
+        removed = store.compact(MID, min_version=3)
+        assert removed >= 2
+        assert store.snapshot(MID).get(Tables.ENTITIES, "a") == {"x": 3}
+
+
+class TestMemorySpecific:
+    def test_read_and_commit_counters(self):
+        store = InMemoryMetadataStore()
+        store.create_metastore_slot(MID)
+        store.commit(MID, 0, [put("a")])
+        store.snapshot(MID)
+        assert store.commit_count == 1
+        assert store.read_count == 1
+
+    def test_row_version_count_and_compaction(self):
+        store = InMemoryMetadataStore()
+        store.create_metastore_slot(MID)
+        for i in range(5):
+            store.commit(MID, i, [put("a", x=i)])
+        assert store.row_version_count(MID) == 5
+        store.compact(MID, min_version=5)
+        assert store.row_version_count(MID) == 1
+
+    def test_approximate_size(self):
+        store = InMemoryMetadataStore()
+        store.create_metastore_slot(MID)
+        store.commit(MID, 0, [put("a", payload="x" * 100)])
+        assert store.approximate_size_bytes(MID) > 100
+
+
+# -- property test: linearized model equivalence --------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete"]),
+            st.sampled_from(["k1", "k2", "k3"]),
+            st.integers(0, 99),
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_memory_store_matches_naive_model(ops):
+    """Applying a serial history, every intermediate snapshot must match a
+    naive dict replayed to that version."""
+    store = InMemoryMetadataStore()
+    store.create_metastore_slot(MID)
+    model_history = [{}]
+    model = {}
+    for i, (op, key, value) in enumerate(ops):
+        if op == "put":
+            store.commit(MID, i, [WriteOp.put(Tables.ENTITIES, key, {"v": value})])
+            model[key] = {"v": value}
+        else:
+            store.commit(MID, i, [WriteOp.delete(Tables.ENTITIES, key)])
+            model.pop(key, None)
+        model_history.append(dict(model))
+    for version, expected in enumerate(model_history):
+        snapshot = store.snapshot(MID, at_version=version)
+        assert dict(snapshot.scan(Tables.ENTITIES)) == expected

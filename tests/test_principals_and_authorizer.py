@@ -1,0 +1,248 @@
+"""Principals directory and the authorization decision logic."""
+
+import pytest
+
+from repro.core.auth.principals import ALL_USERS_GROUP, PrincipalDirectory, PrincipalKind
+from repro.core.auth.privileges import Privilege
+from repro.core.model.entity import SecurableKind
+from repro.errors import (
+    AlreadyExistsError,
+    InvalidRequestError,
+    NotFoundError,
+    PermissionDeniedError,
+)
+
+from tests.conftest import grant_table_access
+
+
+class TestPrincipalDirectory:
+    def test_add_and_get(self):
+        directory = PrincipalDirectory()
+        directory.add_user("u")
+        assert directory.get("u").kind is PrincipalKind.USER
+
+    def test_duplicate_rejected(self):
+        directory = PrincipalDirectory()
+        directory.add_user("u")
+        with pytest.raises(AlreadyExistsError):
+            directory.add_group("u")
+
+    def test_reserved_group_rejected(self):
+        directory = PrincipalDirectory()
+        with pytest.raises(InvalidRequestError):
+            directory.add_group(ALL_USERS_GROUP)
+
+    def test_unknown_principal_raises(self):
+        with pytest.raises(NotFoundError):
+            PrincipalDirectory().get("ghost")
+
+    def test_membership_and_expand(self):
+        directory = PrincipalDirectory()
+        directory.add_user("u")
+        directory.add_group("g1")
+        directory.add_group("g2")
+        directory.add_member("g1", "u")
+        directory.add_member("g2", "g1")  # nested
+        identities = directory.expand("u")
+        assert {"u", "g1", "g2", ALL_USERS_GROUP} <= identities
+
+    def test_expand_includes_all_users(self):
+        directory = PrincipalDirectory()
+        directory.add_user("u")
+        assert ALL_USERS_GROUP in directory.expand("u")
+
+    def test_membership_cycle_rejected(self):
+        directory = PrincipalDirectory()
+        directory.add_group("g1")
+        directory.add_group("g2")
+        directory.add_member("g1", "g2")
+        with pytest.raises(InvalidRequestError):
+            directory.add_member("g2", "g1")
+
+    def test_self_membership_rejected(self):
+        directory = PrincipalDirectory()
+        directory.add_group("g")
+        with pytest.raises(InvalidRequestError):
+            directory.add_member("g", "g")
+
+    def test_member_of_non_group_rejected(self):
+        directory = PrincipalDirectory()
+        directory.add_user("u")
+        directory.add_user("v")
+        with pytest.raises(InvalidRequestError):
+            directory.add_member("u", "v")
+
+    def test_remove_member(self):
+        directory = PrincipalDirectory()
+        directory.add_user("u")
+        directory.add_group("g")
+        directory.add_member("g", "u")
+        directory.remove_member("g", "u")
+        assert "g" not in directory.expand("u")
+
+    def test_trusted_engine_flag(self):
+        directory = PrincipalDirectory()
+        directory.add_service_principal("engine", trusted_engine=True)
+        directory.add_user("u")
+        assert directory.is_trusted_engine("engine")
+        assert not directory.is_trusted_engine("u")
+        assert not directory.is_trusted_engine("ghost")
+
+    def test_generation_bumps_on_change(self):
+        directory = PrincipalDirectory()
+        g0 = directory.generation
+        directory.add_user("u")
+        assert directory.generation > g0
+
+
+class TestAuthorization:
+    """Service-level authorization behaviour (paper section 3.3)."""
+
+    def test_default_deny(self, service, populated):
+        mid = populated["metastore_id"]
+        with pytest.raises(PermissionDeniedError):
+            service.get_securable(mid, "bob", SecurableKind.TABLE,
+                                  "sales.q1.orders")
+
+    def test_usage_gates_required(self, service, populated):
+        mid = populated["metastore_id"]
+        # SELECT alone is not enough without USE CATALOG / USE SCHEMA
+        service.grant(mid, "alice", SecurableKind.TABLE, "sales.q1.orders",
+                      "bob", Privilege.SELECT)
+        resolution_error = None
+        try:
+            service.resolve_for_query(mid, "bob", ["sales.q1.orders"])
+        except PermissionDeniedError as exc:
+            resolution_error = exc
+        assert resolution_error is not None
+        assert "USE" in str(resolution_error)
+
+    def test_full_grant_chain_allows_read(self, service, populated):
+        mid = populated["metastore_id"]
+        grant_table_access(service, mid, "bob")
+        resolution = service.resolve_for_query(mid, "bob", ["sales.q1.orders"])
+        assert "sales.q1.orders" in resolution.assets
+
+    def test_privilege_inheritance_from_catalog(self, service, populated):
+        """A SELECT grant on the catalog covers all current and future
+        tables inside it."""
+        mid = populated["metastore_id"]
+        service.grant(mid, "alice", SecurableKind.CATALOG, "sales", "bob",
+                      Privilege.USE_CATALOG)
+        service.grant(mid, "alice", SecurableKind.SCHEMA, "sales.q1", "bob",
+                      Privilege.USE_SCHEMA)
+        service.grant(mid, "alice", SecurableKind.CATALOG, "sales", "bob",
+                      Privilege.SELECT)
+        service.resolve_for_query(mid, "bob", ["sales.q1.orders"])
+        # ... and a future table
+        session = populated["session"]
+        session.sql("CREATE TABLE sales.q1.later (x INT)")
+        service.resolve_for_query(mid, "bob", ["sales.q1.later"])
+
+    def test_group_grants_apply_to_members(self, service, populated):
+        mid = populated["metastore_id"]
+        service.grant(mid, "alice", SecurableKind.CATALOG, "sales",
+                      "engineers", Privilege.USE_CATALOG)
+        service.grant(mid, "alice", SecurableKind.SCHEMA, "sales.q1",
+                      "engineers", Privilege.USE_SCHEMA)
+        service.grant(mid, "alice", SecurableKind.TABLE, "sales.q1.orders",
+                      "engineers", Privilege.SELECT)
+        # carol is in engineers; bob is not
+        service.resolve_for_query(mid, "carol", ["sales.q1.orders"])
+        with pytest.raises(PermissionDeniedError):
+            service.resolve_for_query(mid, "bob", ["sales.q1.orders"])
+
+    def test_owner_holds_all_privileges(self, service, populated):
+        mid = populated["metastore_id"]
+        service.resolve_for_query(mid, "alice", ["sales.q1.orders"],
+                                  write_tables=("sales.q1.orders",))
+
+    def test_container_admin_does_not_get_data_access(self, service, populated):
+        """The paper's owner/data separation: a schema owner must not
+        implicitly read the tables inside."""
+        mid = populated["metastore_id"]
+        service.directory.add_user("schema_owner")
+        service.transfer_ownership(mid, "alice", SecurableKind.SCHEMA,
+                                   "sales.q1", "schema_owner")
+        # owning a schema does not waive the catalog usage gate
+        service.grant(mid, "alice", SecurableKind.CATALOG, "sales",
+                      "schema_owner", Privilege.USE_CATALOG)
+        with pytest.raises(PermissionDeniedError):
+            service.resolve_for_query(mid, "schema_owner", ["sales.q1.orders"])
+        # but they can administer: grant themselves SELECT explicitly
+        service.grant(mid, "schema_owner", SecurableKind.TABLE,
+                      "sales.q1.orders", "schema_owner", Privilege.SELECT)
+        service.resolve_for_query(mid, "schema_owner", ["sales.q1.orders"])
+
+    def test_manage_confers_admin_not_data(self, service, populated):
+        mid = populated["metastore_id"]
+        service.grant(mid, "alice", SecurableKind.SCHEMA, "sales.q1", "bob",
+                      Privilege.MANAGE)
+        service.grant(mid, "alice", SecurableKind.CATALOG, "sales", "bob",
+                      Privilege.USE_CATALOG)
+        # bob can now grant on tables under the schema ...
+        service.grant(mid, "bob", SecurableKind.TABLE, "sales.q1.orders",
+                      "carol", Privilege.SELECT)
+        # ... but cannot read data himself
+        with pytest.raises(PermissionDeniedError):
+            service.resolve_for_query(mid, "bob", ["sales.q1.orders"])
+
+    def test_grant_requires_admin(self, service, populated):
+        mid = populated["metastore_id"]
+        grant_table_access(service, mid, "bob")
+        with pytest.raises(PermissionDeniedError):
+            service.grant(mid, "bob", SecurableKind.TABLE, "sales.q1.orders",
+                          "carol", Privilege.SELECT)
+
+    def test_unsupported_privilege_rejected(self, service, populated):
+        mid = populated["metastore_id"]
+        with pytest.raises(InvalidRequestError):
+            service.grant(mid, "alice", SecurableKind.TABLE,
+                          "sales.q1.orders", "bob", Privilege.USE_CATALOG)
+
+    def test_grant_to_unknown_principal_rejected(self, service, populated):
+        mid = populated["metastore_id"]
+        with pytest.raises(NotFoundError):
+            service.grant(mid, "alice", SecurableKind.TABLE,
+                          "sales.q1.orders", "ghost", Privilege.SELECT)
+
+    def test_revoke_removes_access(self, service, populated):
+        mid = populated["metastore_id"]
+        grant_table_access(service, mid, "bob")
+        service.revoke(mid, "alice", SecurableKind.TABLE, "sales.q1.orders",
+                       "bob", Privilege.SELECT)
+        with pytest.raises(PermissionDeniedError):
+            service.resolve_for_query(mid, "bob", ["sales.q1.orders"])
+
+    def test_revoke_missing_grant_raises(self, service, populated):
+        mid = populated["metastore_id"]
+        with pytest.raises(NotFoundError):
+            service.revoke(mid, "alice", SecurableKind.TABLE,
+                           "sales.q1.orders", "bob", Privilege.SELECT)
+
+    def test_visibility_via_descendant_grant(self, service, populated):
+        """A grant deep in a subtree makes the containers browsable."""
+        mid = populated["metastore_id"]
+        grant_table_access(service, mid, "bob")
+        catalogs = service.list_securables(mid, "bob", SecurableKind.CATALOG)
+        assert [c.name for c in catalogs] == ["sales"]
+
+    def test_listing_filters_invisible(self, service, populated):
+        mid = populated["metastore_id"]
+        assert service.list_securables(mid, "bob", SecurableKind.CATALOG) == []
+
+    def test_denied_attempts_are_audited(self, service, populated):
+        mid = populated["metastore_id"]
+        with pytest.raises(PermissionDeniedError):
+            service.get_securable(mid, "bob", SecurableKind.TABLE,
+                                  "sales.q1.orders")
+        denied = service.audit.query(principal="bob", allowed=False)
+        assert denied, "denied access must appear in the audit trail"
+
+    def test_check_privilege_api(self, service, populated):
+        mid = populated["metastore_id"]
+        assert not service.has_privilege(mid, "bob", SecurableKind.TABLE,
+                                         "sales.q1.orders", Privilege.SELECT)
+        grant_table_access(service, mid, "bob")
+        assert service.has_privilege(mid, "bob", SecurableKind.TABLE,
+                                     "sales.q1.orders", Privilege.SELECT)

@@ -1,0 +1,148 @@
+"""Renames, SELECT DISTINCT, and the cached/uncached equivalence property."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.clock import SimClock
+from repro.core.model.entity import SecurableKind
+from repro.core.service.catalog_service import UnityCatalogService
+from repro.errors import AlreadyExistsError, NotFoundError
+
+TABLE = "sales.q1.orders"
+
+
+class TestRename:
+    def test_rename_table(self, service, populated):
+        mid = populated["metastore_id"]
+        service.rename_securable(mid, "alice", SecurableKind.TABLE, TABLE,
+                                 "orders_v2")
+        renamed = service.get_securable(mid, "alice", SecurableKind.TABLE,
+                                        "sales.q1.orders_v2")
+        assert renamed.name == "orders_v2"
+        with pytest.raises(NotFoundError):
+            service.get_securable(mid, "alice", SecurableKind.TABLE, TABLE)
+
+    def test_rename_keeps_storage_and_path_access(self, service, populated):
+        from repro.cloudstore.sts import AccessLevel
+
+        mid = populated["metastore_id"]
+        before = service.get_securable(mid, "alice", SecurableKind.TABLE,
+                                       TABLE)
+        service.rename_securable(mid, "alice", SecurableKind.TABLE, TABLE,
+                                 "orders_v2")
+        after = service.get_securable(mid, "alice", SecurableKind.TABLE,
+                                      "sales.q1.orders_v2")
+        assert after.storage_path == before.storage_path
+        entity, _ = service.access_by_path(
+            mid, "alice", before.storage_path + "/data/x", AccessLevel.READ
+        )
+        assert entity.id == before.id
+
+    def test_rename_collision_rejected(self, service, populated):
+        mid = populated["metastore_id"]
+        populated["session"].sql("CREATE TABLE sales.q1.other (x INT)")
+        with pytest.raises(AlreadyExistsError):
+            service.rename_securable(mid, "alice", SecurableKind.TABLE,
+                                     TABLE, "other")
+
+    def test_rename_keeps_grants(self, service, populated):
+        from repro.core.auth.privileges import Privilege
+
+        mid = populated["metastore_id"]
+        service.grant(mid, "alice", SecurableKind.TABLE, TABLE, "bob",
+                      Privilege.SELECT)
+        service.rename_securable(mid, "alice", SecurableKind.TABLE, TABLE,
+                                 "orders_v2")
+        grants = service.grants_on(mid, "alice", SecurableKind.TABLE,
+                                   "sales.q1.orders_v2")
+        assert [g.principal for g in grants] == ["bob"]
+
+
+class TestSelectDistinct:
+    def test_distinct_removes_duplicates(self, populated):
+        session = populated["session"]
+        rows = session.sql(
+            f"SELECT DISTINCT region FROM {TABLE} ORDER BY region").rows
+        assert rows == [{"region": "east"}, {"region": "west"}]
+
+    def test_distinct_on_multiple_columns(self, populated):
+        session = populated["session"]
+        session.sql(f"INSERT INTO {TABLE} VALUES (5, 'acme', 100, 'west')")
+        rows = session.sql(
+            f"SELECT DISTINCT customer, region FROM {TABLE}").rows
+        assert len(rows) == 4  # (acme, west) deduplicated
+
+
+# -- cached vs uncached equivalence ------------------------------------------
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("create"), st.integers(0, 5)),
+        st.tuples(st.just("delete"), st.integers(0, 5)),
+        st.tuples(st.just("comment"), st.integers(0, 5)),
+        st.tuples(st.just("grant"), st.integers(0, 5)),
+        st.tuples(st.just("purge"), st.integers(0, 0)),
+    ),
+    min_size=1, max_size=20,
+)
+
+
+def _apply(service, mid, op, index):
+    from repro.core.auth.privileges import Privilege
+
+    name = f"c.s.t{index}"
+    kind = SecurableKind.TABLE
+    try:
+        if op == "create":
+            service.create_securable(mid, "admin", kind, name,
+                                     spec={"table_type": "MANAGED"})
+        elif op == "delete":
+            service.delete_securable(mid, "admin", kind, name)
+        elif op == "comment":
+            service.update_securable(mid, "admin", kind, name,
+                                     comment=f"c{index}")
+        elif op == "grant":
+            service.grant(mid, "admin", kind, name, "reader",
+                          Privilege.SELECT)
+        elif op == "purge":
+            service.purge_deleted(mid)
+    except (NotFoundError, AlreadyExistsError):
+        pass  # the op sequence is arbitrary; both services must agree anyway
+
+
+def _observe(service, mid):
+    tables = service.list_securables(mid, "admin", SecurableKind.TABLE, "c.s")
+    out = []
+    for table in tables:
+        grants = service.grants_on(
+            mid, "admin", SecurableKind.TABLE, f"c.s.{table.name}"
+        )
+        out.append((table.name, table.comment,
+                    tuple(sorted(g.principal for g in grants))))
+    return out
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=_OPS)
+def test_cached_and_uncached_services_agree(ops):
+    """The paper's layering claim: caching lives inside the persistence
+    layer and never changes observable behaviour. Any op sequence must
+    leave the cached and uncached services observably identical."""
+    services = []
+    for enable_cache in (True, False):
+        service = UnityCatalogService(clock=SimClock(),
+                                      enable_cache=enable_cache)
+        service.directory.add_user("admin")
+        service.directory.add_user("reader")
+        mid = service.create_metastore("m", owner="admin").id
+        service.create_securable(mid, "admin", SecurableKind.CATALOG, "c")
+        service.create_securable(mid, "admin", SecurableKind.SCHEMA, "c.s")
+        services.append((service, mid))
+
+    for op, index in ops:
+        for service, mid in services:
+            _apply(service, mid, op, index)
+
+    (cached, cached_mid), (uncached, uncached_mid) = services
+    assert _observe(cached, cached_mid) == _observe(uncached, uncached_mid)

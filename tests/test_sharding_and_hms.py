@@ -1,0 +1,187 @@
+"""Sharding service, sharded cluster behaviour, and the HMS simulator."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core.assets.builtin import builtin_registry
+from repro.core.model.entity import Entity, SecurableKind, new_entity_id
+from repro.core.persistence.memory import InMemoryMetadataStore
+from repro.core.persistence.store import Tables, WriteOp
+from repro.core.sharding import ShardedCatalogCluster, ShardingService
+from repro.hms.metastore import HiveMetastore, HiveTable, StorageDescriptor
+from repro.errors import (
+    AlreadyExistsError,
+    ConcurrentModificationError,
+    InvalidRequestError,
+    NotFoundError,
+)
+
+
+class TestShardingService:
+    def test_assignment_is_deterministic(self):
+        sharding = ShardingService()
+        for node in ("n1", "n2", "n3"):
+            sharding.add_node(node)
+        assert sharding.owner_of("m1") == sharding.owner_of("m1")
+
+    def test_no_nodes_raises(self):
+        with pytest.raises(NotFoundError):
+            ShardingService().owner_of("m1")
+
+    def test_duplicate_node_rejected(self):
+        sharding = ShardingService()
+        sharding.add_node("n1")
+        with pytest.raises(InvalidRequestError):
+            sharding.add_node("n1")
+
+    def test_remove_unknown_node_raises(self):
+        with pytest.raises(NotFoundError):
+            ShardingService().remove_node("nope")
+
+    def test_rendezvous_minimal_movement(self):
+        """Removing one node only moves the metastores it owned."""
+        sharding = ShardingService()
+        for node in ("n1", "n2", "n3", "n4"):
+            sharding.add_node(node)
+        metastores = [f"m{i}" for i in range(200)]
+        before = sharding.assignment(metastores)
+        sharding.remove_node("n4")
+        after = sharding.assignment(metastores)
+        moved = [m for m in metastores if before[m] != after[m]]
+        assert all(before[m] == "n4" for m in moved)
+        assert moved  # n4 did own something
+
+    def test_load_roughly_balanced(self):
+        sharding = ShardingService()
+        for node in ("n1", "n2", "n3", "n4"):
+            sharding.add_node(node)
+        metastores = [f"m{i}" for i in range(400)]
+        load = sharding.load(metastores)
+        assert min(load.values()) > 0
+        assert max(load.values()) < 3 * min(load.values())
+
+
+class TestShardedCluster:
+    @pytest.fixture
+    def cluster(self):
+        store = InMemoryMetadataStore()
+        store.create_metastore_slot("m1")
+        cluster = ShardedCatalogCluster(store, builtin_registry(),
+                                        clock=SimClock())
+        cluster.add_server("server-a")
+        cluster.add_server("server-b")
+        cluster._store_for_tests = store
+        return cluster
+
+    def _row(self, name):
+        entity = Entity(
+            id=new_entity_id(), kind=SecurableKind.CATALOG, name=name,
+            metastore_id="m1", parent_id="m1", owner="alice",
+            created_at=0.0, updated_at=0.0,
+        )
+        return entity.to_dict()
+
+    def test_traffic_routes_to_assigned_node(self, cluster):
+        cache = cluster.cache_for("m1")
+        assert cluster.owners_holding("m1") == [cluster.sharding.owner_of("m1")]
+        assert cache is cluster.cache_for("m1")  # stable instance
+
+    def test_stale_router_dual_ownership_stays_consistent(self, cluster):
+        """A stale router sends writes to the wrong server; the version CAS
+        serializes them and both caches converge (section 4.5)."""
+        owner = cluster.sharding.owner_of("m1")
+        other = "server-a" if owner == "server-b" else "server-b"
+        cache_owner = cluster.cache_for("m1")
+        cache_other = cluster.cache_for("m1", node_name=other)
+        assert len(cluster.owners_holding("m1")) == 2  # dual ownership
+
+        row1 = self._row("c1")
+        cache_owner.commit([WriteOp.put(Tables.ENTITIES, row1["id"], row1)])
+        row2 = self._row("c2")
+        with pytest.raises(ConcurrentModificationError):
+            cache_other.commit([WriteOp.put(Tables.ENTITIES, row2["id"], row2)])
+        cache_other.commit([WriteOp.put(Tables.ENTITIES, row2["id"], row2)])
+        for cache in (cache_owner, cache_other):
+            view = cache.view()
+            assert view.entity_by_id(row1["id"]) is not None
+            assert view.entity_by_id(row2["id"]) is not None
+
+    def test_unknown_server_raises(self, cluster):
+        with pytest.raises(NotFoundError):
+            cluster.cache_for("m1", node_name="ghost")
+
+
+class TestHiveMetastore:
+    @pytest.fixture
+    def hms(self):
+        metastore = HiveMetastore()
+        metastore.create_database("db", "s3://w/db")
+        return metastore
+
+    def _table(self, name="t"):
+        return HiveTable(
+            database="db", name=name,
+            columns=[{"name": "a", "type": "INT"}],
+            storage=StorageDescriptor(location=f"s3://w/db/{name}"),
+        )
+
+    def test_create_and_get_table(self, hms):
+        hms.create_table(self._table())
+        table = hms.get_table("db", "t")
+        assert table.storage.location == "s3://w/db/t"
+
+    def test_duplicate_table_rejected(self, hms):
+        hms.create_table(self._table())
+        with pytest.raises(AlreadyExistsError):
+            hms.create_table(self._table())
+
+    def test_table_in_missing_db_rejected(self, hms):
+        with pytest.raises(NotFoundError):
+            hms.create_table(HiveTable(database="nope", name="t"))
+
+    def test_list_tables(self, hms):
+        hms.create_table(self._table("b"))
+        hms.create_table(self._table("a"))
+        assert hms.get_all_tables("db") == ["a", "b"]
+
+    def test_drop_table(self, hms):
+        hms.create_table(self._table())
+        hms.drop_table("db", "t")
+        with pytest.raises(NotFoundError):
+            hms.get_table("db", "t")
+
+    def test_drop_database_requires_cascade(self, hms):
+        hms.create_table(self._table())
+        with pytest.raises(InvalidRequestError):
+            hms.drop_database("db")
+        hms.drop_database("db", cascade=True)
+        assert hms.get_all_databases() == []
+
+    def test_partitions(self, hms):
+        hms.create_table(self._table())
+        hms.add_partition("db", "t", {"ds": "2024-01-01"})
+        assert hms.get_partitions("db", "t") == [{"ds": "2024-01-01"}]
+
+    def test_alter_table(self, hms):
+        hms.create_table(self._table())
+        table = hms.get_table("db", "t")
+        table.columns.append({"name": "b", "type": "STRING"})
+        hms.alter_table("db", "t", table)
+        assert len(hms.get_table("db", "t").columns) == 2
+
+    def test_db_query_accounting(self, hms):
+        """HMS metadata calls are chatty — the property the Figure 10(a)
+        cost model builds on."""
+        hms.create_table(self._table())
+        before = hms.stats.db_queries
+        hms.get_table("db", "t")
+        assert hms.stats.db_queries - before == 3  # TBLS + SDS + COLUMNS
+
+    def test_no_governance_in_hms(self, hms):
+        """HMS hands out raw locations to anyone — no principals, grants,
+        or credential vending exist in its API (the paper's contrast)."""
+        hms.create_table(self._table())
+        table = hms.get_table("db", "t")
+        assert table.storage.location  # raw path, no token required
+        assert not hasattr(hms, "grant")
+        assert not hasattr(hms, "vend_credentials")

@@ -1,0 +1,120 @@
+"""Delta Sharing: provider administration and recipient protocol."""
+
+import pytest
+
+from repro.core.model.entity import SecurableKind
+from repro.core.sharing import DeltaSharingClient, DeltaSharingServer
+from repro.errors import NotFoundError, PermissionDeniedError
+
+from tests.conftest import grant_table_access
+
+TABLE = "sales.q1.orders"
+TOKEN = "recipient-token-123"
+
+
+@pytest.fixture
+def sharing(service, populated):
+    mid = populated["metastore_id"]
+    server = DeltaSharingServer(service, mid)
+    server.create_share("alice", "quarterly")
+    server.create_recipient("alice", "partner_corp", TOKEN)
+    server.add_table_to_share("alice", "quarterly", TABLE)
+    server.grant_share("alice", "quarterly", "partner_corp")
+    return server
+
+
+@pytest.fixture
+def client(service, sharing):
+    return DeltaSharingClient(sharing, TOKEN, service.object_store, service.sts)
+
+
+class TestProviderSide:
+    def test_invalid_token_rejected(self, sharing):
+        with pytest.raises(PermissionDeniedError):
+            sharing.list_shares("wrong-token")
+
+    def test_share_listing_requires_grant(self, service, populated, sharing):
+        sharing.create_recipient("alice", "other_corp", "other-token")
+        assert sharing.list_shares("other-token") == []
+
+    def test_add_requires_select_on_table(self, service, populated, sharing):
+        """The provider admin can only share tables they can read."""
+        mid = populated["metastore_id"]
+        service.directory.add_user("junior")
+        with pytest.raises((PermissionDeniedError, NotFoundError)):
+            sharing.add_table_to_share("junior", "quarterly", TABLE)
+
+    def test_remove_table(self, sharing):
+        sharing.remove_table_from_share("alice", "quarterly", TABLE)
+        assert sharing.list_tables(TOKEN, "quarterly") == []
+
+    def test_remove_missing_table_raises(self, sharing):
+        with pytest.raises(NotFoundError):
+            sharing.remove_table_from_share("alice", "quarterly",
+                                            "sales.q1.ghost")
+
+    def test_query_audited_under_recipient(self, service, sharing):
+        sharing.query_table(TOKEN, "quarterly", TABLE)
+        records = service.audit.query(principal="partner_corp",
+                                      action="sharing_query_table")
+        assert records and records[-1].allowed
+
+
+class TestRecipientProtocol:
+    def test_list_shares_and_tables(self, client):
+        assert client.list_shares() == ["quarterly"]
+        assert client.list_tables("quarterly") == [TABLE]
+
+    def test_read_shared_table(self, client):
+        rows = client.read_table("quarterly", TABLE)
+        assert sorted(r["id"] for r in rows) == [1, 2, 3, 4]
+
+    def test_query_response_shape(self, sharing):
+        response = sharing.query_table(TOKEN, "quarterly", TABLE)
+        assert response.schema[0]["name"] == "id"
+        assert response.files and all("url" in f for f in response.files)
+        assert response.credential.token
+
+    def test_credential_is_downscoped_to_table(self, service, sharing, populated):
+        from repro.cloudstore.client import StorageClient
+        from repro.cloudstore.object_store import StoragePath
+
+        populated["session"].sql("CREATE TABLE sales.q1.private (x INT)")
+        other = service.get_securable(
+            populated["metastore_id"], "alice", SecurableKind.TABLE,
+            "sales.q1.private",
+        )
+        response = sharing.query_table(TOKEN, "quarterly", TABLE)
+        storage = StorageClient(service.object_store, service.sts,
+                                response.credential)
+        from repro.errors import CredentialError
+        with pytest.raises(CredentialError):
+            storage.list(StoragePath.parse(other.storage_path))
+
+    def test_unshared_table_not_queryable(self, sharing, populated):
+        populated["session"].sql("CREATE TABLE sales.q1.private (x INT)")
+        with pytest.raises(NotFoundError):
+            sharing.query_table(TOKEN, "quarterly", "sales.q1.private")
+
+    def test_list_schemas(self, sharing):
+        assert sharing.list_schemas(TOKEN, "quarterly") == ["sales.q1"]
+
+    def test_table_version_endpoint_tracks_commits(self, sharing, populated):
+        v1 = sharing.table_version(TOKEN, "quarterly", TABLE)
+        populated["session"].sql(
+            f"INSERT INTO {TABLE} VALUES (9, 'x', 1, 'west')"
+        )
+        v2 = sharing.table_version(TOKEN, "quarterly", TABLE)
+        assert v2 == v1 + 1
+
+    def test_shared_reads_see_deletion_vectors(self, client, populated):
+        populated["session"].sql(f"DELETE FROM {TABLE} WHERE id = 2")
+        rows = client.read_table("quarterly", TABLE)
+        assert sorted(r["id"] for r in rows) == [1, 3, 4]
+
+    def test_share_reflects_new_data(self, client, populated):
+        populated["session"].sql(
+            f"INSERT INTO {TABLE} VALUES (5, 'hooli', 60, 'west')"
+        )
+        rows = client.read_table("quarterly", TABLE)
+        assert len(rows) == 5

@@ -1,0 +1,149 @@
+"""STS token issuance and the token-enforcing storage client."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.cloudstore.client import StorageClient
+from repro.cloudstore.object_store import ObjectStore, StoragePath
+from repro.cloudstore.sts import AccessLevel, StsTokenIssuer
+from repro.errors import CredentialError
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def issuer(clock):
+    return StsTokenIssuer(clock=clock)
+
+
+@pytest.fixture
+def store():
+    s = ObjectStore()
+    s.create_bucket("s3", "b")
+    return s
+
+
+def scope(url="s3://b/table1"):
+    return StoragePath.parse(url)
+
+
+class TestAccessLevel:
+    def test_read_write_implies_read(self):
+        assert AccessLevel.READ_WRITE.allows(AccessLevel.READ)
+        assert AccessLevel.READ_WRITE.allows(AccessLevel.READ_WRITE)
+
+    def test_read_does_not_imply_write(self):
+        assert AccessLevel.READ.allows(AccessLevel.READ)
+        assert not AccessLevel.READ.allows(AccessLevel.READ_WRITE)
+
+
+class TestIssuer:
+    def test_mint_requires_root_secret(self, issuer):
+        with pytest.raises(CredentialError):
+            issuer.mint("wrong-secret", scope(), AccessLevel.READ)
+
+    def test_minted_token_validates_in_scope(self, issuer):
+        cred = issuer.mint(issuer.root_secret, scope(), AccessLevel.READ)
+        issuer.validate(cred.token, scope("s3://b/table1/file"), AccessLevel.READ)
+
+    def test_out_of_scope_rejected(self, issuer):
+        cred = issuer.mint(issuer.root_secret, scope(), AccessLevel.READ_WRITE)
+        with pytest.raises(CredentialError):
+            issuer.validate(cred.token, scope("s3://b/table2/file"),
+                            AccessLevel.READ)
+
+    def test_level_downscoping_enforced(self, issuer):
+        cred = issuer.mint(issuer.root_secret, scope(), AccessLevel.READ)
+        with pytest.raises(CredentialError):
+            issuer.validate(cred.token, scope("s3://b/table1/x"),
+                            AccessLevel.READ_WRITE)
+
+    def test_expiry(self, issuer, clock):
+        cred = issuer.mint(issuer.root_secret, scope(), AccessLevel.READ,
+                           ttl_seconds=60)
+        issuer.validate(cred.token, scope(), AccessLevel.READ)
+        clock.advance(61)
+        with pytest.raises(CredentialError):
+            issuer.validate(cred.token, scope(), AccessLevel.READ)
+
+    def test_default_ttl_is_tens_of_minutes(self, issuer, clock):
+        cred = issuer.mint(issuer.root_secret, scope(), AccessLevel.READ)
+        assert 5 * 60 <= cred.expires_at - clock.now() <= 60 * 60
+
+    def test_unknown_token_rejected(self, issuer):
+        with pytest.raises(CredentialError):
+            issuer.validate("bogus", scope(), AccessLevel.READ)
+
+    def test_revocation(self, issuer):
+        cred = issuer.mint(issuer.root_secret, scope(), AccessLevel.READ)
+        issuer.revoke(cred.token)
+        with pytest.raises(CredentialError):
+            issuer.validate(cred.token, scope(), AccessLevel.READ)
+
+    def test_purge_expired(self, issuer, clock):
+        issuer.mint(issuer.root_secret, scope(), AccessLevel.READ, ttl_seconds=10)
+        issuer.mint(issuer.root_secret, scope(), AccessLevel.READ, ttl_seconds=100)
+        clock.advance(50)
+        assert issuer.purge_expired() == 1
+
+    def test_nonpositive_ttl_rejected(self, issuer):
+        with pytest.raises(CredentialError):
+            issuer.mint(issuer.root_secret, scope(), AccessLevel.READ,
+                        ttl_seconds=0)
+
+
+class TestStorageClient:
+    def _client(self, store, issuer, url="s3://b/table1",
+                level=AccessLevel.READ_WRITE):
+        cred = issuer.mint(issuer.root_secret, scope(url), level)
+        return StorageClient(store, issuer, cred)
+
+    def test_put_get_within_scope(self, store, issuer):
+        client = self._client(store, issuer)
+        client.put(scope("s3://b/table1/part-0"), b"data")
+        assert client.get(scope("s3://b/table1/part-0")) == b"data"
+
+    def test_read_outside_scope_denied(self, store, issuer):
+        store.put(scope("s3://b/table2/part-0"), b"secret")
+        client = self._client(store, issuer, "s3://b/table1")
+        with pytest.raises(CredentialError):
+            client.get(scope("s3://b/table2/part-0"))
+
+    def test_write_with_read_token_denied(self, store, issuer):
+        client = self._client(store, issuer, level=AccessLevel.READ)
+        with pytest.raises(CredentialError):
+            client.put(scope("s3://b/table1/part-0"), b"x")
+
+    def test_list_within_scope(self, store, issuer):
+        client = self._client(store, issuer)
+        client.put(scope("s3://b/table1/a"), b"1")
+        assert len(client.list(scope("s3://b/table1"))) == 1
+
+    def test_delete_within_scope(self, store, issuer):
+        client = self._client(store, issuer)
+        client.put(scope("s3://b/table1/a"), b"1")
+        client.delete(scope("s3://b/table1/a"))
+        assert not client.exists(scope("s3://b/table1/a"))
+
+    def test_expired_client_loses_access(self, store, issuer, clock):
+        cred = issuer.mint(issuer.root_secret, scope(), AccessLevel.READ_WRITE,
+                           ttl_seconds=30)
+        client = StorageClient(store, issuer, cred)
+        client.put(scope("s3://b/table1/a"), b"1")
+        clock.advance(31)
+        with pytest.raises(CredentialError):
+            client.get(scope("s3://b/table1/a"))
+
+    def test_refresh_restores_access(self, store, issuer, clock):
+        cred = issuer.mint(issuer.root_secret, scope(), AccessLevel.READ_WRITE,
+                           ttl_seconds=30)
+        client = StorageClient(store, issuer, cred)
+        client.put(scope("s3://b/table1/a"), b"1")
+        clock.advance(31)
+        client.refresh(
+            issuer.mint(issuer.root_secret, scope(), AccessLevel.READ)
+        )
+        assert client.get(scope("s3://b/table1/a")) == b"1"

@@ -1,0 +1,199 @@
+"""Multi-table transactions on catalog-owned tables (paper section 6.3)."""
+
+import pytest
+
+from repro.core.model.entity import SecurableKind
+from repro.core.transactions import TransactionCoordinator
+from repro.errors import (
+    InvalidRequestError,
+    TransactionConflictError,
+)
+
+
+@pytest.fixture
+def mid(service, metastore_id):
+    service.create_securable(metastore_id, "alice", SecurableKind.CATALOG, "bank")
+    service.create_securable(metastore_id, "alice", SecurableKind.SCHEMA,
+                             "bank.core")
+    return metastore_id
+
+
+@pytest.fixture
+def coordinator(service, mid):
+    return TransactionCoordinator(service, mid)
+
+
+def make_catalog_owned_table(service, mid, name, columns):
+    """Create a catalog-owned Delta table with an initialized log."""
+    from repro.cloudstore.client import StorageClient
+    from repro.cloudstore.object_store import StoragePath
+    from repro.cloudstore.sts import AccessLevel
+    from repro.deltalog.table import DeltaTable
+
+    entity = service.create_securable(
+        mid, "alice", SecurableKind.TABLE, name,
+        spec={"table_type": "MANAGED", "catalog_owned": True,
+              "columns": columns},
+    )
+    credential = service.vend_credentials(
+        mid, "alice", SecurableKind.TABLE, name, AccessLevel.READ_WRITE
+    )
+    client = StorageClient(service.object_store, service.sts, credential)
+    DeltaTable.create(client, StoragePath.parse(entity.storage_path),
+                      entity.id, columns, clock=service.clock)
+    return entity
+
+
+@pytest.fixture
+def accounts(service, mid):
+    return make_catalog_owned_table(
+        service, mid, "bank.core.accounts",
+        [{"name": "acct", "type": "STRING"}, {"name": "balance", "type": "INT"}],
+    )
+
+
+@pytest.fixture
+def ledger(service, mid):
+    return make_catalog_owned_table(
+        service, mid, "bank.core.ledger",
+        [{"name": "acct", "type": "STRING"}, {"name": "delta", "type": "INT"}],
+    )
+
+
+class TestSingleTable:
+    def test_commit_appends_atomically(self, coordinator, accounts):
+        txn = coordinator.begin("alice")
+        txn.append("bank.core.accounts", [{"acct": "a", "balance": 100}])
+        versions = txn.commit()
+        assert versions == {"bank.core.accounts": 1}
+        read_txn = coordinator.begin("alice")
+        assert read_txn.read("bank.core.accounts") == [
+            {"acct": "a", "balance": 100}
+        ]
+
+    def test_staged_writes_invisible_before_commit(self, coordinator, accounts):
+        txn = coordinator.begin("alice")
+        txn.append("bank.core.accounts", [{"acct": "a", "balance": 100}])
+        other = coordinator.begin("alice")
+        assert other.read("bank.core.accounts") == []
+
+    def test_rollback_discards(self, coordinator, accounts):
+        txn = coordinator.begin("alice")
+        txn.append("bank.core.accounts", [{"acct": "a", "balance": 1}])
+        txn.rollback()
+        with pytest.raises(InvalidRequestError):
+            txn.commit()
+        assert coordinator.begin("alice").read("bank.core.accounts") == []
+
+    def test_plain_table_rejected(self, service, mid, coordinator, populated):
+        with pytest.raises(InvalidRequestError):
+            coordinator.begin("alice").read("sales.q1.orders")
+
+    def test_empty_commit_is_noop(self, coordinator, accounts):
+        txn = coordinator.begin("alice")
+        txn.read("bank.core.accounts")
+        assert txn.commit() == {}
+
+
+class TestMultiTable:
+    def test_two_tables_commit_together(self, coordinator, accounts, ledger):
+        """The motivating scenario: move money with a ledger entry, across
+        tables on (conceptually) different storage buckets."""
+        txn = coordinator.begin("alice")
+        txn.append("bank.core.accounts", [{"acct": "a", "balance": 100}])
+        txn.append("bank.core.ledger", [{"acct": "a", "delta": 100}])
+        versions = txn.commit()
+        assert set(versions) == {"bank.core.accounts", "bank.core.ledger"}
+        check = coordinator.begin("alice")
+        assert len(check.read("bank.core.accounts")) == 1
+        assert len(check.read("bank.core.ledger")) == 1
+
+    def test_write_write_conflict_aborts(self, coordinator, accounts, ledger):
+        txn_a = coordinator.begin("alice")
+        txn_b = coordinator.begin("alice")
+        txn_a.append("bank.core.accounts", [{"acct": "a", "balance": 1}])
+        txn_b.append("bank.core.accounts", [{"acct": "b", "balance": 2}])
+        txn_a.commit()
+        with pytest.raises(TransactionConflictError):
+            txn_b.commit()
+
+    def test_read_write_conflict_aborts(self, coordinator, accounts, ledger):
+        """Serializability: a transaction that *read* a table aborts if the
+        table changed before it commits (write-skew prevention)."""
+        txn_a = coordinator.begin("alice")
+        balance = txn_a.read("bank.core.accounts")
+        txn_a.append("bank.core.ledger", [{"acct": "a", "delta": -10}])
+
+        txn_b = coordinator.begin("alice")
+        txn_b.append("bank.core.accounts", [{"acct": "a", "balance": 50}])
+        txn_b.commit()
+
+        with pytest.raises(TransactionConflictError):
+            txn_a.commit()
+
+    def test_disjoint_transactions_both_commit(self, coordinator, accounts,
+                                               ledger):
+        txn_a = coordinator.begin("alice")
+        txn_b = coordinator.begin("alice")
+        txn_a.append("bank.core.accounts", [{"acct": "a", "balance": 1}])
+        txn_b.append("bank.core.ledger", [{"acct": "a", "delta": 1}])
+        txn_a.commit()
+        txn_b.commit()
+
+    def test_overwrite_within_transaction(self, coordinator, accounts):
+        setup = coordinator.begin("alice")
+        setup.append("bank.core.accounts", [{"acct": "a", "balance": 100}])
+        setup.commit()
+        txn = coordinator.begin("alice")
+        txn.overwrite("bank.core.accounts", [{"acct": "a", "balance": 90}])
+        txn.commit()
+        rows = coordinator.begin("alice").read("bank.core.accounts")
+        assert rows == [{"acct": "a", "balance": 90}]
+
+    def test_snapshot_reads_within_transaction(self, coordinator, accounts):
+        txn = coordinator.begin("alice")
+        assert txn.read("bank.core.accounts") == []
+        # a concurrent commit shouldn't change what this txn reads
+        other = coordinator.begin("alice")
+        other.append("bank.core.accounts", [{"acct": "z", "balance": 9}])
+        other.commit()
+        assert txn.read("bank.core.accounts") == []
+
+    def test_version_pointer_tracked_by_catalog(self, coordinator, accounts):
+        assert coordinator.table_version(accounts.id) == -1
+        txn = coordinator.begin("alice")
+        txn.append("bank.core.accounts", [{"acct": "a", "balance": 1}])
+        txn.commit()
+        assert coordinator.table_version(accounts.id) == 1
+
+    def test_commit_event_published(self, service, mid, coordinator, accounts):
+        from repro.core.events import ChangeType
+
+        service.events.poll(mid, "c")
+        txn = coordinator.begin("alice")
+        txn.append("bank.core.accounts", [{"acct": "a", "balance": 1}])
+        txn.commit()
+        changes = [e.change for e in service.events.poll(mid, "c")]
+        assert ChangeType.COMMIT in changes
+
+    def test_read_then_write_upgrades_credential(self, coordinator, accounts):
+        """Regression: a table enlisted by a read and later written must
+        get its storage credential upgraded to READ_WRITE."""
+        setup = coordinator.begin("alice")
+        setup.append("bank.core.accounts", [{"acct": "a", "balance": 10}])
+        setup.commit()
+        txn = coordinator.begin("alice")
+        rows = txn.read("bank.core.accounts")
+        txn.overwrite("bank.core.accounts",
+                      [dict(r, balance=r["balance"] + 5) for r in rows])
+        txn.commit()
+        final = coordinator.begin("alice").read("bank.core.accounts")
+        assert final == [{"acct": "a", "balance": 15}]
+
+    def test_writes_require_modify_privilege(self, service, mid, coordinator,
+                                             accounts):
+        from repro.errors import PermissionDeniedError
+
+        txn = coordinator.begin("bob")
+        with pytest.raises(PermissionDeniedError):
+            txn.append("bank.core.accounts", [{"acct": "x", "balance": 0}])

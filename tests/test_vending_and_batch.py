@@ -1,0 +1,221 @@
+"""Credential vending, path-based access, and batched query resolution."""
+
+import pytest
+
+from repro.cloudstore.client import StorageClient
+from repro.cloudstore.object_store import StoragePath
+from repro.cloudstore.sts import AccessLevel
+from repro.core.auth.privileges import Privilege
+from repro.core.model.entity import SecurableKind
+from repro.errors import (
+    CredentialError,
+    InvalidRequestError,
+    PermissionDeniedError,
+    UntrustedEngineError,
+)
+
+from tests.conftest import grant_table_access
+
+TABLE = "sales.q1.orders"
+
+
+@pytest.fixture
+def mid(service, populated):
+    mid = populated["metastore_id"]
+    grant_table_access(service, mid, "bob")
+    return mid
+
+
+class TestVending:
+    def test_token_scoped_to_asset_path(self, service, mid):
+        table = service.get_securable(mid, "alice", SecurableKind.TABLE, TABLE)
+        credential = service.vend_credentials(
+            mid, "bob", SecurableKind.TABLE, TABLE, AccessLevel.READ
+        )
+        assert credential.scope.url() == table.storage_path
+
+    def test_token_grants_real_storage_access(self, service, mid):
+        table = service.get_securable(mid, "alice", SecurableKind.TABLE, TABLE)
+        credential = service.vend_credentials(
+            mid, "bob", SecurableKind.TABLE, TABLE, AccessLevel.READ
+        )
+        client = StorageClient(service.object_store, service.sts, credential)
+        listed = client.list(StoragePath.parse(table.storage_path))
+        assert listed  # the delta log and data files are there
+
+    def test_read_token_cannot_write(self, service, mid):
+        table = service.get_securable(mid, "alice", SecurableKind.TABLE, TABLE)
+        credential = service.vend_credentials(
+            mid, "bob", SecurableKind.TABLE, TABLE, AccessLevel.READ
+        )
+        client = StorageClient(service.object_store, service.sts, credential)
+        with pytest.raises(CredentialError):
+            client.put(StoragePath.parse(table.storage_path).child("x"), b"!")
+
+    def test_token_cannot_reach_other_tables(self, service, mid, populated):
+        populated["session"].sql("CREATE TABLE sales.q1.secret (x INT)")
+        other = service.get_securable(mid, "alice", SecurableKind.TABLE,
+                                      "sales.q1.secret")
+        credential = service.vend_credentials(
+            mid, "bob", SecurableKind.TABLE, TABLE, AccessLevel.READ
+        )
+        client = StorageClient(service.object_store, service.sts, credential)
+        with pytest.raises(CredentialError):
+            client.list(StoragePath.parse(other.storage_path))
+
+    def test_write_requires_modify(self, service, mid):
+        with pytest.raises(PermissionDeniedError):
+            service.vend_credentials(mid, "bob", SecurableKind.TABLE, TABLE,
+                                     AccessLevel.READ_WRITE)
+        service.grant(mid, "alice", SecurableKind.TABLE, TABLE, "bob",
+                      Privilege.MODIFY)
+        service.vend_credentials(mid, "bob", SecurableKind.TABLE, TABLE,
+                                 AccessLevel.READ_WRITE)
+
+    def test_tokens_are_cached_and_reused(self, service, mid):
+        first = service.vend_credentials(mid, "bob", SecurableKind.TABLE,
+                                         TABLE, AccessLevel.READ)
+        second = service.vend_credentials(mid, "bob", SecurableKind.TABLE,
+                                          TABLE, AccessLevel.READ)
+        assert first.token == second.token
+        assert service.vendor.stats.cache_hits >= 1
+
+    def test_cached_token_not_reused_near_expiry(self, service, mid, clock):
+        first = service.vend_credentials(mid, "bob", SecurableKind.TABLE,
+                                         TABLE, AccessLevel.READ)
+        clock.advance(14 * 60 + 30)  # inside the token's last minute
+        second = service.vend_credentials(mid, "bob", SecurableKind.TABLE,
+                                          TABLE, AccessLevel.READ)
+        assert second.token != first.token
+
+    def test_vending_without_storage_rejected(self, service, mid, populated):
+        populated["session"].sql(
+            f"CREATE VIEW sales.q1.v AS SELECT id FROM {TABLE}")
+        with pytest.raises(InvalidRequestError):
+            service.vend_credentials(mid, "alice", SecurableKind.TABLE,
+                                     "sales.q1.v", AccessLevel.READ)
+
+
+class TestPathBasedAccess:
+    def test_path_resolves_to_asset_and_same_policy(self, service, mid):
+        """The uniform-governance guarantee: path access is governed by
+        the owning asset's policy, identically to name access."""
+        table = service.get_securable(mid, "alice", SecurableKind.TABLE, TABLE)
+        probe = table.storage_path + "/data/part-xyz"
+        entity, credential = service.access_by_path(
+            mid, "bob", probe, AccessLevel.READ
+        )
+        assert entity.id == table.id
+        assert credential.scope.url() == table.storage_path
+
+    def test_path_access_denied_without_grant(self, service, populated):
+        mid = populated["metastore_id"]  # bob has no grants here
+        table = service.get_securable(mid, "alice", SecurableKind.TABLE, TABLE)
+        with pytest.raises(PermissionDeniedError):
+            service.access_by_path(mid, "bob", table.storage_path,
+                                   AccessLevel.READ)
+
+    def test_ungoverned_path_denied(self, service, mid):
+        with pytest.raises(PermissionDeniedError):
+            service.access_by_path(mid, "bob", "s3://random/uncataloged",
+                                   AccessLevel.READ)
+
+    def test_revoke_applies_to_path_access_too(self, service, mid):
+        table = service.get_securable(mid, "alice", SecurableKind.TABLE, TABLE)
+        service.access_by_path(mid, "bob", table.storage_path, AccessLevel.READ)
+        service.revoke(mid, "alice", SecurableKind.TABLE, TABLE, "bob",
+                       Privilege.SELECT)
+        with pytest.raises(PermissionDeniedError):
+            service.access_by_path(mid, "bob", table.storage_path,
+                                   AccessLevel.READ)
+
+
+class TestBatchResolution:
+    def test_single_call_contains_everything(self, service, mid):
+        resolution = service.resolve_for_query(mid, "bob", [TABLE])
+        asset = resolution.assets[TABLE]
+        assert asset.columns and asset.storage_url and asset.credential
+        assert asset.fgac.is_empty
+
+    def test_view_dependency_closure(self, service, mid, populated):
+        session = populated["session"]
+        session.sql(f"CREATE VIEW sales.q1.v1 AS SELECT id FROM {TABLE}")
+        session.sql("CREATE VIEW sales.q1.v2 AS SELECT id FROM sales.q1.v1")
+        service.grant(mid, "alice", SecurableKind.TABLE, "sales.q1.v2", "bob",
+                      Privilege.SELECT)
+        resolution = service.resolve_for_query(mid, "bob", ["sales.q1.v2"],
+                                               engine_trusted=True)
+        # one call returned the whole chain: v2 -> v1 -> orders
+        assert set(resolution.assets) == {"sales.q1.v2", "sales.q1.v1", TABLE}
+
+    def test_view_access_without_base_privileges(self, service, populated):
+        """View-based access control: SELECT on the view suffices, without
+        SELECT on the base table — restricted to trusted engines."""
+        mid = populated["metastore_id"]
+        session = populated["session"]
+        session.sql(f"CREATE VIEW sales.q1.totals AS "
+                    f"SELECT region, SUM(amount) AS total FROM {TABLE} "
+                    f"GROUP BY region")
+        service.grant(mid, "alice", SecurableKind.CATALOG, "sales", "bob",
+                      Privilege.USE_CATALOG)
+        service.grant(mid, "alice", SecurableKind.SCHEMA, "sales.q1", "bob",
+                      Privilege.USE_SCHEMA)
+        service.grant(mid, "alice", SecurableKind.TABLE, "sales.q1.totals",
+                      "bob", Privilege.SELECT)
+        resolution = service.resolve_for_query(
+            mid, "bob", ["sales.q1.totals"], engine_trusted=True
+        )
+        base = resolution.assets[TABLE]
+        assert base.via_view
+        # an untrusted engine cannot take this path
+        with pytest.raises(UntrustedEngineError):
+            service.resolve_for_query(mid, "bob", ["sales.q1.totals"],
+                                      engine_trusted=False)
+
+    def test_write_tables_get_write_credentials(self, service, mid):
+        service.grant(mid, "alice", SecurableKind.TABLE, TABLE, "bob",
+                      Privilege.MODIFY)
+        resolution = service.resolve_for_query(
+            mid, "bob", [TABLE], write_tables=(TABLE,)
+        )
+        assert resolution.assets[TABLE].credential.level is AccessLevel.READ_WRITE
+
+    def test_write_table_must_be_listed(self, service, mid):
+        with pytest.raises(InvalidRequestError):
+            service.resolve_for_query(mid, "bob", [], write_tables=(TABLE,))
+
+    def test_functions_resolved_with_execute_check(self, service, mid, populated):
+        service.create_securable(
+            mid, "alice", SecurableKind.FUNCTION, "sales.q1.double_it",
+            spec={"definition": "x * 2"},
+        )
+        with pytest.raises(PermissionDeniedError):
+            service.resolve_for_query(mid, "bob", [],
+                                      function_names=("sales.q1.double_it",))
+        service.grant(mid, "alice", SecurableKind.FUNCTION,
+                      "sales.q1.double_it", "bob", Privilege.EXECUTE)
+        resolution = service.resolve_for_query(
+            mid, "bob", [], function_names=("sales.q1.double_it",)
+        )
+        assert resolution.functions["sales.q1.double_it"].view_definition == "x * 2"
+
+    def test_resolution_pins_one_version(self, service, mid):
+        resolution = service.resolve_for_query(mid, "bob", [TABLE])
+        assert resolution.metastore_version == service.view(mid).version
+
+    def test_credentials_can_be_skipped(self, service, mid):
+        resolution = service.resolve_for_query(mid, "bob", [TABLE],
+                                               include_credentials=False)
+        assert resolution.assets[TABLE].credential is None
+
+    def test_fgac_rules_delivered_to_trusted_engine(self, service, mid):
+        service.set_row_filter(mid, "alice", TABLE, "west", "region = 'west'")
+        resolution = service.resolve_for_query(mid, "bob", [TABLE],
+                                               engine_trusted=True)
+        rules = resolution.assets[TABLE].fgac
+        assert [f.predicate_sql for f in rules.row_filters] == ["region = 'west'"]
+
+    def test_fgac_rules_withheld_from_untrusted(self, service, mid):
+        service.set_row_filter(mid, "alice", TABLE, "west", "region = 'west'")
+        with pytest.raises(UntrustedEngineError):
+            service.resolve_for_query(mid, "bob", [TABLE], engine_trusted=False)

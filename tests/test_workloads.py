@@ -1,0 +1,195 @@
+"""Synthetic deployment / trace / client generators: shape checks against
+the paper's reported statistics."""
+
+import math
+
+import pytest
+
+from repro.bench.stats import fraction_below, percentile
+from repro.core.model.entity import SecurableKind
+from repro.workloads.clients import (
+    ClientDiversityConfig,
+    generate_client_activity,
+    summarize_activity,
+)
+from repro.workloads.deployment import (
+    DeploymentConfig,
+    TABLE_TYPE_MIX,
+    generate_deployment,
+)
+from repro.workloads.tpcds import TPCDS_QUERY_TABLES, TPCDS_TABLES
+from repro.workloads.tpch import TPCH_QUERY_TABLES, TPCH_TABLES
+from repro.workloads.traces import (
+    TraceConfig,
+    access_method_distribution,
+    generate_trace,
+    interarrival_times,
+)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return generate_deployment(DeploymentConfig(seed=7, metastores=20))
+
+
+class TestDeployment:
+    def test_deterministic_for_seed(self):
+        a = generate_deployment(DeploymentConfig(seed=1, metastores=3))
+        b = generate_deployment(DeploymentConfig(seed=1, metastores=3))
+        assert len(a.tables) == len(b.tables)
+        assert [t.name for t in a.tables[:20]] == [t.name for t in b.tables[:20]]
+
+    def test_population_structure(self, deployment):
+        assert len(deployment.metastores) == 20
+        assert deployment.catalogs and deployment.schemas and deployment.tables
+        # every asset's parent chain is intact
+        schema_ids = {s.id for s in deployment.schemas}
+        assert all(t.parent_id in schema_ids for t in deployment.tables)
+
+    def test_table_type_mix_near_paper(self, deployment):
+        counts = {}
+        for table in deployment.tables:
+            counts[table.spec["table_type"]] = counts.get(
+                table.spec["table_type"], 0) + 1
+        total = sum(counts.values())
+        managed = counts.get("MANAGED", 0) / total
+        foreign = counts.get("FOREIGN", 0) / total
+        assert abs(managed - TABLE_TYPE_MIX["MANAGED"]) < 0.06
+        assert abs(foreign - TABLE_TYPE_MIX["FOREIGN"]) < 0.06
+
+    def test_heavy_tail_in_catalog_sizes(self, deployment):
+        sizes = {}
+        schema_to_catalog = {s.id: s.parent_id for s in deployment.schemas}
+        for table in deployment.tables:
+            catalog = schema_to_catalog[table.parent_id]
+            sizes[catalog] = sizes.get(catalog, 0) + 1
+        values = sorted(sizes.values())
+        # heavy tail: max far above the median
+        assert values[-1] > 10 * values[len(values) // 2]
+
+    def test_views_and_foreign_tables_have_no_storage(self, deployment):
+        for table in deployment.tables:
+            table_type = table.spec["table_type"]
+            if table_type in ("VIEW", "MATERIALIZED_VIEW", "FOREIGN"):
+                assert table.storage_path is None
+            elif table_type in ("MANAGED", "EXTERNAL", "SHALLOW_CLONE"):
+                assert table.storage_path
+
+    def test_volume_growth_accelerates(self, deployment):
+        """Figure 7: creations in the second half of the window exceed the
+        first half (superlinear adoption)."""
+        horizon = deployment.config.horizon_days * 86400
+        first = sum(1 for v in deployment.volumes if v.created_at < horizon / 2)
+        second = len(deployment.volumes) - first
+        assert second > 1.5 * first
+
+    def test_entities_of_partitions_population(self, deployment):
+        mid = deployment.metastores[0].id
+        entities = deployment.entities_of(mid)
+        assert all(e.metastore_id == mid for e in entities)
+
+
+class TestMaterialization:
+    def test_materialize_builds_live_metastore(self):
+        from repro.clock import SimClock
+        from repro.core.service.catalog_service import UnityCatalogService
+        from repro.workloads.deployment import materialize_deployment
+
+        small = generate_deployment(DeploymentConfig(seed=3, metastores=2))
+        service = UnityCatalogService(clock=SimClock())
+        mid = materialize_deployment(small, service, metastore_index=0,
+                                     max_assets=40)
+        catalogs = service.list_securables(mid, "admin",
+                                           SecurableKind.CATALOG)
+        assert catalogs
+        # materialized tables are fully governed (resolvable + vendable)
+        tables = service.query_information_schema(
+            mid, "admin", SecurableKind.TABLE,
+            where=(("table_type", "=", "MANAGED"),), limit=3,
+        )
+        for row in tables:
+            service.resolve_for_query(mid, "admin", [row["full_name"]],
+                                      include_credentials=True)
+
+
+class TestTraces:
+    @pytest.fixture(scope="class")
+    def trace(self, deployment):
+        return generate_trace(deployment, TraceConfig(
+            seed=3, duration_seconds=1200, max_events=120_000))
+
+    def test_trace_is_time_ordered(self, trace):
+        times = [e.timestamp for e in trace]
+        assert times == sorted(times)
+
+    def test_read_fraction_matches_paper(self, trace):
+        reads = sum(1 for e in trace if e.is_read)
+        assert abs(reads / len(trace) - 0.982) < 0.01
+
+    def test_containers_reaccess_faster_than_leaves(self, trace):
+        """Figure 5's ordering: container inter-arrivals << leaf ones."""
+        gaps = interarrival_times(trace)
+        container = gaps.get(SecurableKind.SCHEMA, []) + gaps.get(
+            SecurableKind.CATALOG, [])
+        leaf = gaps.get(SecurableKind.TABLE, [])
+        assert container and leaf
+        assert percentile(container, 50) < percentile(leaf, 50)
+
+    def test_access_method_mix(self, trace):
+        """Figure 11: most tables name-only, a ~7% 'both' slice."""
+        distribution = access_method_distribution(trace)
+        total = sum(distribution.values())
+        assert distribution["name_only"] / total > 0.7
+        assert 0.01 < distribution["both"] / total < 0.2
+
+    def test_only_tables_get_path_access(self, trace):
+        for event in trace:
+            if event.method == "path":
+                assert event.kind is SecurableKind.TABLE
+
+
+class TestTpcWorkloads:
+    def test_tpch_query_tables_subset_of_schema(self):
+        for query, tables in TPCH_QUERY_TABLES.items():
+            for table in tables:
+                assert table in TPCH_TABLES, (query, table)
+
+    def test_tpch_covers_22_queries(self):
+        assert len(TPCH_QUERY_TABLES) == 22
+
+    def test_tpcds_query_tables_subset_of_schema(self):
+        for query, tables in TPCDS_QUERY_TABLES.items():
+            for table in tables:
+                assert table in TPCDS_TABLES, (query, table)
+
+    def test_tpcds_has_facts_and_dims(self):
+        assert "store_sales" in TPCDS_TABLES and "date_dim" in TPCDS_TABLES
+        assert len(TPCDS_TABLES) == 24
+
+    def test_column_names_unique_per_table(self):
+        for tables in (TPCH_TABLES, TPCDS_TABLES):
+            for name, columns in tables.items():
+                names = [c["name"] for c in columns]
+                assert len(names) == len(set(names)), name
+
+
+class TestClientDiversity:
+    def test_uc_vs_hms_cardinalities(self):
+        """Figure 9's headline: UC ~334 client types / 90 query types,
+        HMS ~95 / 30 (~3.5x fewer)."""
+        uc = summarize_activity(generate_client_activity("uc"))
+        hms = summarize_activity(generate_client_activity("hms"))
+        assert uc["client_types"] == 334
+        assert hms["client_types"] == 95
+        assert uc["query_types"] <= 90
+        assert hms["query_types"] <= 30
+        assert uc["client_types"] / hms["client_types"] > 3
+
+    def test_activity_counts_positive(self):
+        activity = generate_client_activity(
+            "uc", ClientDiversityConfig(uc_client_types=20))
+        assert all(a.count >= 1 for a in activity)
+
+    def test_unknown_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            generate_client_activity("bigquery")
