@@ -11,7 +11,6 @@ from __future__ import annotations
 from benchmarks.conftest import write_report
 from repro.bench.report import PAPER_HEADERS, paper_row, render_table
 from repro.bench.stats import fraction_below, percentile
-from repro.core.model.entity import SecurableKind
 from repro.workloads.traces import (
     CONTAINER_LIKE_KINDS,
     TraceConfig,

@@ -117,3 +117,19 @@ def test_micro_trie_vs_linear_overlap_check(benchmark):
     # sanity: a linear scan does 5000 overlap checks; the trie walks ~5
     linear_checks = sum(1 for p in paths if p.overlaps(probe))
     assert linear_checks == 1
+
+
+def test_micro_metrics_snapshot(loaded_service):
+    """Persist the service-side registry snapshot behind the kernels, so
+    the report shows *what* the hot paths did (cache hits, authz calls,
+    credentials minted) next to how fast they were."""
+    from benchmarks.conftest import write_report
+    from repro.bench.report import render_metrics
+
+    service, _, _ = loaded_service
+    report = render_metrics(
+        service.obs.metrics, prefix="uc_",
+        title="catalog observability snapshot (micro kernels)",
+    )
+    write_report("micro_catalog_ops_metrics.txt", report)
+    assert "uc_api_requests_total" in report

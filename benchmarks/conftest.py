@@ -18,13 +18,22 @@ from repro.clock import SimClock
 from repro.core.service.catalog_service import UnityCatalogService
 from repro.workloads.deployment import DeploymentConfig, generate_deployment
 
-OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+#: Committed reference reports live in ``benchmarks/out/``. Local runs
+#: write to ``benchmarks/out/local/`` (gitignored) so they never shadow
+#: the reference files; CI and report-refresh runs redirect via the
+#: ``OUT_DIR`` environment variable.
+_DEFAULT_OUT_DIR = os.path.join(os.path.dirname(__file__), "out", "local")
+
+
+def out_dir() -> str:
+    return os.environ.get("OUT_DIR", _DEFAULT_OUT_DIR)
 
 
 def write_report(name: str, text: str) -> None:
     """Print a report and persist it for EXPERIMENTS.md."""
-    os.makedirs(OUT_DIR, exist_ok=True)
-    with open(os.path.join(OUT_DIR, name), "w") as f:
+    target = out_dir()
+    os.makedirs(target, exist_ok=True)
+    with open(os.path.join(target, name), "w") as f:
         f.write(text + "\n")
     print("\n" + text, file=sys.stderr)
 

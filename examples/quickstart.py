@@ -7,7 +7,7 @@ default-deny privilege model and audit trail) is on from the first query.
 Run:  python examples/quickstart.py
 """
 
-from repro import EngineSession, Privilege, SecurableKind, UnityCatalogService
+from repro import EngineSession, SecurableKind, UnityCatalogService
 from repro.errors import PermissionDeniedError
 
 

@@ -7,7 +7,7 @@ credential vending — the same surface the open-source release exposes.
 Run:  python examples/rest_api_server.py
 """
 
-from repro import SecurableKind, UnityCatalogService
+from repro import UnityCatalogService
 from repro.core.service.http_server import (
     UnityCatalogHttpClient,
     UnityCatalogHttpServer,

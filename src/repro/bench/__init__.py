@@ -11,7 +11,12 @@
 from repro.bench.stats import cdf, percentile, summarize
 from repro.bench.latency import DbServerModel, LatencyModel
 from repro.bench.loadgen import ClosedLoopResult, run_closed_loop
-from repro.bench.report import ascii_bar_chart, paper_row, render_table
+from repro.bench.report import (
+    ascii_bar_chart,
+    paper_row,
+    render_metrics,
+    render_table,
+)
 
 __all__ = [
     "ClosedLoopResult",
@@ -21,6 +26,7 @@ __all__ = [
     "cdf",
     "paper_row",
     "percentile",
+    "render_metrics",
     "render_table",
     "run_closed_loop",
     "summarize",

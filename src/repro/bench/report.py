@@ -55,7 +55,7 @@ def ascii_bar_chart(
     if len(labels) != len(values):
         raise ValueError("labels and values must align")
     peak = max(values) if values else 1.0
-    label_width = max((len(l) for l in labels), default=0)
+    label_width = max((len(label) for label in labels), default=0)
     lines = [title] if title else []
     for label, value in zip(labels, values):
         bar = "#" * (int(round(width * value / peak)) if peak else 0)
@@ -72,3 +72,35 @@ def paper_row(
 
 
 PAPER_HEADERS = ["metric", "paper", "measured", "note"]
+
+
+def render_metrics(
+    registry,
+    prefix: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """Render a :class:`~repro.obs.metrics.MetricsRegistry` snapshot as a
+    report table, so benchmarks can attach the service-side counters
+    (cache hits, commits, credentials minted, ...) behind their numbers.
+
+    ``prefix`` filters the snapshot by metric-name prefix. Histogram
+    entries expand to count/sum/p50/p95/p99 columns; counters and gauges
+    show a single value.
+    """
+    snapshot = registry.snapshot()
+    rows = []
+    for key in sorted(snapshot):
+        if prefix and not key.startswith(prefix):
+            continue
+        value = snapshot[key]
+        if isinstance(value, dict):
+            rows.append([
+                key, value["count"], _fmt(value["sum"]),
+                _fmt(value["p50"]), _fmt(value["p95"]), _fmt(value["p99"]),
+            ])
+        else:
+            rows.append([key, "", _fmt(value), "", "", ""])
+    return render_table(
+        ["metric", "count", "value/sum", "p50", "p95", "p99"], rows,
+        title=title,
+    )

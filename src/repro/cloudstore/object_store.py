@@ -85,6 +85,7 @@ class _OpStats:
 
     gets: int = 0
     puts: int = 0
+    conditional_puts: int = 0
     lists: int = 0
     deletes: int = 0
     bytes_read: int = 0
@@ -94,6 +95,7 @@ class _OpStats:
         return {
             "gets": self.gets,
             "puts": self.puts,
+            "conditional_puts": self.conditional_puts,
             "lists": self.lists,
             "deletes": self.deletes,
             "bytes_read": self.bytes_read,
@@ -145,8 +147,10 @@ class ObjectStore:
             raise InvalidRequestError("cannot put an object at a bucket root")
         with self._lock:
             bucket = self._bucket(path)
-            if if_absent and path.key in bucket:
-                raise AlreadyExistsError(f"object exists: {path.url()}")
+            if if_absent:
+                self.stats.conditional_puts += 1
+                if path.key in bucket:
+                    raise AlreadyExistsError(f"object exists: {path.url()}")
             self._generation += 1
             bucket[path.key] = _Blob(data=data, generation=self._generation)
             self.stats.puts += 1

@@ -73,6 +73,8 @@ class StsTokenIssuer:
         self._root_secret = secrets.token_hex(16)
         self._tokens: dict[str, TemporaryCredential] = {}
         self.minted_count = 0
+        self.validated_count = 0
+        self.denied_count = 0
 
     @property
     def root_secret(self) -> str:
@@ -103,10 +105,13 @@ class StsTokenIssuer:
 
     def validate(self, token: str, path: StoragePath, level: AccessLevel) -> None:
         """Raise :class:`CredentialError` unless ``token`` permits the op."""
+        self.validated_count += 1
         credential = self._tokens.get(token)
         if credential is None:
+            self.denied_count += 1
             raise CredentialError("unknown token")
         if not credential.permits(path, level, self._clock.now()):
+            self.denied_count += 1
             raise CredentialError(
                 f"token does not permit {level.value} on {path.url()}"
             )

@@ -37,6 +37,7 @@ from repro.core.model.registry import AssetTypeRegistry
 from repro.core.persistence.memory import InMemoryMetadataStore
 from repro.core.persistence.store import MetadataStore, Tables, WriteOp
 from repro.core.vending import CredentialVendor
+from repro.obs import Observability
 from repro.core.view import MetastoreView, SnapshotView
 from repro.errors import (
     AlreadyExistsError,
@@ -52,6 +53,46 @@ from repro.errors import (
 _STORAGELESS_TABLE_TYPES = frozenset({"VIEW", "MATERIALIZED_VIEW", "FOREIGN"})
 
 _MAX_COMMIT_RETRIES = 8
+
+
+class _ApiObservation:
+    """Hand-rolled context manager timing one API entry point.
+
+    A generator-based ``@contextmanager`` costs several microseconds per
+    call; the service hot paths (cached point reads run in tens of
+    microseconds) cannot afford that, so this is a ``__slots__`` class
+    whose enter/exit do the minimum: counter inc, two clock reads, one
+    histogram observe, and a real span only when a trace is active.
+    """
+
+    __slots__ = ("_service", "_requests", "_errors", "_latency", "_span_name",
+                 "_start", "_span")
+
+    def __init__(self, service, requests, errors, latency, span_name):
+        self._service = service
+        self._requests = requests
+        self._errors = errors
+        self._latency = latency
+        self._span_name = span_name
+
+    def __enter__(self) -> "_ApiObservation":
+        self._requests.inc()
+        tracer = self._service.obs.tracer
+        if tracer.active:
+            self._span = tracer.span(self._span_name)
+            self._span.__enter__()
+        else:
+            self._span = None
+        self._start = self._service.clock.now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._latency.observe(self._service.clock.now() - self._start)
+        if self._span is not None:
+            self._span.__exit__(exc_type, exc, tb)
+        if exc_type is not None:
+            self._errors.inc()
+        return False
 
 
 @dataclass
@@ -81,12 +122,14 @@ class UnityCatalogService:
         managed_root: str = "s3://unity-managed",
         read_version_check: bool = True,
         rink_cache=None,
+        obs: Optional[Observability] = None,
     ):
         """``read_version_check=False`` lets a node that knows it owns a
         metastore (sharding assignment) skip the per-read DB version probe
         and serve cache hits purely from memory; correctness still holds
         because every write CASes the metastore version (section 4.5)."""
         self.clock = clock or WallClock()
+        self.obs = obs or Observability(clock=self.clock)
         self.store = store or InMemoryMetadataStore()
         self.registry = registry or builtin_registry()
         self.directory = directory or PrincipalDirectory()
@@ -104,12 +147,85 @@ class UnityCatalogService:
         self.object_store.ensure_bucket(self._managed_root.scheme, self._managed_root.bucket)
         self.vendor = CredentialVendor(
             self.sts, self.clock, managed_root_secret=self.sts.root_secret,
-            rink_cache=rink_cache,
+            rink_cache=rink_cache, obs=self.obs,
         )
         self._nodes: dict[str, MetastoreCacheNode] = {}
         self._metastore_names: dict[str, str] = {}
         self._read_version_check = read_version_check
         self._lock = threading.RLock()
+        metrics = self.obs.metrics
+        self._api_requests = metrics.counter(
+            "uc_api_requests_total", "Catalog API calls by entry point.", ("api",)
+        )
+        self._api_errors = metrics.counter(
+            "uc_api_errors_total", "Catalog API calls that raised.", ("api",)
+        )
+        self._api_latency = metrics.histogram(
+            "uc_api_latency_seconds", "Catalog API latency by entry point.", ("api",)
+        )
+        self._commits_total = metrics.counter(
+            "uc_store_commits_total", "Successful metadata-store commits."
+        ).labels()
+        self._commit_conflicts = metrics.counter(
+            "uc_store_commit_conflicts_total", "Metadata CAS commit conflicts."
+        ).labels()
+        self._api_instruments: dict[str, tuple] = {}
+        metrics.register_collector(self._collect_core_stats)
+
+    # ------------------------------------------------------------------
+    # observability plumbing
+    # ------------------------------------------------------------------
+
+    def _observed(self, api: str) -> _ApiObservation:
+        """Count + time one API entry point; open a span when traced.
+
+        Children (and the span name) are bound once per API name, so the
+        steady-state cost is one small allocation, two clock reads, a
+        counter increment, and a histogram observe.
+        """
+        instruments = self._api_instruments.get(api)
+        if instruments is None:
+            instruments = (
+                self._api_requests.labels(api=api),
+                self._api_errors.labels(api=api),
+                self._api_latency.labels(api=api),
+                f"uc.{api}",
+            )
+            self._api_instruments[api] = instruments
+        return _ApiObservation(self, *instruments)
+
+    def _collect_core_stats(self):
+        """Scrape-time export of subsystem counters (zero hot-path cost)."""
+        vending = self.vendor.stats
+        store_stats = self.object_store.stats
+        yield ("uc_credentials_minted_total", {}, vending.minted)
+        yield ("uc_credential_cache_hits_total", {}, vending.cache_hits)
+        yield ("uc_sts_tokens_minted_total", {}, self.sts.minted_count)
+        yield ("uc_sts_validations_total", {}, self.sts.validated_count)
+        yield ("uc_sts_denials_total", {}, self.sts.denied_count)
+        yield ("uc_objectstore_gets_total", {}, store_stats.gets)
+        yield ("uc_objectstore_puts_total", {}, store_stats.puts)
+        yield ("uc_objectstore_conditional_puts_total", {},
+               store_stats.conditional_puts)
+        yield ("uc_objectstore_lists_total", {}, store_stats.lists)
+        yield ("uc_objectstore_deletes_total", {}, store_stats.deletes)
+        yield ("uc_objectstore_bytes_read_total", {}, store_stats.bytes_read)
+        yield ("uc_objectstore_bytes_written_total", {}, store_stats.bytes_written)
+
+    def _register_node_collector(self, name: str, node: MetastoreCacheNode) -> None:
+        """Export one cache node's tier stats, labelled by metastore."""
+        stats = node.stats
+        labels = {"metastore": name, "tier": "node"}
+
+        def collect():
+            yield ("uc_cache_hits_total", labels, stats.hits)
+            yield ("uc_cache_misses_total", labels, stats.misses)
+            yield ("uc_cache_evictions_total", labels, stats.evictions)
+            yield ("uc_cache_hit_rate", labels, stats.hit_rate)
+            yield ("uc_cache_version_checks_total", labels, stats.version_checks)
+            yield ("uc_cache_reconciles_total", labels, stats.reconciles)
+
+        self.obs.metrics.register_collector(collect)
 
     # ------------------------------------------------------------------
     # metastore management
@@ -157,6 +273,7 @@ class UnityCatalogService:
                 )
                 node.warm()
                 self._nodes[metastore_id] = node
+                self._register_node_collector(name, node)
         self._audit(metastore_id, owner, "create_metastore", name, True)
         return entity
 
@@ -210,8 +327,10 @@ class UnityCatalogService:
                 else:
                     new_version = self.store.commit(metastore_id, view.version, ops)
             except ConcurrentModificationError as exc:
+                self._commit_conflicts.inc()
                 last_error = exc
                 continue
+            self._commits_total.inc()
             for change, entity_id, kind, name, details in events:
                 self.events.publish(
                     metastore_id,
@@ -312,7 +431,16 @@ class UnityCatalogService:
         operation: str,
         securable_name: str,
     ) -> None:
-        decision = self.authorizer.authorize(view, entity, operation, principal)
+        tracer = self.obs.tracer
+        if tracer.active:
+            with tracer.span(
+                "uc.authorize", operation=operation, securable=securable_name
+            ):
+                decision = self.authorizer.authorize(
+                    view, entity, operation, principal
+                )
+        else:
+            decision = self.authorizer.authorize(view, entity, operation, principal)
         self._audit(
             metastore_id, principal, operation, securable_name, decision.allowed,
             reason=decision.reason,
@@ -409,7 +537,8 @@ class UnityCatalogService:
             ]
             return ops, entity, events
 
-        entity = self._mutate(metastore_id, build)
+        with self._observed("create_securable"):
+            entity = self._mutate(metastore_id, build)
         self._audit(metastore_id, principal, "create", name, True, kind=kind.value)
         return entity
 
@@ -542,10 +671,12 @@ class UnityCatalogService:
     def get_securable(
         self, metastore_id: str, principal: str, kind: SecurableKind, name: str
     ) -> Entity:
-        view = self.view(metastore_id)
-        entity = self._resolve(view, metastore_id, kind, name)
-        self._authorize(view, metastore_id, principal, entity, "read_metadata", name)
-        return entity
+        with self._observed("get_securable"):
+            view = self.view(metastore_id)
+            entity = self._resolve(view, metastore_id, kind, name)
+            self._authorize(view, metastore_id, principal, entity,
+                            "read_metadata", name)
+            return entity
 
     def list_securables(
         self,
@@ -555,23 +686,24 @@ class UnityCatalogService:
         parent_name: Optional[str] = None,
     ) -> list[Entity]:
         """List children of a container, filtered to what the caller may see."""
-        view = self.view(metastore_id)
-        manifest = self.registry.get(kind)
-        if parent_name is None:
-            parent_id = metastore_id
-        else:
-            parent_kind = manifest.parent_kind
-            parent = self._resolve(view, metastore_id, parent_kind, parent_name)
-            parent_id = parent.id
-        children = view.children(parent_id, kind)
-        identities = self.authorizer.identities(principal)
-        visible = [
-            child for child in children
-            if self.authorizer.visible(view, child, identities)
-        ]
-        self._audit(metastore_id, principal, "list", parent_name or "<root>", True,
-                    kind=kind.value, returned=len(visible))
-        return sorted(visible, key=lambda e: e.name)
+        with self._observed("list_securables"):
+            view = self.view(metastore_id)
+            manifest = self.registry.get(kind)
+            if parent_name is None:
+                parent_id = metastore_id
+            else:
+                parent_kind = manifest.parent_kind
+                parent = self._resolve(view, metastore_id, parent_kind, parent_name)
+                parent_id = parent.id
+            children = view.children(parent_id, kind)
+            identities = self.authorizer.identities(principal)
+            visible = [
+                child for child in children
+                if self.authorizer.visible(view, child, identities)
+            ]
+            self._audit(metastore_id, principal, "list", parent_name or "<root>",
+                        True, kind=kind.value, returned=len(visible))
+            return sorted(visible, key=lambda e: e.name)
 
     def update_securable(
         self,
@@ -608,7 +740,8 @@ class UnityCatalogService:
             events = [(ChangeType.UPDATED, entity.id, kind.value, name, {})]
             return ops, updated, events
 
-        return self._mutate(metastore_id, build)
+        with self._observed("update_securable"):
+            return self._mutate(metastore_id, build)
 
     def rename_securable(
         self,
@@ -643,7 +776,8 @@ class UnityCatalogService:
                        {"renamed_from": name})]
             return ops, renamed, events
 
-        return self._mutate(metastore_id, build)
+        with self._observed("rename_securable"):
+            return self._mutate(metastore_id, build)
 
     def transfer_ownership(
         self,
@@ -708,7 +842,8 @@ class UnityCatalogService:
                 )
             return ops, deleted_entities, events
 
-        deleted = self._mutate(metastore_id, build)
+        with self._observed("delete_securable"):
+            deleted = self._mutate(metastore_id, build)
         self._audit(metastore_id, principal, "delete", name, True,
                     cascade=cascade, count=len(deleted))
         return deleted
@@ -817,7 +952,8 @@ class UnityCatalogService:
             ]
             return ops, grant, events
 
-        return self._mutate(metastore_id, build)
+        with self._observed("grant"):
+            return self._mutate(metastore_id, build)
 
     def revoke(
         self,
@@ -844,7 +980,8 @@ class UnityCatalogService:
             ]
             return ops, None, events
 
-        self._mutate(metastore_id, build)
+        with self._observed("revoke"):
+            self._mutate(metastore_id, build)
 
     def grants_on(
         self, metastore_id: str, principal: str, kind: SecurableKind, name: str
@@ -863,12 +1000,13 @@ class UnityCatalogService:
         privilege: Privilege,
     ) -> bool:
         """The authorization API exposed to second-tier/discovery services."""
-        view = self.view(metastore_id)
-        entity = self._resolve(view, metastore_id, kind, name)
-        identities = self.authorizer.identities(principal)
-        if self.authorizer.is_direct_owner_or_admin(view, entity, identities):
-            return True
-        return self.authorizer.has_privilege(view, entity, privilege, identities)
+        with self._observed("has_privilege"):
+            view = self.view(metastore_id)
+            entity = self._resolve(view, metastore_id, kind, name)
+            identities = self.authorizer.identities(principal)
+            if self.authorizer.is_direct_owner_or_admin(view, entity, identities):
+                return True
+            return self.authorizer.has_privilege(view, entity, privilege, identities)
 
     # ------------------------------------------------------------------
     # tags
@@ -1133,9 +1271,10 @@ class UnityCatalogService:
         level: AccessLevel,
     ) -> TemporaryCredential:
         """Name-based access: authorize, then mint a downscoped token."""
-        view = self.view(metastore_id)
-        entity = self._resolve(view, metastore_id, kind, name)
-        return self._vend(view, metastore_id, principal, entity, name, level)
+        with self._observed("vend_credentials"):
+            view = self.view(metastore_id)
+            entity = self._resolve(view, metastore_id, kind, name)
+            return self._vend(view, metastore_id, principal, entity, name, level)
 
     def access_by_path(
         self,
@@ -1147,17 +1286,18 @@ class UnityCatalogService:
         """Path-based access: resolve the governing asset first, then apply
         exactly the same policy as name-based access — the paper's uniform
         access control guarantee."""
-        view = self.view(metastore_id)
-        path = StoragePath.parse(url)
-        entity = view.resolve_path(path)
-        if entity is None:
-            self._audit(metastore_id, principal, "access_by_path", url, False,
-                        reason="no asset governs this path")
-            raise PermissionDeniedError(f"no catalog asset governs {url}")
-        credential = self._vend(
-            view, metastore_id, principal, entity, view.full_name(entity), level
-        )
-        return entity, credential
+        with self._observed("access_by_path"):
+            view = self.view(metastore_id)
+            path = StoragePath.parse(url)
+            entity = view.resolve_path(path)
+            if entity is None:
+                self._audit(metastore_id, principal, "access_by_path", url, False,
+                            reason="no asset governs this path")
+                raise PermissionDeniedError(f"no catalog asset governs {url}")
+            credential = self._vend(
+                view, metastore_id, principal, entity, view.full_name(entity), level
+            )
+            return entity, credential
 
     def _vend(
         self,
@@ -1239,6 +1379,23 @@ class UnityCatalogService:
         in ``= != < <= > >=``; attributes are the returned column names.
         Results are filtered to what the caller may see, like any listing.
         """
+        with self._observed("query_information_schema"):
+            return self._query_information_schema(
+                metastore_id, principal, kind,
+                catalog=catalog, schema=schema, where=where, limit=limit,
+            )
+
+    def _query_information_schema(
+        self,
+        metastore_id: str,
+        principal: str,
+        kind: SecurableKind,
+        *,
+        catalog: Optional[str] = None,
+        schema: Optional[str] = None,
+        where: tuple[tuple[str, str, Any], ...] = (),
+        limit: Optional[int] = None,
+    ) -> list[dict[str, Any]]:
         view = self.view(metastore_id)
         rows: list[dict[str, Any]] = []
         identities = self.authorizer.identities(principal)
@@ -1313,16 +1470,17 @@ class UnityCatalogService:
         query (see :mod:`repro.core.service.batch`)."""
         from repro.core.service.batch import QueryResolver
 
-        return QueryResolver(self).resolve(
-            metastore_id,
-            principal,
-            table_names,
-            write_tables=write_tables,
-            function_names=function_names,
-            include_credentials=include_credentials,
-            engine_trusted=engine_trusted,
-            workspace=workspace,
-        )
+        with self._observed("resolve_for_query"):
+            return QueryResolver(self).resolve(
+                metastore_id,
+                principal,
+                table_names,
+                write_tables=write_tables,
+                function_names=function_names,
+                include_credentials=include_credentials,
+                engine_trusted=engine_trusted,
+                workspace=workspace,
+            )
 
     # ------------------------------------------------------------------
     # discovery authorization API (section 4.4)

@@ -14,10 +14,13 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional
 from urllib.parse import parse_qsl, urlsplit
 
-from repro.core.service.rest import RestApi
+from repro.core.service.rest import RestApi, TextResponse
 from repro.errors import UnityCatalogError
 
 _PRINCIPAL_HEADER = "X-Unity-Principal"
+
+#: Routes a metrics scraper may hit without a principal header.
+_UNAUTHENTICATED_PREFIXES = ("metrics", "traces")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -39,7 +42,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._respond(400, {"error_code": "INVALID_PARAMETER_VALUE",
                                     "message": "request body is not JSON"})
                 return
-        if not principal:
+        first_segment = split.path.strip("/").split("/", 1)[0]
+        if not principal and first_segment not in _UNAUTHENTICATED_PREFIXES:
             self._respond(401, {"error_code": "PERMISSION_DENIED",
                                 "message": f"missing {_PRINCIPAL_HEADER} header"})
             return
@@ -48,10 +52,15 @@ class _Handler(BaseHTTPRequestHandler):
         )
         self._respond(status, payload)
 
-    def _respond(self, status: int, payload: dict) -> None:
-        data = json.dumps(payload).encode()
+    def _respond(self, status: int, payload) -> None:
+        if isinstance(payload, TextResponse):
+            data = payload.body.encode()
+            content_type = payload.content_type
+        else:
+            data = json.dumps(payload).encode()
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)

@@ -13,7 +13,7 @@ caller principal arrives as a header.
 
 from __future__ import annotations
 
-import re
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.cloudstore.sts import AccessLevel
@@ -55,6 +55,14 @@ _KIND_BY_RESOURCE = {
 }
 
 
+@dataclass
+class TextResponse:
+    """A non-JSON response body — used for the Prometheus text format."""
+
+    body: str
+    content_type: str = "text/plain; version=0.0.4; charset=utf-8"
+
+
 def _entity_json(entity: Entity) -> dict:
     return entity.to_dict()
 
@@ -90,8 +98,11 @@ class RestApi:
         principal: str,
         params: Optional[dict[str, str]] = None,
         body: Optional[dict[str, Any]] = None,
-    ) -> tuple[int, dict]:
-        """Dispatch one request; returns (HTTP status, response body)."""
+    ) -> tuple[int, Any]:
+        """Dispatch one request; returns (HTTP status, response body).
+
+        The body is a JSON-able dict for every route except ``/metrics``,
+        which returns a :class:`TextResponse`."""
         params = params or {}
         body = body or {}
         try:
@@ -105,8 +116,14 @@ class RestApi:
     def _route(
         self, method: str, path: str, principal: str,
         params: dict, body: dict,
-    ) -> tuple[int, dict]:
+    ) -> tuple[int, Any]:
         segments = [s for s in path.split("/") if s]
+        # observability endpoints live outside the /api tree, like the
+        # operational endpoints of most services
+        if segments == ["metrics"]:
+            return self._metrics_route(method)
+        if segments and segments[0] == "traces":
+            return self._traces_route(method, segments[1:])
         if not segments or segments[0] != "api":
             raise NotFoundError(f"unknown route: /{path}")
         # /api/2.1/unity-catalog/<resource>[/<name>]
@@ -146,6 +163,32 @@ class RestApi:
             if metastore in self._service.store.metastore_ids():
                 return metastore
             raise
+
+    # -- observability ---------------------------------------------------------------
+
+    def _obs(self):
+        obs = getattr(self._service, "obs", None)
+        if obs is None:
+            raise NotFoundError("service has no observability attached")
+        return obs
+
+    def _metrics_route(self, method: str) -> tuple[int, TextResponse]:
+        if method != "GET":
+            raise InvalidRequestError("metrics is GET-only")
+        return 200, TextResponse(self._obs().metrics.render())
+
+    def _traces_route(self, method: str, rest: list[str]) -> tuple[int, dict]:
+        if method != "GET":
+            raise InvalidRequestError("traces is GET-only")
+        tracer = self._obs().tracer
+        if not rest:
+            return 200, {"trace_ids": tracer.trace_ids()}
+        if len(rest) > 1:
+            raise NotFoundError(f"unknown route: /traces/{'/'.join(rest)}")
+        root = tracer.trace(rest[0])
+        if root is None:
+            raise NotFoundError(f"no such trace: {rest[0]}")
+        return 200, root.to_dict()
 
     # -- handlers -------------------------------------------------------------------
 

@@ -10,6 +10,7 @@ and the requested access level. Unexpired tokens are cached per
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Optional
 
@@ -43,10 +44,12 @@ class CredentialVendor:
         clock: Clock,
         managed_root_secret: str,
         rink_cache: Optional[TtlCache] = None,
+        obs=None,
     ):
         """``rink_cache`` is an externally-owned token cache shared across
         service instances — the paper's RINK caching service, which lets
-        vended tokens "survive restarts" of the catalog service."""
+        vended tokens "survive restarts" of the catalog service.
+        ``obs`` is the owning service's observability bundle."""
         self._issuer = issuer
         self._clock = clock
         self._managed_root_secret = managed_root_secret
@@ -55,6 +58,20 @@ class CredentialVendor:
         )
         self._rink = rink_cache
         self.stats = VendingStats()
+        self._tracer = obs.tracer if obs is not None else None
+        self._scope_segments = None
+        if obs is not None:
+            self._scope_segments = obs.metrics.histogram(
+                "uc_credential_scope_segments",
+                "Path depth of vended credential scopes.",
+                buckets=(1, 2, 3, 4, 6, 8, 12, 16),
+            ).labels()
+            obs.metrics.register_collector(self._collect)
+
+    def _collect(self):
+        yield ("uc_credential_cache_entries", {"tier": "vendor"}, len(self._cache))
+        yield ("uc_credential_cache_lookups_total", {"tier": "vendor"},
+               self._cache.hits + self._cache.misses)
 
     def vend(
         self,
@@ -71,24 +88,33 @@ class CredentialVendor:
             raise InvalidRequestError(
                 f"securable {entity.name!r} has no backing storage"
             )
-        cache_key = (entity.id, level.value)
-        cached = self._cache.get(cache_key)
-        if cached is None and self._rink is not None:
-            cached = self._rink.get(cache_key)  # survives service restarts
-        if cached is not None and cached.expires_at > self._clock.now() + 60:
-            self.stats.cache_hits += 1
-            return cached
-
-        scope = StoragePath.parse(entity.storage_path)
-        root_secret = self._root_secret_for(view, entity, scope)
-        credential = self._issuer.mint(
-            root_secret, scope, level, ttl_seconds=self.TOKEN_TTL_SECONDS
+        span = (
+            self._tracer.span("uc.vend", asset=entity.name, level=level.value)
+            if self._tracer is not None
+            else nullcontext()
         )
-        self._cache.put(cache_key, credential)
-        if self._rink is not None:
-            self._rink.put(cache_key, credential)
-        self.stats.minted += 1
-        return credential
+        with span:
+            cache_key = (entity.id, level.value)
+            cached = self._cache.get(cache_key)
+            if cached is None and self._rink is not None:
+                cached = self._rink.get(cache_key)  # survives service restarts
+            if cached is not None and cached.expires_at > self._clock.now() + 60:
+                self.stats.cache_hits += 1
+                return cached
+
+            scope = StoragePath.parse(entity.storage_path)
+            root_secret = self._root_secret_for(view, entity, scope)
+            credential = self._issuer.mint(
+                root_secret, scope, level, ttl_seconds=self.TOKEN_TTL_SECONDS
+            )
+            self._cache.put(cache_key, credential)
+            if self._rink is not None:
+                self._rink.put(cache_key, credential)
+            self.stats.minted += 1
+            if self._scope_segments is not None:
+                depth = len(scope.key.split("/")) if scope.key else 0
+                self._scope_segments.observe(depth)
+            return credential
 
     # -- root authority resolution -----------------------------------------
 

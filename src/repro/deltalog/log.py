@@ -65,9 +65,25 @@ class DeltaLog:
     """Reads and writes one table's transaction log through a governed
     storage client (all I/O presents the vended credential)."""
 
-    def __init__(self, client: StorageClient, table_root: StoragePath):
+    def __init__(self, client: StorageClient, table_root: StoragePath, metrics=None):
+        """``metrics`` is an optional
+        :class:`~repro.obs.metrics.MetricsRegistry`; when present the log
+        counts commits, lost commit races, and checkpoint reads."""
         self._client = client
         self._root = table_root
+        self._commits = self._conflicts = self._checkpoint_reads = None
+        if metrics is not None:
+            self._commits = metrics.counter(
+                "uc_delta_commits_total", "Delta log entries committed."
+            ).labels()
+            self._conflicts = metrics.counter(
+                "uc_delta_commit_conflicts_total",
+                "Delta commits that lost the put-if-absent race.",
+            ).labels()
+            self._checkpoint_reads = metrics.counter(
+                "uc_delta_checkpoint_reads_total",
+                "Snapshot reconstructions that started from a checkpoint.",
+            ).labels()
 
     @property
     def root(self) -> StoragePath:
@@ -113,9 +129,13 @@ class DeltaLog:
                 self._entry_path(version), payload.encode(), if_absent=True
             )
         except AlreadyExistsError:
+            if self._conflicts is not None:
+                self._conflicts.inc()
             raise ConcurrentModificationError(
                 f"log version {version} was committed concurrently"
             )
+        if self._commits is not None:
+            self._commits.inc()
 
     def read_entry(self, version: int) -> list[Action]:
         try:
@@ -148,6 +168,8 @@ class DeltaLog:
         start = 0
         checkpoint = self._latest_checkpoint(target)
         if checkpoint is not None:
+            if self._checkpoint_reads is not None:
+                self._checkpoint_reads.inc()
             state = json.loads(self._client.get(self._checkpoint_path(checkpoint)))
             metadata = Metadata.from_dict(state["metaData"]) if state.get("metaData") else None
             protocol = Protocol.from_dict(state.get("protocol", {}))

@@ -91,10 +91,11 @@ class DeltaTable:
         table_root: StoragePath,
         clock: Optional[Clock] = None,
         engine: str = "repro",
+        metrics=None,
     ):
         self._client = client
         self._root = table_root
-        self._log = DeltaLog(client, table_root)
+        self._log = DeltaLog(client, table_root, metrics=metrics)
         self._clock = clock or WallClock()
         self._engine = engine
 
@@ -118,9 +119,10 @@ class DeltaTable:
         partition_columns: tuple[str, ...] = (),
         clock: Optional[Clock] = None,
         engine: str = "repro",
+        metrics=None,
     ) -> "DeltaTable":
         """Initialize an empty table (log version 0)."""
-        table = cls(client, table_root, clock=clock, engine=engine)
+        table = cls(client, table_root, clock=clock, engine=engine, metrics=metrics)
         actions: list[Action] = [
             Protocol(),
             Metadata(

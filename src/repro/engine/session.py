@@ -32,6 +32,7 @@ from repro.engine.expressions import (
     Literal,
     compile_expression,
 )
+from repro.obs.tracing import NULL_SPAN
 from repro.engine.parser import (
     CreateTableStmt,
     CreateViewStmt,
@@ -75,6 +76,7 @@ class QueryResult:
     rowcount: int = 0
     message: str = ""
     scan_metrics: Optional[ScanMetrics] = None
+    trace_id: Optional[str] = None
 
 
 def _truthy(value: Any) -> bool:
@@ -132,6 +134,18 @@ class EngineSession:
         )
         self._ctx = EvalContext(principal=principal, groups=groups)
         self.last_scan_metrics: Optional[ScanMetrics] = None
+        # observability rides along with the catalog handle; sessions on a
+        # bare catalog stub simply run untraced
+        self._obs = getattr(catalog, "obs", None)
+        self._metrics = self._obs.metrics if self._obs is not None else None
+        self.last_trace_id: Optional[str] = None
+        self._stmt_latency = None
+        if self._metrics is not None:
+            self._stmt_latency = self._metrics.histogram(
+                "uc_engine_statement_seconds",
+                "End-to-end latency of engine SQL statements.",
+                ("engine",),
+            ).labels(engine=engine_name)
 
     @property
     def principal(self) -> str:
@@ -161,8 +175,30 @@ class EngineSession:
     # -- entry point ------------------------------------------------------------
 
     def sql(self, text: str) -> QueryResult:
-        """Parse and execute one statement."""
-        statement = parse_sql(text)
+        """Parse and execute one statement, tracing every phase."""
+        if self._obs is None:
+            return self._sql(text)
+        start = self._clock.now()
+        with self._obs.tracer.start_trace(
+            "query", principal=self._principal, engine=self._engine_name
+        ) as root:
+            self.last_trace_id = root.span.trace_id
+            try:
+                result = self._sql(text)
+            finally:
+                if self._stmt_latency is not None:
+                    self._stmt_latency.observe(self._clock.now() - start)
+            result.trace_id = root.span.trace_id
+            return result
+
+    def _span(self, name: str, **attrs: object):
+        if self._obs is None:
+            return NULL_SPAN
+        return self._obs.tracer.span(name, **attrs)
+
+    def _sql(self, text: str) -> QueryResult:
+        with self._span("parse"):
+            statement = parse_sql(text)
         try:
             return self._execute(statement, text)
         except UntrustedEngineError:
@@ -202,15 +238,16 @@ class EngineSession:
         table_names: list[str],
         write_tables: tuple[str, ...] = (),
     ) -> QueryResolution:
-        cache_key = (tuple(table_names), tuple(write_tables))
-        if self._resolution_cache is not None:
-            cached = self._resolution_cache.get(cache_key)
-            if cached is not None and self._credentials_fresh(cached):
-                return cached
-        resolution = self._do_resolve(table_names, write_tables)
-        if self._resolution_cache is not None:
-            self._resolution_cache.put(cache_key, resolution)
-        return resolution
+        with self._span("analyze", tables=len(table_names)):
+            cache_key = (tuple(table_names), tuple(write_tables))
+            if self._resolution_cache is not None:
+                cached = self._resolution_cache.get(cache_key)
+                if cached is not None and self._credentials_fresh(cached):
+                    return cached
+            resolution = self._do_resolve(table_names, write_tables)
+            if self._resolution_cache is not None:
+                self._resolution_cache.put(cache_key, resolution)
+            return resolution
 
     def _credentials_fresh(self, resolution: QueryResolution) -> bool:
         """Vended tokens are reusable only within their validity window."""
@@ -264,6 +301,7 @@ class EngineSession:
             StoragePath.parse(asset.storage_url),
             clock=self._clock,
             engine=self._engine_name,
+            metrics=self._metrics,
         )
 
     # -- SELECT -------------------------------------------------------------------
@@ -392,7 +430,9 @@ class EngineSession:
             return rows, columns
         table = self._delta_table(asset)
         metrics = ScanMetrics()
-        rows = list(table.scan(filters, version=version, metrics=metrics))
+        with self._span("scan", asset=asset.full_name) as span:
+            rows = list(table.scan(filters, version=version, metrics=metrics))
+            span.set_attr("rows", len(rows))
         self.last_scan_metrics = metrics
         columns = [c["name"] for c in asset.columns]
         if not columns:
@@ -602,6 +642,7 @@ class EngineSession:
             DeltaTable.create(
                 client, root, entity.id, columns,
                 clock=self._clock, engine=self._engine_name,
+                metrics=self._metrics,
             )
         return QueryResult(message=f"created table {name}")
 
@@ -635,7 +676,8 @@ class EngineSession:
                                credential)
         root = StoragePath.parse(entity.storage_path)
         table = DeltaTable.create(client, root, entity.id, columns,
-                                  clock=self._clock, engine=self._engine_name)
+                                  clock=self._clock, engine=self._engine_name,
+                                  metrics=self._metrics)
         if sub.rows:
             table.append(sub.rows)
         if sources and self._report_lineage:

@@ -1,0 +1,45 @@
+"""``repro.obs`` — in-process observability for the catalog hot path.
+
+One :class:`Observability` bundle (a :class:`MetricsRegistry` plus a
+:class:`Tracer`, sharing a clock) is owned by each
+:class:`~repro.core.service.catalog_service.UnityCatalogService` and
+threaded through every subsystem the life-of-a-query path touches:
+service APIs, the metadata cache, credential vending, the object store,
+the Delta log, and engine sessions. ``GET /metrics`` and
+``GET /traces/{id}`` in the REST layer expose it; ``repro.bench.report``
+pulls registry snapshots into benchmark reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clock import Clock, WallClock
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "Tracer",
+]
+
+
+class Observability:
+    """A metrics registry and a tracer sharing one time source."""
+
+    def __init__(self, clock: Optional[Clock] = None, max_traces: int = 256):
+        self.clock = clock or WallClock()
+        self.metrics = MetricsRegistry(clock=self.clock)
+        self.tracer = Tracer(clock=self.clock, max_traces=max_traces)

@@ -1,0 +1,447 @@
+"""A zero-dependency metrics registry (counters, gauges, histograms).
+
+The paper's entire evaluation is production telemetry: per-API latency
+distributions, cache hit rates, credential-vending counts. This module is
+the in-process substrate for that telemetry — every subsystem on the
+life-of-a-query hot path records into one :class:`MetricsRegistry`, which
+renders Prometheus-style text for ``GET /metrics`` and structured
+snapshots for benchmark reports.
+
+Design constraints:
+
+* **Clock-injected.** Latency timers take their time source from
+  :mod:`repro.clock`, so tests running under ``SimClock`` observe exact,
+  deterministic durations.
+* **Cheap on the hot path.** Bound label children once and reuse them;
+  an increment is a lock, a float add, and nothing else. Subsystems that
+  already keep their own counters (cache nodes, the object store) are
+  exported lazily through *collectors* evaluated only at scrape time.
+* **Deterministic quantiles.** Histograms keep fixed cumulative buckets
+  (the Prometheus contract) plus a bounded reservoir (seeded RNG, so the
+  same observation stream always yields the same estimate) from which
+  p50/p95/p99 are interpolated.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.clock import Clock, WallClock
+
+#: Default latency buckets, in seconds (50us .. 30s, roughly log-spaced).
+DEFAULT_BUCKETS = (
+    0.00005,
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+#: A collector yields ``(metric_name, label_dict, value)`` samples at
+#: scrape time; it is how subsystems with their own counters (cache
+#: nodes, the object store, STS) are exported without hot-path coupling.
+Sample = tuple[str, dict[str, str], float]
+Collector = Callable[[], Iterable[Sample]]
+
+
+def _label_key(labelnames: Sequence[str], labels: dict[str, str]) -> tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise ValueError(f"expected labels {tuple(labelnames)}, got {tuple(labels)}")
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+def _render_labels(labelnames: Sequence[str], key: tuple[str, ...]) -> str:
+    if not labelnames:
+        return ""
+    inner = ",".join(f'{n}="{_escape(v)}"' for n, v in zip(labelnames, key))
+    return "{" + inner + "}"
+
+
+def _escape(value: object) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class Metric:
+    """Base: one named metric family with a fixed label schema."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str]):
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._children: dict[tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    def labels(self, **labels: str):
+        """The child bound to one label combination (created on demand).
+
+        Bind once and keep the child: the returned object's operations
+        are the hot-path fast lane.
+        """
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._new_child()
+            return child
+
+    def _new_child(self):
+        raise NotImplementedError
+
+    def _default_child(self):
+        if self.labelnames:
+            raise ValueError(f"metric {self.name} requires labels {self.labelnames}")
+        return self.labels()
+
+    def samples(self) -> list[tuple[str, str, float]]:
+        """``(name, rendered_labels, value)`` rows for text rendering."""
+        raise NotImplementedError
+
+    def snapshot(self) -> dict:
+        raise NotImplementedError
+
+
+class _CounterChild:
+    __slots__ = ("_lock", "value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self.value += amount
+
+
+class Counter(Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        child = self.labels(**labels) if labels else self._default_child()
+        child.inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+    def samples(self) -> list[tuple[str, str, float]]:
+        with self._lock:
+            items = list(self._children.items())
+        return [
+            (self.name, _render_labels(self.labelnames, key), child.value)
+            for key, child in items
+        ]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            items = list(self._children.items())
+        if not self.labelnames:
+            return {self.name: items[0][1].value if items else 0.0}
+        return {
+            self.name + _render_labels(self.labelnames, key): child.value
+            for key, child in items
+        }
+
+
+class _GaugeChild:
+    __slots__ = ("_lock", "value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class Gauge(Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float, **labels: str) -> None:
+        child = self.labels(**labels) if labels else self._default_child()
+        child.set(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        child = self.labels(**labels) if labels else self._default_child()
+        child.inc(amount)
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+    samples = Counter.samples
+    snapshot = Counter.snapshot
+
+
+class _HistogramChild:
+    """Bucket counts + sum/count + a bounded, deterministic reservoir."""
+
+    __slots__ = ("_lock", "_bounds", "counts", "count", "sum", "_reservoir", "_rng")
+
+    RESERVOIR_SIZE = 512
+
+    def __init__(self, bounds: Sequence[float]):
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last bucket is +Inf
+        self.count = 0
+        self.sum = 0.0
+        self._reservoir: list[float] = []
+        # Seeded: the same observation stream yields the same quantiles.
+        self._rng = random.Random(0x5EED)
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.counts[bisect_left(self._bounds, value)] += 1
+            self.count += 1
+            self.sum += value
+            if len(self._reservoir) < self.RESERVOIR_SIZE:
+                self._reservoir.append(value)
+            else:
+                # algorithm R; int(random()*n) beats randrange() ~5x here
+                slot = int(self._rng.random() * self.count)
+                if slot < self.RESERVOIR_SIZE:
+                    self._reservoir[slot] = value
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Linear-interpolated quantile from the reservoir (None if empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            ordered = sorted(self._reservoir)
+        if not ordered:
+            return None
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q * (len(ordered) - 1)
+        lo = int(position)
+        hi = min(lo + 1, len(ordered) - 1)
+        fraction = position - lo
+        return ordered[lo] * (1 - fraction) + ordered[hi] * fraction
+
+    def percentiles(self) -> dict[str, Optional[float]]:
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class _Timer:
+    """Context manager charging elapsed clock time to a histogram child."""
+
+    __slots__ = ("_child", "_clock", "_start")
+
+    def __init__(self, child: _HistogramChild, clock: Clock):
+        self._child = child
+        self._clock = clock
+
+    def __enter__(self) -> "_Timer":
+        self._start = self._clock.now()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._child.observe(self._clock.now() - self._start)
+
+
+class Histogram(Metric):
+    """Latency/size distribution: cumulative buckets + p50/p95/p99."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        clock: Optional[Clock] = None,
+    ):
+        super().__init__(name, help_text, labelnames)
+        self._buckets = tuple(sorted(buckets))
+        self._clock = clock or WallClock()
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self._buckets)
+
+    def observe(self, value: float, **labels: str) -> None:
+        child = self.labels(**labels) if labels else self._default_child()
+        child.observe(value)
+
+    def time(self, **labels: str) -> _Timer:
+        child = self.labels(**labels) if labels else self._default_child()
+        return _Timer(child, self._clock)
+
+    def timer(self, child: _HistogramChild) -> _Timer:
+        """A timer for a pre-bound child (hot-path fast lane)."""
+        return _Timer(child, self._clock)
+
+    def quantile(self, q: float, **labels: str) -> Optional[float]:
+        child = self.labels(**labels) if labels else self._default_child()
+        return child.quantile(q)
+
+    def samples(self) -> list[tuple[str, str, float]]:
+        with self._lock:
+            items = list(self._children.items())
+        rows: list[tuple[str, str, float]] = []
+        for key, child in items:
+            cumulative = 0
+            for bound, bucket_count in zip(self._buckets, child.counts):
+                cumulative += bucket_count
+                label_text = _render_labels(self.labelnames + ("le",), key + (_fmt(bound),))
+                rows.append((self.name + "_bucket", label_text, cumulative))
+            label_text = _render_labels(self.labelnames + ("le",), key + ("+Inf",))
+            rows.append((self.name + "_bucket", label_text, child.count))
+            plain = _render_labels(self.labelnames, key)
+            rows.append((self.name + "_sum", plain, child.sum))
+            rows.append((self.name + "_count", plain, child.count))
+        return rows
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            items = list(self._children.items())
+        out: dict[str, dict] = {}
+        for key, child in items:
+            entry = {"count": child.count, "sum": child.sum}
+            entry.update(child.percentiles())
+            out[self.name + _render_labels(self.labelnames, key)] = entry
+        return out
+
+
+class MetricsRegistry:
+    """Owns every metric family plus scrape-time collectors."""
+
+    def __init__(self, clock: Optional[Clock] = None):
+        self.clock = clock or WallClock()
+        self._metrics: dict[str, Metric] = {}
+        self._collectors: list[Collector] = []
+        self._lock = threading.Lock()
+
+    # -- metric creation (idempotent get-or-create) ---------------------
+
+    def counter(self, name: str, help_text: str = "", labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, Histogram):
+                    raise ValueError(f"{name} is already a {existing.kind}")
+                return existing
+            metric = Histogram(name, help_text, labelnames, buckets, clock=self.clock)
+            self._metrics[name] = metric
+            return metric
+
+    def _get_or_create(self, cls, name, help_text, labelnames):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(f"{name} is already a {existing.kind}")
+                return existing
+            metric = cls(name, help_text, labelnames)
+            self._metrics[name] = metric
+            return metric
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def register_collector(self, collector: Collector) -> None:
+        """Register a scrape-time sample source (zero hot-path cost)."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    # -- output ---------------------------------------------------------
+
+    def render(self) -> str:
+        """Prometheus text exposition (``GET /metrics``)."""
+        lines: list[str] = []
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+            collectors = list(self._collectors)
+        for metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for name, label_text, value in metric.samples():
+                lines.append(f"{name}{label_text} {_fmt(value)}")
+        collected: dict[str, list[str]] = {}
+        for collector in collectors:
+            for name, labels, value in collector():
+                label_text = _render_labels(tuple(labels), tuple(labels.values()))
+                collected.setdefault(name, []).append(f"{name}{label_text} {_fmt(value)}")
+        for name in sorted(collected):
+            lines.append(f"# TYPE {name} untyped")
+            lines.extend(collected[name])
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict:
+        """A structured view for benchmark reports and assertions."""
+        out: dict = {}
+        with self._lock:
+            metrics = list(self._metrics.values())
+            collectors = list(self._collectors)
+        for metric in metrics:
+            out.update(metric.snapshot())
+        for collector in collectors:
+            for name, labels, value in collector():
+                suffix = _render_labels(tuple(labels), tuple(labels.values()))
+                out[name + suffix] = value
+        return out

@@ -1,0 +1,212 @@
+"""Request tracing: nested spans through the life of a query.
+
+The paper describes query processing as a fixed pipeline (parse →
+analyze → authorize → vend → scan, section 3.4); the tracer makes that
+pipeline observable. A *root* span opens a trace (one per query or
+traced REST request); every span opened while another is active on the
+same thread becomes its child, so service-side work (authorization,
+credential vending) nests under the engine-side phase that triggered it
+without any explicit context plumbing.
+
+Spans are deliberately cheap and deterministic:
+
+* ids come from a monotonically increasing counter, not a RNG, so
+  ``SimClock`` tests see stable ids;
+* opening a child span when **no** trace is active is a no-op (a single
+  thread-local read), which keeps un-traced hot paths at full speed —
+  benchmarks that call the service directly pay nothing;
+* finished traces are retained in a bounded LRU buffer for
+  ``GET /traces/{id}``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.clock import Clock, WallClock
+
+
+@dataclass
+class Span:
+    """One timed operation inside a trace."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start: float
+    end: Optional[float] = None
+    attrs: dict = field(default_factory=dict)
+    error: Optional[str] = None
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+            "error": self.error,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def walk(self):
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """The first descendant (or self) with the given name."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+
+class _NullSpan:
+    """Returned when no trace is active: absorbs the context protocol."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set_attr(self, key: str, value: object) -> None:
+        pass
+
+
+#: Shared absorbing span, usable by callers that may have no tracer at all.
+NULL_SPAN = _NullSpan()
+_NULL_SPAN = NULL_SPAN
+
+
+class _ActiveSpan:
+    """Context manager that pushes/pops one span on the thread stack."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def set_attr(self, key: str, value: object) -> None:
+        self.span.attrs[key] = value
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._tracer._push(self.span)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None and self.span.error is None:
+            self.span.error = f"{type(exc).__name__}: {exc}"
+        self._tracer._pop(self.span)
+        return False
+
+
+class Tracer:
+    """Produces nested spans with thread-local context propagation."""
+
+    def __init__(self, clock: Optional[Clock] = None, max_traces: int = 256):
+        self._clock = clock or WallClock()
+        self._max_traces = max_traces
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._traces: OrderedDict[str, Span] = OrderedDict()
+        self._lock = threading.Lock()
+        self.last_trace_id: Optional[str] = None
+
+    # -- span creation --------------------------------------------------
+
+    def start_trace(self, name: str, **attrs: object) -> _ActiveSpan:
+        """Open a root span, beginning a new trace on this thread."""
+        trace_id = f"trace-{next(self._ids):08d}"
+        span = Span(
+            trace_id=trace_id,
+            span_id=f"span-{next(self._ids):08d}",
+            parent_id=None,
+            name=name,
+            start=self._clock.now(),
+            attrs=dict(attrs),
+        )
+        return _ActiveSpan(self, span)
+
+    def span(self, name: str, **attrs: object):
+        """Open a child of the active span; a no-op when none is active."""
+        parent = self.current_span
+        if parent is None:
+            return _NULL_SPAN
+        span = Span(
+            trace_id=parent.trace_id,
+            span_id=f"span-{next(self._ids):08d}",
+            parent_id=parent.span_id,
+            name=name,
+            start=self._clock.now(),
+            attrs=dict(attrs),
+        )
+        parent.children.append(span)
+        return _ActiveSpan(self, span)
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return None
+        return stack[-1]
+
+    @property
+    def active(self) -> bool:
+        return self.current_span is not None
+
+    # -- stack + retention ----------------------------------------------
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.end = self._clock.now()
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        if span.parent_id is None:
+            self._retain(span)
+
+    def _retain(self, root: Span) -> None:
+        with self._lock:
+            self._traces[root.trace_id] = root
+            self._traces.move_to_end(root.trace_id)
+            while len(self._traces) > self._max_traces:
+                self._traces.popitem(last=False)
+            self.last_trace_id = root.trace_id
+
+    # -- retrieval ------------------------------------------------------
+
+    def trace(self, trace_id: str) -> Optional[Span]:
+        """The finished trace's root span, or None."""
+        with self._lock:
+            return self._traces.get(trace_id)
+
+    def trace_ids(self) -> list[str]:
+        """Retained trace ids, oldest first."""
+        with self._lock:
+            return list(self._traces)

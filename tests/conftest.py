@@ -6,7 +6,6 @@ from __future__ import annotations
 import pytest
 
 from repro.clock import SimClock
-from repro.cloudstore.sts import AccessLevel
 from repro.core.auth.privileges import Privilege
 from repro.core.model.entity import SecurableKind
 from repro.core.service.catalog_service import UnityCatalogService

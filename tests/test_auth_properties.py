@@ -1,6 +1,5 @@
 """Property-based tests of the governance model's invariants."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.clock import SimClock

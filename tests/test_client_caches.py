@@ -1,8 +1,6 @@
 """Client-pushed metadata caching and the RINK credential cache."""
 
-import pytest
 
-from repro.clock import SimClock
 from repro.core.cache.ttl import TtlCache
 from repro.core.model.entity import SecurableKind
 from repro.core.service.catalog_service import UnityCatalogService

@@ -5,7 +5,6 @@ import pytest
 from repro.core.auth.privileges import Privilege
 from repro.core.model.entity import SecurableKind
 from repro.core.volumes import VolumeClient
-from repro.engine.session import EngineSession
 from repro.errors import (
     CredentialError,
     InvalidRequestError,
@@ -13,7 +12,6 @@ from repro.errors import (
     PermissionDeniedError,
 )
 
-from tests.conftest import grant_table_access
 
 TABLE = "sales.q1.orders"
 

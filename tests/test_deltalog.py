@@ -7,7 +7,7 @@ from repro.clock import SimClock
 from repro.cloudstore.client import StorageClient
 from repro.cloudstore.object_store import ObjectStore, StoragePath
 from repro.cloudstore.sts import AccessLevel, StsTokenIssuer
-from repro.deltalog.actions import AddFile, FileStats
+from repro.deltalog.actions import FileStats
 from repro.deltalog.log import DeltaLog
 from repro.deltalog.optimize import PredictiveOptimizer
 from repro.deltalog.table import DeltaTable, ScanMetrics

@@ -115,7 +115,6 @@ class TestSelect:
         values = ", ".join(f"({i})" for i in range(100))
         session.sql(f"INSERT INTO sales.q1.seq VALUES {values}")
         # compact into sorted small files to give stats tight ranges
-        from repro.cloudstore.sts import AccessLevel
         result = session.sql("SELECT n FROM sales.q1.seq WHERE n < 5")
         assert len(result.rows) == 5
 

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.engine.expressions import (
-    Column,
     EvalContext,
     compile_expression,
     evaluate,

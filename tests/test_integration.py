@@ -15,8 +15,6 @@ from repro.core.sharing import DeltaSharingClient, DeltaSharingServer
 from repro.engine.session import EngineSession
 from repro.errors import (
     ConcurrentModificationError,
-    NotFoundError,
-    UnityCatalogError,
 )
 
 from tests.conftest import grant_table_access

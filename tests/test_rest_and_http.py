@@ -8,7 +8,6 @@ from repro.core.service.http_server import (
 )
 from repro.core.service.rest import RestApi
 from repro.core.model.entity import SecurableKind
-from repro.core.auth.privileges import Privilege
 from repro.errors import UnityCatalogError
 
 from tests.conftest import grant_table_access
@@ -252,7 +251,7 @@ class TestHttpTransport:
     def test_http_missing_principal_is_401(self, server):
         host, port = server.address
         anonymous = UnityCatalogHttpClient(host, port, "")
-        import http.client, json
+        import http.client
 
         connection = http.client.HTTPConnection(host, port)
         connection.request("GET", f"{BASE}/catalogs?metastore=main")

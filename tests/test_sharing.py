@@ -6,7 +6,6 @@ from repro.core.model.entity import SecurableKind
 from repro.core.sharing import DeltaSharingClient, DeltaSharingServer
 from repro.errors import NotFoundError, PermissionDeniedError
 
-from tests.conftest import grant_table_access
 
 TABLE = "sales.q1.orders"
 TOKEN = "recipient-token-123"

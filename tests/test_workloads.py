@@ -1,11 +1,10 @@
 """Synthetic deployment / trace / client generators: shape checks against
 the paper's reported statistics."""
 
-import math
 
 import pytest
 
-from repro.bench.stats import fraction_below, percentile
+from repro.bench.stats import percentile
 from repro.core.model.entity import SecurableKind
 from repro.workloads.clients import (
     ClientDiversityConfig,
