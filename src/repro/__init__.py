@@ -25,14 +25,20 @@ from repro.core.service.catalog_service import UnityCatalogService
 from repro.cloudstore.sts import AccessLevel
 from repro.engine.session import EngineSession
 from repro.errors import UnityCatalogError
+from repro.faults import FaultInjector
+from repro.resilience import CircuitBreaker, Retrier, RetryPolicy
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AccessLevel",
+    "CircuitBreaker",
     "EngineSession",
     "Entity",
+    "FaultInjector",
     "Privilege",
+    "Retrier",
+    "RetryPolicy",
     "SecurableKind",
     "SimClock",
     "UnityCatalogError",

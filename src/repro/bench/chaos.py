@@ -1,0 +1,259 @@
+"""Chaos benchmark: goodput and tail latency under injected faults.
+
+The paper's service lives on infrastructure that throttles and fails;
+this scenario measures how the reproduction behaves when it does. A
+seeded :class:`~repro.faults.FaultInjector` degrades the object store,
+the STS endpoint, and the metadata-store commit path while a mixed
+catalog + Delta workload runs on :class:`~repro.clock.SimClock`. The
+resilience layer (retry/backoff in the storage client, STS issuer, and
+service commit loop) must absorb every injected fault: the acceptance
+bar is **zero user-visible errors** at a 10% storage fault rate.
+
+Everything is deterministic: same seed → byte-identical goodput, tail
+latencies, and retry/fault/breaker counters. ``python -m
+repro.bench.chaos --check-determinism`` runs every seed twice and fails
+on any divergence — the CI ``chaos`` job's gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass, field
+from random import Random
+from typing import Optional
+
+from repro.bench.report import render_table
+from repro.bench.stats import summarize
+from repro.clock import SimClock
+from repro.cloudstore.object_store import StoragePath
+from repro.cloudstore.sts import AccessLevel
+from repro.core.model.entity import SecurableKind
+from repro.core.service.catalog_service import UnityCatalogService
+from repro.deltalog.table import DeltaTable
+from repro.errors import UnityCatalogError
+from repro.faults import FaultInjector
+from repro.obs import Observability
+from repro.resilience import RetryPolicy
+
+#: simulated service-side cost charged per operation, seconds — gives
+#: fault-free ops a nonzero latency so retry amplification is visible
+#: as a p99/goodput shift rather than a divide-by-zero
+_BASE_OP_COST = 0.001
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one seeded chaos run."""
+
+    seed: int
+    operations: int
+    ok: int = 0
+    user_errors: int = 0
+    sim_seconds: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+    retries: dict[str, float] = field(default_factory=dict)
+    faults: dict[str, float] = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def goodput(self) -> float:
+        """Successful operations per simulated second."""
+        return self.ok / self.sim_seconds if self.sim_seconds > 0 else 0.0
+
+    def latency_summary(self) -> dict[str, float]:
+        return summarize(self.latencies)
+
+    def fingerprint(self) -> str:
+        """A byte-stable digest of every counter the run produced.
+
+        Two runs with the same seed must produce identical fingerprints;
+        the CI chaos job enforces exactly that.
+        """
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "ok": self.ok,
+                "user_errors": self.user_errors,
+                "sim_seconds": self.sim_seconds,
+                "latencies": self.latencies,
+                "retries": self.retries,
+                "faults": self.faults,
+                "metrics": self.metrics,
+            },
+            sort_keys=True,
+        )
+
+    def summary_row(self) -> list[object]:
+        latency = self.latency_summary()
+        return [
+            self.seed,
+            self.operations,
+            self.ok,
+            self.user_errors,
+            round(self.goodput, 2),
+            round(latency["p50"] * 1000, 3),
+            round(latency["p99"] * 1000, 3),
+            int(sum(self.retries.values())),
+            int(sum(self.faults.values())),
+        ]
+
+
+def run_chaos_scenario(
+    seed: int = 11,
+    operations: int = 300,
+    fault_rate: float = 0.10,
+    tables: int = 8,
+    retry_policy: Optional[RetryPolicy] = None,
+) -> ChaosReport:
+    """One seeded chaos run: set up a catalog, turn on faults, drive a
+    mixed workload, report goodput/p99 and every resilience counter."""
+    clock = SimClock()
+    obs = Observability(clock=clock)
+    injector = FaultInjector(clock, seed=seed, metrics=obs.metrics)
+    policy = retry_policy or RetryPolicy(
+        max_attempts=6, base_delay=0.02, max_delay=1.0, jitter=0.5
+    )
+    service = UnityCatalogService(
+        clock=clock, obs=obs, faults=injector, retry_policy=policy
+    )
+    service.directory.add_user("admin")
+    mid = service.create_metastore("chaos", owner="admin").id
+    service.create_securable(mid, "admin", SecurableKind.CATALOG, "cat")
+    service.create_securable(mid, "admin", SecurableKind.SCHEMA, "cat.sch")
+
+    handles: list[tuple[str, DeltaTable]] = []
+    for i in range(tables):
+        name = f"cat.sch.t{i}"
+        entity = service.create_securable(
+            mid, "admin", SecurableKind.TABLE, name,
+            spec={
+                "table_type": "MANAGED",
+                "columns": [{"name": "k", "type": "INT"},
+                            {"name": "v", "type": "STRING"}],
+            },
+        )
+        credential = service.vend_credentials(
+            mid, "admin", SecurableKind.TABLE, name, AccessLevel.READ_WRITE
+        )
+        client = service.governed_client(credential)
+        root = StoragePath.parse(entity.storage_path)
+        table = DeltaTable.create(
+            client, root, entity.id,
+            [{"name": "k", "type": "INT"}, {"name": "v", "type": "STRING"}],
+            clock=clock, metrics=obs.metrics,
+        )
+        table.append([{"k": i, "v": f"seed-{i}"}])
+        handles.append((name, table))
+
+    # setup done — degrade the infrastructure
+    injector.inject("put", fault_rate, kind="throttle")
+    injector.inject("get", fault_rate, kind="throttle")
+    injector.inject("list", fault_rate / 2, kind="unavailable")
+    injector.inject("store.commit", fault_rate / 2, kind="unavailable")
+    injector.inject("sts.mint", fault_rate / 2, kind="throttle")
+
+    rng = Random(seed ^ 0xC4A05)
+    report = ChaosReport(seed=seed, operations=operations)
+    started = clock.now()
+    row = 0
+    for _ in range(operations):
+        name, table = handles[rng.randrange(len(handles))]
+        op = rng.random()
+        issued = clock.now()
+        try:
+            clock.advance(_BASE_OP_COST)
+            if op < 0.40:
+                service.get_securable(mid, "admin", SecurableKind.TABLE, name)
+            elif op < 0.60:
+                service.vend_credentials(
+                    mid, "admin", SecurableKind.TABLE, name, AccessLevel.READ
+                )
+            elif op < 0.85:
+                row += 1
+                table.append([{"k": row, "v": f"row-{row}"}])
+            else:
+                table.read_all()
+        except UnityCatalogError:
+            report.user_errors += 1
+        else:
+            report.ok += 1
+            report.latencies.append(clock.now() - issued)
+    report.sim_seconds = clock.now() - started
+
+    snapshot = obs.metrics.snapshot()
+    report.metrics = snapshot
+    report.retries = {
+        key: value for key, value in snapshot.items()
+        if key.startswith("uc_retries_total")
+    }
+    report.faults = {
+        key: value for key, value in snapshot.items()
+        if key.startswith("uc_faults_injected_total")
+    }
+    return report
+
+
+def check_determinism(
+    seeds: list[int], operations: int, fault_rate: float
+) -> tuple[list[ChaosReport], list[int]]:
+    """Run each seed twice; return (first-run reports, mismatched seeds)."""
+    reports: list[ChaosReport] = []
+    mismatched: list[int] = []
+    for seed in seeds:
+        first = run_chaos_scenario(seed, operations, fault_rate)
+        second = run_chaos_scenario(seed, operations, fault_rate)
+        if first.fingerprint() != second.fingerprint():
+            mismatched.append(seed)
+        reports.append(first)
+    return reports, mismatched
+
+
+def render_report(reports: list[ChaosReport]) -> str:
+    return render_table(
+        ["seed", "ops", "ok", "errors", "goodput/s", "p50 ms", "p99 ms",
+         "retries", "faults"],
+        [report.summary_row() for report in reports],
+        title="chaos bench — goodput/p99 under injected faults",
+    )
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, nargs="+", default=[11, 23, 47])
+    parser.add_argument("--ops", type=int, default=300)
+    parser.add_argument("--fault-rate", type=float, default=0.10)
+    parser.add_argument(
+        "--check-determinism", action="store_true",
+        help="run each seed twice and fail on any counter divergence",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check_determinism:
+        reports, mismatched = check_determinism(
+            args.seeds, args.ops, args.fault_rate
+        )
+    else:
+        reports = [
+            run_chaos_scenario(seed, args.ops, args.fault_rate)
+            for seed in args.seeds
+        ]
+        mismatched = []
+
+    print(render_report(reports))
+    failed = False
+    for report in reports:
+        if report.user_errors:
+            print(f"FAIL: seed {report.seed} surfaced "
+                  f"{report.user_errors} user-visible error(s)")
+            failed = True
+    if mismatched:
+        print(f"FAIL: nondeterministic seeds: {mismatched}")
+        failed = True
+    if not failed and args.check_determinism:
+        print(f"determinism OK across seeds {args.seeds} (two runs each)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

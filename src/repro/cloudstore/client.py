@@ -7,12 +7,25 @@ the issuer validates scope, level, and expiry — so a client holding a
 token for ``s3://bucket/tables/t1`` cannot read ``s3://bucket/tables/t2``,
 which is precisely the downscoping property the paper's credential vending
 depends on.
+
+With a :class:`~repro.resilience.Retrier` attached, every operation
+retries the transient-error family (throttling, storage unavailability)
+with backoff charged to the injected clock. Credential validation runs
+**inside** the retry loop: a token that expires mid-operation fails the
+next attempt with a non-retryable
+:class:`~repro.errors.CredentialError` instead of burning the retry
+budget, and a :meth:`refresh` between attempts is picked up immediately.
 """
 
 from __future__ import annotations
 
+from typing import Callable, Optional, TypeVar
+
 from repro.cloudstore.object_store import ObjectMeta, ObjectStore, StoragePath
 from repro.cloudstore.sts import AccessLevel, StsTokenIssuer, TemporaryCredential
+from repro.resilience import Retrier
+
+T = TypeVar("T")
 
 
 class StorageClient:
@@ -23,10 +36,12 @@ class StorageClient:
         store: ObjectStore,
         issuer: StsTokenIssuer,
         credential: TemporaryCredential,
+        retrier: Optional[Retrier] = None,
     ):
         self._store = store
         self._issuer = issuer
         self._credential = credential
+        self._retrier = retrier
 
     @property
     def credential(self) -> TemporaryCredential:
@@ -39,28 +54,42 @@ class StorageClient:
     def _check(self, path: StoragePath, level: AccessLevel) -> None:
         self._issuer.validate(self._credential.token, path, level)
 
+    def _run(self, path: StoragePath, level: AccessLevel, op: Callable[[], T]) -> T:
+        """One governed call: validate, then perform, retrying transients.
+
+        The validation is deliberately part of each attempt — holding a
+        credential across backoff sleeps must not outlive its expiry.
+        """
+        if self._retrier is None:
+            self._check(path, level)
+            return op()
+
+        def attempt() -> T:
+            self._check(path, level)
+            return op()
+
+        return self._retrier.call(attempt)
+
     # -- governed operations -----------------------------------------------
 
     def get(self, path: StoragePath) -> bytes:
-        self._check(path, AccessLevel.READ)
-        return self._store.get(path)
+        return self._run(path, AccessLevel.READ, lambda: self._store.get(path))
 
     def head(self, path: StoragePath) -> ObjectMeta:
-        self._check(path, AccessLevel.READ)
-        return self._store.head(path)
+        return self._run(path, AccessLevel.READ, lambda: self._store.head(path))
 
     def exists(self, path: StoragePath) -> bool:
-        self._check(path, AccessLevel.READ)
-        return self._store.exists(path)
+        return self._run(path, AccessLevel.READ, lambda: self._store.exists(path))
 
     def list(self, prefix: StoragePath) -> list[ObjectMeta]:
-        self._check(prefix, AccessLevel.READ)
-        return self._store.list(prefix)
+        return self._run(prefix, AccessLevel.READ, lambda: self._store.list(prefix))
 
     def put(self, path: StoragePath, data: bytes, *, if_absent: bool = False) -> ObjectMeta:
-        self._check(path, AccessLevel.READ_WRITE)
-        return self._store.put(path, data, if_absent=if_absent)
+        return self._run(
+            path,
+            AccessLevel.READ_WRITE,
+            lambda: self._store.put(path, data, if_absent=if_absent),
+        )
 
     def delete(self, path: StoragePath) -> None:
-        self._check(path, AccessLevel.READ_WRITE)
-        self._store.delete(path)
+        return self._run(path, AccessLevel.READ_WRITE, lambda: self._store.delete(path))

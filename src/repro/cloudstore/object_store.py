@@ -113,11 +113,16 @@ class ObjectStore:
     credentials to itself and vends downscoped temporary ones.
     """
 
-    def __init__(self):
+    def __init__(self, faults=None):
+        """``faults`` is an optional :class:`~repro.faults.FaultInjector`
+        consulted before every operation — the hook through which chaos
+        scenarios make this store throttle and fail like real cloud
+        storage. ``None`` (the default) costs one attribute check."""
         self._lock = threading.RLock()
         self._buckets: dict[tuple[str, str], dict[str, _Blob]] = {}
         self._generation = 0
         self.stats = _OpStats()
+        self.faults = faults
 
     # -- bucket management -------------------------------------------------
 
@@ -145,6 +150,8 @@ class ObjectStore:
         put-if-absent, the primitive Delta-style logs use for commits."""
         if not path.key:
             raise InvalidRequestError("cannot put an object at a bucket root")
+        if self.faults is not None:
+            self.faults.raise_for("put", path)
         with self._lock:
             bucket = self._bucket(path)
             if if_absent:
@@ -158,6 +165,8 @@ class ObjectStore:
             return ObjectMeta(path=path, size=len(data), generation=self._generation)
 
     def get(self, path: StoragePath) -> bytes:
+        if self.faults is not None:
+            self.faults.raise_for("get", path)
         with self._lock:
             bucket = self._bucket(path)
             blob = bucket.get(path.key)
@@ -168,6 +177,8 @@ class ObjectStore:
             return blob.data
 
     def head(self, path: StoragePath) -> ObjectMeta:
+        if self.faults is not None:
+            self.faults.raise_for("head", path)
         with self._lock:
             bucket = self._bucket(path)
             blob = bucket.get(path.key)
@@ -184,6 +195,8 @@ class ObjectStore:
             return path.key in bucket
 
     def delete(self, path: StoragePath) -> None:
+        if self.faults is not None:
+            self.faults.raise_for("delete", path)
         with self._lock:
             bucket = self._bucket(path)
             if path.key not in bucket:
@@ -193,6 +206,8 @@ class ObjectStore:
 
     def list(self, prefix: StoragePath) -> list[ObjectMeta]:
         """List objects under a prefix, sorted by key (like S3 ListObjectsV2)."""
+        if self.faults is not None:
+            self.faults.raise_for("list", prefix)
         with self._lock:
             bucket = self._bucket(prefix)
             self.stats.lists += 1

@@ -68,10 +68,16 @@ class StsTokenIssuer:
 
     DEFAULT_TTL_SECONDS = 15 * 60  # "valid for tens of minutes" (paper, 4.3.1)
 
-    def __init__(self, clock: Clock | None = None):
+    def __init__(self, clock: Clock | None = None, faults=None, retrier=None):
+        """``faults`` (a :class:`~repro.faults.FaultInjector`) makes the
+        minting RPC fail like a real cloud STS endpoint; ``retrier`` (a
+        :class:`~repro.resilience.Retrier`) makes :meth:`mint` absorb
+        those transients with clock-charged backoff."""
         self._clock = clock or WallClock()
         self._root_secret = secrets.token_hex(16)
         self._tokens: dict[str, TemporaryCredential] = {}
+        self._faults = faults
+        self._retrier = retrier
         self.minted_count = 0
         self.validated_count = 0
         self.denied_count = 0
@@ -87,12 +93,24 @@ class StsTokenIssuer:
         level: AccessLevel,
         ttl_seconds: float | None = None,
     ) -> TemporaryCredential:
-        """Mint a token scoped to ``scope`` with the given access level."""
+        """Mint a token scoped to ``scope`` with the given access level.
+
+        Minting is an RPC to the cloud provider in production, so it is
+        fault-injectable and (when a retrier is attached) retried."""
         if root_secret != self._root_secret:
             raise CredentialError("invalid root credential")
         ttl = self.DEFAULT_TTL_SECONDS if ttl_seconds is None else ttl_seconds
         if ttl <= 0:
             raise CredentialError("ttl must be positive")
+        if self._retrier is not None:
+            return self._retrier.call(lambda: self._mint_once(scope, level, ttl))
+        return self._mint_once(scope, level, ttl)
+
+    def _mint_once(
+        self, scope: StoragePath, level: AccessLevel, ttl: float
+    ) -> TemporaryCredential:
+        if self._faults is not None:
+            self._faults.raise_for("sts.mint", scope)
         credential = TemporaryCredential(
             token=secrets.token_hex(16),
             scope=scope,

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Callable, Generic, Hashable, Optional, TypeVar
 
 from repro.clock import Clock, WallClock
+from repro.errors import UnityCatalogError
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
@@ -31,6 +32,12 @@ class TtlCache(Generic[K, V]):
 
     ``max_entries`` bounds memory: when full, the entry expiring soonest
     is dropped first (expired entries are reaped opportunistically).
+
+    ``stale_grace`` enables serve-stale-on-backend-error: expired entries
+    are kept for that many extra seconds, and :meth:`get_or_load` falls
+    back to them when the loader raises a *retryable* error — so metadata
+    reads survive a flapping backend at the cost of bounded extra
+    staleness. The default (0) preserves strict TTL semantics.
     """
 
     def __init__(
@@ -38,16 +45,21 @@ class TtlCache(Generic[K, V]):
         ttl_seconds: float,
         clock: Optional[Clock] = None,
         max_entries: int = 100_000,
+        stale_grace: float = 0.0,
     ):
         if ttl_seconds <= 0:
             raise ValueError("ttl must be positive")
+        if stale_grace < 0:
+            raise ValueError("stale_grace cannot be negative")
         self._ttl = ttl_seconds
         self._clock = clock or WallClock()
         self._max_entries = max_entries
+        self._stale_grace = stale_grace
         self._entries: dict[K, _TtlEntry[V]] = {}
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.stale_serves = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -56,12 +68,25 @@ class TtlCache(Generic[K, V]):
     def get(self, key: K) -> Optional[V]:
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None or entry.expires_at <= self._clock.now():
-                if entry is not None:
+            now = self._clock.now()
+            if entry is None or entry.expires_at <= now:
+                # expired entries are kept through the stale-grace window
+                # so get_or_load can fall back to them on backend errors
+                if entry is not None and entry.expires_at + self._stale_grace <= now:
                     del self._entries[key]
                 self.misses += 1
                 return None
             self.hits += 1
+            return entry.value
+
+    def _stale_value(self, key: K) -> Optional[V]:
+        """An expired-but-within-grace value, or None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            if entry.expires_at + self._stale_grace <= self._clock.now():
+                return None
             return entry.value
 
     def put(self, key: K, value: V, ttl_seconds: Optional[float] = None) -> None:
@@ -79,11 +104,27 @@ class TtlCache(Generic[K, V]):
     def get_or_load(
         self, key: K, loader: Callable[[], V], ttl_seconds: Optional[float] = None
     ) -> V:
-        """Return the cached value or load, cache, and return a fresh one."""
+        """Return the cached value or load, cache, and return a fresh one.
+
+        With ``stale_grace`` configured, a loader that fails with a
+        *retryable* :class:`~repro.errors.UnityCatalogError` (throttling,
+        storage unavailability, an open circuit) is papered over by the
+        most recent expired value, if one is still within the grace
+        window. Non-retryable loader errors always propagate.
+        """
         value = self.get(key)
         if value is not None:
             return value
-        value = loader()
+        try:
+            value = loader()
+        except UnityCatalogError as exc:
+            if not exc.retryable or self._stale_grace <= 0:
+                raise
+            stale = self._stale_value(key)
+            if stale is None:
+                raise
+            self.stale_serves += 1
+            return stale
         self.put(key, value, ttl_seconds)
         return value
 
@@ -97,7 +138,10 @@ class TtlCache(Generic[K, V]):
 
     def _reap(self) -> None:
         now = self._clock.now()
-        expired = [k for k, e in self._entries.items() if e.expires_at <= now]
+        expired = [
+            k for k, e in self._entries.items()
+            if e.expires_at + self._stale_grace <= now
+        ]
         for key in expired:
             del self._entries[key]
 

@@ -20,7 +20,8 @@ from dataclasses import dataclass
 from typing import Optional, Protocol
 
 from repro.core.model.entity import Entity, SecurableKind
-from repro.errors import FederationError, NotFoundError
+from repro.errors import FederationError, NotFoundError, TransientError
+from repro.resilience import CircuitBreaker
 
 
 @dataclass(frozen=True)
@@ -90,15 +91,46 @@ class MirrorStats:
     tables_mirrored: int = 0
     tables_refreshed: int = 0
     foreign_fetches: int = 0
+    foreign_failures: int = 0
+    stale_mirrors_served: int = 0
 
 
 class CatalogFederator:
-    """Creates federated catalogs and performs on-demand mirroring."""
+    """Creates federated catalogs and performs on-demand mirroring.
 
-    def __init__(self, service):
+    Foreign catalogs are the least reliable dependency the service has
+    (somebody else's metastore over somebody else's network), so foreign
+    fetches run behind an optional :class:`~repro.resilience.CircuitBreaker`
+    and degrade gracefully: when the foreign side is down — or the breaker
+    is open — a previously mirrored table is served stale rather than
+    failing the query.
+    """
+
+    def __init__(self, service, breaker: Optional[CircuitBreaker] = None,
+                 faults=None):
+        """``breaker`` guards every foreign-catalog call; ``faults`` (a
+        :class:`~repro.faults.FaultInjector`) injects on the
+        ``federation.fetch`` operation."""
         self._service = service
         self._clients: dict[tuple[str, str], ForeignCatalogClient] = {}
+        self._breaker = breaker
+        self._faults = faults
         self.stats = MirrorStats()
+
+    def _foreign_call(self, fn):
+        """One guarded call to the foreign catalog."""
+        def attempt():
+            if self._faults is not None:
+                self._faults.raise_for("federation.fetch")
+            return fn()
+
+        try:
+            if self._breaker is not None:
+                return self._breaker.call(attempt)
+            return attempt()
+        except (FederationError, TransientError):
+            self.stats.foreign_failures += 1
+            raise
 
     # -- setup ------------------------------------------------------------------
 
@@ -135,7 +167,7 @@ class CatalogFederator:
     ) -> Entity:
         """Mount one foreign database as a UC catalog."""
         client = self._client(metastore_id, connection_name)
-        if foreign_database not in client.list_databases():
+        if foreign_database not in self._foreign_call(client.list_databases):
             raise FederationError(
                 f"foreign database {foreign_database!r} not found"
             )
@@ -184,21 +216,33 @@ class CatalogFederator:
         table_name: str,
     ) -> Entity:
         """Fetch one table's metadata from the foreign catalog and mirror
-        it into the federated catalog (create or refresh)."""
+        it into the federated catalog (create or refresh).
+
+        Degrades gracefully: if the foreign catalog is unavailable (or
+        the breaker is open) and the table was mirrored before, the stale
+        mirror is returned — federation prefers bounded staleness over
+        unavailability, matching the paper's on-demand mirroring
+        semantics where thin clients may see stale metadata anyway."""
         client, database = self._catalog_binding(metastore_id, catalog_name)
-        info = client.get_table(database, table_name)
-        self.stats.foreign_fetches += 1
         full_name = f"{catalog_name}.{database}.{table_name}"
-        spec = {
-            "table_type": "FOREIGN",
-            "foreign_source": info.source,
-            "columns": info.columns,
-        }
         service = self._service
         try:
             existing = service.resolve_name(metastore_id, SecurableKind.TABLE, full_name)
         except NotFoundError:
             existing = None
+        try:
+            info = self._foreign_call(lambda: client.get_table(database, table_name))
+        except (FederationError, TransientError):
+            if existing is not None:
+                self.stats.stale_mirrors_served += 1
+                return existing
+            raise
+        self.stats.foreign_fetches += 1
+        spec = {
+            "table_type": "FOREIGN",
+            "foreign_source": info.source,
+            "columns": info.columns,
+        }
         if existing is None:
             entity = service.create_securable(
                 metastore_id, principal, SecurableKind.TABLE, full_name, spec=spec,
@@ -219,9 +263,10 @@ class CatalogFederator:
     ) -> list[Entity]:
         """Mirror all tables of the foreign database (triggered by listing)."""
         client, database = self._catalog_binding(metastore_id, catalog_name)
+        tables = self._foreign_call(lambda: client.list_tables(database))
         return [
             self.mirror_table(metastore_id, principal, catalog_name, table)
-            for table in client.list_tables(database)
+            for table in tables
         ]
 
     # -- engine integration ------------------------------------------------------------
@@ -233,6 +278,6 @@ class CatalogFederator:
         def read(asset) -> list[dict]:
             catalog_name, database, table = asset.full_name.split(".", 2)
             client, bound_database = self._catalog_binding(metastore_id, catalog_name)
-            return client.read_rows(bound_database, table)
+            return self._foreign_call(lambda: client.read_rows(bound_database, table))
 
         return read

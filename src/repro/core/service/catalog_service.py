@@ -13,11 +13,13 @@ baseline of Figure 10(b)).
 
 from __future__ import annotations
 
+import random as _random
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.clock import Clock, WallClock
+from repro.cloudstore.client import StorageClient
 from repro.cloudstore.object_store import ObjectStore, StoragePath
 from repro.cloudstore.sts import AccessLevel, StsTokenIssuer, TemporaryCredential
 from repro.core.assets.builtin import builtin_registry
@@ -38,6 +40,7 @@ from repro.core.persistence.memory import InMemoryMetadataStore
 from repro.core.persistence.store import MetadataStore, Tables, WriteOp
 from repro.core.vending import CredentialVendor
 from repro.obs import Observability
+from repro.resilience import Retrier, RetryPolicy, charge
 from repro.core.view import MetastoreView, SnapshotView
 from repro.errors import (
     AlreadyExistsError,
@@ -46,6 +49,7 @@ from repro.errors import (
     NotFoundError,
     PathConflictError,
     PermissionDeniedError,
+    TransientError,
     UntrustedEngineError,
 )
 
@@ -123,18 +127,39 @@ class UnityCatalogService:
         read_version_check: bool = True,
         rink_cache=None,
         obs: Optional[Observability] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        faults=None,
     ):
         """``read_version_check=False`` lets a node that knows it owns a
         metastore (sharding assignment) skip the per-read DB version probe
         and serve cache hits purely from memory; correctness still holds
-        because every write CASes the metastore version (section 4.5)."""
+        because every write CASes the metastore version (section 4.5).
+
+        ``retry_policy`` governs transient-error retries across the
+        service's dependencies (storage, STS, the backing metadata
+        store); ``faults`` is an optional
+        :class:`~repro.faults.FaultInjector` threaded into every
+        service-constructed dependency for chaos experiments."""
         self.clock = clock or WallClock()
         self.obs = obs or Observability(clock=self.clock)
+        self.faults = faults
+        self.retry_policy = retry_policy or RetryPolicy()
+        metrics = self.obs.metrics
+        self.storage_retrier = Retrier(
+            self.retry_policy, self.clock, metrics=metrics,
+            tracer=self.obs.tracer, component="storage",
+        )
+        self._sts_retrier = Retrier(
+            self.retry_policy, self.clock, metrics=metrics,
+            tracer=self.obs.tracer, component="sts", seed=0x57A7,
+        )
         self.store = store or InMemoryMetadataStore()
         self.registry = registry or builtin_registry()
         self.directory = directory or PrincipalDirectory()
-        self.object_store = object_store or ObjectStore()
-        self.sts = sts or StsTokenIssuer(clock=self.clock)
+        self.object_store = object_store or ObjectStore(faults=faults)
+        self.sts = sts or StsTokenIssuer(
+            clock=self.clock, faults=faults, retrier=self._sts_retrier
+        )
         self.authorizer = Authorizer(self.registry, self.directory)
         self.audit = AuditLog()
         self.events = ChangeEventBus()
@@ -169,6 +194,12 @@ class UnityCatalogService:
         self._commit_conflicts = metrics.counter(
             "uc_store_commit_conflicts_total", "Metadata CAS commit conflicts."
         ).labels()
+        self._store_retries = metrics.counter(
+            "uc_retries_total",
+            "Transient-error retries by component.",
+            ("component",),
+        ).labels(component="metastore")
+        self._store_retry_rng = _random.Random(0xCA7)
         self._api_instruments: dict[str, tuple] = {}
         metrics.register_collector(self._collect_core_stats)
 
@@ -291,6 +322,15 @@ class UnityCatalogService:
     def cache_node(self, metastore_id: str) -> Optional[MetastoreCacheNode]:
         return self._nodes.get(metastore_id)
 
+    def governed_client(self, credential: TemporaryCredential) -> StorageClient:
+        """A storage client bound to ``credential`` and the service's
+        retry policy — the constructor every in-process consumer (engine
+        sessions, volumes, transactions, sharing) should use so storage
+        transients are absorbed uniformly."""
+        return StorageClient(
+            self.object_store, self.sts, credential, retrier=self.storage_retrier
+        )
+
     # ------------------------------------------------------------------
     # view / commit plumbing
     # ------------------------------------------------------------------
@@ -310,11 +350,19 @@ class UnityCatalogService:
         """Optimistic serializable write: validate against a fresh view,
         commit with CAS, retry from scratch on conflict.
 
+        Two failure regimes, two recoveries: a CAS conflict means the
+        metastore moved — rebuild against a fresh view and go again
+        immediately; a transient store error (throttling, injected
+        unavailability) means the backend is degraded — back off on the
+        clock per :attr:`retry_policy` before retrying, bounded by the
+        policy's attempt budget.
+
         ``build`` returns ``(ops, result, events)`` where each event is a
         ``(ChangeType, entity_id, kind, name, details)`` tuple published
         after the commit succeeds.
         """
         last_error: Optional[Exception] = None
+        transient_failures = 0
         for _ in range(_MAX_COMMIT_RETRIES):
             view = self.view(metastore_id)
             ops, result, events = build(view)
@@ -322,12 +370,27 @@ class UnityCatalogService:
                 return result
             node = self._nodes.get(metastore_id)
             try:
+                if self.faults is not None:
+                    self.faults.raise_for("store.commit")
                 if node is not None:
                     new_version = node.commit(ops)
                 else:
                     new_version = self.store.commit(metastore_id, view.version, ops)
             except ConcurrentModificationError as exc:
                 self._commit_conflicts.inc()
+                last_error = exc
+                continue
+            except TransientError as exc:
+                transient_failures += 1
+                if transient_failures >= self.retry_policy.max_attempts:
+                    raise
+                self._store_retries.inc()
+                charge(
+                    self.clock,
+                    self.retry_policy.backoff(
+                        transient_failures - 1, self._store_retry_rng
+                    ),
+                )
                 last_error = exc
                 continue
             self._commits_total.inc()

@@ -62,6 +62,11 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        if status in (429, 503) and isinstance(payload, dict):
+            # throttled / unavailable responses tell well-behaved clients
+            # when to come back instead of letting them hammer the service
+            retry_after = payload.get("retry_after_seconds", 1.0)
+            self.send_header("Retry-After", str(max(1, round(retry_after))))
         self.end_headers()
         self.wfile.write(data)
 

@@ -36,6 +36,11 @@ _STATUS = {
     "TRANSACTION_CONFLICT": 409,
     "CREDENTIAL_DENIED": 403,
     "FEDERATION_ERROR": 502,
+    "THROTTLED": 429,
+    "STORAGE_UNAVAILABLE": 503,
+    "TEMPORARILY_UNAVAILABLE": 503,
+    "CIRCUIT_OPEN": 503,
+    "DEADLINE_EXCEEDED": 504,
     "INTERNAL": 500,
 }
 

@@ -199,7 +199,7 @@ class DeltaSharingServer:
         # the catalog reads the table under its own authority to build the
         # file list, then vends a read credential scoped to the table
         credential = service.vendor.vend(view, table_entity, AccessLevel.READ)
-        client = StorageClient(service.object_store, service.sts, credential)
+        client = service.governed_client(credential)
         root = StoragePath.parse(table_entity.storage_path)
         delta = DeltaTable(client, root, clock=service.clock)
         snapshot = delta.snapshot()

@@ -175,7 +175,7 @@ class TransactionCoordinator:
                            operation, table_name)
         level = AccessLevel.READ_WRITE if for_write else AccessLevel.READ
         credential = service.vendor.vend(view, entity, level)
-        client = StorageClient(service.object_store, service.sts, credential)
+        client = service.governed_client(credential)
         root = StoragePath.parse(entity.storage_path)
         row = view.row(Tables.COMMITS, entity.id)
         read_version = row["version"] if row else DeltaLog(client, root).latest_version()

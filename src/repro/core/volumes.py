@@ -44,9 +44,7 @@ class VolumeClient:
             self._metastore_id, self._principal, SecurableKind.VOLUME,
             volume_name,
         )
-        client = StorageClient(
-            self._service.object_store, self._service.sts, credential
-        )
+        client = self._service.governed_client(credential)
         return client, StoragePath.parse(entity.storage_path)
 
     @staticmethod

@@ -72,6 +72,7 @@ class DeltaLog:
         self._client = client
         self._root = table_root
         self._commits = self._conflicts = self._checkpoint_reads = None
+        self._rebase_reads = None
         if metrics is not None:
             self._commits = metrics.counter(
                 "uc_delta_commits_total", "Delta log entries committed."
@@ -83,6 +84,10 @@ class DeltaLog:
             self._checkpoint_reads = metrics.counter(
                 "uc_delta_checkpoint_reads_total",
                 "Snapshot reconstructions that started from a checkpoint.",
+            ).labels()
+            self._rebase_reads = metrics.counter(
+                "uc_delta_rebase_reads_total",
+                "Log entries read incrementally while rebasing a lost commit.",
             ).labels()
 
     @property
@@ -181,17 +186,59 @@ class DeltaLog:
 
         for v in range(start, target + 1):
             for action in self.read_entry(v):
-                if isinstance(action, AddFile):
-                    active[action.path] = action
-                elif isinstance(action, RemoveFile):
-                    active.pop(action.path, None)
-                    tombstones.append(action)
-                elif isinstance(action, Metadata):
-                    metadata = action
-                elif isinstance(action, Protocol):
-                    protocol = action
+                metadata, protocol = self._apply(
+                    action, active, tombstones, metadata, protocol
+                )
         return LogSnapshot(
             version=target,
+            metadata=metadata,
+            protocol=protocol,
+            active_files=active,
+            tombstones=tombstones,
+        )
+
+    @staticmethod
+    def _apply(
+        action: Action,
+        active: dict[str, AddFile],
+        tombstones: list[RemoveFile],
+        metadata: Optional[Metadata],
+        protocol: Protocol,
+    ) -> tuple[Optional[Metadata], Protocol]:
+        """Fold one action into reconstructed state (shared by the full
+        replay in :meth:`snapshot` and the incremental :meth:`refresh`)."""
+        if isinstance(action, AddFile):
+            active[action.path] = action
+        elif isinstance(action, RemoveFile):
+            active.pop(action.path, None)
+            tombstones.append(action)
+        elif isinstance(action, Metadata):
+            metadata = action
+        elif isinstance(action, Protocol):
+            protocol = action
+        return metadata, protocol
+
+    def refresh(self, snapshot: LogSnapshot) -> LogSnapshot:
+        """Advance a snapshot to the latest version by reading **only**
+        log entries newer than it — the rebase path for a writer that
+        lost a commit race. Replaying the whole log on every lost race
+        is O(versions) per retry; this is O(new entries)."""
+        latest = self.latest_version()
+        if latest <= snapshot.version:
+            return snapshot
+        metadata = snapshot.metadata
+        protocol = snapshot.protocol
+        active = dict(snapshot.active_files)
+        tombstones = list(snapshot.tombstones)
+        for v in range(snapshot.version + 1, latest + 1):
+            for action in self.read_entry(v):
+                metadata, protocol = self._apply(
+                    action, active, tombstones, metadata, protocol
+                )
+            if self._rebase_reads is not None:
+                self._rebase_reads.inc()
+        return LogSnapshot(
+            version=latest,
             metadata=metadata,
             protocol=protocol,
             active_files=active,

@@ -150,9 +150,13 @@ class DeltaTable:
         details: Optional[dict] = None,
     ) -> int:
         """Optimistic commit: rebuild actions against the latest snapshot
-        until the put-if-absent of the next log entry wins."""
+        until the put-if-absent of the next log entry wins.
+
+        Losers rebase **incrementally**: the snapshot is advanced with
+        :meth:`DeltaLog.refresh` (reading only the entries that beat us),
+        not rebuilt by replaying the whole log."""
+        snapshot = self._log.snapshot()
         for _ in range(retries):
-            snapshot = self._log.snapshot()
             actions = build(snapshot)
             actions.append(
                 CommitInfo(
@@ -166,6 +170,7 @@ class DeltaTable:
                 self._log.commit(snapshot.version + 1, actions)
                 return snapshot.version + 1
             except ConcurrentModificationError:
+                snapshot = self._log.refresh(snapshot)
                 continue
         raise ConcurrentModificationError(
             f"{operation} kept losing commit races on {self._root.url()}"

@@ -16,7 +16,6 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.clock import Clock, WallClock
-from repro.cloudstore.client import StorageClient
 from repro.cloudstore.object_store import StoragePath
 from repro.cloudstore.sts import AccessLevel
 from repro.core.auth.fgac import FgacRuleSet
@@ -293,9 +292,7 @@ class EngineSession:
             raise InvalidRequestError(
                 f"{asset.full_name} has no storage credential in the resolution"
             )
-        client = StorageClient(
-            self._catalog.object_store, self._catalog.sts, asset.credential
-        )
+        client = self._catalog.governed_client(asset.credential)
         return DeltaTable(
             client,
             StoragePath.parse(asset.storage_url),
@@ -634,7 +631,7 @@ class EngineSession:
             self._metastore_id, self._principal, SecurableKind.TABLE, name,
             AccessLevel.READ_WRITE,
         )
-        client = StorageClient(self._catalog.object_store, self._catalog.sts, credential)
+        client = self._catalog.governed_client(credential)
         root = StoragePath.parse(entity.storage_path)
         from repro.deltalog.log import DeltaLog
 
@@ -672,8 +669,7 @@ class EngineSession:
             self._metastore_id, self._principal, SecurableKind.TABLE, name,
             AccessLevel.READ_WRITE,
         )
-        client = StorageClient(self._catalog.object_store, self._catalog.sts,
-                               credential)
+        client = self._catalog.governed_client(credential)
         root = StoragePath.parse(entity.storage_path)
         table = DeltaTable.create(client, root, entity.id, columns,
                                   clock=self._clock, engine=self._engine_name,

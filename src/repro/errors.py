@@ -9,17 +9,30 @@ from __future__ import annotations
 
 
 class UnityCatalogError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    ``retryable`` tells callers (and HTTP clients, via the REST layer)
+    whether repeating the same request may succeed: transient storage
+    unavailability and lost optimistic-concurrency races are retryable;
+    permission denials and validation failures are not.
+    """
 
     code = "INTERNAL"
+    retryable = False
 
     def __init__(self, message: str):
         super().__init__(message)
         self.message = message
+        self.retry_after_seconds: float | None = None
 
     def to_dict(self) -> dict:
         """Render the error the way the REST layer serializes it."""
-        return {"error_code": self.code, "message": self.message}
+        out = {"error_code": self.code, "message": self.message}
+        if self.retryable:
+            out["retryable"] = True
+            if self.retry_after_seconds is not None:
+                out["retry_after_seconds"] = self.retry_after_seconds
+        return out
 
 
 class NotFoundError(UnityCatalogError):
@@ -54,9 +67,14 @@ class PathConflictError(UnityCatalogError):
 
 class ConcurrentModificationError(UnityCatalogError):
     """Optimistic concurrency failure: the metastore version moved underneath
-    a write, or a Delta log commit lost the race for its version slot."""
+    a write, or a Delta log commit lost the race for its version slot.
+
+    Retryable, but not *blindly* so: the caller must rebase (re-read the
+    latest state and rebuild its write) before trying again.
+    """
 
     code = "CONCURRENT_MODIFICATION"
+    retryable = True
 
 
 class TransactionConflictError(ConcurrentModificationError):
@@ -71,6 +89,61 @@ class CredentialError(UnityCatalogError):
     requested operation exceeds the token's access level."""
 
     code = "CREDENTIAL_DENIED"
+
+
+class TransientError(UnityCatalogError):
+    """Unavailability that is expected to heal on its own.
+
+    The resilience layer (:mod:`repro.resilience`) treats this family —
+    and only this family — as safe to retry *as-is* with backoff; a
+    :class:`ConcurrentModificationError` is also retryable but requires a
+    rebase first, so it is deliberately **not** transient.
+    """
+
+    code = "TEMPORARILY_UNAVAILABLE"
+    retryable = True
+
+
+class ThrottledError(TransientError):
+    """The storage or service backend is rate-limiting the caller
+    (cloud-storage 429/503 throttling, the normal operating regime at
+    scale). Maps to HTTP 429 with a ``Retry-After`` header."""
+
+    code = "THROTTLED"
+
+    def __init__(self, message: str, retry_after_seconds: float = 1.0):
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class StorageUnavailableError(TransientError):
+    """The storage backend failed transiently (5xx-style). Maps to HTTP
+    503 with a ``Retry-After`` header."""
+
+    code = "STORAGE_UNAVAILABLE"
+
+    def __init__(self, message: str, retry_after_seconds: float = 5.0):
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class CircuitOpenError(TransientError):
+    """A circuit breaker is open: the protected dependency has been
+    failing, so calls are rejected immediately instead of piling on."""
+
+    code = "CIRCUIT_OPEN"
+
+    def __init__(self, message: str, retry_after_seconds: float = 30.0):
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class DeadlineExceededError(UnityCatalogError):
+    """A per-call deadline elapsed before the operation (including its
+    retries) could complete. Not retryable as-is: the caller chose the
+    budget and must decide whether to extend it."""
+
+    code = "DEADLINE_EXCEEDED"
 
 
 class FederationError(UnityCatalogError):

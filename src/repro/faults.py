@@ -1,0 +1,243 @@
+"""Deterministic fault injection for the storage→catalog→engine stack.
+
+The paper's service lives between engines and cloud storage, where
+throttling and transient 5xx errors are the normal operating regime, not
+an exception path. This module makes that regime reproducible: a
+:class:`FaultInjector` is seeded, driven by the injected :class:`Clock`,
+and consulted by instrumented call sites (the object store, the STS
+issuer, the metadata-store commit path, federation fetches) before each
+operation. Faults come in three shapes:
+
+* **probabilistic rules** — "fail 10% of puts under this prefix";
+* **schedules** — "fail the next N matching operations" (deterministic
+  regardless of the RNG stream);
+* **throttle bursts** — "every matching operation between t0 and t1 is
+  throttled" (clock-window based).
+
+Injected latency is *charged* to a :class:`~repro.clock.SimClock`
+(never slept), so chaos experiments are deterministic and fast. Every
+injected fault is counted — per ``(op, kind)`` in the injector itself
+and, when a :class:`~repro.obs.metrics.MetricsRegistry` is attached, in
+``uc_faults_injected_total``.
+
+Determinism contract: with the same seed, the same configuration, and
+the same sequence of ``raise_for`` calls, the injector fires the same
+faults. Every probabilistic rule consumes exactly one RNG draw per
+matching call, whether or not it fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Optional
+
+from repro.clock import Clock
+from repro.cloudstore.object_store import StoragePath
+from repro.errors import (
+    InvalidRequestError,
+    StorageUnavailableError,
+    ThrottledError,
+    TransientError,
+)
+
+#: fault kinds -> the error they raise
+_KINDS = {
+    "throttle": ThrottledError,
+    "unavailable": StorageUnavailableError,
+}
+
+
+def _matches(pattern: str, op: str) -> bool:
+    return pattern == "*" or pattern == op
+
+
+@dataclass
+class FaultRule:
+    """Probabilistic fault: matching ops fail with ``probability``."""
+
+    op: str
+    probability: float
+    kind: str = "throttle"
+    prefix: Optional[StoragePath] = None
+    latency: float = 0.0  # charged to the clock on every *fired* fault
+
+    def covers(self, op: str, path: Optional[StoragePath]) -> bool:
+        if not _matches(self.op, op):
+            return False
+        if self.prefix is not None:
+            return path is not None and self.prefix.contains(path)
+        return True
+
+
+@dataclass
+class FaultSchedule:
+    """Deterministic fault: fail the next ``remaining`` matching ops."""
+
+    op: str
+    remaining: int
+    kind: str = "throttle"
+    prefix: Optional[StoragePath] = None
+
+    covers = FaultRule.covers
+
+
+@dataclass
+class ThrottleBurst:
+    """Every matching op in ``[start, end)`` on the clock is throttled."""
+
+    start: float
+    end: float
+    op: str = "*"
+
+
+@dataclass
+class _InjectorStats:
+    by_op_kind: dict = field(default_factory=dict)  # (op, kind) -> count
+    total: int = 0
+    latency_charged: float = 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "total": self.total,
+            "latency_charged": self.latency_charged,
+            **{f"{op}:{kind}": n for (op, kind), n in sorted(self.by_op_kind.items())},
+        }
+
+
+class FaultInjector:
+    """Seeded, clock-driven fault decisions for instrumented call sites.
+
+    Call sites invoke :meth:`raise_for` with an operation name (and a
+    storage path where one exists); the injector either returns (no
+    fault) or raises one of the retryable :class:`TransientError`
+    family. Schedules fire before bursts, bursts before probabilistic
+    rules, so "fail the next N" tests stay exact even when background
+    fault rates are configured.
+    """
+
+    def __init__(self, clock: Clock, seed: int = 0, metrics=None):
+        self._clock = clock
+        self._rng = Random(seed)
+        self._rules: list[FaultRule] = []
+        self._schedules: list[FaultSchedule] = []
+        self._bursts: list[ThrottleBurst] = []
+        self.enabled = True
+        self.stats = _InjectorStats()
+        self._counter = None
+        if metrics is not None:
+            self._counter = metrics.counter(
+                "uc_faults_injected_total",
+                "Faults injected by the chaos layer.",
+                ("op", "kind"),
+            )
+
+    # -- configuration ---------------------------------------------------
+
+    def inject(
+        self,
+        op: str,
+        probability: float,
+        kind: str = "throttle",
+        prefix: Optional[StoragePath | str] = None,
+        latency: float = 0.0,
+    ) -> FaultRule:
+        """Fail ``probability`` of matching ops (``op`` may be ``"*"``)."""
+        if not 0.0 <= probability <= 1.0:
+            raise InvalidRequestError("probability must be in [0, 1]")
+        if kind not in _KINDS:
+            raise InvalidRequestError(f"unknown fault kind: {kind!r}")
+        rule = FaultRule(op, probability, kind, _as_path(prefix), latency)
+        self._rules.append(rule)
+        return rule
+
+    def fail_next(
+        self,
+        op: str,
+        count: int = 1,
+        kind: str = "throttle",
+        prefix: Optional[StoragePath | str] = None,
+    ) -> FaultSchedule:
+        """Fail the next ``count`` matching ops, deterministically."""
+        if count <= 0:
+            raise InvalidRequestError("count must be positive")
+        if kind not in _KINDS:
+            raise InvalidRequestError(f"unknown fault kind: {kind!r}")
+        schedule = FaultSchedule(op, count, kind, _as_path(prefix))
+        self._schedules.append(schedule)
+        return schedule
+
+    def throttle_burst(self, start_in: float, duration: float, op: str = "*") -> ThrottleBurst:
+        """Throttle every matching op in ``[now+start_in, now+start_in+duration)``."""
+        if duration <= 0:
+            raise InvalidRequestError("duration must be positive")
+        now = self._clock.now()
+        burst = ThrottleBurst(now + start_in, now + start_in + duration, op)
+        self._bursts.append(burst)
+        return burst
+
+    def clear(self) -> None:
+        """Drop all configured faults (counters are preserved)."""
+        self._rules.clear()
+        self._schedules.clear()
+        self._bursts.clear()
+
+    # -- the hook --------------------------------------------------------
+
+    def raise_for(self, op: str, path: Optional[StoragePath] = None) -> None:
+        """Consult the fault model for one operation; raise or return.
+
+        Probabilistic rules consume one RNG draw per matching call even
+        when they do not fire, which is what keeps two runs with the
+        same seed aligned.
+        """
+        if not self.enabled:
+            return
+        for schedule in self._schedules:
+            if schedule.remaining > 0 and schedule.covers(op, path):
+                schedule.remaining -= 1
+                self._fire(op, schedule.kind, path)
+        now = self._clock.now()
+        for burst in self._bursts:
+            if burst.start <= now < burst.end and _matches(burst.op, op):
+                self._fire(op, "throttle", path)
+        for rule in self._rules:
+            if rule.covers(op, path):
+                if self._rng.random() < rule.probability:
+                    if rule.latency:
+                        self._charge(rule.latency)
+                    self._fire(op, rule.kind, path)
+
+    def _fire(self, op: str, kind: str, path: Optional[StoragePath]) -> None:
+        key = (op, kind)
+        self.stats.by_op_kind[key] = self.stats.by_op_kind.get(key, 0) + 1
+        self.stats.total += 1
+        if self._counter is not None:
+            self._counter.inc(op=op, kind=kind)
+        where = f" on {path.url()}" if path is not None else ""
+        raise _KINDS[kind](f"injected {kind} fault for {op}{where}")
+
+    def _charge(self, seconds: float) -> None:
+        advance = getattr(self._clock, "advance", None)
+        if advance is not None:
+            advance(seconds)
+        self.stats.latency_charged += seconds
+
+    def snapshot(self) -> dict:
+        """Injected-fault counters (for determinism fingerprints)."""
+        return self.stats.snapshot()
+
+
+def _as_path(prefix: Optional[StoragePath | str]) -> Optional[StoragePath]:
+    if prefix is None or isinstance(prefix, StoragePath):
+        return prefix
+    return StoragePath.parse(prefix)
+
+
+__all__ = [
+    "FaultInjector",
+    "FaultRule",
+    "FaultSchedule",
+    "ThrottleBurst",
+    "TransientError",
+]

@@ -1,0 +1,37 @@
+"""The chaos bench: zero user-visible errors and seed-exact determinism."""
+
+import pytest
+
+from repro.bench.chaos import check_determinism, run_chaos_scenario
+
+SEEDS = [11, 23, 47]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_faults_absorbed_with_zero_user_errors(seed):
+    report = run_chaos_scenario(seed=seed, operations=120, fault_rate=0.10)
+    assert report.ok == 120
+    assert report.user_errors == 0
+    # faults actually fired and were retried away, not just absent
+    assert sum(report.faults.values()) > 0
+    assert sum(report.retries.values()) > 0
+    assert report.goodput > 0
+
+
+def test_same_seed_is_byte_identical():
+    first = run_chaos_scenario(seed=SEEDS[0], operations=120, fault_rate=0.10)
+    second = run_chaos_scenario(seed=SEEDS[0], operations=120, fault_rate=0.10)
+    assert first.fingerprint() == second.fingerprint()
+
+
+def test_different_seeds_diverge():
+    a = run_chaos_scenario(seed=SEEDS[0], operations=120, fault_rate=0.10)
+    b = run_chaos_scenario(seed=SEEDS[1], operations=120, fault_rate=0.10)
+    assert a.fingerprint() != b.fingerprint()
+
+
+def test_check_determinism_runs_every_seed_twice():
+    reports, mismatched = check_determinism(SEEDS[:2], operations=60,
+                                            fault_rate=0.10)
+    assert mismatched == []
+    assert [r.seed for r in reports] == SEEDS[:2]

@@ -11,17 +11,45 @@ from repro import errors
     (errors.InvalidRequestError, "INVALID_PARAMETER_VALUE"),
     (errors.PermissionDeniedError, "PERMISSION_DENIED"),
     (errors.PathConflictError, "PATH_CONFLICT"),
-    (errors.ConcurrentModificationError, "CONCURRENT_MODIFICATION"),
-    (errors.TransactionConflictError, "TRANSACTION_CONFLICT"),
     (errors.CredentialError, "CREDENTIAL_DENIED"),
     (errors.FederationError, "FEDERATION_ERROR"),
     (errors.UntrustedEngineError, "UNTRUSTED_ENGINE"),
+    (errors.DeadlineExceededError, "DEADLINE_EXCEEDED"),
 ])
-def test_error_codes(cls, code):
+def test_non_retryable_error_codes(cls, code):
     exc = cls("boom")
     assert exc.code == code
     assert exc.to_dict() == {"error_code": code, "message": "boom"}
     assert str(exc) == "boom"
+
+
+@pytest.mark.parametrize("cls,code", [
+    (errors.ConcurrentModificationError, "CONCURRENT_MODIFICATION"),
+    (errors.TransactionConflictError, "TRANSACTION_CONFLICT"),
+    (errors.TransientError, "TEMPORARILY_UNAVAILABLE"),
+])
+def test_retryable_error_codes(cls, code):
+    exc = cls("boom")
+    assert exc.code == code
+    assert exc.retryable
+    assert exc.to_dict() == {"error_code": code, "message": "boom",
+                             "retryable": True}
+
+
+@pytest.mark.parametrize("cls,code,default_hint", [
+    (errors.ThrottledError, "THROTTLED", 1.0),
+    (errors.StorageUnavailableError, "STORAGE_UNAVAILABLE", 5.0),
+    (errors.CircuitOpenError, "CIRCUIT_OPEN", 30.0),
+])
+def test_transient_errors_carry_retry_hints(cls, code, default_hint):
+    exc = cls("boom")
+    assert exc.code == code
+    assert exc.retryable
+    assert isinstance(exc, errors.TransientError)
+    assert exc.to_dict() == {"error_code": code, "message": "boom",
+                             "retryable": True,
+                             "retry_after_seconds": default_hint}
+    assert cls("boom", retry_after_seconds=9.0).retry_after_seconds == 9.0
 
 
 def test_all_errors_are_unity_catalog_errors():
@@ -33,8 +61,17 @@ def test_all_errors_are_unity_catalog_errors():
 
 def test_catchability_hierarchy():
     """Transaction conflicts are concurrency errors; untrusted-engine
-    denials are permission denials — callers can catch broadly."""
+    denials are permission denials; throttling and storage outages are
+    transient — callers can catch broadly."""
     assert issubclass(errors.TransactionConflictError,
                       errors.ConcurrentModificationError)
     assert issubclass(errors.UntrustedEngineError,
                       errors.PermissionDeniedError)
+    assert issubclass(errors.ThrottledError, errors.TransientError)
+    assert issubclass(errors.StorageUnavailableError, errors.TransientError)
+    assert issubclass(errors.CircuitOpenError, errors.TransientError)
+
+
+def test_deadline_exceeded_is_not_retryable():
+    """Retrying after a blown deadline would double the damage."""
+    assert not errors.DeadlineExceededError("late").retryable

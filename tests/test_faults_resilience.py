@@ -1,0 +1,608 @@
+"""Fault injection + the retry/backoff/circuit-breaker resilience layer."""
+
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.clock import SimClock
+from repro.cloudstore.client import StorageClient
+from repro.cloudstore.object_store import ObjectStore, StoragePath
+from repro.cloudstore.sts import AccessLevel, StsTokenIssuer
+from repro.core.cache.ttl import TtlCache
+from repro.core.federation import CatalogFederator, HmsForeignClient
+from repro.core.model.entity import SecurableKind
+from repro.core.service.catalog_service import UnityCatalogService
+from repro.core.service.http_server import UnityCatalogHttpServer
+from repro.core.service.rest import RestApi
+from repro.deltalog.table import DeltaTable
+from repro.errors import (
+    CircuitOpenError,
+    ConcurrentModificationError,
+    CredentialError,
+    DeadlineExceededError,
+    FederationError,
+    InvalidRequestError,
+    NotFoundError,
+    StorageUnavailableError,
+    ThrottledError,
+    TransientError,
+)
+from repro.faults import FaultInjector
+from repro.hms.metastore import HiveMetastore, HiveTable, StorageDescriptor
+from repro.obs import Observability
+from repro.resilience import CircuitBreaker, Retrier, RetryPolicy
+
+SCHEMA = [{"name": "id", "type": "INT"}, {"name": "v", "type": "STRING"}]
+
+
+@pytest.fixture
+def injector(clock):
+    return FaultInjector(clock, seed=7)
+
+
+def path(url="s3://b/t1/file"):
+    return StoragePath.parse(url)
+
+
+class TestFaultInjector:
+    def test_no_rules_no_faults(self, injector):
+        injector.raise_for("put", path())
+
+    def test_probability_one_always_fires(self, injector):
+        injector.inject("put", 1.0)
+        with pytest.raises(ThrottledError):
+            injector.raise_for("put", path())
+        injector.raise_for("get", path())  # other ops unaffected
+
+    def test_probability_zero_never_fires(self, injector):
+        injector.inject("put", 0.0)
+        for _ in range(50):
+            injector.raise_for("put", path())
+
+    def test_same_seed_same_faults(self, clock):
+        def run(seed):
+            inj = FaultInjector(clock, seed=seed)
+            inj.inject("put", 0.3)
+            fired = []
+            for i in range(200):
+                try:
+                    inj.raise_for("put", path())
+                    fired.append(False)
+                except ThrottledError:
+                    fired.append(True)
+            return fired
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+    def test_fail_next_is_exact(self, injector):
+        injector.fail_next("put", count=3, kind="unavailable")
+        for _ in range(3):
+            with pytest.raises(StorageUnavailableError):
+                injector.raise_for("put", path())
+        injector.raise_for("put", path())  # schedule exhausted
+
+    def test_prefix_scoping(self, injector):
+        injector.inject("put", 1.0, prefix="s3://b/t1")
+        with pytest.raises(ThrottledError):
+            injector.raise_for("put", path("s3://b/t1/part-0"))
+        injector.raise_for("put", path("s3://b/t2/part-0"))
+
+    def test_throttle_burst_window(self, injector, clock):
+        injector.throttle_burst(start_in=10, duration=5)
+        injector.raise_for("put", path())  # before the burst
+        clock.advance(11)
+        with pytest.raises(ThrottledError):
+            injector.raise_for("put", path())
+        clock.advance(5)
+        injector.raise_for("put", path())  # after the burst
+
+    def test_injected_latency_charged_to_clock(self, injector, clock):
+        injector.inject("put", 1.0, latency=2.5)
+        before = clock.now()
+        with pytest.raises(ThrottledError):
+            injector.raise_for("put", path())
+        assert clock.now() == before + 2.5
+        assert injector.stats.latency_charged == 2.5
+
+    def test_disabled_injector_is_inert(self, injector):
+        injector.inject("put", 1.0)
+        injector.enabled = False
+        injector.raise_for("put", path())
+
+    def test_clear_drops_rules_keeps_counters(self, injector):
+        injector.inject("put", 1.0)
+        with pytest.raises(ThrottledError):
+            injector.raise_for("put", path())
+        injector.clear()
+        injector.raise_for("put", path())
+        assert injector.stats.total == 1
+
+    def test_counts_by_op_and_kind(self, injector):
+        injector.fail_next("put", count=2, kind="throttle")
+        injector.fail_next("get", count=1, kind="unavailable")
+        for op in ("put", "put", "get"):
+            with pytest.raises(TransientError):
+                injector.raise_for(op, path())
+        assert injector.snapshot()["put:throttle"] == 2
+        assert injector.snapshot()["get:unavailable"] == 1
+
+    def test_metrics_counter_export(self, clock):
+        obs = Observability(clock=clock)
+        inj = FaultInjector(clock, seed=1, metrics=obs.metrics)
+        inj.fail_next("put", count=1)
+        with pytest.raises(ThrottledError):
+            inj.raise_for("put", path())
+        snap = obs.metrics.snapshot()
+        assert sum(v for k, v in snap.items()
+                   if k.startswith("uc_faults_injected_total")) == 1
+
+    def test_invalid_configuration_rejected(self, injector):
+        with pytest.raises(InvalidRequestError):
+            injector.inject("put", 1.5)
+        with pytest.raises(InvalidRequestError):
+            injector.inject("put", 0.5, kind="meteor-strike")
+        with pytest.raises(InvalidRequestError):
+            injector.fail_next("put", count=0)
+        with pytest.raises(InvalidRequestError):
+            injector.throttle_burst(0, duration=-1)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=5.0,
+                             jitter=0.0)
+        from random import Random
+        rng = Random(0)
+        assert [policy.backoff(i, rng) for i in range(4)] == [1.0, 2.0, 4.0, 5.0]
+
+    def test_jitter_is_seeded(self):
+        from random import Random
+        policy = RetryPolicy(jitter=0.5)
+        a = [policy.backoff(i, Random(9)) for i in range(5)]
+        b = [policy.backoff(i, Random(9)) for i in range(5)]
+        assert a == b
+        assert all(0 < d <= policy.max_delay for d in a)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(InvalidRequestError):
+            RetryPolicy(jitter=1.0)
+
+
+class TestRetrier:
+    def _retrier(self, clock, **policy_kw):
+        policy = RetryPolicy(max_attempts=4, base_delay=1.0, jitter=0.0,
+                             **policy_kw)
+        return Retrier(policy, clock)
+
+    def test_transient_errors_retried_until_success(self, clock):
+        retrier = self._retrier(clock)
+        attempts = []
+
+        def flaky():
+            attempts.append(clock.now())
+            if len(attempts) < 3:
+                raise ThrottledError("busy")
+            return "ok"
+
+        assert retrier.call(flaky) == "ok"
+        assert retrier.retries == 2
+        # backoff was charged to the clock between attempts: 1s then 2s
+        assert attempts[1] - attempts[0] == 1.0
+        assert attempts[2] - attempts[1] == 2.0
+
+    def test_non_transient_not_retried(self, clock):
+        retrier = self._retrier(clock)
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise NotFoundError("gone")
+
+        with pytest.raises(NotFoundError):
+            retrier.call(broken)
+        assert len(calls) == 1
+        assert retrier.retries == 0
+
+    def test_rebase_errors_not_retried_by_default(self, clock):
+        # ConcurrentModificationError is retryable *after a rebase*, which
+        # a blind retrier cannot do — commit loops own that path.
+        retrier = self._retrier(clock)
+        with pytest.raises(ConcurrentModificationError):
+            retrier.call(lambda: (_ for _ in ()).throw(
+                ConcurrentModificationError("cas lost")))
+        assert retrier.retries == 0
+
+    def test_budget_exhaustion_reraises(self, clock):
+        retrier = self._retrier(clock)
+
+        def always_down():
+            raise StorageUnavailableError("503")
+
+        with pytest.raises(StorageUnavailableError):
+            retrier.call(always_down)
+        assert retrier.retries == 3  # max_attempts=4 → 3 retries
+        assert retrier.exhausted == 1
+
+    def test_deadline_enforced(self, clock):
+        retrier = self._retrier(clock, deadline=1.5)
+        with pytest.raises(DeadlineExceededError):
+            retrier.call(lambda: (_ for _ in ()).throw(ThrottledError("x")))
+        # first retry (1s backoff) fit the budget, the second (2s) did not
+        assert retrier.retries == 1
+
+    def test_metrics_exported(self, clock):
+        obs = Observability(clock=clock)
+        policy = RetryPolicy(max_attempts=2, base_delay=0.1, jitter=0.0)
+        retrier = Retrier(policy, clock, metrics=obs.metrics,
+                          component="storage")
+        with pytest.raises(ThrottledError):
+            retrier.call(lambda: (_ for _ in ()).throw(ThrottledError("x")))
+        snap = obs.metrics.snapshot()
+        assert sum(v for k, v in snap.items()
+                   if k.startswith("uc_retries_total")) == 1
+        assert sum(v for k, v in snap.items()
+                   if k.startswith("uc_retry_exhausted_total")) == 1
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, metrics=None):
+        return CircuitBreaker(clock, failure_threshold=3, reset_timeout=30.0,
+                              metrics=metrics, name="fed",
+                              failure_types=(TransientError,))
+
+    def _boom(self):
+        raise StorageUnavailableError("down")
+
+    def test_opens_after_threshold(self, clock):
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            with pytest.raises(StorageUnavailableError):
+                breaker.call(self._boom)
+        assert breaker.state == CircuitBreaker.OPEN
+        with pytest.raises(CircuitOpenError) as exc_info:
+            breaker.call(lambda: "never runs")
+        assert exc_info.value.retry_after_seconds == pytest.approx(30.0)
+
+    def test_half_open_probe_success_closes(self, clock):
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            with pytest.raises(StorageUnavailableError):
+                breaker.call(self._boom)
+        clock.advance(31)
+        assert breaker.call(lambda: "ok") == "ok"
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.transitions == ["open", "half_open", "closed"]
+
+    def test_half_open_probe_failure_reopens(self, clock):
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            with pytest.raises(StorageUnavailableError):
+                breaker.call(self._boom)
+        clock.advance(31)
+        with pytest.raises(StorageUnavailableError):
+            breaker.call(self._boom)
+        assert breaker.state == CircuitBreaker.OPEN
+
+    def test_success_resets_failure_count(self, clock):
+        breaker = self._breaker(clock)
+        for _ in range(2):
+            with pytest.raises(StorageUnavailableError):
+                breaker.call(self._boom)
+        breaker.call(lambda: "ok")
+        with pytest.raises(StorageUnavailableError):
+            breaker.call(self._boom)
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_non_failure_types_do_not_trip(self, clock):
+        breaker = self._breaker(clock)
+        for _ in range(5):
+            with pytest.raises(NotFoundError):
+                breaker.call(lambda: (_ for _ in ()).throw(NotFoundError("x")))
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_state_gauge_and_transition_counters(self, clock):
+        obs = Observability(clock=clock)
+        breaker = self._breaker(clock, metrics=obs.metrics)
+        for _ in range(3):
+            with pytest.raises(StorageUnavailableError):
+                breaker.call(self._boom)
+        snap = obs.metrics.snapshot()
+        assert sum(v for k, v in snap.items()
+                   if k.startswith("uc_breaker_state")) == 1.0  # open
+        assert sum(v for k, v in snap.items()
+                   if k.startswith("uc_breaker_transitions_total")) == 1.0
+
+
+class TestStorageClientRetries:
+    @pytest.fixture
+    def env(self, clock, injector):
+        store = ObjectStore(faults=injector)
+        store.create_bucket("s3", "b")
+        sts = StsTokenIssuer(clock=clock)
+        policy = RetryPolicy(max_attempts=4, base_delay=1.0, jitter=0.0)
+        retrier = Retrier(policy, clock)
+        return store, sts, retrier
+
+    def _client(self, env, ttl=10**7):
+        store, sts, retrier = env
+        cred = sts.mint(sts.root_secret, path("s3://b/t1"),
+                        AccessLevel.READ_WRITE, ttl_seconds=ttl)
+        return StorageClient(store, sts, cred, retrier=retrier)
+
+    def test_transient_store_faults_absorbed(self, env, injector, clock):
+        client = self._client(env)
+        injector.fail_next("put", count=2)
+        before = clock.now()
+        client.put(path("s3://b/t1/a"), b"data")
+        assert client.get(path("s3://b/t1/a")) == b"data"
+        assert clock.now() - before == 3.0  # two backoffs charged: 1s + 2s
+
+    def test_unretried_client_still_fails_fast(self, clock, injector):
+        store = ObjectStore(faults=injector)
+        store.create_bucket("s3", "b")
+        sts = StsTokenIssuer(clock=clock)
+        cred = sts.mint(sts.root_secret, path("s3://b/t1"),
+                        AccessLevel.READ_WRITE)
+        client = StorageClient(store, sts, cred)  # no retrier
+        injector.fail_next("put", count=1)
+        with pytest.raises(ThrottledError):
+            client.put(path("s3://b/t1/a"), b"data")
+
+    def test_credential_expiry_during_retry_backoff(self, env, injector, clock):
+        """A token that expires while the client is backing off surfaces as
+        CredentialError (non-retryable) — not an infinite retry loop — and
+        the operation succeeds after refresh()."""
+        store, sts, _ = env
+        client = self._client(env, ttl=30)
+        client.put(path("s3://b/t1/a"), b"data")
+        clock.advance(29.5)  # 0.5s of validity left
+        injector.fail_next("get", count=1)
+        # attempt 1 passes the credential check, hits the injected fault,
+        # and the 1s backoff pushes the clock past the token's expiry —
+        # attempt 2's credential check must fail immediately
+        with pytest.raises(CredentialError):
+            client.get(path("s3://b/t1/a"))
+        client.refresh(
+            sts.mint(sts.root_secret, path("s3://b/t1"), AccessLevel.READ)
+        )
+        assert client.get(path("s3://b/t1/a")) == b"data"
+
+    def test_retry_budget_exhaustion_propagates(self, env, injector):
+        client = self._client(env)
+        injector.fail_next("put", count=10)
+        with pytest.raises(ThrottledError):
+            client.put(path("s3://b/t1/a"), b"data")
+
+
+class TestStsRetries:
+    def test_mint_retries_transient_faults(self, clock, injector):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.5, jitter=0.0)
+        retrier = Retrier(policy, clock, component="sts")
+        sts = StsTokenIssuer(clock=clock, faults=injector, retrier=retrier)
+        injector.fail_next("sts.mint", count=2)
+        cred = sts.mint(sts.root_secret, path("s3://b/t1"), AccessLevel.READ)
+        assert cred.token
+        assert retrier.retries == 2
+
+
+class TestTtlCacheServeStale:
+    def test_stale_served_on_retryable_error(self, clock):
+        cache = TtlCache(ttl_seconds=10, clock=clock, stale_grace=60)
+        cache.put("k", "fresh")
+        clock.advance(11)  # expired, within grace
+
+        def down():
+            raise StorageUnavailableError("backend down")
+
+        assert cache.get_or_load("k", down) == "fresh"
+        assert cache.stale_serves == 1
+
+    def test_non_retryable_error_propagates(self, clock):
+        cache = TtlCache(ttl_seconds=10, clock=clock, stale_grace=60)
+        cache.put("k", "fresh")
+        clock.advance(11)
+        with pytest.raises(NotFoundError):
+            cache.get_or_load("k", lambda: (_ for _ in ()).throw(
+                NotFoundError("gone")))
+
+    def test_grace_window_bounded(self, clock):
+        cache = TtlCache(ttl_seconds=10, clock=clock, stale_grace=60)
+        cache.put("k", "fresh")
+        clock.advance(71)  # past ttl + grace
+        with pytest.raises(StorageUnavailableError):
+            cache.get_or_load("k", lambda: (_ for _ in ()).throw(
+                StorageUnavailableError("down")))
+
+    def test_zero_grace_preserves_strict_ttl(self, clock):
+        cache = TtlCache(ttl_seconds=10, clock=clock)
+        cache.put("k", "fresh")
+        clock.advance(11)
+        assert cache.get("k") is None
+        with pytest.raises(StorageUnavailableError):
+            cache.get_or_load("k", lambda: (_ for _ in ()).throw(
+                StorageUnavailableError("down")))
+
+
+class TestIncrementalRebase:
+    @pytest.fixture
+    def env(self, clock):
+        obs = Observability(clock=clock)
+        store = ObjectStore()
+        store.create_bucket("s3", "b")
+        sts = StsTokenIssuer(clock=clock)
+        root = StoragePath.parse("s3://b/t1")
+        cred = sts.mint(sts.root_secret, root, AccessLevel.READ_WRITE,
+                        ttl_seconds=10**7)
+        client = StorageClient(store, sts, cred)
+        table = DeltaTable.create(client, root, "tid", SCHEMA, clock=clock,
+                                  metrics=obs.metrics)
+        return table, client, root, obs
+
+    def test_refresh_advances_snapshot(self, env, clock):
+        table, client, root, _ = env
+        stale = table.log.snapshot()
+        table.append([{"id": 1, "v": "a"}])
+        table.append([{"id": 2, "v": "b"}])
+        refreshed = table.log.refresh(stale)
+        assert refreshed.version == table.log.latest_version()
+        assert len(refreshed.active_files) == 2
+
+    def test_refresh_of_current_snapshot_is_free(self, env):
+        table, *_ = env
+        current = table.log.snapshot()
+        assert table.log.refresh(current) is current
+
+    def test_rebase_reads_only_newer_entries(self, env, clock):
+        table, client, root, obs = env
+        writer_b = DeltaTable(client, root, clock=clock,
+                              metrics=obs.metrics)
+        # two commits land after the stale snapshot; refreshing it must
+        # read exactly those two log entries, not replay from version 0
+        stale = table.log.snapshot()
+        table.append([{"id": 1, "v": "a"}])
+        table.append([{"id": 2, "v": "b"}])
+        before = self._rebase_reads(obs)
+        writer_b.log.refresh(stale)
+        assert self._rebase_reads(obs) - before == 2
+
+    @staticmethod
+    def _rebase_reads(obs):
+        return sum(v for k, v in obs.metrics.snapshot().items()
+                   if k.startswith("uc_delta_rebase_reads_total"))
+
+
+class TestFederationResilience:
+    @pytest.fixture
+    def hms(self):
+        metastore = HiveMetastore()
+        metastore.create_database("warehouse", "s3://legacy/warehouse")
+        metastore.create_table(HiveTable(
+            database="warehouse",
+            name="inventory",
+            columns=[{"name": "sku", "type": "STRING"}],
+            storage=StorageDescriptor(
+                location="s3://legacy/warehouse/inventory"),
+        ))
+        return metastore
+
+    @pytest.fixture
+    def env(self, service, metastore_id, hms, clock, injector):
+        breaker = CircuitBreaker(
+            clock, failure_threshold=3, reset_timeout=60.0, name="federation",
+            failure_types=(FederationError, TransientError),
+        )
+        fed = CatalogFederator(service, breaker=breaker, faults=injector)
+        fed.register_connection(metastore_id, "alice", "legacy_hms",
+                                "HIVE_METASTORE", HmsForeignClient(hms))
+        fed.create_foreign_catalog(metastore_id, "alice", "legacy",
+                                   "legacy_hms", "warehouse")
+        return fed, breaker
+
+    def test_stale_mirror_served_when_foreign_down(self, env, metastore_id,
+                                                   injector):
+        fed, _ = env
+        mirrored = fed.mirror_table(metastore_id, "alice", "legacy",
+                                    "inventory")
+        injector.fail_next("federation.fetch", count=5, kind="unavailable")
+        again = fed.mirror_table(metastore_id, "alice", "legacy", "inventory")
+        assert again.id == mirrored.id
+        assert fed.stats.stale_mirrors_served == 1
+        assert fed.stats.foreign_failures == 1
+
+    def test_never_mirrored_table_fails_when_foreign_down(
+            self, env, metastore_id, injector):
+        fed, _ = env
+        injector.fail_next("federation.fetch", count=5, kind="unavailable")
+        with pytest.raises(TransientError):
+            fed.mirror_table(metastore_id, "alice", "legacy", "inventory")
+
+    def test_breaker_opens_and_sheds_foreign_calls(self, env, metastore_id,
+                                                   injector, hms):
+        fed, breaker = env
+        fed.mirror_table(metastore_id, "alice", "legacy", "inventory")
+        injector.fail_next("federation.fetch", count=10, kind="unavailable")
+        for _ in range(3):
+            fed.mirror_table(metastore_id, "alice", "legacy", "inventory")
+        assert breaker.state == CircuitBreaker.OPEN
+        # open breaker short-circuits: no foreign fetch, stale mirror served
+        stale_before = fed.stats.stale_mirrors_served
+        fed.mirror_table(metastore_id, "alice", "legacy", "inventory")
+        assert fed.stats.stale_mirrors_served == stale_before + 1
+
+
+class TestServiceCommitRetries:
+    def test_transient_store_faults_absorbed_by_mutation(self, clock):
+        injector = FaultInjector(clock, seed=3)
+        service = UnityCatalogService(
+            clock=clock, faults=injector,
+            retry_policy=RetryPolicy(max_attempts=4, base_delay=0.1,
+                                     jitter=0.0),
+        )
+        service.directory.add_user("admin")
+        mid = service.create_metastore("m", owner="admin").id
+        injector.fail_next("store.commit", count=2)
+        entity = service.create_securable(mid, "admin", SecurableKind.CATALOG,
+                                          "cat")
+        assert entity.name == "cat"
+
+    def test_exhausted_commit_retries_surface(self, clock):
+        injector = FaultInjector(clock, seed=3)
+        service = UnityCatalogService(
+            clock=clock, faults=injector,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.1,
+                                     jitter=0.0),
+        )
+        service.directory.add_user("admin")
+        mid = service.create_metastore("m", owner="admin").id
+        injector.fail_next("store.commit", count=10)
+        with pytest.raises(TransientError):
+            service.create_securable(mid, "admin", SecurableKind.CATALOG,
+                                     "cat")
+
+
+class TestRestErrorMapping:
+    def _throttled_service(self, clock, fail=10):
+        injector = FaultInjector(clock, seed=5)
+        service = UnityCatalogService(
+            clock=clock, faults=injector,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.01,
+                                     jitter=0.0),
+        )
+        service.directory.add_user("admin")
+        service.create_metastore("m", owner="admin")
+        injector.fail_next("store.commit", count=fail)
+        return service
+
+    def test_throttled_maps_to_429_with_retry_hint(self, clock):
+        service = self._throttled_service(clock)
+        api = RestApi(service)
+        status, body = api.handle(
+            "POST", "/api/2.1/unity-catalog/catalogs", principal="admin",
+            body={"metastore": "m", "name": "cat"},
+        )
+        assert status == 429
+        assert body["error_code"] == "THROTTLED"
+        assert body["retryable"] is True
+        assert body["retry_after_seconds"] > 0
+
+    def test_http_retry_after_header(self, clock):
+        service = self._throttled_service(clock)
+        with UnityCatalogHttpServer(service) as server:
+            host, port = server.address
+            connection = HTTPConnection(host, port, timeout=30)
+            try:
+                connection.request(
+                    "POST", "/api/2.1/unity-catalog/catalogs",
+                    body='{"metastore": "m", "name": "cat"}',
+                    headers={"X-Unity-Principal": "admin",
+                             "Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                response.read()
+                assert response.status == 429
+                assert int(response.getheader("Retry-After")) >= 1
+            finally:
+                connection.close()
