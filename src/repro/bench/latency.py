@@ -27,6 +27,9 @@ class LatencyModel:
     #: one DB point query (version check, row fetch) — service time only;
     #: queueing is added by DbServerModel
     db_point_read: float = 0.0008
+    #: one batched DB read (``multi_get``): a single round trip regardless
+    #: of how many keys it carries — the whole point of batching
+    db_multi_get: float = 0.0008
     #: per-row cost of a DB scan (uncached reads scan entities/grants)
     db_scan_row: float = 0.0000004
     #: one in-memory cache probe

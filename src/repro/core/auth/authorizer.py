@@ -22,15 +22,21 @@ that second-tier discovery services use to authorize search results
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
 from repro.core.auth.abac import AbacEffect, AbacPolicy
 from repro.core.auth.fgac import ColumnMask, FgacRuleSet, RowFilter
 from repro.core.auth.principals import PrincipalDirectory
 from repro.core.auth.privileges import Privilege
 from repro.core.model.entity import Entity, SecurableKind
 from repro.core.model.registry import AssetTypeRegistry
+from repro.core.cache.decisions import HotPathCaches
 from repro.core.persistence.store import Tables
 from repro.core.view import MetastoreView
 from repro.errors import PermissionDeniedError
+
+#: identity memo entries kept before a wholesale clear
+_IDENTITY_MEMO_CAP = 4096
 
 #: Operations that administrative rights (ownership / MANAGE, possibly on
 #: an ancestor) are sufficient for.
@@ -83,14 +89,36 @@ class Authorizer:
     def __init__(self, registry: AssetTypeRegistry, directory: PrincipalDirectory):
         self._registry = registry
         self._directory = directory
+        #: principal -> (directory generation, expanded identity set)
+        self._identity_memo: dict[str, tuple[int, frozenset[str]]] = {}
+        # plain-int work counters the hot-path benchmark charges simulated
+        # costs against (scrape-time export; zero hot-path metrics cost)
+        self.evaluations = 0
+        self.identity_expansions = 0
+        self.grant_rows_examined = 0
+        self.policy_rows_examined = 0
 
     # -- identity ------------------------------------------------------------
 
     def identities(self, principal: str) -> frozenset[str]:
-        """The principal plus its transitive group memberships."""
+        """The principal plus its transitive group memberships.
+
+        Memoized per directory generation: the fixed-point group expansion
+        runs once per principal until the directory mutates.
+        """
+        generation = self._directory.generation
+        memo = self._identity_memo.get(principal)
+        if memo is not None and memo[0] == generation:
+            return memo[1]
+        self.identity_expansions += 1
         if self._directory.exists(principal):
-            return self._directory.expand(principal)
-        return frozenset({principal})
+            expanded = self._directory.expand(principal)
+        else:
+            expanded = frozenset({principal})
+        if len(self._identity_memo) >= _IDENTITY_MEMO_CAP:
+            self._identity_memo.clear()
+        self._identity_memo[principal] = (generation, expanded)
+        return expanded
 
     # -- ownership and administration -----------------------------------------
 
@@ -104,28 +132,57 @@ class Authorizer:
         privilege: Privilege,
         identities: frozenset[str],
     ) -> bool:
-        for grant in view.grants_on(securable_id):
+        grants = view.grants_on(securable_id)
+        self.grant_rows_examined += len(grants)
+        for grant in grants:
             if grant.privilege is privilege and grant.principal in identities:
                 return True
         return False
 
-    def _chain(self, view: MetastoreView, entity: Entity) -> list[Entity]:
+    def _chain(
+        self,
+        view: MetastoreView,
+        entity: Entity,
+        cache: Optional[HotPathCaches] = None,
+    ) -> list[Entity]:
         """Entity followed by its ancestors (nearest first, metastore last)."""
+        if cache is not None:
+            return list(cache.chain(view, entity))
         return [entity] + view.ancestors(entity)
 
     def is_owner_or_admin(
-        self, view: MetastoreView, entity: Entity, identities: frozenset[str]
+        self,
+        view: MetastoreView,
+        entity: Entity,
+        identities: frozenset[str],
+        cache: Optional[HotPathCaches] = None,
     ) -> bool:
         """Ownership or MANAGE on the entity or any ancestor.
 
         Administrative rights are inherited down the hierarchy (paper 3.3).
         """
-        for securable in self._chain(view, entity):
+        if cache is not None:
+            key = (identities, entity.id, "admin")
+            hit = cache.get_decision(key)
+            if hit is not None:
+                return hit.allowed
+        allowed = False
+        for securable in self._chain(view, entity, cache):
             if self._owns(securable, identities):
-                return True
+                allowed = True
+                break
             if self._has_direct_grant(view, securable.id, Privilege.MANAGE, identities):
-                return True
-        return False
+                allowed = True
+                break
+        if cache is not None:
+            cache.put_decision(
+                key,
+                AccessDecision(allowed, "owner-or-admin"),
+                identities,
+                frozenset(s.id for s in self._chain(view, entity, cache)),
+                visibility=False,
+            )
+        return allowed
 
     def is_direct_owner_or_admin(
         self, view: MetastoreView, entity: Entity, identities: frozenset[str]
@@ -146,11 +203,12 @@ class Authorizer:
         return {c: dict(t) for c, t in row.get("column_tags", {}).items()} if row else {}
 
     def _abac_policies(self, view: MetastoreView) -> list[AbacPolicy]:
-        return [
-            AbacPolicy.from_dict(value)
-            for key, value in view.rows(Tables.POLICIES)
-            if value.get("policy_type") == "ABAC"
-        ]
+        policies = []
+        for key, value in view.rows(Tables.POLICIES):
+            self.policy_rows_examined += 1
+            if value.get("policy_type") == "ABAC":
+                policies.append(AbacPolicy.from_dict(value))
+        return policies
 
     def _abac_granted(
         self,
@@ -158,6 +216,7 @@ class Authorizer:
         entity: Entity,
         privilege: Privilege,
         identities: frozenset[str],
+        cache: Optional[HotPathCaches] = None,
     ) -> bool:
         """Dynamic GRANT policies: does one grant ``privilege`` here?"""
         policies = [
@@ -166,7 +225,7 @@ class Authorizer:
         ]
         if not policies:
             return False
-        scope_ids = {securable.id for securable in self._chain(view, entity)}
+        scope_ids = {securable.id for securable in self._chain(view, entity, cache)}
         tags = self.tags_of(view, entity.id)
         for policy in policies:
             if policy.scope_id not in scope_ids:
@@ -183,39 +242,73 @@ class Authorizer:
         entity: Entity,
         privilege: Privilege,
         identities: frozenset[str],
+        cache: Optional[HotPathCaches] = None,
     ) -> bool:
         """Privilege inheritance: a grant on the entity or any ancestor."""
-        for securable in self._chain(view, entity):
-            if self._has_direct_grant(view, securable.id, privilege, identities):
-                return True
-        return self._abac_granted(view, entity, privilege, identities)
+        if cache is not None:
+            key = (identities, entity.id, "has:" + privilege.value)
+            hit = cache.get_decision(key)
+            if hit is not None:
+                return hit.allowed
+        allowed = any(
+            self._has_direct_grant(view, securable.id, privilege, identities)
+            for securable in self._chain(view, entity, cache)
+        ) or self._abac_granted(view, entity, privilege, identities, cache)
+        if cache is not None:
+            cache.put_decision(
+                key,
+                AccessDecision(allowed, "privilege-inheritance"),
+                identities,
+                frozenset(s.id for s in self._chain(view, entity, cache)),
+                visibility=False,
+            )
+        return allowed
 
     # -- usage gates --------------------------------------------------------------
 
     def check_usage_gates(
-        self, view: MetastoreView, entity: Entity, identities: frozenset[str]
+        self,
+        view: MetastoreView,
+        entity: Entity,
+        identities: frozenset[str],
+        cache: Optional[HotPathCaches] = None,
     ) -> AccessDecision:
         """USE CATALOG / USE SCHEMA checks along the ancestor chain.
 
         Owning (or having MANAGE on) a container implies its usage
         privilege, since owners hold all privileges on their objects.
         """
-        for ancestor in view.ancestors(entity):
+        if cache is not None:
+            key = (identities, entity.id, "gates")
+            hit = cache.get_decision(key)
+            if hit is not None:
+                return hit
+        decision = AccessDecision(True, "usage gates satisfied")
+        for ancestor in self._chain(view, entity, cache)[1:]:
             if ancestor.kind is SecurableKind.CATALOG:
                 needed = Privilege.USE_CATALOG
             elif ancestor.kind is SecurableKind.SCHEMA:
                 needed = Privilege.USE_SCHEMA
             else:
                 continue
-            if self.is_owner_or_admin(view, ancestor, identities):
+            if self.is_owner_or_admin(view, ancestor, identities, cache):
                 continue
-            if not self.has_privilege(view, ancestor, needed, identities):
-                return AccessDecision(
+            if not self.has_privilege(view, ancestor, needed, identities, cache):
+                decision = AccessDecision(
                     False,
                     f"missing {needed.value} on {ancestor.kind.value.lower()} "
                     f"{ancestor.name!r}",
                 )
-        return AccessDecision(True, "usage gates satisfied")
+                break
+        if cache is not None:
+            cache.put_decision(
+                key,
+                decision,
+                identities,
+                frozenset(s.id for s in self._chain(view, entity, cache)),
+                visibility=False,
+            )
+        return decision
 
     # -- the main entry point --------------------------------------------------------
 
@@ -225,18 +318,45 @@ class Authorizer:
         entity: Entity,
         operation: str,
         principal: str,
+        cache: Optional[HotPathCaches] = None,
     ) -> AccessDecision:
         """Decide whether ``principal`` may perform ``operation`` on ``entity``."""
+        if cache is not None:
+            key = (principal, entity.id, operation)
+            hit = cache.get_decision(key)
+            if hit is not None:
+                return hit
+        self.evaluations += 1
+        decision = self._authorize_uncached(view, entity, operation, principal, cache)
+        if cache is not None:
+            identities = self.identities(principal)
+            cache.put_decision(
+                key,
+                decision,
+                identities,
+                frozenset(s.id for s in self._chain(view, entity, cache)),
+                visibility=(operation == "read_metadata"),
+            )
+        return decision
+
+    def _authorize_uncached(
+        self,
+        view: MetastoreView,
+        entity: Entity,
+        operation: str,
+        principal: str,
+        cache: Optional[HotPathCaches] = None,
+    ) -> AccessDecision:
         identities = self.identities(principal)
 
         if operation == "read_metadata":
-            if self.visible(view, entity, identities):
+            if self.visible(view, entity, identities, cache):
                 return AccessDecision(True, "metadata visible")
             return AccessDecision(
                 False, f"no privileges on {entity.name!r} or its children"
             )
 
-        gates = self.check_usage_gates(view, entity, identities)
+        gates = self.check_usage_gates(view, entity, identities, cache)
         if not gates.allowed:
             return gates
 
@@ -248,7 +368,7 @@ class Authorizer:
         # Ancestor administrative rights cover admin operations only —
         # never data (the paper's owner/data separation).
         if operation in _ADMIN_OPERATIONS and self.is_owner_or_admin(
-            view, entity, identities
+            view, entity, identities, cache
         ):
             return AccessDecision(True, "administrator of ancestor container")
 
@@ -263,7 +383,7 @@ class Authorizer:
                 f"{entity.name!r}",
             )
         required = manifest.privilege_for_operation(operation)
-        if self.has_privilege(view, entity, required, identities):
+        if self.has_privilege(view, entity, required, identities, cache):
             return AccessDecision(True, f"{required.value} granted")
         return AccessDecision(
             False,
@@ -274,15 +394,44 @@ class Authorizer:
     # -- visibility (discovery authorization API, section 4.4) -----------------------
 
     def visible(
-        self, view: MetastoreView, entity: Entity, identities: frozenset[str]
+        self,
+        view: MetastoreView,
+        entity: Entity,
+        identities: frozenset[str],
+        cache: Optional[HotPathCaches] = None,
     ) -> bool:
         """Metadata visibility: admin rights, any privilege on the entity
         or an ancestor, or any grant anywhere in the entity's subtree
         (so containers of accessible assets can be browsed)."""
-        if self.is_owner_or_admin(view, entity, identities):
+        if cache is not None:
+            key = (identities, entity.id, "visible")
+            hit = cache.get_decision(key)
+            if hit is not None:
+                return hit.allowed
+        allowed = self._visible_uncached(view, entity, identities, cache)
+        if cache is not None:
+            cache.put_decision(
+                key,
+                AccessDecision(allowed, "visibility"),
+                identities,
+                frozenset(s.id for s in self._chain(view, entity, cache)),
+                visibility=True,
+            )
+        return allowed
+
+    def _visible_uncached(
+        self,
+        view: MetastoreView,
+        entity: Entity,
+        identities: frozenset[str],
+        cache: Optional[HotPathCaches] = None,
+    ) -> bool:
+        if self.is_owner_or_admin(view, entity, identities, cache):
             return True
-        for securable in self._chain(view, entity):
-            for grant in view.grants_on(securable.id):
+        for securable in self._chain(view, entity, cache):
+            grants = view.grants_on(securable.id)
+            self.grant_rows_examined += len(grants)
+            for grant in grants:
                 if grant.principal not in identities:
                     continue
                 if securable.id == entity.id:
@@ -291,6 +440,7 @@ class Authorizer:
                     return True  # inheritable privileges reveal descendants
         # grants on descendants make the container browsable
         for key, value in view.rows(Tables.GRANTS):
+            self.grant_rows_examined += 1
             if value.get("principal") not in identities:
                 continue
             granted_entity = view.entity_by_id(value["securable_id"])
@@ -303,17 +453,21 @@ class Authorizer:
         # ABAC GRANT policies can also make an asset visible
         for privilege in (Privilege.SELECT, Privilege.READ_VOLUME,
                           Privilege.EXECUTE, Privilege.BROWSE):
-            if self._abac_granted(view, entity, privilege, identities):
+            if self._abac_granted(view, entity, privilege, identities, cache):
                 return True
         return False
 
     def filter_visible(
-        self, view: MetastoreView, entities: list[Entity], principal: str
+        self,
+        view: MetastoreView,
+        entities: list[Entity],
+        principal: str,
+        cache: Optional[HotPathCaches] = None,
     ) -> list[Entity]:
         """Authorization API for second-tier services: keep only entities
         whose metadata ``principal`` may see (used by search)."""
         identities = self.identities(principal)
-        return [e for e in entities if self.visible(view, e, identities)]
+        return [e for e in entities if self.visible(view, e, identities, cache)]
 
     # -- FGAC rule assembly (section 4.3.2) ---------------------------------------------
 
@@ -322,8 +476,32 @@ class Authorizer:
         view: MetastoreView,
         table: Entity,
         principal: str,
+        cache: Optional[HotPathCaches] = None,
     ) -> FgacRuleSet:
         """All row filters / column masks applying to ``principal`` on a table."""
+        if cache is not None:
+            key = (principal, table.id, "fgac")
+            hit = cache.get_decision(key)
+            if hit is not None:
+                return hit
+        rules = self._fgac_rules_uncached(view, table, principal, cache)
+        if cache is not None:
+            cache.put_decision(
+                key,
+                rules,
+                self.identities(principal),
+                frozenset(s.id for s in self._chain(view, table, cache)),
+                visibility=False,
+            )
+        return rules
+
+    def _fgac_rules_uncached(
+        self,
+        view: MetastoreView,
+        table: Entity,
+        principal: str,
+        cache: Optional[HotPathCaches] = None,
+    ) -> FgacRuleSet:
         identities = self.identities(principal)
 
         row_filters: list[RowFilter] = []
@@ -331,6 +509,7 @@ class Authorizer:
 
         # explicit per-table policies
         for key, value in view.rows(Tables.POLICIES):
+            self.policy_rows_examined += 1
             policy_type = value.get("policy_type")
             if policy_type == "ROW_FILTER" and value["securable_id"] == table.id:
                 row_filters.append(RowFilter.from_dict(value))
@@ -338,7 +517,7 @@ class Authorizer:
                 column_masks.append(ColumnMask.from_dict(value))
 
         # ABAC mask/filter policies in scope
-        scope_ids = {securable.id for securable in self._chain(view, table)}
+        scope_ids = {securable.id for securable in self._chain(view, table, cache)}
         table_tags = self.tags_of(view, table.id)
         column_tags = self.column_tags_of(view, table.id)
         for policy in self._abac_policies(view):

@@ -8,18 +8,31 @@
   guaranteeing snapshot reads and serializable writes.
 * :mod:`~repro.core.cache.eviction` — LRU/LFU eviction for unpopular
   assets plus timeout-based pruning of superseded versions.
+* :mod:`~repro.core.cache.decisions` — the version-pinned fast path for
+  the life-of-a-query hot loop: authorization-decision and
+  name-resolution caches invalidated selectively from the change log.
 """
 
 from repro.core.cache.ttl import TtlCache
+from repro.core.cache.decisions import (
+    AuthDecisionCache,
+    HotPathCaches,
+    HotPathStats,
+    ResolutionCache,
+)
 from repro.core.cache.eviction import EvictionPolicy, LfuPolicy, LruPolicy
 from repro.core.cache.node import CacheStats, MetastoreCacheNode, ReconcileMode
 
 __all__ = [
+    "AuthDecisionCache",
     "CacheStats",
     "EvictionPolicy",
+    "HotPathCaches",
+    "HotPathStats",
     "LfuPolicy",
     "LruPolicy",
     "MetastoreCacheNode",
     "ReconcileMode",
+    "ResolutionCache",
     "TtlCache",
 ]

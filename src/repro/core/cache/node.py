@@ -222,9 +222,17 @@ class MetastoreCacheNode:
         changes = self._store.changes_since(self.metastore_id, self.known_version)
         snapshot = self._store.snapshot(self.metastore_id)
         changed_keys = {(c.table, c.key) for c in changes}
+        # one batched read per touched table instead of one get per key
+        keys_by_table: dict[str, list[str]] = {}
+        for table, key in sorted(changed_keys):
+            keys_by_table.setdefault(table, []).append(key)
+        fetched = {
+            table: snapshot.multi_get(table, keys)
+            for table, keys in keys_by_table.items()
+        }
         now = self._clock.now()
         for table, key in sorted(changed_keys):
-            value = snapshot.get(table, key)
+            value = fetched[table].get(key)
             try:
                 self._apply(table, key, value, snapshot.version, now)
             except PathConflictError:
@@ -370,6 +378,25 @@ class MetastoreCacheNode:
                 self._apply(table, key, value, self.known_version, self._clock.now())
             return value
 
+    def _prefetch_rows(self, table: str, keys: list[str]) -> None:
+        """Batch read-through: pull the named keys into the cache with one
+        ``multi_get`` so subsequent ``_get_row`` calls all hit."""
+        with self._lock:
+            if self._complete.get(table, False):
+                return
+            rows = self._rows.get(table, {})
+            missing = [key for key in keys if key not in rows]
+            if not missing:
+                return
+            self.stats.misses += 1
+            snapshot = self._store.snapshot(
+                self.metastore_id, at_version=self.known_version
+            )
+            fetched = snapshot.multi_get(table, missing)
+            now = self._clock.now()
+            for key, value in fetched.items():
+                self._apply(table, key, value, self.known_version, now)
+
     def _ensure_complete(self, table: str) -> None:
         with self._lock:
             if self._complete.get(table, False):
@@ -484,6 +511,9 @@ class CachedView(MetastoreView):
         self._node._ensure_complete(Tables.GRANTS)
         grants = self._node._grants_index.get(securable_id, {})
         return list(grants.values())
+
+    def prefetch_rows(self, table: str, keys: list[str]) -> None:
+        self._node._prefetch_rows(table, keys)
 
     def row(self, table: str, key: str) -> Optional[dict]:
         return self._node._get_row(table, key, self._version)

@@ -55,6 +55,21 @@ class _MemorySnapshot(Snapshot):
             value = _visible(versions, self.version)
             return copy.deepcopy(value) if value is not None else None
 
+    def multi_get(self, table: str, keys: list[str]) -> dict[str, dict[str, Any]]:
+        out: dict[str, dict[str, Any]] = {}
+        with self._slot.lock:
+            rows = self._slot.tables.get(table, {})
+            for key in keys:
+                versions = rows.get(key)
+                if not versions:
+                    continue
+                value = _visible(versions, self.version)
+                if value is not None:
+                    out[key] = copy.deepcopy(value)
+        if self._store is not None:
+            self._store.multi_get_count += 1
+        return out
+
     def scan(self, table: str) -> Iterator[tuple[str, dict[str, Any]]]:
         with self._slot.lock:
             rows = self._slot.tables.get(table, {})
@@ -91,6 +106,7 @@ class InMemoryMetadataStore(MetadataStore):
         self.read_count = 0
         self.commit_count = 0
         self.scan_row_count = 0
+        self.multi_get_count = 0
 
     def _slot(self, metastore_id: str) -> _MetastoreSlot:
         try:

@@ -59,6 +59,24 @@ class _SqliteSnapshot(Snapshot):
             return None
         return json.loads(row[0])
 
+    def multi_get(self, table: str, keys: list[str]) -> dict[str, dict[str, Any]]:
+        if not keys:
+            return {}
+        placeholders = ",".join("?" for _ in keys)
+        rows = self._store._query_all(
+            "SELECT key, value FROM rows r"
+            f" WHERE metastore_id=? AND tbl=? AND key IN ({placeholders})"
+            "   AND version = ("
+            "   SELECT MAX(version) FROM rows"
+            "   WHERE metastore_id=r.metastore_id AND tbl=r.tbl"
+            "     AND key=r.key AND version<=?)",
+            (self.metastore_id, table, *keys, self.version),
+        )
+        self._store.multi_get_count += 1
+        return {
+            key: json.loads(value) for key, value in rows if value is not None
+        }
+
     def scan(self, table: str) -> Iterator[tuple[str, dict[str, Any]]]:
         rows = self._store._query_all(
             "SELECT key, value FROM rows r"
@@ -81,6 +99,7 @@ class SqliteMetadataStore(MetadataStore):
         # anyway and the catalog's writes are per-metastore serialized above.
         self._conn = sqlite3.connect(path, check_same_thread=False)
         self._lock = threading.RLock()
+        self.multi_get_count = 0
         with self._lock:
             self._conn.executescript(_SCHEMA)
             self._conn.commit()

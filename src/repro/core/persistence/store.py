@@ -75,6 +75,23 @@ class Snapshot(abc.ABC):
     def scan(self, table: str) -> Iterator[tuple[str, dict[str, Any]]]:
         """Iterate all live rows of a table as of this snapshot."""
 
+    def multi_get(self, table: str, keys: list[str]) -> dict[str, dict[str, Any]]:
+        """Read many rows in one round trip; absent/deleted keys are omitted.
+
+        The point of the batched contract is the hot path: the cache
+        node's selective reconcile and the resolver's dependency closure
+        issue one ``multi_get`` where they used to issue N ``get``s, and
+        the latency model charges them one round trip. Backends override
+        this with a genuinely batched implementation; the default
+        preserves the semantics for simple backends.
+        """
+        out: dict[str, dict[str, Any]] = {}
+        for key in keys:
+            value = self.get(table, key)
+            if value is not None:
+                out[key] = value
+        return out
+
 
 class MetadataStore(abc.ABC):
     """Backend contract: versioned per-metastore row storage.

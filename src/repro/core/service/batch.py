@@ -15,12 +15,14 @@ such query plans are restricted to trusted engines.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cloudstore.sts import AccessLevel, TemporaryCredential
 from repro.core.auth.fgac import FgacRuleSet
 from repro.core.model.entity import Entity, SecurableKind
+from repro.core.persistence.store import Tables
 from repro.core.view import MetastoreView
 from repro.errors import InvalidRequestError, UntrustedEngineError
 
@@ -105,59 +107,79 @@ class QueryResolver:
                 f"write table {name!r} missing from table_names"
             )
 
-        # (name, authorize_as_caller, depth)
-        queue: list[tuple[str, bool, int]] = [
+        cache = service._hot_caches_for(metastore_id, view)
+        # BFS over (name, authorize_as_caller, depth), one *wave* (the
+        # current frontier — initially the query's table list, then each
+        # round of view dependencies) at a time: every wave resolves all
+        # its names first so auxiliary rows for the whole wave can be
+        # pulled with one batched store read instead of N point reads.
+        queue: deque[tuple[str, bool, int]] = deque(
             (name, True, 0) for name in dict.fromkeys(table_names)
-        ]
+        )
         while queue:
-            name, as_caller, depth = queue.pop(0)
-            if name in resolution.assets:
-                continue
-            if depth > _MAX_VIEW_DEPTH:
-                raise InvalidRequestError(f"view nesting deeper than {_MAX_VIEW_DEPTH}")
-            entity = service._resolve(view, metastore_id, SecurableKind.TABLE, name)
-            service.check_workspace_binding(metastore_id, entity, workspace)
-            operation = "write_data" if name in write_set else "read_data"
-            if as_caller:
-                service._authorize(
-                    view, metastore_id, principal, entity, operation, name
+            wave: list[tuple[str, bool, int, Entity]] = []
+            seen: set[str] = set()
+            while queue:
+                name, as_caller, depth = queue.popleft()
+                if name in resolution.assets or name in seen:
+                    continue
+                if depth > _MAX_VIEW_DEPTH:
+                    raise InvalidRequestError(
+                        f"view nesting deeper than {_MAX_VIEW_DEPTH}"
+                    )
+                entity = service._resolve(
+                    view, metastore_id, SecurableKind.TABLE, name
                 )
-            fgac = service.authorizer.fgac_rules_for(view, entity, principal)
-            if not fgac.is_empty and not engine_trusted:
-                raise UntrustedEngineError(
-                    f"table {name} carries fine-grained policies; only trusted "
-                    "engines may receive its enforcement rules"
+                seen.add(name)
+                wave.append((name, as_caller, depth, entity))
+            view.prefetch_rows(Tables.TAGS, [w[3].id for w in wave])
+            for name, as_caller, depth, entity in wave:
+                service.check_workspace_binding(metastore_id, entity, workspace)
+                operation = "write_data" if name in write_set else "read_data"
+                if as_caller:
+                    service._authorize(
+                        view, metastore_id, principal, entity, operation, name
+                    )
+                fgac = service.authorizer.fgac_rules_for(
+                    view, entity, principal, cache
                 )
-            table_type = entity.spec.get("table_type")
-            dependencies = tuple(entity.spec.get("view_dependencies") or ())
-            if entity.spec.get("base_table"):
-                dependencies = dependencies + (entity.spec["base_table"],)
-            credential = None
-            if (
-                include_credentials
-                and entity.storage_path
-                and table_type not in ("VIEW", "FOREIGN")
-            ):
-                level = (
-                    AccessLevel.READ_WRITE if name in write_set else AccessLevel.READ
+                if not fgac.is_empty and not engine_trusted:
+                    raise UntrustedEngineError(
+                        f"table {name} carries fine-grained policies; only trusted "
+                        "engines may receive its enforcement rules"
+                    )
+                table_type = entity.spec.get("table_type")
+                dependencies = tuple(entity.spec.get("view_dependencies") or ())
+                if entity.spec.get("base_table"):
+                    dependencies = dependencies + (entity.spec["base_table"],)
+                credential = None
+                if (
+                    include_credentials
+                    and entity.storage_path
+                    and table_type not in ("VIEW", "FOREIGN")
+                ):
+                    level = (
+                        AccessLevel.READ_WRITE
+                        if name in write_set
+                        else AccessLevel.READ
+                    )
+                    credential = service.vendor.vend(view, entity, level)
+                resolution.assets[name] = ResolvedAsset(
+                    full_name=name,
+                    entity=entity,
+                    table_type=table_type,
+                    format=entity.spec.get("format"),
+                    columns=list(entity.spec.get("columns") or ()),
+                    storage_url=entity.storage_path,
+                    credential=credential,
+                    fgac=fgac,
+                    view_definition=entity.spec.get("view_definition"),
+                    dependencies=dependencies,
+                    via_view=not as_caller,
                 )
-                credential = service.vendor.vend(view, entity, level)
-            resolution.assets[name] = ResolvedAsset(
-                full_name=name,
-                entity=entity,
-                table_type=table_type,
-                format=entity.spec.get("format"),
-                columns=list(entity.spec.get("columns") or ()),
-                storage_url=entity.storage_path,
-                credential=credential,
-                fgac=fgac,
-                view_definition=entity.spec.get("view_definition"),
-                dependencies=dependencies,
-                via_view=not as_caller,
-            )
-            for dependency in dependencies:
-                # dependencies of a view resolve under the view's authority
-                queue.append((dependency, False, depth + 1))
+                for dependency in dependencies:
+                    # dependencies of a view resolve under the view's authority
+                    queue.append((dependency, False, depth + 1))
 
         if resolution.requires_trusted_engine and not engine_trusted:
             raise UntrustedEngineError(

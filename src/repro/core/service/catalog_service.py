@@ -29,6 +29,7 @@ from repro.core.auth.authorizer import Authorizer
 from repro.core.auth.fgac import ColumnMask, RowFilter
 from repro.core.auth.principals import PrincipalDirectory
 from repro.core.auth.privileges import Privilege, PrivilegeGrant, SYSTEM_PRINCIPAL
+from repro.core.cache.decisions import HotPathCaches
 from repro.core.cache.eviction import EvictionPolicy
 from repro.core.cache.node import MetastoreCacheNode, ReconcileMode
 from repro.core.events import ChangeEventBus, ChangeType
@@ -129,11 +130,18 @@ class UnityCatalogService:
         obs: Optional[Observability] = None,
         retry_policy: Optional[RetryPolicy] = None,
         faults=None,
+        enable_fast_path: Optional[bool] = None,
     ):
         """``read_version_check=False`` lets a node that knows it owns a
         metastore (sharding assignment) skip the per-read DB version probe
         and serve cache hits purely from memory; correctness still holds
         because every write CASes the metastore version (section 4.5).
+
+        ``enable_fast_path`` toggles the version-pinned decision and
+        resolution caches layered on top of the node cache (see
+        :mod:`repro.core.cache.decisions`); it defaults to ``enable_cache``
+        so the Figure 10(b) "without caching" baseline stays genuinely
+        uncached.
 
         ``retry_policy`` governs transient-error retries across the
         service's dependencies (storage, STS, the backing metadata
@@ -174,7 +182,11 @@ class UnityCatalogService:
             self.sts, self.clock, managed_root_secret=self.sts.root_secret,
             rink_cache=rink_cache, obs=self.obs,
         )
+        self.enable_fast_path = (
+            enable_cache if enable_fast_path is None else enable_fast_path
+        )
         self._nodes: dict[str, MetastoreCacheNode] = {}
+        self._hot_caches: dict[str, HotPathCaches] = {}
         self._metastore_names: dict[str, str] = {}
         self._read_version_check = read_version_check
         self._lock = threading.RLock()
@@ -242,6 +254,8 @@ class UnityCatalogService:
         yield ("uc_objectstore_deletes_total", {}, store_stats.deletes)
         yield ("uc_objectstore_bytes_read_total", {}, store_stats.bytes_read)
         yield ("uc_objectstore_bytes_written_total", {}, store_stats.bytes_written)
+        yield ("uc_store_multi_get_total", {},
+               getattr(self.store, "multi_get_count", 0))
 
     def _register_node_collector(self, name: str, node: MetastoreCacheNode) -> None:
         """Export one cache node's tier stats, labelled by metastore."""
@@ -255,6 +269,21 @@ class UnityCatalogService:
             yield ("uc_cache_hit_rate", labels, stats.hit_rate)
             yield ("uc_cache_version_checks_total", labels, stats.version_checks)
             yield ("uc_cache_reconciles_total", labels, stats.reconciles)
+
+        self.obs.metrics.register_collector(collect)
+
+    def _register_hot_cache_collector(self, name: str, bundle: HotPathCaches) -> None:
+        """Export one fast-path bundle's counters, labelled by metastore."""
+        stats = bundle.stats
+        labels = {"metastore": name}
+
+        def collect():
+            yield ("uc_authz_cache_hits_total", labels, stats.authz_hits)
+            yield ("uc_authz_cache_misses_total", labels, stats.authz_misses)
+            yield ("uc_resolution_cache_hits_total", labels, stats.resolution_hits)
+            yield ("uc_resolution_cache_misses_total", labels,
+                   stats.resolution_misses)
+            yield ("uc_hot_cache_invalidations_total", labels, stats.invalidations)
 
         self.obs.metrics.register_collector(collect)
 
@@ -305,6 +334,15 @@ class UnityCatalogService:
                 node.warm()
                 self._nodes[metastore_id] = node
                 self._register_node_collector(name, node)
+            if self.enable_fast_path:
+                bundle = HotPathCaches(
+                    metastore_id,
+                    self.store.current_version(metastore_id),
+                    lambda v, mid=metastore_id: self.store.changes_since(mid, v),
+                    lambda: self.directory.generation,
+                )
+                self._hot_caches[metastore_id] = bundle
+                self._register_hot_cache_collector(name, bundle)
         self._audit(metastore_id, owner, "create_metastore", name, True)
         return entity
 
@@ -321,6 +359,21 @@ class UnityCatalogService:
 
     def cache_node(self, metastore_id: str) -> Optional[MetastoreCacheNode]:
         return self._nodes.get(metastore_id)
+
+    def hot_caches(self, metastore_id: str) -> Optional[HotPathCaches]:
+        """The fast-path bundle for a metastore (None with fast path off)."""
+        return self._hot_caches.get(metastore_id)
+
+    def _hot_caches_for(
+        self, metastore_id: str, view: MetastoreView
+    ) -> Optional[HotPathCaches]:
+        """The fast-path bundle, synced to ``view``'s version — or None
+        when the fast path is off or the view is pinned behind the bundle
+        (then the caller recomputes; correctness never needs the cache)."""
+        bundle = self._hot_caches.get(metastore_id)
+        if bundle is None:
+            return None
+        return bundle if bundle.sync(view.version) else None
 
     def governed_client(self, credential: TemporaryCredential) -> StorageClient:
         """A storage client bound to ``credential`` and the service's
@@ -394,6 +447,9 @@ class UnityCatalogService:
                 last_error = exc
                 continue
             self._commits_total.inc()
+            bundle = self._hot_caches.get(metastore_id)
+            if bundle is not None:
+                bundle.note_commit(ops, new_version)
             for change, entity_id, kind, name, details in events:
                 self.events.publish(
                     metastore_id,
@@ -426,10 +482,22 @@ class UnityCatalogService:
 
     def _resolve(self, view: MetastoreView, metastore_id: str, kind: SecurableKind,
                  name: str) -> Entity:
-        """Resolve a fully qualified name to an active entity."""
+        """Resolve a fully qualified name to an active entity.
+
+        Successful resolutions are served from the version-pinned
+        :class:`ResolutionCache` when the fast path is on; the cached
+        binding carries every entity id the walk visited, so any change
+        along the chain (rename, delete) drops it.
+        """
+        cache = self._hot_caches_for(metastore_id, view)
+        if cache is not None:
+            hit = cache.get_resolution(kind, name)
+            if hit is not None:
+                return hit
         manifest = self.registry.get(kind)
         segments = split_full_name(name, levels=self._levels_for(kind))
         parent_id = metastore_id
+        walked = [metastore_id]
         # walk the container chain
         chain_groups = ["catalog", "schema"]
         for depth, segment in enumerate(segments[:-1]):
@@ -443,9 +511,13 @@ class UnityCatalogService:
             if container is None:
                 raise NotFoundError(f"no such {group}: {'.'.join(segments[:depth + 1])}")
             parent_id = container.id
+            walked.append(parent_id)
         entity = view.entity_by_name(parent_id, manifest.namespace_group, segments[-1])
         if entity is None:
             raise NotFoundError(f"no such {kind.value.lower()}: {name}")
+        if cache is not None:
+            walked.append(entity.id)
+            cache.put_resolution(kind, name, entity, frozenset(walked))
         return entity
 
     def resolve_name(self, metastore_id: str, kind: SecurableKind, name: str) -> Entity:
@@ -494,16 +566,19 @@ class UnityCatalogService:
         operation: str,
         securable_name: str,
     ) -> None:
+        cache = self._hot_caches_for(metastore_id, view)
         tracer = self.obs.tracer
         if tracer.active:
             with tracer.span(
                 "uc.authorize", operation=operation, securable=securable_name
             ):
                 decision = self.authorizer.authorize(
-                    view, entity, operation, principal
+                    view, entity, operation, principal, cache
                 )
         else:
-            decision = self.authorizer.authorize(view, entity, operation, principal)
+            decision = self.authorizer.authorize(
+                view, entity, operation, principal, cache
+            )
         self._audit(
             metastore_id, principal, operation, securable_name, decision.allowed,
             reason=decision.reason,
@@ -760,9 +835,10 @@ class UnityCatalogService:
                 parent_id = parent.id
             children = view.children(parent_id, kind)
             identities = self.authorizer.identities(principal)
+            cache = self._hot_caches_for(metastore_id, view)
             visible = [
                 child for child in children
-                if self.authorizer.visible(view, child, identities)
+                if self.authorizer.visible(view, child, identities, cache)
             ]
             self._audit(metastore_id, principal, "list", parent_name or "<root>",
                         True, kind=kind.value, returned=len(visible))
@@ -1069,7 +1145,10 @@ class UnityCatalogService:
             identities = self.authorizer.identities(principal)
             if self.authorizer.is_direct_owner_or_admin(view, entity, identities):
                 return True
-            return self.authorizer.has_privilege(view, entity, privilege, identities)
+            cache = self._hot_caches_for(metastore_id, view)
+            return self.authorizer.has_privilege(
+                view, entity, privilege, identities, cache
+            )
 
     # ------------------------------------------------------------------
     # tags
@@ -1375,7 +1454,9 @@ class UnityCatalogService:
         self._authorize(view, metastore_id, principal, entity, operation, name)
         # FGAC-protected tables may only be read through trusted engines
         if entity.kind is SecurableKind.TABLE:
-            rules = self.authorizer.fgac_rules_for(view, entity, principal)
+            rules = self.authorizer.fgac_rules_for(
+                view, entity, principal, self._hot_caches_for(metastore_id, view)
+            )
             if not rules.is_empty and not self.directory.is_trusted_engine(principal):
                 self._audit(metastore_id, principal, "vend_credentials", name, False,
                             reason="FGAC requires a trusted engine")
@@ -1462,6 +1543,7 @@ class UnityCatalogService:
         view = self.view(metastore_id)
         rows: list[dict[str, Any]] = []
         identities = self.authorizer.identities(principal)
+        cache = self._hot_caches_for(metastore_id, view)
         operators: dict[str, Callable[[Any, Any], bool]] = {
             "=": lambda a, b: a == b,
             "!=": lambda a, b: a != b,
@@ -1504,7 +1586,7 @@ class UnityCatalogService:
                     break
             if not matched:
                 continue
-            if not self.authorizer.visible(view, entity, identities):
+            if not self.authorizer.visible(view, entity, identities, cache):
                 continue
             rows.append(row)
             if limit is not None and len(rows) >= limit:
@@ -1553,7 +1635,8 @@ class UnityCatalogService:
         self, metastore_id: str, principal: str, entities: list[Entity]
     ) -> list[Entity]:
         view = self.view(metastore_id)
-        return self.authorizer.filter_visible(view, entities, principal)
+        cache = self._hot_caches_for(metastore_id, view)
+        return self.authorizer.filter_visible(view, entities, principal, cache)
 
     # ------------------------------------------------------------------
     # lineage API (section 4.4)
@@ -1594,12 +1677,13 @@ class UnityCatalogService:
     ) -> set[str]:
         view = self.view(metastore_id)
         identities = self.authorizer.identities(principal)
+        cache = self._hot_caches_for(metastore_id, view)
         visible = set()
         for name in names:
             try:
                 entity = self._resolve(view, metastore_id, SecurableKind.TABLE, name)
             except NotFoundError:
                 continue
-            if self.authorizer.visible(view, entity, identities):
+            if self.authorizer.visible(view, entity, identities, cache):
                 visible.add(name)
         return visible

@@ -35,27 +35,37 @@ class ShardingService:
     def __init__(self):
         self._nodes: set[str] = set()
         self.generation = 0
+        #: metastore_id -> owner, valid for the current generation only
+        #: (routing must not recompute a sha256 per node per request)
+        self._owner_memo: dict[str, str] = {}
 
     def add_node(self, name: str) -> None:
         if name in self._nodes:
             raise InvalidRequestError(f"node already registered: {name}")
         self._nodes.add(name)
         self.generation += 1
+        self._owner_memo.clear()
 
     def remove_node(self, name: str) -> None:
         if name not in self._nodes:
             raise NotFoundError(f"no such node: {name}")
         self._nodes.remove(name)
         self.generation += 1
+        self._owner_memo.clear()
 
     def nodes(self) -> list[str]:
         return sorted(self._nodes)
 
     def owner_of(self, metastore_id: str) -> str:
         """The node currently assigned to a metastore."""
+        owner = self._owner_memo.get(metastore_id)
+        if owner is not None:
+            return owner
         if not self._nodes:
             raise NotFoundError("no nodes registered")
-        return max(self._nodes, key=lambda n: _score(n, metastore_id))
+        owner = max(self._nodes, key=lambda n: _score(n, metastore_id))
+        self._owner_memo[metastore_id] = owner
+        return owner
 
     def assignment(self, metastore_ids: list[str]) -> dict[str, str]:
         return {mid: self.owner_of(mid) for mid in metastore_ids}

@@ -70,6 +70,11 @@ class MetastoreView(abc.ABC):
 
     # -- shared helpers (implemented on the interface) -----------------------
 
+    def prefetch_rows(self, table: str, keys: list[str]) -> None:
+        """Hint that ``row`` will soon be called for each key, letting the
+        backing store satisfy them with one batched read. Purely an
+        optimization — the default does nothing."""
+
     def ancestors(self, entity: Entity) -> list[Entity]:
         """Parent chain from direct parent up to (excluding) the metastore."""
         chain: list[Entity] = []
@@ -102,6 +107,8 @@ class SnapshotView(MetastoreView):
     def __init__(self, snapshot: Snapshot, registry):
         self._snapshot = snapshot
         self._registry = registry
+        #: rows pulled in by prefetch_rows; absent keys memoized as None
+        self._prefetched: dict[tuple[str, str], Optional[dict]] = {}
 
     @property
     def version(self) -> int:
@@ -167,8 +174,19 @@ class SnapshotView(MetastoreView):
             if key.startswith(prefix)
         ]
 
+    def prefetch_rows(self, table: str, keys: list[str]) -> None:
+        missing = [k for k in keys if (table, k) not in self._prefetched]
+        if not missing:
+            return
+        fetched = self._snapshot.multi_get(table, missing)
+        for key in missing:
+            self._prefetched[(table, key)] = fetched.get(key)
+
     def row(self, table: str, key: str) -> Optional[dict]:
-        return self._snapshot.get(table, key)
+        try:
+            return self._prefetched[(table, key)]
+        except KeyError:
+            return self._snapshot.get(table, key)
 
     def rows(self, table: str) -> Iterator[tuple[str, dict]]:
         return self._snapshot.scan(table)

@@ -1,0 +1,238 @@
+"""The version-pinned hot-path caches (decision + resolution).
+
+The fast path is an optimization layered on the node cache: every test
+here checks the same invariant from a different angle — a cached answer
+is only ever served while it is still the answer the slow path would
+compute. Invalidation is selective (grant changes drop only the touched
+principal x subtree, renames only the touched names), so the second half
+of each test asserts that *unrelated* entries survived.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.auth.privileges import Privilege
+from repro.core.auth.abac import AbacEffect, TagCondition
+from repro.core.model.entity import SecurableKind
+from repro.core.persistence.memory import InMemoryMetadataStore
+from repro.core.persistence.sqlite import SqliteMetadataStore
+from repro.core.persistence.store import Tables, WriteOp
+from repro.core.service.catalog_service import UnityCatalogService
+from repro.core.sharding import ShardingService
+from repro.errors import NotFoundError, PermissionDeniedError
+
+TABLE = "sales.q1.orders"
+OTHER = "sales.q1.refunds"
+
+
+@pytest.fixture
+def ctx(service, populated):
+    mid = populated["metastore_id"]
+    populated["session"].sql(
+        "CREATE TABLE sales.q1.refunds (id INT, amount INT)"
+    )
+    # bob can read both tables through the usual grant chain
+    service.grant(mid, "alice", SecurableKind.CATALOG, "sales", "bob",
+                  Privilege.USE_CATALOG)
+    service.grant(mid, "alice", SecurableKind.SCHEMA, "sales.q1", "bob",
+                  Privilege.USE_SCHEMA)
+    for table in (TABLE, OTHER):
+        service.grant(mid, "alice", SecurableKind.TABLE, table, "bob",
+                      Privilege.SELECT)
+    return service, mid
+
+
+def _bundle(service, mid):
+    bundle = service.hot_caches(mid)
+    assert bundle is not None, "fast path should be on by default"
+    return bundle
+
+
+def _query(service, mid, principal, table=TABLE):
+    return service.resolve_for_query(mid, principal, [table],
+                                     engine_trusted=True)
+
+
+class TestDecisionCache:
+    def test_warm_queries_hit_both_caches(self, ctx):
+        service, mid = ctx
+        bundle = _bundle(service, mid)
+        _query(service, mid, "bob")
+        hits0 = (bundle.stats.authz_hits, bundle.stats.resolution_hits)
+        misses0 = (bundle.stats.authz_misses, bundle.stats.resolution_misses)
+        _query(service, mid, "bob")
+        assert bundle.stats.authz_hits > hits0[0]
+        assert bundle.stats.resolution_hits > hits0[1]
+        assert (bundle.stats.authz_misses,
+                bundle.stats.resolution_misses) == misses0
+
+    def test_revoke_flips_cached_decision(self, ctx):
+        service, mid = ctx
+        _query(service, mid, "bob")  # cache the allow
+        service.revoke(mid, "alice", SecurableKind.TABLE, TABLE, "bob",
+                       Privilege.SELECT)
+        with pytest.raises(PermissionDeniedError):
+            _query(service, mid, "bob")
+        service.grant(mid, "alice", SecurableKind.TABLE, TABLE, "bob",
+                      Privilege.SELECT)
+        _query(service, mid, "bob")  # and back again at the next version
+
+    def test_revoke_retains_unrelated_entries(self, ctx):
+        service, mid = ctx
+        bundle = _bundle(service, mid)
+        _query(service, mid, "bob", OTHER)
+        service.revoke(mid, "alice", SecurableKind.TABLE, TABLE, "bob",
+                       Privilege.SELECT)
+        misses0 = bundle.stats.authz_misses
+        _query(service, mid, "bob", OTHER)  # untouched subtree: still warm
+        assert bundle.stats.authz_misses == misses0
+
+    def test_rename_invalidates_resolution(self, ctx):
+        service, mid = ctx
+        _query(service, mid, "bob")
+        service.rename_securable(mid, "alice", SecurableKind.TABLE, TABLE,
+                                 "orders_v2")
+        with pytest.raises(NotFoundError):
+            _query(service, mid, "bob")
+        _query(service, mid, "bob", "sales.q1.orders_v2")
+
+    def test_drop_invalidates_resolution(self, ctx):
+        service, mid = ctx
+        _query(service, mid, "bob", OTHER)
+        service.delete_securable(mid, "alice", SecurableKind.TABLE, OTHER)
+        with pytest.raises(NotFoundError):
+            _query(service, mid, "bob", OTHER)
+
+    def test_ownership_transfer_flips_decision(self, ctx):
+        service, mid = ctx
+        service.directory.add_user("dave")
+        with pytest.raises(PermissionDeniedError):
+            _query(service, mid, "dave")  # cache the denial
+        service.grant(mid, "alice", SecurableKind.CATALOG, "sales", "dave",
+                      Privilege.USE_CATALOG)
+        service.grant(mid, "alice", SecurableKind.SCHEMA, "sales.q1", "dave",
+                      Privilege.USE_SCHEMA)
+        service.transfer_ownership(mid, "alice", SecurableKind.TABLE, TABLE,
+                                   "dave")
+        _query(service, mid, "dave")  # owner now; no stale denial
+
+    def test_abac_policy_change_flips_fgac(self, ctx):
+        service, mid = ctx
+        service.set_tag(mid, "alice", SecurableKind.TABLE, TABLE, "pii", "yes")
+        assert _query(service, mid, "bob").asset(TABLE).fgac.is_empty
+        policy = service.create_abac_policy(
+            mid, "alice", name="pii-filter",
+            scope_kind=SecurableKind.METASTORE, scope_name=None,
+            condition=TagCondition("pii", "yes"),
+            effect=AbacEffect.FILTER_ROWS, predicate_sql="amount < 100",
+        )
+        assert not _query(service, mid, "bob").asset(TABLE).fgac.is_empty
+        service.drop_abac_policy(mid, "alice", policy.policy_id)
+        assert _query(service, mid, "bob").asset(TABLE).fgac.is_empty
+
+    def test_group_membership_change_invalidates(self, ctx):
+        service, mid = ctx
+        service.grant(mid, "alice", SecurableKind.CATALOG, "sales",
+                      "engineers", Privilege.USE_CATALOG)
+        service.grant(mid, "alice", SecurableKind.SCHEMA, "sales.q1",
+                      "engineers", Privilege.USE_SCHEMA)
+        service.grant(mid, "alice", SecurableKind.TABLE, TABLE, "engineers",
+                      Privilege.SELECT)
+        _query(service, mid, "carol")  # via engineers membership
+        service.directory.remove_member("engineers", "carol")
+        with pytest.raises(PermissionDeniedError):
+            _query(service, mid, "carol")
+        service.directory.add_member("engineers", "carol")
+        _query(service, mid, "carol")
+
+    def test_cross_node_write_is_not_served_stale(self, ctx):
+        """A write that bypasses this node's write-through (a second
+        service instance on the shared store — dual ownership during a
+        sharding handoff) must be observed at the next read."""
+        service, mid = ctx
+        _query(service, mid, "bob")
+        other = UnityCatalogService(
+            store=service.store, directory=service.directory,
+            registry=service.registry, clock=service.clock,
+            enable_cache=False,
+        )
+        other.revoke(mid, "alice", SecurableKind.TABLE, TABLE, "bob",
+                     Privilege.SELECT)
+        with pytest.raises(PermissionDeniedError):
+            _query(service, mid, "bob")
+
+    def test_direct_store_commit_is_not_served_stale(self, ctx):
+        """Even a raw store commit (no service, no change events) is
+        picked up: sync replays the change log, never trusts the bundle."""
+        service, mid = ctx
+        _query(service, mid, "bob")
+        entity = service.get_securable(mid, "alice", SecurableKind.TABLE,
+                                       TABLE)
+        key = f"{entity.id}/bob/{Privilege.SELECT.value}"
+        service.store.commit(mid, service.store.current_version(mid),
+                             [WriteOp.delete(Tables.GRANTS, key)])
+        with pytest.raises(PermissionDeniedError):
+            _query(service, mid, "bob")
+
+    def test_pinned_snapshot_views_skip_the_cache(self, ctx):
+        """A view older than the bundle must recompute, not fast-path."""
+        service, mid = ctx
+        bundle = _bundle(service, mid)
+        _query(service, mid, "bob")
+        old_view = service.view(mid)
+        service.grant(mid, "alice", SecurableKind.TABLE, TABLE, "carol",
+                      Privilege.SELECT)
+        assert bundle.sync(service.view(mid).version)
+        assert not bundle.sync(old_view.version)
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def raw_store(request):
+    store = (InMemoryMetadataStore() if request.param == "memory"
+             else SqliteMetadataStore(":memory:"))
+    store.create_metastore_slot("m1")
+    yield store
+    if request.param == "sqlite":
+        store.close()
+
+
+class TestMultiGet:
+    def test_returns_present_keys_only(self, raw_store):
+        raw_store.commit("m1", 0, [
+            WriteOp.put(Tables.ENTITIES, "a", {"v": 1}),
+            WriteOp.put(Tables.ENTITIES, "b", {"v": 2}),
+        ])
+        got = raw_store.snapshot("m1").multi_get(
+            Tables.ENTITIES, ["a", "b", "ghost"]
+        )
+        assert got == {"a": {"v": 1}, "b": {"v": 2}}
+        assert raw_store.multi_get_count == 1
+
+    def test_respects_snapshot_version(self, raw_store):
+        raw_store.commit("m1", 0, [WriteOp.put(Tables.ENTITIES, "a", {"v": 1})])
+        pinned = raw_store.snapshot("m1")
+        raw_store.commit("m1", 1, [
+            WriteOp.put(Tables.ENTITIES, "a", {"v": 2}),
+            WriteOp.put(Tables.ENTITIES, "b", {"v": 2}),
+        ])
+        assert pinned.multi_get(Tables.ENTITIES, ["a", "b"]) == {"a": {"v": 1}}
+        fresh = raw_store.snapshot("m1").multi_get(Tables.ENTITIES, ["a", "b"])
+        assert fresh == {"a": {"v": 2}, "b": {"v": 2}}
+
+    def test_empty_key_list(self, raw_store):
+        assert raw_store.snapshot("m1").multi_get(Tables.ENTITIES, []) == {}
+
+
+class TestShardingOwnerMemo:
+    def test_memo_matches_fresh_computation_and_clears(self):
+        sharding = ShardingService()
+        for node in ("n1", "n2", "n3"):
+            sharding.add_node(node)
+        owner = sharding.owner_of("m-42")
+        assert sharding.owner_of("m-42") == owner  # memoized
+        sharding.remove_node(owner)
+        reassigned = sharding.owner_of("m-42")
+        assert reassigned != owner
+        sharding.add_node(owner)
+        assert sharding.owner_of("m-42") == owner  # rendezvous is stable
