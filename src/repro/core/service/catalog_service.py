@@ -1,9 +1,19 @@
 """The Unity Catalog service facade.
 
-One multi-tenant service instance manages many metastores. Every public
-method is an API entry point: it authenticates nothing (the request
-gateway upstream did that), authorizes everything, writes one audit
-record, and publishes change events for discovery consumers.
+One multi-tenant service instance manages many metastores. The facade is
+deliberately thin: every public method is a typed veneer over one
+endpoint in the :class:`~repro.core.service.registry.ApiRegistry`,
+dispatched through the request pipeline
+(:mod:`repro.core.service.pipeline`) — metrics/tracing → authn → name
+resolution → authorization → execution → audit commit. The actual
+endpoint logic lives in the domain services under
+:mod:`repro.core.service.domains`; the infrastructure (stores, caches,
+authorizer, commit loop) lives in the
+:class:`~repro.core.service.kernel.ServiceKernel` this class extends.
+
+The REST router (:mod:`repro.core.service.rest`) dispatches through the
+same registry, so the two surfaces cannot drift: a new endpoint
+registered by a domain module appears on both at once.
 
 The read path goes through a per-metastore write-through cache node when
 caching is enabled (the production configuration), or straight to
@@ -13,279 +23,41 @@ baseline of Figure 10(b)).
 
 from __future__ import annotations
 
-import random as _random
-import threading
-from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
-from repro.clock import Clock, WallClock
-from repro.cloudstore.client import StorageClient
-from repro.cloudstore.object_store import ObjectStore, StoragePath
-from repro.cloudstore.sts import AccessLevel, StsTokenIssuer, TemporaryCredential
-from repro.core.assets.builtin import builtin_registry
-from repro.core.audit import AuditLog
+from repro.cloudstore.sts import AccessLevel, TemporaryCredential
 from repro.core.auth.abac import AbacEffect, AbacPolicy, TagCondition
-from repro.core.auth.authorizer import Authorizer
 from repro.core.auth.fgac import ColumnMask, RowFilter
-from repro.core.auth.principals import PrincipalDirectory
-from repro.core.auth.privileges import Privilege, PrivilegeGrant, SYSTEM_PRINCIPAL
-from repro.core.cache.decisions import HotPathCaches
-from repro.core.cache.eviction import EvictionPolicy
-from repro.core.cache.node import MetastoreCacheNode, ReconcileMode
-from repro.core.events import ChangeEventBus, ChangeType
-from repro.core.lineage import LineageGraph
-from repro.core.model.entity import Entity, EntityState, SecurableKind, new_entity_id
-from repro.core.model.naming import split_full_name, validate_identifier
-from repro.core.model.registry import AssetTypeRegistry
-from repro.core.persistence.memory import InMemoryMetadataStore
-from repro.core.persistence.store import MetadataStore, Tables, WriteOp
-from repro.core.vending import CredentialVendor
-from repro.obs import Observability
-from repro.resilience import Retrier, RetryPolicy, charge
-from repro.core.view import MetastoreView, SnapshotView
-from repro.errors import (
-    AlreadyExistsError,
-    ConcurrentModificationError,
-    InvalidRequestError,
-    NotFoundError,
-    PathConflictError,
-    PermissionDeniedError,
-    TransientError,
-    UntrustedEngineError,
+from repro.core.auth.privileges import Privilege, PrivilegeGrant
+from repro.core.model.entity import Entity, SecurableKind
+from repro.core.service.domains import all_endpoints
+from repro.core.service.domains.securables import (
+    _STORAGELESS_TABLE_TYPES,
+    GcReport,
 )
+from repro.core.service.kernel import ServiceKernel
+from repro.core.service.pipeline import RequestPipeline
+from repro.core.service.registry import ApiRegistry
 
-#: table_type values that carry no backing storage of their own.
-_STORAGELESS_TABLE_TYPES = frozenset({"VIEW", "MATERIALIZED_VIEW", "FOREIGN"})
-
-_MAX_COMMIT_RETRIES = 8
-
-
-class _ApiObservation:
-    """Hand-rolled context manager timing one API entry point.
-
-    A generator-based ``@contextmanager`` costs several microseconds per
-    call; the service hot paths (cached point reads run in tens of
-    microseconds) cannot afford that, so this is a ``__slots__`` class
-    whose enter/exit do the minimum: counter inc, two clock reads, one
-    histogram observe, and a real span only when a trace is active.
-    """
-
-    __slots__ = ("_service", "_requests", "_errors", "_latency", "_span_name",
-                 "_start", "_span")
-
-    def __init__(self, service, requests, errors, latency, span_name):
-        self._service = service
-        self._requests = requests
-        self._errors = errors
-        self._latency = latency
-        self._span_name = span_name
-
-    def __enter__(self) -> "_ApiObservation":
-        self._requests.inc()
-        tracer = self._service.obs.tracer
-        if tracer.active:
-            self._span = tracer.span(self._span_name)
-            self._span.__enter__()
-        else:
-            self._span = None
-        self._start = self._service.clock.now()
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> bool:
-        self._latency.observe(self._service.clock.now() - self._start)
-        if self._span is not None:
-            self._span.__exit__(exc_type, exc, tb)
-        if exc_type is not None:
-            self._errors.inc()
-        return False
+__all__ = ["GcReport", "UnityCatalogService"]
 
 
-@dataclass
-class GcReport:
-    """Outcome of one garbage-collection pass."""
-
-    purged_entities: int = 0
-    purged_grants: int = 0
-    deleted_objects: int = 0
-
-
-class UnityCatalogService:
+class UnityCatalogService(ServiceKernel):
     """The multi-tenant Unity Catalog service."""
 
-    def __init__(
-        self,
-        store: Optional[MetadataStore] = None,
-        registry: Optional[AssetTypeRegistry] = None,
-        directory: Optional[PrincipalDirectory] = None,
-        clock: Optional[Clock] = None,
-        object_store: Optional[ObjectStore] = None,
-        sts: Optional[StsTokenIssuer] = None,
-        enable_cache: bool = True,
-        reconcile_mode: ReconcileMode = ReconcileMode.SELECTIVE,
-        eviction_policy_factory: Optional[Callable[[], EvictionPolicy]] = None,
-        max_cached_entities: Optional[int] = None,
-        managed_root: str = "s3://unity-managed",
-        read_version_check: bool = True,
-        rink_cache=None,
-        obs: Optional[Observability] = None,
-        retry_policy: Optional[RetryPolicy] = None,
-        faults=None,
-        enable_fast_path: Optional[bool] = None,
-    ):
-        """``read_version_check=False`` lets a node that knows it owns a
-        metastore (sharding assignment) skip the per-read DB version probe
-        and serve cache hits purely from memory; correctness still holds
-        because every write CASes the metastore version (section 4.5).
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.api_registry = ApiRegistry()
+        self.api_registry.register_all(all_endpoints())
+        self.pipeline = RequestPipeline(self)
 
-        ``enable_fast_path`` toggles the version-pinned decision and
-        resolution caches layered on top of the node cache (see
-        :mod:`repro.core.cache.decisions`); it defaults to ``enable_cache``
-        so the Figure 10(b) "without caching" baseline stays genuinely
-        uncached.
+    def dispatch(self, api: str, **params: Any) -> Any:
+        """Run one named endpoint through the request pipeline.
 
-        ``retry_policy`` governs transient-error retries across the
-        service's dependencies (storage, STS, the backing metadata
-        store); ``faults`` is an optional
-        :class:`~repro.faults.FaultInjector` threaded into every
-        service-constructed dependency for chaos experiments."""
-        self.clock = clock or WallClock()
-        self.obs = obs or Observability(clock=self.clock)
-        self.faults = faults
-        self.retry_policy = retry_policy or RetryPolicy()
-        metrics = self.obs.metrics
-        self.storage_retrier = Retrier(
-            self.retry_policy, self.clock, metrics=metrics,
-            tracer=self.obs.tracer, component="storage",
-        )
-        self._sts_retrier = Retrier(
-            self.retry_policy, self.clock, metrics=metrics,
-            tracer=self.obs.tracer, component="sts", seed=0x57A7,
-        )
-        self.store = store or InMemoryMetadataStore()
-        self.registry = registry or builtin_registry()
-        self.directory = directory or PrincipalDirectory()
-        self.object_store = object_store or ObjectStore(faults=faults)
-        self.sts = sts or StsTokenIssuer(
-            clock=self.clock, faults=faults, retrier=self._sts_retrier
-        )
-        self.authorizer = Authorizer(self.registry, self.directory)
-        self.audit = AuditLog()
-        self.events = ChangeEventBus()
-        self.lineage = LineageGraph()
-        self.enable_cache = enable_cache
-        self._reconcile_mode = reconcile_mode
-        self._eviction_policy_factory = eviction_policy_factory
-        self._max_cached_entities = max_cached_entities
-        self._managed_root = StoragePath.parse(managed_root)
-        self.object_store.ensure_bucket(self._managed_root.scheme, self._managed_root.bucket)
-        self.vendor = CredentialVendor(
-            self.sts, self.clock, managed_root_secret=self.sts.root_secret,
-            rink_cache=rink_cache, obs=self.obs,
-        )
-        self.enable_fast_path = (
-            enable_cache if enable_fast_path is None else enable_fast_path
-        )
-        self._nodes: dict[str, MetastoreCacheNode] = {}
-        self._hot_caches: dict[str, HotPathCaches] = {}
-        self._metastore_names: dict[str, str] = {}
-        self._read_version_check = read_version_check
-        self._lock = threading.RLock()
-        metrics = self.obs.metrics
-        self._api_requests = metrics.counter(
-            "uc_api_requests_total", "Catalog API calls by entry point.", ("api",)
-        )
-        self._api_errors = metrics.counter(
-            "uc_api_errors_total", "Catalog API calls that raised.", ("api",)
-        )
-        self._api_latency = metrics.histogram(
-            "uc_api_latency_seconds", "Catalog API latency by entry point.", ("api",)
-        )
-        self._commits_total = metrics.counter(
-            "uc_store_commits_total", "Successful metadata-store commits."
-        ).labels()
-        self._commit_conflicts = metrics.counter(
-            "uc_store_commit_conflicts_total", "Metadata CAS commit conflicts."
-        ).labels()
-        self._store_retries = metrics.counter(
-            "uc_retries_total",
-            "Transient-error retries by component.",
-            ("component",),
-        ).labels(component="metastore")
-        self._store_retry_rng = _random.Random(0xCA7)
-        self._api_instruments: dict[str, tuple] = {}
-        metrics.register_collector(self._collect_core_stats)
-
-    # ------------------------------------------------------------------
-    # observability plumbing
-    # ------------------------------------------------------------------
-
-    def _observed(self, api: str) -> _ApiObservation:
-        """Count + time one API entry point; open a span when traced.
-
-        Children (and the span name) are bound once per API name, so the
-        steady-state cost is one small allocation, two clock reads, a
-        counter increment, and a histogram observe.
+        The reserved ``_timeout`` kwarg (relative seconds) overrides the
+        service's default request timeout for this call.
         """
-        instruments = self._api_instruments.get(api)
-        if instruments is None:
-            instruments = (
-                self._api_requests.labels(api=api),
-                self._api_errors.labels(api=api),
-                self._api_latency.labels(api=api),
-                f"uc.{api}",
-            )
-            self._api_instruments[api] = instruments
-        return _ApiObservation(self, *instruments)
-
-    def _collect_core_stats(self):
-        """Scrape-time export of subsystem counters (zero hot-path cost)."""
-        vending = self.vendor.stats
-        store_stats = self.object_store.stats
-        yield ("uc_credentials_minted_total", {}, vending.minted)
-        yield ("uc_credential_cache_hits_total", {}, vending.cache_hits)
-        yield ("uc_sts_tokens_minted_total", {}, self.sts.minted_count)
-        yield ("uc_sts_validations_total", {}, self.sts.validated_count)
-        yield ("uc_sts_denials_total", {}, self.sts.denied_count)
-        yield ("uc_objectstore_gets_total", {}, store_stats.gets)
-        yield ("uc_objectstore_puts_total", {}, store_stats.puts)
-        yield ("uc_objectstore_conditional_puts_total", {},
-               store_stats.conditional_puts)
-        yield ("uc_objectstore_lists_total", {}, store_stats.lists)
-        yield ("uc_objectstore_deletes_total", {}, store_stats.deletes)
-        yield ("uc_objectstore_bytes_read_total", {}, store_stats.bytes_read)
-        yield ("uc_objectstore_bytes_written_total", {}, store_stats.bytes_written)
-        yield ("uc_store_multi_get_total", {},
-               getattr(self.store, "multi_get_count", 0))
-
-    def _register_node_collector(self, name: str, node: MetastoreCacheNode) -> None:
-        """Export one cache node's tier stats, labelled by metastore."""
-        stats = node.stats
-        labels = {"metastore": name, "tier": "node"}
-
-        def collect():
-            yield ("uc_cache_hits_total", labels, stats.hits)
-            yield ("uc_cache_misses_total", labels, stats.misses)
-            yield ("uc_cache_evictions_total", labels, stats.evictions)
-            yield ("uc_cache_hit_rate", labels, stats.hit_rate)
-            yield ("uc_cache_version_checks_total", labels, stats.version_checks)
-            yield ("uc_cache_reconciles_total", labels, stats.reconciles)
-
-        self.obs.metrics.register_collector(collect)
-
-    def _register_hot_cache_collector(self, name: str, bundle: HotPathCaches) -> None:
-        """Export one fast-path bundle's counters, labelled by metastore."""
-        stats = bundle.stats
-        labels = {"metastore": name}
-
-        def collect():
-            yield ("uc_authz_cache_hits_total", labels, stats.authz_hits)
-            yield ("uc_authz_cache_misses_total", labels, stats.authz_misses)
-            yield ("uc_resolution_cache_hits_total", labels, stats.resolution_hits)
-            yield ("uc_resolution_cache_misses_total", labels,
-                   stats.resolution_misses)
-            yield ("uc_hot_cache_invalidations_total", labels, stats.invalidations)
-
-        self.obs.metrics.register_collector(collect)
+        return self.pipeline.dispatch(self.api_registry.get(api), params)
 
     # ------------------------------------------------------------------
     # metastore management
@@ -293,297 +65,8 @@ class UnityCatalogService:
 
     def create_metastore(self, name: str, owner: str, region: str = "us-west") -> Entity:
         """Create a metastore: the namespace root and unit of isolation."""
-        validate_identifier(name, what="metastore name")
-        self.directory.get(owner)
-        with self._lock:
-            if name in self._metastore_names:
-                raise AlreadyExistsError(f"metastore exists: {name}")
-            metastore_id = new_entity_id()
-            self.store.create_metastore_slot(metastore_id)
-            now = self.clock.now()
-            entity = Entity(
-                id=metastore_id,
-                kind=SecurableKind.METASTORE,
-                name=name,
-                metastore_id=metastore_id,
-                parent_id=None,
-                owner=owner,
-                created_at=now,
-                updated_at=now,
-                spec={"region": region},
-            )
-            self.store.commit(
-                metastore_id, 0, [WriteOp.put(Tables.ENTITIES, metastore_id, entity.to_dict())]
-            )
-            self._metastore_names[name] = metastore_id
-            if self.enable_cache:
-                policy = (
-                    self._eviction_policy_factory()
-                    if self._eviction_policy_factory
-                    else None
-                )
-                node = MetastoreCacheNode(
-                    self.store,
-                    metastore_id,
-                    self.registry,
-                    clock=self.clock,
-                    reconcile_mode=self._reconcile_mode,
-                    eviction_policy=policy,
-                    max_cached_entities=self._max_cached_entities,
-                )
-                node.warm()
-                self._nodes[metastore_id] = node
-                self._register_node_collector(name, node)
-            if self.enable_fast_path:
-                bundle = HotPathCaches(
-                    metastore_id,
-                    self.store.current_version(metastore_id),
-                    lambda v, mid=metastore_id: self.store.changes_since(mid, v),
-                    lambda: self.directory.generation,
-                )
-                self._hot_caches[metastore_id] = bundle
-                self._register_hot_cache_collector(name, bundle)
-        self._audit(metastore_id, owner, "create_metastore", name, True)
-        return entity
-
-    def metastore_id(self, name: str) -> str:
-        with self._lock:
-            try:
-                return self._metastore_names[name]
-            except KeyError:
-                raise NotFoundError(f"no such metastore: {name}")
-
-    def metastore_ids(self) -> list[str]:
-        with self._lock:
-            return list(self._metastore_names.values())
-
-    def cache_node(self, metastore_id: str) -> Optional[MetastoreCacheNode]:
-        return self._nodes.get(metastore_id)
-
-    def hot_caches(self, metastore_id: str) -> Optional[HotPathCaches]:
-        """The fast-path bundle for a metastore (None with fast path off)."""
-        return self._hot_caches.get(metastore_id)
-
-    def _hot_caches_for(
-        self, metastore_id: str, view: MetastoreView
-    ) -> Optional[HotPathCaches]:
-        """The fast-path bundle, synced to ``view``'s version — or None
-        when the fast path is off or the view is pinned behind the bundle
-        (then the caller recomputes; correctness never needs the cache)."""
-        bundle = self._hot_caches.get(metastore_id)
-        if bundle is None:
-            return None
-        return bundle if bundle.sync(view.version) else None
-
-    def governed_client(self, credential: TemporaryCredential) -> StorageClient:
-        """A storage client bound to ``credential`` and the service's
-        retry policy — the constructor every in-process consumer (engine
-        sessions, volumes, transactions, sharing) should use so storage
-        transients are absorbed uniformly."""
-        return StorageClient(
-            self.object_store, self.sts, credential, retrier=self.storage_retrier
-        )
-
-    # ------------------------------------------------------------------
-    # view / commit plumbing
-    # ------------------------------------------------------------------
-
-    def view(self, metastore_id: str) -> MetastoreView:
-        """A consistent read view (cached or snapshot-backed)."""
-        node = self._nodes.get(metastore_id)
-        if node is not None:
-            return node.view(check_version=self._read_version_check)
-        return SnapshotView(self.store.snapshot(metastore_id), self.registry)
-
-    def _mutate(
-        self,
-        metastore_id: str,
-        build: Callable[[MetastoreView], tuple[list[WriteOp], Any, list[tuple]]],
-    ) -> Any:
-        """Optimistic serializable write: validate against a fresh view,
-        commit with CAS, retry from scratch on conflict.
-
-        Two failure regimes, two recoveries: a CAS conflict means the
-        metastore moved — rebuild against a fresh view and go again
-        immediately; a transient store error (throttling, injected
-        unavailability) means the backend is degraded — back off on the
-        clock per :attr:`retry_policy` before retrying, bounded by the
-        policy's attempt budget.
-
-        ``build`` returns ``(ops, result, events)`` where each event is a
-        ``(ChangeType, entity_id, kind, name, details)`` tuple published
-        after the commit succeeds.
-        """
-        last_error: Optional[Exception] = None
-        transient_failures = 0
-        for _ in range(_MAX_COMMIT_RETRIES):
-            view = self.view(metastore_id)
-            ops, result, events = build(view)
-            if not ops:
-                return result
-            node = self._nodes.get(metastore_id)
-            try:
-                if self.faults is not None:
-                    self.faults.raise_for("store.commit")
-                if node is not None:
-                    new_version = node.commit(ops)
-                else:
-                    new_version = self.store.commit(metastore_id, view.version, ops)
-            except ConcurrentModificationError as exc:
-                self._commit_conflicts.inc()
-                last_error = exc
-                continue
-            except TransientError as exc:
-                transient_failures += 1
-                if transient_failures >= self.retry_policy.max_attempts:
-                    raise
-                self._store_retries.inc()
-                charge(
-                    self.clock,
-                    self.retry_policy.backoff(
-                        transient_failures - 1, self._store_retry_rng
-                    ),
-                )
-                last_error = exc
-                continue
-            self._commits_total.inc()
-            bundle = self._hot_caches.get(metastore_id)
-            if bundle is not None:
-                bundle.note_commit(ops, new_version)
-            for change, entity_id, kind, name, details in events:
-                self.events.publish(
-                    metastore_id,
-                    new_version,
-                    change,
-                    entity_id,
-                    kind,
-                    name,
-                    self.clock.now(),
-                    details,
-                )
-            return result
-        raise ConcurrentModificationError(
-            f"write to metastore {metastore_id} kept conflicting: {last_error}"
-        )
-
-    # ------------------------------------------------------------------
-    # name resolution
-    # ------------------------------------------------------------------
-
-    def _levels_for(self, kind: SecurableKind) -> int:
-        manifest = self.registry.get(kind)
-        if manifest.parent_kind in (None, SecurableKind.METASTORE):
-            return 1
-        if manifest.parent_kind is SecurableKind.CATALOG:
-            return 2
-        if manifest.parent_kind is SecurableKind.SCHEMA:
-            return 3
-        return 4  # children of schema-level assets (e.g. model versions)
-
-    def _resolve(self, view: MetastoreView, metastore_id: str, kind: SecurableKind,
-                 name: str) -> Entity:
-        """Resolve a fully qualified name to an active entity.
-
-        Successful resolutions are served from the version-pinned
-        :class:`ResolutionCache` when the fast path is on; the cached
-        binding carries every entity id the walk visited, so any change
-        along the chain (rename, delete) drops it.
-        """
-        cache = self._hot_caches_for(metastore_id, view)
-        if cache is not None:
-            hit = cache.get_resolution(kind, name)
-            if hit is not None:
-                return hit
-        manifest = self.registry.get(kind)
-        segments = split_full_name(name, levels=self._levels_for(kind))
-        parent_id = metastore_id
-        walked = [metastore_id]
-        # walk the container chain
-        chain_groups = ["catalog", "schema"]
-        for depth, segment in enumerate(segments[:-1]):
-            if depth < 2:
-                group = chain_groups[depth]
-            else:
-                # 4-level names: third segment is the schema-level parent
-                parent_manifest = self.registry.get(manifest.parent_kind)
-                group = parent_manifest.namespace_group
-            container = view.entity_by_name(parent_id, group, segment)
-            if container is None:
-                raise NotFoundError(f"no such {group}: {'.'.join(segments[:depth + 1])}")
-            parent_id = container.id
-            walked.append(parent_id)
-        entity = view.entity_by_name(parent_id, manifest.namespace_group, segments[-1])
-        if entity is None:
-            raise NotFoundError(f"no such {kind.value.lower()}: {name}")
-        if cache is not None:
-            walked.append(entity.id)
-            cache.put_resolution(kind, name, entity, frozenset(walked))
-        return entity
-
-    def resolve_name(self, metastore_id: str, kind: SecurableKind, name: str) -> Entity:
-        """Public name resolution without authorization (internal tools)."""
-        return self._resolve(self.view(metastore_id), metastore_id, kind, name)
-
-    def _parent_of(
-        self, view: MetastoreView, metastore_id: str, kind: SecurableKind, name: str
-    ) -> tuple[Entity, str]:
-        """Resolve the parent container for a to-be-created securable."""
-        manifest = self.registry.get(kind)
-        segments = split_full_name(name, levels=self._levels_for(kind))
-        if len(segments) == 1:
-            parent = view.entity_by_id(metastore_id)
-            if parent is None:
-                raise NotFoundError(f"no such metastore: {metastore_id}")
-            return parent, segments[-1]
-        parent_kind = manifest.parent_kind
-        parent = self._resolve(view, metastore_id, parent_kind, ".".join(segments[:-1]))
-        return parent, segments[-1]
-
-    # ------------------------------------------------------------------
-    # auditing helper
-    # ------------------------------------------------------------------
-
-    def _audit(
-        self,
-        metastore_id: str,
-        principal: str,
-        action: str,
-        securable: str,
-        allowed: bool,
-        **details: Any,
-    ) -> None:
-        self.audit.record(
-            self.clock.now(), metastore_id, principal, action, securable, allowed,
-            details or None,
-        )
-
-    def _authorize(
-        self,
-        view: MetastoreView,
-        metastore_id: str,
-        principal: str,
-        entity: Entity,
-        operation: str,
-        securable_name: str,
-    ) -> None:
-        cache = self._hot_caches_for(metastore_id, view)
-        tracer = self.obs.tracer
-        if tracer.active:
-            with tracer.span(
-                "uc.authorize", operation=operation, securable=securable_name
-            ):
-                decision = self.authorizer.authorize(
-                    view, entity, operation, principal, cache
-                )
-        else:
-            decision = self.authorizer.authorize(
-                view, entity, operation, principal, cache
-            )
-        self._audit(
-            metastore_id, principal, operation, securable_name, decision.allowed,
-            reason=decision.reason,
-        )
-        decision.raise_if_denied()
+        return self.dispatch("create_metastore", name=name, owner=owner,
+                             region=region)
 
     # ------------------------------------------------------------------
     # securable CRUD
@@ -602,219 +85,17 @@ class UnityCatalogService:
         properties: Optional[dict[str, Any]] = None,
     ) -> Entity:
         """Create any securable; behaviour is driven by its manifest."""
-        if kind is SecurableKind.METASTORE:
-            raise InvalidRequestError("use create_metastore")
-        manifest = self.registry.get(kind)
-
-        def build(view: MetastoreView):
-            parent, leaf_name = self._parent_of(view, metastore_id, kind, name)
-            identities = self.authorizer.identities(principal)
-
-            # usage gates along the parent chain (including the parent)
-            gates = self.authorizer.check_usage_gates(view, parent, identities)
-            gates.raise_if_denied()
-            if parent.kind in (SecurableKind.CATALOG, SecurableKind.SCHEMA):
-                needed = (
-                    Privilege.USE_CATALOG
-                    if parent.kind is SecurableKind.CATALOG
-                    else Privilege.USE_SCHEMA
-                )
-                if not (
-                    self.authorizer.is_owner_or_admin(view, parent, identities)
-                    or self.authorizer.has_privilege(view, parent, needed, identities)
-                ):
-                    raise PermissionDeniedError(
-                        f"missing {needed.value} on {parent.name!r}"
-                    )
-
-            # creation privilege on the parent (admins always may)
-            create_privilege = manifest.create_privilege
-            allowed = self.authorizer.is_owner_or_admin(view, parent, identities)
-            if not allowed and create_privilege is not None:
-                allowed = self.authorizer.has_privilege(
-                    view, parent, create_privilege, identities
-                )
-            if not allowed:
-                raise PermissionDeniedError(
-                    f"{principal!r} may not create {kind.value.lower()} in "
-                    f"{parent.name!r}"
-                )
-
-            # name uniqueness within (parent, namespace group)
-            if view.entity_by_name(parent.id, manifest.namespace_group, leaf_name):
-                raise AlreadyExistsError(
-                    f"{kind.value.lower()} already exists: {name}"
-                )
-
-            normalized = manifest.validate_create(dict(spec or {}))
-            entity_id = new_entity_id()
-            entity_storage = self._prepare_storage(
-                view, metastore_id, manifest, normalized, storage_path, entity_id,
-                parent, identities, principal,
-            )
-            self._validate_dependencies(view, metastore_id, normalized, principal)
-
-            now = self.clock.now()
-            entity = Entity(
-                id=entity_id,
-                kind=kind,
-                name=leaf_name,
-                metastore_id=metastore_id,
-                parent_id=parent.id,
-                owner=principal,
-                created_at=now,
-                updated_at=now,
-                comment=comment,
-                storage_path=entity_storage,
-                properties=dict(properties or {}),
-                spec=normalized,
-            )
-            ops = [WriteOp.put(Tables.ENTITIES, entity_id, entity.to_dict())]
-            events = [
-                (ChangeType.CREATED, entity_id, kind.value, name, {"owner": principal})
-            ]
-            return ops, entity, events
-
-        with self._observed("create_securable"):
-            entity = self._mutate(metastore_id, build)
-        self._audit(metastore_id, principal, "create", name, True, kind=kind.value)
-        return entity
-
-    def _prepare_storage(
-        self,
-        view: MetastoreView,
-        metastore_id: str,
-        manifest,
-        normalized: dict,
-        storage_path: Optional[str],
-        entity_id: str,
-        parent: Entity,
-        identities: frozenset[str],
-        principal: str,
-    ) -> Optional[str]:
-        """Allocate managed storage or validate external storage."""
-        kind = manifest.kind
-        if not manifest.has_storage:
-            if storage_path:
-                raise InvalidRequestError(
-                    f"{kind.value.lower()} does not take a storage path"
-                )
-            return None
-
-        if kind is SecurableKind.TABLE:
-            table_type = normalized.get("table_type")
-            if table_type in _STORAGELESS_TABLE_TYPES:
-                if storage_path:
-                    raise InvalidRequestError(f"{table_type} tables have no storage")
-                return None
-            managed = table_type in ("MANAGED", "SHALLOW_CLONE")
-        elif kind is SecurableKind.VOLUME:
-            managed = normalized.get("volume_type") == "MANAGED"
-        elif kind is SecurableKind.MODEL_VERSION:
-            # artifacts live under the registered model's managed directory
-            base = parent.storage_path
-            if base is None:
-                raise InvalidRequestError("parent model has no artifact storage")
-            return StoragePath.parse(base).child(f"v{normalized['version']}").url()
-        else:
-            managed = True  # registered models, external locations handled below
-
-        if kind is SecurableKind.EXTERNAL_LOCATION:
-            if not storage_path:
-                raise InvalidRequestError("external locations require a storage path")
-            location_path = StoragePath.parse(storage_path)
-            for other in view.entities(SecurableKind.EXTERNAL_LOCATION):
-                if other.storage_path and StoragePath.parse(other.storage_path).overlaps(
-                    location_path
-                ):
-                    raise PathConflictError(
-                        f"location path overlaps external location {other.name!r}"
-                    )
-            credential_name = normalized.get("credential_name")
-            credential = view.entity_by_name(
-                metastore_id, "storage_credential", credential_name
-            )
-            if credential is None:
-                raise NotFoundError(f"no such storage credential: {credential_name}")
-            self.object_store.ensure_bucket(location_path.scheme, location_path.bucket)
-            return location_path.url()
-
-        if managed:
-            if storage_path:
-                raise InvalidRequestError("managed assets get catalog-allocated paths")
-            allocated = self._managed_root.child(
-                metastore_id, kind.value.lower() + "s", entity_id
-            )
-            return allocated.url()
-
-        # external table/volume: path must be provided, free of overlaps,
-        # and covered by an external location the caller may use.
-        if not storage_path:
-            raise InvalidRequestError(
-                f"external {kind.value.lower()} requires a storage path"
-            )
-        path = StoragePath.parse(storage_path)
-        overlapping = view.overlapping_assets(path)
-        if overlapping:
-            raise PathConflictError(
-                f"path {path.url()} overlaps asset(s) {sorted(overlapping)}"
-            )
-        location = self._covering_location(view, path)
-        if location is None:
-            raise PermissionDeniedError(
-                f"no external location covers {path.url()}"
-            )
-        needed = (
-            Privilege.CREATE_TABLE
-            if kind is SecurableKind.TABLE
-            else Privilege.WRITE_FILES
+        return self.dispatch(
+            "create_securable", metastore_id=metastore_id, principal=principal,
+            kind=kind, name=name, comment=comment, storage_path=storage_path,
+            spec=spec, properties=properties,
         )
-        if not (
-            self.authorizer.is_owner_or_admin(view, location, identities)
-            or self.authorizer.has_privilege(view, location, needed, identities)
-        ):
-            raise PermissionDeniedError(
-                f"{principal!r} lacks {needed.value} on external location "
-                f"{location.name!r}"
-            )
-        return path.url()
-
-    @staticmethod
-    def _covering_location(view: MetastoreView, path: StoragePath) -> Optional[Entity]:
-        for location in view.entities(SecurableKind.EXTERNAL_LOCATION):
-            if location.storage_path and StoragePath.parse(
-                location.storage_path
-            ).contains(path):
-                return location
-        return None
-
-    def _validate_dependencies(
-        self, view: MetastoreView, metastore_id: str, normalized: dict, principal: str
-    ) -> None:
-        """Views and shallow clones need resolvable, readable bases."""
-        dependencies = list(normalized.get("view_dependencies") or ())
-        base_table = normalized.get("base_table")
-        if base_table:
-            dependencies.append(base_table)
-        identities = self.authorizer.identities(principal)
-        for dependency in dependencies:
-            base = self._resolve(view, metastore_id, SecurableKind.TABLE, dependency)
-            decision = self.authorizer.authorize(view, base, "read_data", principal)
-            if not decision.allowed:
-                raise PermissionDeniedError(
-                    f"creating requires SELECT on base table {dependency}: "
-                    f"{decision.reason}"
-                )
 
     def get_securable(
         self, metastore_id: str, principal: str, kind: SecurableKind, name: str
     ) -> Entity:
-        with self._observed("get_securable"):
-            view = self.view(metastore_id)
-            entity = self._resolve(view, metastore_id, kind, name)
-            self._authorize(view, metastore_id, principal, entity,
-                            "read_metadata", name)
-            return entity
+        return self.dispatch("get_securable", metastore_id=metastore_id,
+                             principal=principal, kind=kind, name=name)
 
     def list_securables(
         self,
@@ -824,25 +105,9 @@ class UnityCatalogService:
         parent_name: Optional[str] = None,
     ) -> list[Entity]:
         """List children of a container, filtered to what the caller may see."""
-        with self._observed("list_securables"):
-            view = self.view(metastore_id)
-            manifest = self.registry.get(kind)
-            if parent_name is None:
-                parent_id = metastore_id
-            else:
-                parent_kind = manifest.parent_kind
-                parent = self._resolve(view, metastore_id, parent_kind, parent_name)
-                parent_id = parent.id
-            children = view.children(parent_id, kind)
-            identities = self.authorizer.identities(principal)
-            cache = self._hot_caches_for(metastore_id, view)
-            visible = [
-                child for child in children
-                if self.authorizer.visible(view, child, identities, cache)
-            ]
-            self._audit(metastore_id, principal, "list", parent_name or "<root>",
-                        True, kind=kind.value, returned=len(visible))
-            return sorted(visible, key=lambda e: e.name)
+        return self.dispatch("list_securables", metastore_id=metastore_id,
+                             principal=principal, kind=kind,
+                             parent_name=parent_name)
 
     def update_securable(
         self,
@@ -855,32 +120,11 @@ class UnityCatalogService:
         properties: Optional[dict[str, Any]] = None,
         spec_changes: Optional[dict[str, Any]] = None,
     ) -> Entity:
-        manifest = self.registry.get(kind)
-
-        def build(view: MetastoreView):
-            entity = self._resolve(view, metastore_id, kind, name)
-            self._authorize(view, metastore_id, principal, entity, "update", name)
-            changes: dict[str, Any] = {}
-            if comment is not None:
-                changes["comment"] = comment
-            if properties is not None:
-                merged = dict(entity.properties)
-                merged.update(properties)
-                changes["properties"] = merged
-            if spec_changes:
-                normalized = manifest.validate_update(dict(spec_changes))
-                new_spec = dict(entity.spec)
-                new_spec.update(normalized)
-                changes["spec"] = new_spec
-            if not changes:
-                return [], entity, []
-            updated = entity.with_updates(updated_at=self.clock.now(), **changes)
-            ops = [WriteOp.put(Tables.ENTITIES, entity.id, updated.to_dict())]
-            events = [(ChangeType.UPDATED, entity.id, kind.value, name, {})]
-            return ops, updated, events
-
-        with self._observed("update_securable"):
-            return self._mutate(metastore_id, build)
+        return self.dispatch(
+            "update_securable", metastore_id=metastore_id, principal=principal,
+            kind=kind, name=name, comment=comment, properties=properties,
+            spec_changes=spec_changes,
+        )
 
     def rename_securable(
         self,
@@ -890,33 +134,9 @@ class UnityCatalogService:
         name: str,
         new_name: str,
     ) -> Entity:
-        """Rename within the same parent (e.g. ALTER TABLE ... RENAME).
-
-        The storage path is untouched: names are a catalog concept, the
-        asset's data never moves (and path-based access keeps resolving
-        to the same asset).
-        """
-        validate_identifier(new_name, what="new name")
-        manifest = self.registry.get(kind)
-
-        def build(view: MetastoreView):
-            entity = self._resolve(view, metastore_id, kind, name)
-            self._authorize(view, metastore_id, principal, entity, "update",
-                            name)
-            if view.entity_by_name(entity.parent_id, manifest.namespace_group,
-                                   new_name):
-                raise AlreadyExistsError(
-                    f"{kind.value.lower()} already exists: {new_name}"
-                )
-            renamed = entity.with_updates(updated_at=self.clock.now(),
-                                          name=new_name)
-            ops = [WriteOp.put(Tables.ENTITIES, entity.id, renamed.to_dict())]
-            events = [(ChangeType.UPDATED, entity.id, kind.value, new_name,
-                       {"renamed_from": name})]
-            return ops, renamed, events
-
-        with self._observed("rename_securable"):
-            return self._mutate(metastore_id, build)
+        return self.dispatch("rename_securable", metastore_id=metastore_id,
+                             principal=principal, kind=kind, name=name,
+                             new_name=new_name)
 
     def transfer_ownership(
         self,
@@ -926,22 +146,9 @@ class UnityCatalogService:
         name: str,
         new_owner: str,
     ) -> Entity:
-        self.directory.get(new_owner)
-
-        def build(view: MetastoreView):
-            entity = self._resolve(view, metastore_id, kind, name)
-            self._authorize(
-                view, metastore_id, principal, entity, "transfer_ownership", name
-            )
-            updated = entity.with_updates(updated_at=self.clock.now(), owner=new_owner)
-            ops = [WriteOp.put(Tables.ENTITIES, entity.id, updated.to_dict())]
-            events = [
-                (ChangeType.UPDATED, entity.id, kind.value, name,
-                 {"new_owner": new_owner})
-            ]
-            return ops, updated, events
-
-        return self._mutate(metastore_id, build)
+        return self.dispatch("transfer_ownership", metastore_id=metastore_id,
+                             principal=principal, kind=kind, name=name,
+                             new_owner=new_owner)
 
     def delete_securable(
         self,
@@ -952,110 +159,20 @@ class UnityCatalogService:
         *,
         cascade: bool = False,
     ) -> list[Entity]:
-        """Soft-delete a securable (and, with ``cascade``, its children).
-
-        Deletion propagates from parents to children (paper 4.2.1); the
-        rows and managed storage remain until :meth:`purge_deleted` runs.
-        """
-
-        def build(view: MetastoreView):
-            entity = self._resolve(view, metastore_id, kind, name)
-            self._authorize(view, metastore_id, principal, entity, "delete", name)
-            doomed = self._collect_subtree(view, entity)
-            if len(doomed) > 1 and not cascade:
-                raise InvalidRequestError(
-                    f"{name} has {len(doomed) - 1} child securable(s); "
-                    "pass cascade=True"
-                )
-            now = self.clock.now()
-            ops = []
-            events = []
-            deleted_entities = []
-            for victim in doomed:
-                marked = victim.soft_deleted(now)
-                deleted_entities.append(marked)
-                ops.append(WriteOp.put(Tables.ENTITIES, victim.id, marked.to_dict()))
-                events.append(
-                    (ChangeType.DELETED, victim.id, victim.kind.value,
-                     view.full_name(victim), {})
-                )
-            return ops, deleted_entities, events
-
-        with self._observed("delete_securable"):
-            deleted = self._mutate(metastore_id, build)
-        self._audit(metastore_id, principal, "delete", name, True,
-                    cascade=cascade, count=len(deleted))
-        return deleted
-
-    def _collect_subtree(self, view: MetastoreView, root: Entity) -> list[Entity]:
-        """The entity plus all transitive active children (parents first)."""
-        out = [root]
-        frontier = [root]
-        while frontier:
-            current = frontier.pop()
-            for child in view.children(current.id):
-                out.append(child)
-                frontier.append(child)
-        return out
-
-    # ------------------------------------------------------------------
-    # lifecycle: garbage collection
-    # ------------------------------------------------------------------
+        """Soft-delete a securable (and, with ``cascade``, its children)."""
+        return self.dispatch("delete_securable", metastore_id=metastore_id,
+                             principal=principal, kind=kind, name=name,
+                             cascade=cascade)
 
     def purge_deleted(
         self, metastore_id: str, older_than_seconds: float = 0.0
     ) -> GcReport:
-        """Hard-delete soft-deleted entities and release their resources.
-
-        Runs under the catalog's own authority (it owns managed storage).
-        """
-        report = GcReport()
-        cutoff = self.clock.now() - older_than_seconds
-
-        def build(view: MetastoreView):
-            ops: list[WriteOp] = []
-            events = []
-            snapshot = self.store.snapshot(metastore_id)
-            for key, value in snapshot.scan(Tables.ENTITIES):
-                entity = Entity.from_dict(value)
-                if entity.state is not EntityState.DELETED:
-                    continue
-                if entity.deleted_at is not None and entity.deleted_at > cutoff:
-                    continue
-                ops.append(WriteOp.delete(Tables.ENTITIES, entity.id))
-                report.purged_entities += 1
-                # drop grants on the purged securable
-                for grant_key, grant_value in snapshot.scan(Tables.GRANTS):
-                    if grant_value["securable_id"] == entity.id:
-                        ops.append(WriteOp.delete(Tables.GRANTS, grant_key))
-                        report.purged_grants += 1
-                # drop tags and per-table policies
-                if snapshot.get(Tables.TAGS, entity.id) is not None:
-                    ops.append(WriteOp.delete(Tables.TAGS, entity.id))
-                for policy_key, policy_value in snapshot.scan(Tables.POLICIES):
-                    if policy_value.get("securable_id") == entity.id or (
-                        policy_value.get("scope_id") == entity.id
-                    ):
-                        ops.append(WriteOp.delete(Tables.POLICIES, policy_key))
-                # release managed storage
-                if entity.storage_path and self._is_managed_path(entity.storage_path):
-                    path = StoragePath.parse(entity.storage_path)
-                    report.deleted_objects += self.object_store.delete_prefix(path)
-                events.append(
-                    (ChangeType.PURGED, entity.id, entity.kind.value, entity.name, {})
-                )
-            return ops, report, events
-
-        result = self._mutate(metastore_id, build)
-        self._audit(metastore_id, SYSTEM_PRINCIPAL, "purge_deleted", "<gc>", True,
-                    purged=result.purged_entities)
-        return result
-
-    def _is_managed_path(self, url: str) -> bool:
-        return self._managed_root.contains(StoragePath.parse(url))
+        """Hard-delete soft-deleted entities and release their resources."""
+        return self.dispatch("purge_deleted", metastore_id=metastore_id,
+                             older_than_seconds=older_than_seconds)
 
     # ------------------------------------------------------------------
-    # grants
+    # grants and policies
     # ------------------------------------------------------------------
 
     def grant(
@@ -1067,32 +184,9 @@ class UnityCatalogService:
         grantee: str,
         privilege: Privilege,
     ) -> PrivilegeGrant:
-        manifest = self.registry.get(kind)
-        if not manifest.supports_privilege(privilege):
-            raise InvalidRequestError(
-                f"{privilege.value} is not grantable on {kind.value.lower()}s"
-            )
-        self.directory.get(grantee)
-
-        def build(view: MetastoreView):
-            entity = self._resolve(view, metastore_id, kind, name)
-            self._authorize(view, metastore_id, principal, entity, "grant", name)
-            grant = PrivilegeGrant(
-                securable_id=entity.id,
-                principal=grantee,
-                privilege=privilege,
-                granted_by=principal,
-                granted_at=self.clock.now(),
-            )
-            ops = [WriteOp.put(Tables.GRANTS, grant.key, grant.to_dict())]
-            events = [
-                (ChangeType.GRANT_CHANGED, entity.id, kind.value, name,
-                 {"grantee": grantee, "privilege": privilege.value, "action": "grant"})
-            ]
-            return ops, grant, events
-
-        with self._observed("grant"):
-            return self._mutate(metastore_id, build)
+        return self.dispatch("grant", metastore_id=metastore_id,
+                             principal=principal, kind=kind, name=name,
+                             grantee=grantee, privilege=privilege)
 
     def revoke(
         self,
@@ -1103,32 +197,14 @@ class UnityCatalogService:
         grantee: str,
         privilege: Privilege,
     ) -> None:
-        def build(view: MetastoreView):
-            entity = self._resolve(view, metastore_id, kind, name)
-            self._authorize(view, metastore_id, principal, entity, "grant", name)
-            key = f"{entity.id}/{grantee}/{privilege.value}"
-            if view.row(Tables.GRANTS, key) is None:
-                raise NotFoundError(
-                    f"no grant of {privilege.value} to {grantee} on {name}"
-                )
-            ops = [WriteOp.delete(Tables.GRANTS, key)]
-            events = [
-                (ChangeType.GRANT_CHANGED, entity.id, kind.value, name,
-                 {"grantee": grantee, "privilege": privilege.value,
-                  "action": "revoke"})
-            ]
-            return ops, None, events
-
-        with self._observed("revoke"):
-            self._mutate(metastore_id, build)
+        self.dispatch("revoke", metastore_id=metastore_id, principal=principal,
+                      kind=kind, name=name, grantee=grantee, privilege=privilege)
 
     def grants_on(
         self, metastore_id: str, principal: str, kind: SecurableKind, name: str
     ) -> list[PrivilegeGrant]:
-        view = self.view(metastore_id)
-        entity = self._resolve(view, metastore_id, kind, name)
-        self._authorize(view, metastore_id, principal, entity, "read_metadata", name)
-        return view.grants_on(entity.id)
+        return self.dispatch("grants_on", metastore_id=metastore_id,
+                             principal=principal, kind=kind, name=name)
 
     def has_privilege(
         self,
@@ -1139,197 +215,9 @@ class UnityCatalogService:
         privilege: Privilege,
     ) -> bool:
         """The authorization API exposed to second-tier/discovery services."""
-        with self._observed("has_privilege"):
-            view = self.view(metastore_id)
-            entity = self._resolve(view, metastore_id, kind, name)
-            identities = self.authorizer.identities(principal)
-            if self.authorizer.is_direct_owner_or_admin(view, entity, identities):
-                return True
-            cache = self._hot_caches_for(metastore_id, view)
-            return self.authorizer.has_privilege(
-                view, entity, privilege, identities, cache
-            )
-
-    # ------------------------------------------------------------------
-    # tags
-    # ------------------------------------------------------------------
-
-    def set_tag(
-        self,
-        metastore_id: str,
-        principal: str,
-        kind: SecurableKind,
-        name: str,
-        key: str,
-        value: str,
-    ) -> None:
-        self._update_tags(metastore_id, principal, kind, name,
-                          lambda tags: tags["tags"].__setitem__(key, value))
-
-    def unset_tag(
-        self, metastore_id: str, principal: str, kind: SecurableKind, name: str,
-        key: str,
-    ) -> None:
-        self._update_tags(metastore_id, principal, kind, name,
-                          lambda tags: tags["tags"].pop(key, None))
-
-    def set_column_tag(
-        self,
-        metastore_id: str,
-        principal: str,
-        table_name: str,
-        column: str,
-        key: str,
-        value: str,
-    ) -> None:
-        def mutate(tags: dict) -> None:
-            tags["column_tags"].setdefault(column, {})[key] = value
-
-        self._update_tags(metastore_id, principal, SecurableKind.TABLE, table_name,
-                          mutate, column=column)
-
-    def _update_tags(
-        self,
-        metastore_id: str,
-        principal: str,
-        kind: SecurableKind,
-        name: str,
-        mutator: Callable[[dict], None],
-        column: Optional[str] = None,
-    ) -> None:
-        def build(view: MetastoreView):
-            entity = self._resolve(view, metastore_id, kind, name)
-            self._authorize(view, metastore_id, principal, entity, "apply_tag", name)
-            if column is not None:
-                columns = {c["name"] for c in entity.spec.get("columns") or ()}
-                if column not in columns:
-                    raise NotFoundError(f"no such column: {column} in {name}")
-            existing = view.row(Tables.TAGS, entity.id) or {}
-            tags = {
-                "tags": dict(existing.get("tags", {})),
-                "column_tags": {
-                    c: dict(t) for c, t in existing.get("column_tags", {}).items()
-                },
-            }
-            mutator(tags)
-            ops = [WriteOp.put(Tables.TAGS, entity.id, tags)]
-            events = [(ChangeType.TAG_CHANGED, entity.id, kind.value, name, {})]
-            return ops, None, events
-
-        self._mutate(metastore_id, build)
-
-    def tags_of(
-        self, metastore_id: str, principal: str, kind: SecurableKind, name: str
-    ) -> dict[str, str]:
-        view = self.view(metastore_id)
-        entity = self._resolve(view, metastore_id, kind, name)
-        self._authorize(view, metastore_id, principal, entity, "read_metadata", name)
-        return self.authorizer.tags_of(view, entity.id)
-
-    # ------------------------------------------------------------------
-    # FGAC and ABAC policies
-    # ------------------------------------------------------------------
-
-    def set_row_filter(
-        self,
-        metastore_id: str,
-        principal: str,
-        table_name: str,
-        filter_name: str,
-        predicate_sql: str,
-        exempt_principals: tuple[str, ...] = (),
-    ) -> RowFilter:
-        def build(view: MetastoreView):
-            table = self._resolve(view, metastore_id, SecurableKind.TABLE, table_name)
-            self._authorize(
-                view, metastore_id, principal, table, "manage_policies", table_name
-            )
-            row_filter = RowFilter(
-                securable_id=table.id,
-                name=filter_name,
-                predicate_sql=predicate_sql,
-                exempt_principals=frozenset(exempt_principals),
-            )
-            ops = [WriteOp.put(Tables.POLICIES, row_filter.key, row_filter.to_dict())]
-            events = [
-                (ChangeType.POLICY_CHANGED, table.id, "TABLE", table_name,
-                 {"policy": "row_filter", "name": filter_name})
-            ]
-            return ops, row_filter, events
-
-        return self._mutate(metastore_id, build)
-
-    def drop_row_filter(
-        self, metastore_id: str, principal: str, table_name: str, filter_name: str
-    ) -> None:
-        def build(view: MetastoreView):
-            table = self._resolve(view, metastore_id, SecurableKind.TABLE, table_name)
-            self._authorize(
-                view, metastore_id, principal, table, "manage_policies", table_name
-            )
-            key = f"rowfilter/{table.id}/{filter_name}"
-            if view.row(Tables.POLICIES, key) is None:
-                raise NotFoundError(f"no row filter {filter_name!r} on {table_name}")
-            ops = [WriteOp.delete(Tables.POLICIES, key)]
-            events = [
-                (ChangeType.POLICY_CHANGED, table.id, "TABLE", table_name,
-                 {"policy": "row_filter", "name": filter_name, "dropped": True})
-            ]
-            return ops, None, events
-
-        self._mutate(metastore_id, build)
-
-    def set_column_mask(
-        self,
-        metastore_id: str,
-        principal: str,
-        table_name: str,
-        column: str,
-        mask_sql: str,
-        exempt_principals: tuple[str, ...] = (),
-    ) -> ColumnMask:
-        def build(view: MetastoreView):
-            table = self._resolve(view, metastore_id, SecurableKind.TABLE, table_name)
-            self._authorize(
-                view, metastore_id, principal, table, "manage_policies", table_name
-            )
-            columns = {c["name"] for c in table.spec.get("columns") or ()}
-            if column not in columns:
-                raise NotFoundError(f"no such column: {column} in {table_name}")
-            mask = ColumnMask(
-                securable_id=table.id,
-                column=column,
-                mask_sql=mask_sql,
-                exempt_principals=frozenset(exempt_principals),
-            )
-            ops = [WriteOp.put(Tables.POLICIES, mask.key, mask.to_dict())]
-            events = [
-                (ChangeType.POLICY_CHANGED, table.id, "TABLE", table_name,
-                 {"policy": "column_mask", "column": column})
-            ]
-            return ops, mask, events
-
-        return self._mutate(metastore_id, build)
-
-    def drop_column_mask(
-        self, metastore_id: str, principal: str, table_name: str, column: str
-    ) -> None:
-        def build(view: MetastoreView):
-            table = self._resolve(view, metastore_id, SecurableKind.TABLE, table_name)
-            self._authorize(
-                view, metastore_id, principal, table, "manage_policies", table_name
-            )
-            key = f"columnmask/{table.id}/{column}"
-            if view.row(Tables.POLICIES, key) is None:
-                raise NotFoundError(f"no column mask on {table_name}.{column}")
-            ops = [WriteOp.delete(Tables.POLICIES, key)]
-            events = [
-                (ChangeType.POLICY_CHANGED, table.id, "TABLE", table_name,
-                 {"policy": "column_mask", "column": column, "dropped": True})
-            ]
-            return ops, None, events
-
-        self._mutate(metastore_id, build)
+        return self.dispatch("has_privilege", metastore_id=metastore_id,
+                             principal=principal, kind=kind, name=name,
+                             privilege=privilege)
 
     def create_abac_policy(
         self,
@@ -1348,57 +236,103 @@ class UnityCatalogService:
         exempt_principals: tuple[str, ...] = (),
     ) -> AbacPolicy:
         """Define an ABAC policy at metastore/catalog/schema scope."""
-
-        def build(view: MetastoreView):
-            if scope_kind is SecurableKind.METASTORE:
-                scope = view.entity_by_id(metastore_id)
-            else:
-                scope = self._resolve(view, metastore_id, scope_kind, scope_name)
-            self._authorize(
-                view, metastore_id, principal, scope, "manage_policies",
-                scope_name or "<metastore>",
-            )
-            policy = AbacPolicy(
-                policy_id=new_entity_id(),
-                name=name,
-                scope_id=scope.id,
-                condition=condition,
-                effect=effect,
-                privilege=privilege,
-                mask_sql=mask_sql,
-                predicate_sql=predicate_sql,
-                principals=frozenset(principals),
-                exempt_principals=frozenset(exempt_principals),
-            )
-            ops = [WriteOp.put(Tables.POLICIES, policy.key, policy.to_dict())]
-            events = [
-                (ChangeType.POLICY_CHANGED, scope.id, scope_kind.value,
-                 scope_name or "<metastore>", {"policy": "abac", "name": name})
-            ]
-            return ops, policy, events
-
-        return self._mutate(metastore_id, build)
+        return self.dispatch(
+            "create_abac_policy", metastore_id=metastore_id,
+            principal=principal, name=name, scope_kind=scope_kind,
+            scope_name=scope_name, condition=condition, effect=effect,
+            privilege=privilege, mask_sql=mask_sql,
+            predicate_sql=predicate_sql, principals=principals,
+            exempt_principals=exempt_principals,
+        )
 
     def drop_abac_policy(self, metastore_id: str, principal: str, policy_id: str) -> None:
-        def build(view: MetastoreView):
-            key = f"abac/{policy_id}"
-            value = view.row(Tables.POLICIES, key)
-            if value is None:
-                raise NotFoundError(f"no such ABAC policy: {policy_id}")
-            scope = view.entity_by_id(value["scope_id"])
-            if scope is None:
-                scope = view.entity_by_id(metastore_id)
-            self._authorize(
-                view, metastore_id, principal, scope, "manage_policies", scope.name
-            )
-            ops = [WriteOp.delete(Tables.POLICIES, key)]
-            events = [
-                (ChangeType.POLICY_CHANGED, scope.id, scope.kind.value, scope.name,
-                 {"policy": "abac", "dropped": True})
-            ]
-            return ops, None, events
+        self.dispatch("drop_abac_policy", metastore_id=metastore_id,
+                      principal=principal, policy_id=policy_id)
 
-        self._mutate(metastore_id, build)
+    # ------------------------------------------------------------------
+    # tags and FGAC
+    # ------------------------------------------------------------------
+
+    def set_tag(
+        self,
+        metastore_id: str,
+        principal: str,
+        kind: SecurableKind,
+        name: str,
+        key: str,
+        value: str,
+    ) -> None:
+        self.dispatch("set_tag", metastore_id=metastore_id, principal=principal,
+                      kind=kind, name=name, key=key, value=value)
+
+    def unset_tag(
+        self, metastore_id: str, principal: str, kind: SecurableKind, name: str,
+        key: str,
+    ) -> None:
+        self.dispatch("unset_tag", metastore_id=metastore_id,
+                      principal=principal, kind=kind, name=name, key=key)
+
+    def set_column_tag(
+        self,
+        metastore_id: str,
+        principal: str,
+        table_name: str,
+        column: str,
+        key: str,
+        value: str,
+    ) -> None:
+        self.dispatch("set_column_tag", metastore_id=metastore_id,
+                      principal=principal, table_name=table_name, column=column,
+                      key=key, value=value)
+
+    def tags_of(
+        self, metastore_id: str, principal: str, kind: SecurableKind, name: str
+    ) -> dict[str, str]:
+        return self.dispatch("tags_of", metastore_id=metastore_id,
+                             principal=principal, kind=kind, name=name)
+
+    def set_row_filter(
+        self,
+        metastore_id: str,
+        principal: str,
+        table_name: str,
+        filter_name: str,
+        predicate_sql: str,
+        exempt_principals: tuple[str, ...] = (),
+    ) -> RowFilter:
+        return self.dispatch(
+            "set_row_filter", metastore_id=metastore_id, principal=principal,
+            table_name=table_name, filter_name=filter_name,
+            predicate_sql=predicate_sql, exempt_principals=exempt_principals,
+        )
+
+    def drop_row_filter(
+        self, metastore_id: str, principal: str, table_name: str, filter_name: str
+    ) -> None:
+        self.dispatch("drop_row_filter", metastore_id=metastore_id,
+                      principal=principal, table_name=table_name,
+                      filter_name=filter_name)
+
+    def set_column_mask(
+        self,
+        metastore_id: str,
+        principal: str,
+        table_name: str,
+        column: str,
+        mask_sql: str,
+        exempt_principals: tuple[str, ...] = (),
+    ) -> ColumnMask:
+        return self.dispatch(
+            "set_column_mask", metastore_id=metastore_id, principal=principal,
+            table_name=table_name, column=column, mask_sql=mask_sql,
+            exempt_principals=exempt_principals,
+        )
+
+    def drop_column_mask(
+        self, metastore_id: str, principal: str, table_name: str, column: str
+    ) -> None:
+        self.dispatch("drop_column_mask", metastore_id=metastore_id,
+                      principal=principal, table_name=table_name, column=column)
 
     # ------------------------------------------------------------------
     # credential vending and path-based access (section 4.3.1)
@@ -1413,10 +347,9 @@ class UnityCatalogService:
         level: AccessLevel,
     ) -> TemporaryCredential:
         """Name-based access: authorize, then mint a downscoped token."""
-        with self._observed("vend_credentials"):
-            view = self.view(metastore_id)
-            entity = self._resolve(view, metastore_id, kind, name)
-            return self._vend(view, metastore_id, principal, entity, name, level)
+        return self.dispatch("vend_credentials", metastore_id=metastore_id,
+                             principal=principal, kind=kind, name=name,
+                             level=level)
 
     def access_by_path(
         self,
@@ -1426,84 +359,12 @@ class UnityCatalogService:
         level: AccessLevel,
     ) -> tuple[Entity, TemporaryCredential]:
         """Path-based access: resolve the governing asset first, then apply
-        exactly the same policy as name-based access — the paper's uniform
-        access control guarantee."""
-        with self._observed("access_by_path"):
-            view = self.view(metastore_id)
-            path = StoragePath.parse(url)
-            entity = view.resolve_path(path)
-            if entity is None:
-                self._audit(metastore_id, principal, "access_by_path", url, False,
-                            reason="no asset governs this path")
-                raise PermissionDeniedError(f"no catalog asset governs {url}")
-            credential = self._vend(
-                view, metastore_id, principal, entity, view.full_name(entity), level
-            )
-            return entity, credential
-
-    def _vend(
-        self,
-        view: MetastoreView,
-        metastore_id: str,
-        principal: str,
-        entity: Entity,
-        name: str,
-        level: AccessLevel,
-    ) -> TemporaryCredential:
-        operation = "read_data" if level is AccessLevel.READ else "write_data"
-        self._authorize(view, metastore_id, principal, entity, operation, name)
-        # FGAC-protected tables may only be read through trusted engines
-        if entity.kind is SecurableKind.TABLE:
-            rules = self.authorizer.fgac_rules_for(
-                view, entity, principal, self._hot_caches_for(metastore_id, view)
-            )
-            if not rules.is_empty and not self.directory.is_trusted_engine(principal):
-                self._audit(metastore_id, principal, "vend_credentials", name, False,
-                            reason="FGAC requires a trusted engine")
-                raise UntrustedEngineError(
-                    f"table {name} has fine-grained policies; direct storage "
-                    "access is restricted to trusted engines"
-                )
-        credential = self.vendor.vend(view, entity, level)
-        self._audit(metastore_id, principal, "vend_credentials", name, True,
-                    level=level.value)
-        return credential
+        exactly the same policy as name-based access."""
+        return self.dispatch("access_by_path", metastore_id=metastore_id,
+                             principal=principal, url=url, level=level)
 
     # ------------------------------------------------------------------
-    # workspace bindings (section 3.2)
-    # ------------------------------------------------------------------
-
-    def check_workspace_binding(
-        self, metastore_id: str, entity: Entity, workspace: Optional[str]
-    ) -> None:
-        """Enforce catalog→workspace bindings.
-
-        "Administrators can define 'bindings' to restrict a catalog's
-        access to specific Databricks workspaces." A catalog without
-        bindings is reachable from every workspace; a bound catalog only
-        from the listed ones.
-        """
-        if workspace is None:
-            return
-        view = self.view(metastore_id)
-        current: Optional[Entity] = entity
-        while current is not None:
-            if current.kind is SecurableKind.CATALOG:
-                bindings = current.spec.get("workspace_bindings")
-                if bindings and workspace not in bindings:
-                    raise PermissionDeniedError(
-                        f"catalog {current.name!r} is not bound to "
-                        f"workspace {workspace!r}"
-                    )
-                return
-            current = (
-                view.entity_by_id(current.parent_id)
-                if current.parent_id else None
-            )
-
-    # ------------------------------------------------------------------
-    # information schema (section 4.2.2: metadata query API with
-    # filter pushdown)
+    # information schema, batched resolution, discovery, lineage
     # ------------------------------------------------------------------
 
     def query_information_schema(
@@ -1517,87 +378,12 @@ class UnityCatalogService:
         where: tuple[tuple[str, str, Any], ...] = (),
         limit: Optional[int] = None,
     ) -> list[dict[str, Any]]:
-        """Relational view over catalog metadata, with pushdown.
-
-        ``where`` is a conjunction of ``(attribute, op, literal)`` with op
-        in ``= != < <= > >=``; attributes are the returned column names.
-        Results are filtered to what the caller may see, like any listing.
-        """
-        with self._observed("query_information_schema"):
-            return self._query_information_schema(
-                metastore_id, principal, kind,
-                catalog=catalog, schema=schema, where=where, limit=limit,
-            )
-
-    def _query_information_schema(
-        self,
-        metastore_id: str,
-        principal: str,
-        kind: SecurableKind,
-        *,
-        catalog: Optional[str] = None,
-        schema: Optional[str] = None,
-        where: tuple[tuple[str, str, Any], ...] = (),
-        limit: Optional[int] = None,
-    ) -> list[dict[str, Any]]:
-        view = self.view(metastore_id)
-        rows: list[dict[str, Any]] = []
-        identities = self.authorizer.identities(principal)
-        cache = self._hot_caches_for(metastore_id, view)
-        operators: dict[str, Callable[[Any, Any], bool]] = {
-            "=": lambda a, b: a == b,
-            "!=": lambda a, b: a != b,
-            "<": lambda a, b: a is not None and a < b,
-            "<=": lambda a, b: a is not None and a <= b,
-            ">": lambda a, b: a is not None and a > b,
-            ">=": lambda a, b: a is not None and a >= b,
-        }
-        for entity in view.entities(kind):
-            full_name = view.full_name(entity)
-            segments = full_name.split(".")
-            row = {
-                "name": entity.name,
-                "full_name": full_name,
-                "catalog_name": segments[0] if len(segments) > 1 else None,
-                "schema_name": segments[1] if len(segments) > 2 else None,
-                "kind": entity.kind.value,
-                "owner": entity.owner,
-                "comment": entity.comment,
-                "created_at": entity.created_at,
-                "updated_at": entity.updated_at,
-                "storage_path": entity.storage_path,
-                "table_type": entity.spec.get("table_type"),
-                "format": entity.spec.get("format"),
-            }
-            if catalog is not None and row["catalog_name"] != catalog:
-                continue
-            if schema is not None and row["schema_name"] != schema:
-                continue
-            matched = True
-            for attribute, op, literal in where:
-                if op not in operators:
-                    raise InvalidRequestError(f"unsupported operator {op!r}")
-                if attribute not in row:
-                    raise InvalidRequestError(
-                        f"unknown information_schema column {attribute!r}"
-                    )
-                if not operators[op](row[attribute], literal):
-                    matched = False
-                    break
-            if not matched:
-                continue
-            if not self.authorizer.visible(view, entity, identities, cache):
-                continue
-            rows.append(row)
-            if limit is not None and len(rows) >= limit:
-                break
-        self._audit(metastore_id, principal, "information_schema",
-                    kind.value, True, returned=len(rows))
-        return sorted(rows, key=lambda r: r["full_name"])
-
-    # ------------------------------------------------------------------
-    # batched query resolution (sections 3.4, 4.5)
-    # ------------------------------------------------------------------
+        """Relational view over catalog metadata, with pushdown."""
+        return self.dispatch(
+            "query_information_schema", metastore_id=metastore_id,
+            principal=principal, kind=kind, catalog=catalog, schema=schema,
+            where=where, limit=limit,
+        )
 
     def resolve_for_query(
         self,
@@ -1613,34 +399,20 @@ class UnityCatalogService:
     ):
         """One batched API call returning the full metadata closure for a
         query (see :mod:`repro.core.service.batch`)."""
-        from repro.core.service.batch import QueryResolver
-
-        with self._observed("resolve_for_query"):
-            return QueryResolver(self).resolve(
-                metastore_id,
-                principal,
-                table_names,
-                write_tables=write_tables,
-                function_names=function_names,
-                include_credentials=include_credentials,
-                engine_trusted=engine_trusted,
-                workspace=workspace,
-            )
-
-    # ------------------------------------------------------------------
-    # discovery authorization API (section 4.4)
-    # ------------------------------------------------------------------
+        return self.dispatch(
+            "resolve_for_query", metastore_id=metastore_id, principal=principal,
+            table_names=table_names, write_tables=write_tables,
+            function_names=function_names,
+            include_credentials=include_credentials,
+            engine_trusted=engine_trusted, workspace=workspace,
+        )
 
     def filter_visible_entities(
         self, metastore_id: str, principal: str, entities: list[Entity]
     ) -> list[Entity]:
-        view = self.view(metastore_id)
-        cache = self._hot_caches_for(metastore_id, view)
-        return self.authorizer.filter_visible(view, entities, principal, cache)
-
-    # ------------------------------------------------------------------
-    # lineage API (section 4.4)
-    # ------------------------------------------------------------------
+        return self.dispatch("filter_visible_entities",
+                             metastore_id=metastore_id, principal=principal,
+                             entities=entities)
 
     def record_lineage(
         self,
@@ -1652,38 +424,21 @@ class UnityCatalogService:
         columns: tuple[str, ...] = (),
     ) -> None:
         """Engines submit lineage during query processing."""
-        self.lineage.record(
-            metastore_id, principal, sources, target, operation,
-            self.clock.now(), columns,
-        )
-        self._audit(metastore_id, principal, "record_lineage", target, True,
-                    sources=len(sources), operation=operation)
+        self.dispatch("record_lineage", metastore_id=metastore_id,
+                      principal=principal, sources=sources, target=target,
+                      operation=operation, columns=columns)
 
     def lineage_downstream(
         self, metastore_id: str, principal: str, asset: str
     ) -> set[str]:
         """Downstream closure, filtered to assets the caller may see."""
-        closure = self.lineage.downstream(metastore_id, asset)
-        return self._filter_lineage_names(metastore_id, principal, closure)
+        return self.dispatch("lineage", metastore_id=metastore_id,
+                             principal=principal, asset=asset,
+                             direction="downstream")
 
     def lineage_upstream(
         self, metastore_id: str, principal: str, asset: str
     ) -> set[str]:
-        closure = self.lineage.upstream(metastore_id, asset)
-        return self._filter_lineage_names(metastore_id, principal, closure)
-
-    def _filter_lineage_names(
-        self, metastore_id: str, principal: str, names: set[str]
-    ) -> set[str]:
-        view = self.view(metastore_id)
-        identities = self.authorizer.identities(principal)
-        cache = self._hot_caches_for(metastore_id, view)
-        visible = set()
-        for name in names:
-            try:
-                entity = self._resolve(view, metastore_id, SecurableKind.TABLE, name)
-            except NotFoundError:
-                continue
-            if self.authorizer.visible(view, entity, identities, cache):
-                visible.add(name)
-        return visible
+        return self.dispatch("lineage", metastore_id=metastore_id,
+                             principal=principal, asset=asset,
+                             direction="upstream")

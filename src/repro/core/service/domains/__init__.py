@@ -1,0 +1,34 @@
+"""Domain services: the catalog's API surface, split by subject area.
+
+Each module owns one coherent slice of the paper's API (securable CRUD
+and lifecycle, grants and ABAC policies, tags and fine-grained access
+control, credential vending, lineage and metadata query) and publishes
+an ``ENDPOINTS`` table of
+:class:`~repro.core.service.registry.EndpointDescriptor` entries.
+
+Domain modules depend only on the kernel's request primitives (via the
+``svc`` argument of their handlers) and the shared model/auth/storage
+layers — never on each other and never on the facade or the REST router.
+``tools/arch_lint.py`` enforces this in CI.
+"""
+
+from __future__ import annotations
+
+from repro.core.service.domains import (
+    grants_policies,
+    lineage_query,
+    securables,
+    tags_fgac,
+    vending,
+)
+
+ALL_DOMAINS = (securables, grants_policies, tags_fgac, vending, lineage_query)
+
+
+def all_endpoints():
+    """Every endpoint descriptor, in stable registration order."""
+    for module in ALL_DOMAINS:
+        yield from module.ENDPOINTS
+
+
+__all__ = ["ALL_DOMAINS", "all_endpoints"]

@@ -1,0 +1,152 @@
+"""Vending domain: credential vending and path-based access (§4.3.1).
+
+Name-based and path-based access share one enforcement helper so the
+paper's uniform-access-control guarantee holds by construction: however
+a caller addresses an asset, the same authorization decision, the same
+FGAC trusted-engine gate, and the same downscoped token minting apply.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cloudstore.object_store import StoragePath
+from repro.cloudstore.sts import AccessLevel, TemporaryCredential
+from repro.core.model.entity import Entity, SecurableKind
+from repro.core.service.registry import (
+    EndpointDescriptor,
+    ResolveSpec,
+    RestBinding,
+    RestRequest,
+)
+from repro.core.view import MetastoreView
+from repro.errors import PermissionDeniedError, UntrustedEngineError
+
+
+def _vend(
+    svc,
+    view: MetastoreView,
+    metastore_id: str,
+    principal: str,
+    entity: Entity,
+    name: str,
+    level: AccessLevel,
+) -> TemporaryCredential:
+    operation = "read_data" if level is AccessLevel.READ else "write_data"
+    svc._authorize(view, metastore_id, principal, entity, operation, name)
+    # FGAC-protected tables may only be read through trusted engines
+    if entity.kind is SecurableKind.TABLE:
+        rules = svc.authorizer.fgac_rules_for(
+            view, entity, principal, svc._hot_caches_for(metastore_id, view)
+        )
+        if not rules.is_empty and not svc.directory.is_trusted_engine(principal):
+            svc._audit(metastore_id, principal, "vend_credentials", name, False,
+                       reason="FGAC requires a trusted engine")
+            raise UntrustedEngineError(
+                f"table {name} has fine-grained policies; direct storage "
+                "access is restricted to trusted engines"
+            )
+    credential = svc.vendor.vend(view, entity, level)
+    svc._audit(metastore_id, principal, "vend_credentials", name, True,
+               level=level.value)
+    return credential
+
+
+def vend_credentials(svc, ctx) -> TemporaryCredential:
+    """Name-based access: authorize, then mint a downscoped token."""
+    p = ctx.params
+    return _vend(
+        svc, ctx.view, p["metastore_id"], p["principal"], ctx.entity,
+        p["name"], p["level"],
+    )
+
+
+def access_by_path(svc, ctx) -> tuple[Entity, TemporaryCredential]:
+    """Path-based access: resolve the governing asset first, then apply
+    exactly the same policy as name-based access — the paper's uniform
+    access control guarantee."""
+    p = ctx.params
+    metastore_id, principal = p["metastore_id"], p["principal"]
+    url, level = p["url"], p["level"]
+    view = svc.view(metastore_id)
+    path = StoragePath.parse(url)
+    entity = view.resolve_path(path)
+    if entity is None:
+        svc._audit(metastore_id, principal, "access_by_path", url, False,
+                   reason="no asset governs this path")
+        raise PermissionDeniedError(f"no catalog asset governs {url}")
+    credential = _vend(
+        svc, view, metastore_id, principal, entity, view.full_name(entity), level
+    )
+    return entity, credential
+
+
+# ----------------------------------------------------------------------
+# REST marshalling
+# ----------------------------------------------------------------------
+
+
+def _credential_json(credential: TemporaryCredential) -> dict[str, Any]:
+    return {
+        "token": credential.token,
+        "scope": credential.scope.url(),
+        "access_level": credential.level.value,
+        "expires_at": credential.expires_at,
+    }
+
+
+def _bind_vend(r: RestRequest) -> dict[str, Any]:
+    return {
+        "metastore_id": r.metastore_id(),
+        "principal": r.principal,
+        "kind": SecurableKind(r.body["securable_kind"]),
+        "name": r.body["securable_name"],
+        "level": AccessLevel(r.body.get("access_level", "READ")),
+    }
+
+
+def _bind_access_by_path(r: RestRequest) -> dict[str, Any]:
+    return {
+        "metastore_id": r.metastore_id(),
+        "principal": r.principal,
+        "url": r.body["path"],
+        "level": AccessLevel(r.body.get("access_level", "READ")),
+    }
+
+
+def _render_path_access(result, kwargs) -> dict[str, Any]:
+    entity, credential = result
+    payload = _credential_json(credential)
+    payload["resolved_asset"] = entity.name
+    return payload
+
+
+ENDPOINTS = (
+    EndpointDescriptor(
+        name="access_by_path",
+        domain="vending",
+        handler=access_by_path,
+        target_param="url",
+        rest=(
+            # registered before vend_credentials: a body carrying "path"
+            # selects path-based access on the shared POST route
+            RestBinding("POST", "temporary-credentials", _bind_access_by_path,
+                        when=lambda r: "path" in r.body,
+                        render=_render_path_access),
+        ),
+        doc="Path-based access via the governing catalog asset.",
+    ),
+    EndpointDescriptor(
+        name="vend_credentials",
+        domain="vending",
+        handler=vend_credentials,
+        resolve=ResolveSpec(),
+        rest=(
+            RestBinding(
+                "POST", "temporary-credentials", _bind_vend,
+                render=lambda result, kwargs: _credential_json(result),
+            ),
+        ),
+        doc="Name-based access: mint a downscoped storage token.",
+    ),
+)

@@ -1,14 +1,26 @@
-"""REST API layer.
+"""REST API layer — a generic router generated from the API registry.
 
 Unity Catalog's openness claim rests on a documented REST surface; this
-module maps HTTP-shaped requests onto the service facade. It is transport
-agnostic: :class:`RestApi.handle` takes ``(method, path, params, body,
-principal)`` and returns ``(status, json-able dict)``, so the same router
-serves the in-process client used by tests and the real HTTP server in
+module maps HTTP-shaped requests onto the same endpoint registry the
+in-process facade dispatches through. There is **no per-endpoint logic
+here**: each :class:`~repro.core.service.registry.EndpointDescriptor`
+declares its REST bindings (route, marshalling, status, rendering) next
+to the endpoint itself, and :class:`ServiceRouter` merely parses the
+path, picks the matching binding, and runs the request through the
+pipeline. The two surfaces therefore cannot drift — a new endpoint
+registered by a domain module appears on both at once, with identical
+authorization, audit, and deadline behaviour.
+
+The router is transport agnostic: :meth:`ServiceRouter.handle` takes
+``(method, path, params, body, principal)`` and returns ``(status,
+json-able dict)``, so the same router serves the in-process client used
+by tests and the real HTTP server in
 :mod:`repro.core.service.http_server`.
 
 Authentication is the upstream gateway's job (paper section 3.4); the
-caller principal arrives as a header.
+caller principal arrives as a header. A ``timeout`` query parameter
+(relative seconds) arms the pipeline's request deadline; a request that
+exhausts it maps to HTTP 504.
 """
 
 from __future__ import annotations
@@ -16,9 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.cloudstore.sts import AccessLevel
-from repro.core.auth.privileges import Privilege
-from repro.core.model.entity import Entity, SecurableKind
+from repro.core.model.entity import SecurableKind
+from repro.core.service.registry import KIND_RESOURCES, RestRequest
 from repro.errors import (
     InvalidRequestError,
     NotFoundError,
@@ -68,21 +79,8 @@ class TextResponse:
     content_type: str = "text/plain; version=0.0.4; charset=utf-8"
 
 
-def _entity_json(entity: Entity) -> dict:
-    return entity.to_dict()
-
-
-def _credential_json(credential) -> dict:
-    return {
-        "token": credential.token,
-        "scope": credential.scope.url(),
-        "access_level": credential.level.value,
-        "expires_at": credential.expires_at,
-    }
-
-
-class RestApi:
-    """Routes REST requests to the catalog service.
+class ServiceRouter:
+    """Routes REST requests through the service's API registry.
 
     ``search_service`` is optional: when a discovery search service is
     attached, the ``/search`` route is served (second-tier services are
@@ -92,6 +90,8 @@ class RestApi:
     def __init__(self, service, search_service=None):
         self._service = service
         self._search = search_service
+        self._routes = service.api_registry.rest_routes()
+        self._resources = {key[1] for key in self._routes}
 
     # -- public entry point ----------------------------------------------------
 
@@ -137,25 +137,50 @@ class RestApi:
         resource = segments[3]
         rest = segments[4:]
 
-        if resource == "metastores":
-            return self._metastores(method, rest, principal, body)
-        if resource == "temporary-credentials":
-            return self._temporary_credentials(method, principal, params, body)
-        if resource == "resolve":
-            return self._resolve(method, principal, params, body)
-        if resource == "grants":
-            return self._grants(method, rest, principal, params, body)
-        if resource == "information-schema":
-            return self._information_schema(method, principal, params, body)
-        if resource == "lineage":
-            return self._lineage(method, principal, params)
         if resource == "search":
             return self._search_route(method, principal, params, body)
+
+        kind: Optional[SecurableKind] = None
+        route_resource = resource
         if resource in _KIND_BY_RESOURCE:
-            return self._securables(
-                _KIND_BY_RESOURCE[resource], method, rest, principal, params, body
-            )
-        raise NotFoundError(f"unknown resource: {resource}")
+            kind = _KIND_BY_RESOURCE[resource]
+            route_resource = KIND_RESOURCES
+
+        named = bool(rest)
+        candidates = self._routes.get((method, route_resource, named))
+        if candidates is None and named:
+            # unnamed-only resources tolerate trailing segments (the
+            # securable is addressed via params/body, not the path)
+            candidates = self._routes.get((method, route_resource, False))
+        if candidates is None:
+            if route_resource not in self._resources:
+                raise NotFoundError(f"unknown resource: {resource}")
+            if not named and (
+                any(key == (method, route_resource, True)
+                    for key in self._routes)
+            ):
+                raise NotFoundError("missing securable name")
+            raise InvalidRequestError(f"unsupported method {method}")
+
+        request = RestRequest(
+            method=method,
+            principal=principal,
+            params=params,
+            body=body,
+            name=rest[0] if rest else None,
+            kind=kind,
+            metastore_resolver=lambda: self._metastore_id(params, body),
+        )
+        for binding, descriptor in candidates:
+            if binding.when is None or binding.when(request):
+                kwargs = binding.bind(request)
+                if "timeout" in params:
+                    kwargs["_timeout"] = float(params["timeout"])
+                result = self._service.pipeline.dispatch(descriptor, kwargs)
+                return binding.status, binding.render(result, kwargs)
+        raise InvalidRequestError(
+            f"no {resource} binding accepts this request shape"
+        )
 
     def _metastore_id(self, params: dict, body: dict) -> str:
         metastore = params.get("metastore") or body.get("metastore")
@@ -195,151 +220,7 @@ class RestApi:
             raise NotFoundError(f"no such trace: {rest[0]}")
         return 200, root.to_dict()
 
-    # -- handlers -------------------------------------------------------------------
-
-    def _metastores(
-        self, method: str, rest: list[str], principal: str, body: dict
-    ) -> tuple[int, dict]:
-        if method == "POST" and not rest:
-            entity = self._service.create_metastore(
-                body["name"], owner=body.get("owner", principal),
-                region=body.get("region", "us-west"),
-            )
-            return 201, _entity_json(entity)
-        if method == "GET" and not rest:
-            return 200, {"metastores": self._service.metastore_ids()}
-        raise NotFoundError("unknown metastores route")
-
-    def _securables(
-        self,
-        kind: SecurableKind,
-        method: str,
-        rest: list[str],
-        principal: str,
-        params: dict,
-        body: dict,
-    ) -> tuple[int, dict]:
-        metastore_id = self._metastore_id(params, body)
-        service = self._service
-        if method == "POST" and not rest:
-            entity = service.create_securable(
-                metastore_id, principal, kind, body["name"],
-                comment=body.get("comment", ""),
-                storage_path=body.get("storage_location"),
-                spec=body.get("spec"),
-                properties=body.get("properties"),
-            )
-            return 201, _entity_json(entity)
-        if method == "GET" and not rest:
-            entities = service.list_securables(
-                metastore_id, principal, kind, params.get("parent")
-            )
-            return 200, {"items": [_entity_json(e) for e in entities]}
-        if not rest:
-            raise NotFoundError("missing securable name")
-        name = rest[0]
-        if method == "GET":
-            entity = service.get_securable(metastore_id, principal, kind, name)
-            return 200, _entity_json(entity)
-        if method == "PATCH":
-            entity = service.update_securable(
-                metastore_id, principal, kind, name,
-                comment=body.get("comment"),
-                properties=body.get("properties"),
-                spec_changes=body.get("spec"),
-            )
-            return 200, _entity_json(entity)
-        if method == "DELETE":
-            deleted = service.delete_securable(
-                metastore_id, principal, kind, name,
-                cascade=params.get("cascade", "false").lower() == "true",
-            )
-            return 200, {"deleted": len(deleted)}
-        raise InvalidRequestError(f"unsupported method {method}")
-
-    def _grants(
-        self, method: str, rest: list[str], principal: str,
-        params: dict, body: dict,
-    ) -> tuple[int, dict]:
-        metastore_id = self._metastore_id(params, body)
-        kind = SecurableKind(body.get("securable_kind") or params["securable_kind"])
-        name = body.get("securable_name") or params["securable_name"]
-        if method == "GET":
-            grants = self._service.grants_on(metastore_id, principal, kind, name)
-            return 200, {"grants": [g.to_dict() for g in grants]}
-        if method == "POST":
-            grant = self._service.grant(
-                metastore_id, principal, kind, name,
-                body["principal"], Privilege(body["privilege"]),
-            )
-            return 201, grant.to_dict()
-        if method == "DELETE":
-            self._service.revoke(
-                metastore_id, principal, kind, name,
-                body["principal"], Privilege(body["privilege"]),
-            )
-            return 200, {}
-        raise InvalidRequestError(f"unsupported method {method}")
-
-    def _temporary_credentials(
-        self, method: str, principal: str, params: dict, body: dict
-    ) -> tuple[int, dict]:
-        if method != "POST":
-            raise InvalidRequestError("temporary-credentials is POST-only")
-        metastore_id = self._metastore_id(params, body)
-        level = AccessLevel(body.get("access_level", "READ"))
-        if "path" in body:
-            entity, credential = self._service.access_by_path(
-                metastore_id, principal, body["path"], level
-            )
-            payload = _credential_json(credential)
-            payload["resolved_asset"] = entity.name
-            return 200, payload
-        kind = SecurableKind(body["securable_kind"])
-        credential = self._service.vend_credentials(
-            metastore_id, principal, kind, body["securable_name"], level
-        )
-        return 200, _credential_json(credential)
-
-    def _information_schema(
-        self, method: str, principal: str, params: dict, body: dict
-    ) -> tuple[int, dict]:
-        if method not in ("GET", "POST"):
-            raise InvalidRequestError("information-schema is GET/POST")
-        metastore_id = self._metastore_id(params, body)
-        kind = SecurableKind(params.get("kind") or body.get("kind", "TABLE"))
-        where = tuple(
-            (c["column"], c["op"], c["value"]) for c in body.get("where", ())
-        )
-        rows = self._service.query_information_schema(
-            metastore_id, principal, kind,
-            catalog=params.get("catalog") or body.get("catalog"),
-            schema=params.get("schema") or body.get("schema"),
-            where=where,
-            limit=int(params["limit"]) if "limit" in params else body.get("limit"),
-        )
-        return 200, {"rows": rows}
-
-    def _lineage(
-        self, method: str, principal: str, params: dict
-    ) -> tuple[int, dict]:
-        if method != "GET":
-            raise InvalidRequestError("lineage is GET-only")
-        metastore_id = self._metastore_id(params, {})
-        asset = params.get("asset")
-        if not asset:
-            raise InvalidRequestError("missing 'asset' parameter")
-        direction = params.get("direction", "downstream")
-        if direction == "downstream":
-            names = self._service.lineage_downstream(metastore_id, principal,
-                                                     asset)
-        elif direction == "upstream":
-            names = self._service.lineage_upstream(metastore_id, principal,
-                                                   asset)
-        else:
-            raise InvalidRequestError("direction must be upstream/downstream")
-        return 200, {"asset": asset, "direction": direction,
-                     "assets": sorted(names)}
+    # -- second-tier search service (not a registry endpoint) ------------------
 
     def _search_route(
         self, method: str, principal: str, params: dict, body: dict
@@ -364,37 +245,8 @@ class RestApi:
             ]
         }
 
-    def _resolve(
-        self, method: str, principal: str, params: dict, body: dict
-    ) -> tuple[int, dict]:
-        if method != "POST":
-            raise InvalidRequestError("resolve is POST-only")
-        metastore_id = self._metastore_id(params, body)
-        resolution = self._service.resolve_for_query(
-            metastore_id, principal,
-            list(body.get("tables", ())),
-            write_tables=tuple(body.get("write_tables", ())),
-            function_names=tuple(body.get("functions", ())),
-            include_credentials=bool(body.get("include_credentials", True)),
-            engine_trusted=body.get("engine_trusted"),
-        )
-        assets = {}
-        for name, asset in resolution.assets.items():
-            assets[name] = {
-                "entity": _entity_json(asset.entity),
-                "table_type": asset.table_type,
-                "format": asset.format,
-                "columns": asset.columns,
-                "storage_url": asset.storage_url,
-                "credential": (
-                    _credential_json(asset.credential)
-                    if asset.credential else None
-                ),
-                "fgac": asset.fgac.to_dict(),
-                "view_definition": asset.view_definition,
-                "dependencies": list(asset.dependencies),
-            }
-        return 200, {
-            "metastore_version": resolution.metastore_version,
-            "assets": assets,
-        }
+
+#: Backwards-compatible name: the hand-written router this replaced.
+RestApi = ServiceRouter
+
+__all__ = ["RestApi", "ServiceRouter", "TextResponse"]

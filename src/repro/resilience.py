@@ -23,10 +23,12 @@ active trace span with the attempt count.
 
 from __future__ import annotations
 
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from random import Random
-from typing import Callable, Optional, TypeVar
+from typing import Callable, Iterator, Optional, TypeVar
 
 from repro.clock import Clock
 from repro.errors import (
@@ -37,6 +39,37 @@ from repro.errors import (
 )
 
 T = TypeVar("T")
+
+
+_AMBIENT = threading.local()
+
+
+def ambient_deadline() -> Optional[float]:
+    """The absolute deadline of the request active on this thread.
+
+    Armed by the request pipeline's deadline interceptor; every
+    :class:`Retrier` (and the service's commit loop) consults it before
+    charging a backoff delay, so one request's retries across *all* its
+    dependencies share a single budget instead of overshooting it
+    component by component.
+    """
+    return getattr(_AMBIENT, "deadline", None)
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[float]) -> Iterator[None]:
+    """Arm ``deadline`` (absolute clock time) for the enclosed calls.
+
+    Nested scopes keep the tighter deadline; ``None`` is a no-op scope.
+    """
+    previous = getattr(_AMBIENT, "deadline", None)
+    if deadline is not None and previous is not None:
+        deadline = min(deadline, previous)
+    _AMBIENT.deadline = deadline if deadline is not None else previous
+    try:
+        yield
+    finally:
+        _AMBIENT.deadline = previous
 
 
 def charge(clock: Clock, seconds: float) -> None:
@@ -160,6 +193,14 @@ class Retrier:
                     raise DeadlineExceededError(
                         f"{self.component} deadline of {policy.deadline}s "
                         f"exhausted after {attempt} attempt(s): {pending}"
+                    ) from pending
+            request_deadline = ambient_deadline()
+            if request_deadline is not None:
+                if self._clock.now() + delay > request_deadline:
+                    self._give_up(attempt)
+                    raise DeadlineExceededError(
+                        f"{self.component}: request deadline exhausted "
+                        f"after {attempt} attempt(s): {pending}"
                     ) from pending
             self.retries += 1
             if self._retries_metric is not None:
@@ -312,5 +353,7 @@ __all__ = [
     "CircuitBreaker",
     "RetryPolicy",
     "Retrier",
+    "ambient_deadline",
     "charge",
+    "deadline_scope",
 ]

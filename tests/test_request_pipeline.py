@@ -1,0 +1,233 @@
+"""Request-pipeline behaviour: deadline propagation and audit-on-error.
+
+The pipeline's deadline interceptor arms an *ambient* deadline that
+every :class:`~repro.resilience.Retrier` and the kernel's optimistic
+commit loop consult before charging backoff — so a request that would
+otherwise sleep past its budget raises
+:class:`~repro.errors.DeadlineExceededError` (HTTP 504) instead of
+overshooting. The audit-commit interceptor guarantees that denied or
+errored requests leave an audit record with error status on both the
+in-process and the REST surfaces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core.model.entity import SecurableKind
+from repro.core.service.catalog_service import UnityCatalogService
+from repro.core.service.pipeline import current_context
+from repro.core.service.rest import ServiceRouter
+from repro.errors import (
+    DeadlineExceededError,
+    NotFoundError,
+    PermissionDeniedError,
+    TransientError,
+)
+from repro.faults import FaultInjector
+from repro.resilience import (
+    Retrier,
+    RetryPolicy,
+    ambient_deadline,
+    deadline_scope,
+)
+
+
+def _flaky_service(clock, base_delay=10.0, **kwargs):
+    """A service whose store commits fail transiently with big backoffs."""
+    injector = FaultInjector(clock, seed=3)
+    service = UnityCatalogService(
+        clock=clock, faults=injector,
+        retry_policy=RetryPolicy(max_attempts=6, base_delay=base_delay,
+                                 jitter=0.0),
+        **kwargs,
+    )
+    service.directory.add_user("admin")
+    mid = service.create_metastore("m", owner="admin").id
+    return service, injector, mid
+
+
+class TestDeadlinePropagation:
+    def test_pre_expired_deadline_fails_before_execution(self, clock):
+        service, injector, mid = _flaky_service(clock)
+        with pytest.raises(DeadlineExceededError, match="before execution"):
+            service.dispatch(
+                "create_securable", metastore_id=mid, principal="admin",
+                kind=SecurableKind.CATALOG, name="cat", _timeout=0.0,
+            )
+
+    def test_commit_backoff_respects_request_deadline(self, clock):
+        # backoff per transient failure is 10s, the request budget 1s:
+        # the commit loop must give up instead of charging the backoff
+        service, injector, mid = _flaky_service(clock, base_delay=10.0)
+        injector.fail_next("store.commit", count=5)
+        with pytest.raises(DeadlineExceededError, match="request deadline"):
+            service.dispatch(
+                "create_securable", metastore_id=mid, principal="admin",
+                kind=SecurableKind.CATALOG, name="cat", _timeout=1.0,
+            )
+        # and the clock never overshot the deadline
+        assert clock.now() <= 1.0
+
+    def test_without_deadline_retries_absorb_the_fault(self, clock):
+        service, injector, mid = _flaky_service(clock, base_delay=10.0)
+        injector.fail_next("store.commit", count=2)
+        entity = service.create_securable(
+            mid, "admin", SecurableKind.CATALOG, "cat")
+        assert entity.name == "cat"
+        assert clock.now() > 0.0  # backoff was charged, not refused
+
+    def test_service_default_request_timeout_applies(self, clock):
+        service, injector, mid = _flaky_service(
+            clock, base_delay=10.0, request_timeout=1.0)
+        injector.fail_next("store.commit", count=5)
+        with pytest.raises(DeadlineExceededError):
+            service.create_securable(mid, "admin", SecurableKind.CATALOG,
+                                     "cat")
+
+    def test_rest_timeout_param_maps_to_504(self, clock):
+        service, injector, mid = _flaky_service(clock, base_delay=10.0)
+        injector.fail_next("store.commit", count=5)
+        router = ServiceRouter(service)
+        status, body = router.handle(
+            "POST", "/api/2.1/unity-catalog/catalogs", principal="admin",
+            params={"timeout": "1.0"},
+            body={"metastore": "m", "name": "cat"},
+        )
+        assert status == 504
+        assert body["error_code"] == "DEADLINE_EXCEEDED"
+
+    def test_deadline_outlives_fault_when_budget_allows(self, clock):
+        # a generous budget lets the same fault sequence succeed
+        service, injector, mid = _flaky_service(clock, base_delay=0.1)
+        injector.fail_next("store.commit", count=2)
+        entity = service.dispatch(
+            "create_securable", metastore_id=mid, principal="admin",
+            kind=SecurableKind.CATALOG, name="cat", _timeout=60.0,
+        )
+        assert entity.name == "cat"
+
+    def test_retrier_honours_ambient_deadline(self, clock):
+        retrier = Retrier(
+            RetryPolicy(max_attempts=10, base_delay=5.0, jitter=0.0),
+            clock, component="storage",
+        )
+
+        def always_fails():
+            raise TransientError("nope")
+
+        with deadline_scope(clock.now() + 1.0):
+            with pytest.raises(DeadlineExceededError, match="storage"):
+                retrier.call(always_fails)
+        assert ambient_deadline() is None  # scope restored
+
+    def test_nested_deadline_scopes_keep_the_tighter_one(self, clock):
+        with deadline_scope(clock.now() + 100.0):
+            with deadline_scope(clock.now() + 1.0):
+                assert ambient_deadline() == clock.now() + 1.0
+            assert ambient_deadline() == clock.now() + 100.0
+
+
+class TestAuditOnError:
+    def test_denied_read_is_audited_with_denial(self, service, metastore_id):
+        service.create_securable(metastore_id, "alice", SecurableKind.CATALOG,
+                                 "sales")
+        before = len(service.audit)
+        with pytest.raises(PermissionDeniedError):
+            service.get_securable(metastore_id, "bob", SecurableKind.CATALOG,
+                                  "sales")
+        records = list(service.audit)[before:]
+        assert records, "denied request left no audit trace"
+        assert records[-1].allowed is False
+        assert records[-1].principal == "bob"
+
+    def test_error_before_any_decision_is_audited(self, service, metastore_id):
+        before = len(service.audit)
+        with pytest.raises(NotFoundError):
+            service.get_securable(metastore_id, "alice", SecurableKind.TABLE,
+                                  "no.such.table")
+        records = list(service.audit)[before:]
+        assert len(records) == 1
+        record = records[0]
+        assert record.allowed is False
+        assert record.action == "get_securable"
+        assert record.securable == "no.such.table"
+        assert record.details["error"] == "RESOURCE_DOES_NOT_EXIST"
+
+    def test_rest_denial_is_audited_identically(self, service, metastore_id):
+        service.create_securable(metastore_id, "alice", SecurableKind.CATALOG,
+                                 "sales")
+        router = ServiceRouter(service)
+        before = len(service.audit)
+        status, body = router.handle(
+            "GET", "/api/2.1/unity-catalog/catalogs/sales", principal="bob",
+            params={"metastore": "main"},
+        )
+        assert status == 403
+        records = list(service.audit)[before:]
+        assert records and records[-1].allowed is False
+        assert records[-1].principal == "bob"
+
+    def test_rest_error_before_decision_is_audited(self, service, metastore_id):
+        router = ServiceRouter(service)
+        before = len(service.audit)
+        status, body = router.handle(
+            "GET", "/api/2.1/unity-catalog/tables/no.such.table",
+            principal="alice", params={"metastore": "main"},
+        )
+        assert status == 404
+        records = list(service.audit)[before:]
+        assert len(records) == 1
+        assert records[0].allowed is False
+        assert records[0].details["error"] == "RESOURCE_DOES_NOT_EXIST"
+
+    def test_success_emits_no_extra_error_record(self, service, metastore_id):
+        service.create_securable(metastore_id, "alice", SecurableKind.CATALOG,
+                                 "sales")
+        before = len(service.audit)
+        service.get_securable(metastore_id, "alice", SecurableKind.CATALOG,
+                              "sales")
+        records = list(service.audit)[before:]
+        # exactly the authorization decision, nothing appended on top
+        assert len(records) == 1
+        assert records[0].allowed is True
+
+
+class TestPipelineDispatch:
+    def test_unknown_endpoint_raises(self, service):
+        with pytest.raises(NotFoundError, match="no such endpoint"):
+            service.dispatch("frobnicate")
+
+    def test_context_is_cleared_after_dispatch(self, service, metastore_id):
+        service.create_securable(metastore_id, "alice", SecurableKind.CATALOG,
+                                 "sales")
+        assert current_context() is None
+
+    def test_context_is_cleared_after_error(self, service, metastore_id):
+        with pytest.raises(NotFoundError):
+            service.get_securable(metastore_id, "alice", SecurableKind.TABLE,
+                                  "no.such.table")
+        assert current_context() is None
+
+    def test_metric_names_are_stable(self, service, metastore_id):
+        service.create_securable(metastore_id, "alice", SecurableKind.CATALOG,
+                                 "sales")
+        rendered = service.obs.metrics.render()
+        assert 'uc_api_requests_total{api="create_securable"}' in rendered
+        assert "uc_api_latency_seconds" in rendered
+        with pytest.raises(NotFoundError):
+            service.get_securable(metastore_id, "alice", SecurableKind.TABLE,
+                                  "nope.nope.nope")
+        rendered = service.obs.metrics.render()
+        assert 'uc_api_errors_total{api="get_securable"}' in rendered
+
+    def test_every_rest_route_comes_from_the_registry(self, service):
+        # the route table is generated: each candidate maps back to a
+        # registered descriptor carrying that binding
+        routes = service.api_registry.rest_routes()
+        assert routes
+        for key, candidates in routes.items():
+            for binding, descriptor in candidates:
+                assert binding in descriptor.rest
+                assert service.api_registry.get(descriptor.name) is descriptor

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Architecture lint for the service layer (fails CI on layering breaks).
+
+The request-pipeline refactor established hard layering rules:
+
+1. **Domain modules are islands.** A domain service under
+   ``repro.core.service.domains`` may depend on the kernel,
+   the registry/pipeline infrastructure, and the model/auth/persistence
+   layers — but never on a *sibling* domain, the facade, or the REST
+   router. Cross-domain needs must go through the kernel or the
+   registry.
+2. **The kernel points strictly inward.** ``kernel.py`` must not import
+   domain modules, the facade, or the router.
+3. **The REST router stays generic.** ``rest.py`` must not import domain
+   modules or the facade, must not define per-endpoint marshalling
+   helpers (``_bind_*`` / ``_render_*`` belong next to the endpoint in
+   its domain module), and must not name registry endpoints in string
+   literals — its route table is *generated* from the registry, so any
+   hard-coded endpoint name means business logic is creeping back in.
+
+Run from the repository root::
+
+    python tools/arch_lint.py
+
+Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SERVICE = REPO / "src" / "repro" / "core" / "service"
+DOMAINS = SERVICE / "domains"
+
+DOMAINS_PKG = "repro.core.service.domains"
+FACADE_MOD = "repro.core.service.catalog_service"
+REST_MOD = "repro.core.service.rest"
+
+
+def _parse(path: Path) -> ast.Module:
+    return ast.parse(path.read_text(), filename=str(path))
+
+
+def _module_name(path: Path) -> str:
+    relative = path.relative_to(REPO / "src").with_suffix("")
+    return ".".join(relative.parts)
+
+
+def imported_modules(tree: ast.Module, importer: str) -> set[str]:
+    """Fully qualified module names imported anywhere in the file."""
+    found: set[str] = set()
+    package_parts = importer.split(".")[:-1]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                found.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # resolve `from . import x` style imports
+                base = ".".join(package_parts[: len(package_parts)
+                                              - node.level + 1])
+            else:
+                base = node.module or ""
+            if node.level and node.module:
+                base = f"{base}.{node.module}" if base else node.module
+            if base:
+                found.add(base)
+            for alias in node.names:
+                found.add(f"{base}.{alias.name}" if base else alias.name)
+    return found
+
+
+def _violates(imports: set[str], forbidden: str) -> bool:
+    return any(
+        name == forbidden or name.startswith(forbidden + ".")
+        for name in imports
+    )
+
+
+def check_domain_isolation() -> list[str]:
+    """Rule 1: no domain imports a sibling domain, the facade, or rest."""
+    errors = []
+    modules = sorted(
+        p for p in DOMAINS.glob("*.py") if p.name != "__init__.py"
+    )
+    for path in modules:
+        importer = _module_name(path)
+        imports = imported_modules(_parse(path), importer)
+        for sibling in modules:
+            sibling_mod = _module_name(sibling)
+            if sibling_mod == importer:
+                continue
+            if _violates(imports, sibling_mod):
+                errors.append(
+                    f"{path.relative_to(REPO)}: domain imports sibling "
+                    f"domain {sibling_mod} — route through the kernel or "
+                    "registry instead"
+                )
+        for forbidden in (FACADE_MOD, REST_MOD):
+            if _violates(imports, forbidden):
+                errors.append(
+                    f"{path.relative_to(REPO)}: domain imports outer "
+                    f"layer {forbidden}"
+                )
+    return errors
+
+
+def check_kernel_points_inward() -> list[str]:
+    """Rule 2: the kernel never imports domains, the facade, or rest."""
+    errors = []
+    path = SERVICE / "kernel.py"
+    imports = imported_modules(_parse(path), _module_name(path))
+    for forbidden in (DOMAINS_PKG, FACADE_MOD, REST_MOD):
+        if _violates(imports, forbidden):
+            errors.append(
+                f"{path.relative_to(REPO)}: kernel imports outer layer "
+                f"{forbidden} — dependencies must point strictly inward"
+            )
+    return errors
+
+
+def _registered_endpoint_names() -> set[str]:
+    """Endpoint names declared by the domain modules, read via AST (the
+    lint must not import the code it is judging)."""
+    names: set[str] = set()
+    for path in DOMAINS.glob("*.py"):
+        for node in ast.walk(_parse(path)):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "EndpointDescriptor"
+            ):
+                for keyword in node.keywords:
+                    if keyword.arg == "name" and isinstance(
+                        keyword.value, ast.Constant
+                    ):
+                        names.add(keyword.value.value)
+    return names
+
+
+def check_rest_stays_generic() -> list[str]:
+    """Rule 3: rest.py has no per-endpoint business logic."""
+    errors = []
+    path = SERVICE / "rest.py"
+    tree = _parse(path)
+    imports = imported_modules(tree, _module_name(path))
+    for forbidden in (DOMAINS_PKG, FACADE_MOD):
+        if _violates(imports, forbidden):
+            errors.append(
+                f"{path.relative_to(REPO)}: router imports {forbidden} — "
+                "marshalling belongs in the domain's RestBinding"
+            )
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.startswith(("_bind_", "_render_")):
+                errors.append(
+                    f"{path.relative_to(REPO)}:{node.lineno}: per-endpoint "
+                    f"marshalling helper {node.name!r} in the router — move "
+                    "it next to its EndpointDescriptor"
+                )
+    endpoint_names = _registered_endpoint_names()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if node.value in endpoint_names:
+                errors.append(
+                    f"{path.relative_to(REPO)}:{node.lineno}: endpoint name "
+                    f"{node.value!r} hard-coded in the router — routes are "
+                    "generated from the registry"
+                )
+    return errors
+
+
+def run() -> list[str]:
+    errors = []
+    errors += check_domain_isolation()
+    errors += check_kernel_points_inward()
+    errors += check_rest_stays_generic()
+    return errors
+
+
+def main() -> int:
+    errors = run()
+    if errors:
+        print(f"architecture lint: {len(errors)} violation(s)")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print("architecture lint: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
