@@ -1,0 +1,401 @@
+"""Read-throughput scale-out benchmark (``python -m repro.bench.scaleout``).
+
+Drives the same catalog-local query workload against
+:class:`~repro.core.cluster.CatalogCluster` instances of 1, 2, 4 and 8
+shards on simulated time. Catalogs are placed round-robin across shards
+with the online rebalancer (so the hash function's placement luck never
+decides the result), and each shard is modelled as a FIFO CPU server
+plus a capacity-limited DB server: per-request costs come from
+*measured* work deltas on the owning shard (authorization evaluations,
+grant/policy rows scanned, store reads), exactly like the hotpath bench.
+
+A single shard saturates its CPU server; adding shards splits the
+catalogs — and therefore the measured work — across servers, so
+throughput should scale near-linearly until the client population stops
+saturating the fleet. A small scatter fraction (cross-shard
+``list_securables``) keeps the fan-out path honest.
+
+The run is deterministic end to end: same seed → byte-identical report.
+``--check`` runs everything twice and fails on divergence, or when
+8-shard read throughput is less than 3x the single shard's.
+
+``run_scaleout`` is importable for the chaos determinism suite, which
+re-runs the 4-shard mode at a 10% injected fault rate and requires zero
+user-visible errors (dark-shard reads degrade to the router's
+last-known-good cache instead of failing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from random import Random
+from typing import Any, Optional
+
+from repro.bench.latency import DbServerModel, LatencyModel
+from repro.bench.loadgen import run_closed_loop
+from repro.clock import SimClock
+from repro.core.auth.privileges import Privilege
+from repro.core.cluster import CatalogCluster
+from repro.core.model.entity import SecurableKind
+from repro.errors import UnityCatalogError
+from repro.faults import FaultInjector
+from repro.obs import Observability
+
+MODEL = LatencyModel()
+#: fixed per-request service CPU (parsing, marshalling, response build) —
+#: the floor that bounds a single shard's throughput
+BASE_REQUEST_CPU = 0.0001
+DB_CAPACITY_QPS = 20_000.0
+
+ADMIN = "admin"
+READER = "alice"
+CATALOGS = 8
+SCHEMAS_PER_CATALOG = 2
+TABLES_PER_SCHEMA = 3
+QUERY_SETS_PER_CATALOG = 6
+TABLES_PER_QUERY = 3
+SCATTER_FRACTION = 0.05
+
+
+class _ShardServer:
+    """One shard's simulated capacity: a FIFO CPU ahead of its DB."""
+
+    def __init__(self):
+        self.cpu_free = 0.0
+        self.db = DbServerModel(
+            MODEL, capacity_qps=DB_CAPACITY_QPS,
+            response_floor=MODEL.db_point_read,
+        )
+        self.requests = 0
+
+    def submit(self, now: float, cpu: float, queries: int,
+               scan_rows: int) -> float:
+        self.requests += 1
+        start = max(now, self.cpu_free)
+        self.cpu_free = start + cpu
+        done = self.cpu_free
+        if queries or scan_rows:
+            done = self.db.submit(done, queries=queries, scan_rows=scan_rows)
+        return done
+
+
+def _work_snapshot(service) -> tuple:
+    auth = service.authorizer
+    store = service.store
+    return (
+        auth.evaluations,
+        auth.identity_expansions,
+        auth.grant_rows_examined + auth.policy_rows_examined,
+        store.read_count + getattr(store, "multi_get_count", 0),
+        store.scan_row_count,
+    )
+
+
+def _work_cost(before: tuple, after: tuple) -> tuple[float, int, int]:
+    """(cpu seconds, db queries, db scan rows) from two work snapshots."""
+    evals = after[0] - before[0]
+    expands = after[1] - before[1]
+    rows = after[2] - before[2]
+    queries = after[3] - before[3]
+    scans = after[4] - before[4]
+    cpu = (BASE_REQUEST_CPU
+           + (evals + expands) * MODEL.auth_check
+           + rows * MODEL.cache_probe)
+    return cpu, queries, scans
+
+
+def _build_cluster(shards: int, seed: int,
+                   breaker_reset_timeout: float) -> tuple:
+    """A governed namespace spread round-robin across ``shards`` shards."""
+    clock = SimClock()
+    obs = Observability(clock=clock)
+    faults = FaultInjector(clock, seed=seed, metrics=obs.metrics)
+    cluster = CatalogCluster(
+        shards, clock=clock, obs=obs, faults=faults,
+        read_version_check=False,
+        breaker_reset_timeout=breaker_reset_timeout,
+    )
+    directory = cluster.directory
+    directory.add_user(ADMIN)
+    directory.add_user(READER)
+    directory.add_group("analysts")
+    directory.add_member("analysts", READER)
+
+    mid = cluster.create_metastore("scalebench", owner=ADMIN).id
+    catalog_names = [f"cat{c}" for c in range(CATALOGS)]
+    for index, catalog in enumerate(catalog_names):
+        cluster.dispatch("create_securable", metastore_id=mid,
+                         principal=ADMIN, kind=SecurableKind.CATALOG,
+                         name=catalog)
+        # balanced placement via the online rebalancer, not hash luck
+        cluster.migrate_catalog(
+            mid, catalog, f"shard-{index % shards}"
+        ).run()
+        cluster.dispatch("grant", metastore_id=mid, principal=ADMIN,
+                         kind=SecurableKind.CATALOG, name=catalog,
+                         grantee="analysts", privilege=Privilege.USE_CATALOG)
+        for s in range(SCHEMAS_PER_CATALOG):
+            schema = f"{catalog}.s{s}"
+            cluster.dispatch("create_securable", metastore_id=mid,
+                             principal=ADMIN, kind=SecurableKind.SCHEMA,
+                             name=schema)
+            cluster.dispatch("grant", metastore_id=mid, principal=ADMIN,
+                             kind=SecurableKind.SCHEMA, name=schema,
+                             grantee="analysts", privilege=Privilege.USE_SCHEMA)
+            for t in range(TABLES_PER_SCHEMA):
+                table = f"{schema}.t{t}"
+                cluster.dispatch(
+                    "create_securable", metastore_id=mid, principal=ADMIN,
+                    kind=SecurableKind.TABLE, name=table,
+                    spec={
+                        "table_type": "MANAGED",
+                        "format": "DELTA",
+                        "columns": [{"name": "id", "type": "BIGINT"},
+                                    {"name": "v", "type": "STRING"}],
+                    },
+                )
+                cluster.dispatch("grant", metastore_id=mid, principal=ADMIN,
+                                 kind=SecurableKind.TABLE, name=table,
+                                 grantee="analysts",
+                                 privilege=Privilege.SELECT)
+
+    rng = Random(seed)
+    table_names = {
+        catalog: [
+            f"{catalog}.s{s}.t{t}"
+            for s in range(SCHEMAS_PER_CATALOG)
+            for t in range(TABLES_PER_SCHEMA)
+        ]
+        for catalog in catalog_names
+    }
+    query_sets = {
+        catalog: [
+            sorted(rng.sample(names, TABLES_PER_QUERY))
+            for _ in range(QUERY_SETS_PER_CATALOG)
+        ]
+        for catalog, names in table_names.items()
+    }
+    return cluster, mid, catalog_names, query_sets, faults
+
+
+def _warm(cluster, mid: str, catalog_names, query_sets) -> None:
+    """Touch every query shape once: warms node/fast-path caches and the
+    router's last-known-good cache, so later dark-shard reads degrade."""
+    for catalog in catalog_names:
+        for names in query_sets[catalog]:
+            cluster.dispatch("resolve_for_query", metastore_id=mid,
+                             principal=READER, table_names=names,
+                             include_credentials=False)
+    cluster.dispatch("list_securables", metastore_id=mid, principal=READER,
+                     kind=SecurableKind.CATALOG)
+
+
+def run_mode(
+    shards: int,
+    seed: int,
+    *,
+    clients: int = 48,
+    duration: float = 0.3,
+    fault_rate: float = 0.0,
+    breaker_reset_timeout: float = 0.5,
+) -> dict[str, Any]:
+    """One cluster size: build, rebalance, warm, drive the closed loop."""
+    cluster, mid, catalog_names, query_sets, faults = _build_cluster(
+        shards, seed, breaker_reset_timeout
+    )
+    _warm(cluster, mid, catalog_names, query_sets)
+    if fault_rate > 0:
+        # setup and warmup ran clean; degrade the shard dispatch path now
+        for shard in cluster.shards:
+            faults.inject(f"shard.{shard.name}.dispatch", fault_rate,
+                          kind="throttle")
+
+    servers = {shard.name: _ShardServer() for shard in cluster.shards}
+    rng = Random(seed ^ 0x5CA1E)
+    clock = cluster.clock
+    state = {"i": 0, "errors": 0}
+
+    def request(now: float) -> float:
+        i = state["i"]
+        state["i"] = i + 1
+        drift0 = clock.now()
+        if rng.random() < SCATTER_FRACTION:
+            before = {
+                name: _work_snapshot(shard.service)
+                for name, shard in cluster._by_name.items()
+            }
+            try:
+                cluster.dispatch("list_securables", metastore_id=mid,
+                                 principal=READER,
+                                 kind=SecurableKind.CATALOG)
+            except UnityCatalogError:
+                state["errors"] += 1
+                return now + MODEL.network_rtt
+            drift = clock.now() - drift0
+            done = now
+            for name, shard in cluster._by_name.items():
+                cpu, queries, scans = _work_cost(
+                    before[name], _work_snapshot(shard.service)
+                )
+                done = max(done, servers[name].submit(
+                    now + MODEL.network_rtt, cpu, queries, scans
+                ))
+            return done + drift
+        catalog = catalog_names[i % len(catalog_names)]
+        names = query_sets[catalog][i % QUERY_SETS_PER_CATALOG]
+        owner = cluster.router.owner_for(mid, catalog)
+        service = cluster.shard_named(owner).service
+        before = _work_snapshot(service)
+        try:
+            cluster.dispatch("resolve_for_query", metastore_id=mid,
+                             principal=READER, table_names=names,
+                             include_credentials=False)
+        except UnityCatalogError:
+            state["errors"] += 1
+            return now + MODEL.network_rtt
+        drift = clock.now() - drift0
+        cpu, queries, scans = _work_cost(before, _work_snapshot(service))
+        return servers[owner].submit(
+            now + MODEL.network_rtt, cpu, queries, scans
+        ) + drift
+
+    result = run_closed_loop(clients, duration, request,
+                             warmup=duration * 0.2)
+    summary = result.latency_summary()
+    snapshot = cluster.obs.metrics.snapshot()
+    stale_reads = sum(
+        value for key, value in snapshot.items()
+        if key.startswith("uc_shard_stale_reads_total")
+    )
+    return {
+        "shards": shards,
+        "completed": result.completed,
+        "throughput_qps": result.throughput,
+        "p50_ms": summary["p50"] * 1000,
+        "p99_ms": summary["p99"] * 1000,
+        "mean_ms": summary["mean"] * 1000,
+        "user_errors": state["errors"],
+        "stale_reads": stale_reads,
+        "per_shard_requests": {
+            name: server.requests for name, server in servers.items()
+        },
+        "faults_injected": sum(
+            value for key, value in snapshot.items()
+            if key.startswith("uc_faults_injected_total")
+        ),
+    }
+
+
+def run_scaleout(
+    seed: int = 11,
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8),
+    *,
+    clients: int = 48,
+    duration: float = 0.3,
+    fault_rate: float = 0.0,
+    breaker_reset_timeout: float = 0.5,
+) -> dict[str, Any]:
+    """The full sweep; the returned report is byte-stable per seed."""
+    report: dict[str, Any] = {
+        "bench": "scaleout",
+        "config": {
+            "seed": seed,
+            "shard_counts": list(shard_counts),
+            "clients": clients,
+            "duration_s": duration,
+            "fault_rate": fault_rate,
+            "catalogs": CATALOGS,
+            "schemas_per_catalog": SCHEMAS_PER_CATALOG,
+            "tables_per_schema": TABLES_PER_SCHEMA,
+            "tables_per_query": TABLES_PER_QUERY,
+            "scatter_fraction": SCATTER_FRACTION,
+            "base_request_cpu_s": BASE_REQUEST_CPU,
+            "db_capacity_qps": DB_CAPACITY_QPS,
+        },
+        "modes": {},
+    }
+    for shards in shard_counts:
+        report["modes"][str(shards)] = run_mode(
+            shards, seed, clients=clients, duration=duration,
+            fault_rate=fault_rate,
+            breaker_reset_timeout=breaker_reset_timeout,
+        )
+    base = report["modes"][str(shard_counts[0])]["throughput_qps"]
+    report["scaling"] = {
+        str(shards): (
+            report["modes"][str(shards)]["throughput_qps"] / base
+            if base else float("inf")
+        )
+        for shards in shard_counts
+    }
+    top = str(max(shard_counts))
+    report["checks"] = {
+        "linear_scaling_ok": report["scaling"][top] >= 3.0,
+        "zero_user_errors": all(
+            mode["user_errors"] == 0 for mode in report["modes"].values()
+        ),
+    }
+    return report
+
+
+def fingerprint(report: dict[str, Any]) -> str:
+    return json.dumps(report, sort_keys=True)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.scaleout", description=__doc__
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4, 8])
+    parser.add_argument("--clients", type=int, default=48)
+    parser.add_argument("--duration", type=float, default=0.3,
+                        help="simulated seconds per closed-loop run")
+    parser.add_argument("--fault-rate", type=float, default=0.0)
+    parser.add_argument("--out", default="BENCH_scaleout.json")
+    parser.add_argument("--check", action="store_true",
+                        help="run twice; fail on scaling or determinism")
+    args = parser.parse_args(argv)
+
+    report = run_scaleout(
+        args.seed, tuple(args.shards), clients=args.clients,
+        duration=args.duration, fault_rate=args.fault_rate,
+    )
+    deterministic = None
+    if args.check:
+        second = run_scaleout(
+            args.seed, tuple(args.shards), clients=args.clients,
+            duration=args.duration, fault_rate=args.fault_rate,
+        )
+        deterministic = fingerprint(report) == fingerprint(second)
+        report["checks"]["deterministic"] = deterministic
+
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    for shards in args.shards:
+        mode = report["modes"][str(shards)]
+        print(f"{shards:>2} shard(s): {mode['throughput_qps']:>10,.0f} req/s"
+              f"  p50 {mode['p50_ms']:.3f} ms  p99 {mode['p99_ms']:.3f} ms"
+              f"  scaling {report['scaling'][str(shards)]:.2f}x"
+              f"  errors {mode['user_errors']}")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        failed = [name for name, ok in report["checks"].items() if not ok]
+        if failed:
+            print(f"CHECK FAILED: {', '.join(failed)}", file=sys.stderr)
+            return 1
+        print("checks OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

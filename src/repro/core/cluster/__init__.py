@@ -1,0 +1,27 @@
+"""Sharded catalog cluster: routing, two-phase commit, rebalancing."""
+
+from repro.core.cluster.cluster import CatalogCluster, ShardNode
+from repro.core.cluster.rebalance import (
+    CatalogMigration,
+    SubtreeExport,
+    export_subtree,
+)
+from repro.core.cluster.routing import ShardRouter, route_key
+from repro.core.cluster.twophase import (
+    CatalogMove,
+    TwoPhaseCoordinator,
+    TxnRecord,
+)
+
+__all__ = [
+    "CatalogCluster",
+    "CatalogMigration",
+    "CatalogMove",
+    "ShardNode",
+    "ShardRouter",
+    "SubtreeExport",
+    "TwoPhaseCoordinator",
+    "TxnRecord",
+    "export_subtree",
+    "route_key",
+]

@@ -1,0 +1,451 @@
+"""A sharded Unity Catalog cluster.
+
+``CatalogCluster`` partitions securables across N shard nodes by
+**catalog**: a securable's route key is the first segment of its full
+name, hashed through the best-effort sharding directory (rendezvous
+hashing + explicit pins). Each shard is a complete
+:class:`~repro.core.service.catalog_service.UnityCatalogService` with
+its own metadata store, cache node and fast-path caches; the cluster
+owns what spans shards:
+
+* **routing** — every endpoint declares its placement via the
+  :class:`~repro.core.service.registry.ClusterBinding` on its
+  descriptor; the cluster interprets the resulting
+  :class:`~repro.core.service.registry.RouteDecision` generically
+  (single shard, home, scatter-gather, broadcast, probe, partition,
+  catalog move);
+* **replication** — metastore-scope state (the metastore root,
+  credentials, locations, connections, shares, recipients, lineage,
+  metastore-scope policies) is broadcast to every shard under the
+  two-phase coordinator, so each shard can validate and authorize
+  locally;
+* **degradation** — every shard sits behind a circuit breaker; when a
+  shard goes dark, ``stale_ok`` reads fall back to the router's
+  last-known-good response cache instead of erroring, while writes fail
+  fast with the breaker's retryable error;
+* **invalidation** — after any cross-shard mutation the cluster relays
+  the involved shards' change events onto a cluster-wide bus and drops
+  the stale-read entries for those shards.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from repro.clock import Clock, SimClock
+from repro.cloudstore.object_store import ObjectStore
+from repro.cloudstore.sts import StsTokenIssuer
+from repro.core.auth.principals import PrincipalDirectory
+from repro.core.events import ChangeEventBus
+from repro.core.model.entity import Entity, new_entity_id
+from repro.core.persistence.store import MetadataStore, Tables
+from repro.core.service.catalog_service import UnityCatalogService
+from repro.core.service.registry import (
+    ClusterBinding,
+    EndpointDescriptor,
+    RouteDecision,
+)
+from repro.errors import CircuitOpenError, InvalidRequestError, TransientError
+from repro.obs import Observability
+from repro.resilience import CircuitBreaker, Retrier, RetryPolicy
+
+from .rebalance import CatalogMigration
+from .routing import ShardRouter
+from .twophase import CatalogMove, TwoPhaseCoordinator
+
+
+def _freeze(value: Any) -> Any:
+    """A hashable rendering of request params (stale-read cache keys)."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(repr(v) for v in value))
+    try:
+        hash(value)
+    except TypeError:
+        return repr(value)
+    return value
+
+
+class ShardNode:
+    """One shard: a full catalog service behind a circuit breaker."""
+
+    __slots__ = ("name", "service", "breaker")
+
+    def __init__(self, name: str, service: UnityCatalogService,
+                 breaker: CircuitBreaker):
+        self.name = name
+        self.service = service
+        self.breaker = breaker
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardNode({self.name!r})"
+
+
+class CatalogCluster:
+    """N catalog shards behind one request router."""
+
+    def __init__(
+        self,
+        shard_count: int = 1,
+        *,
+        clock: Optional[Clock] = None,
+        store_factory: Optional[Callable[[int], MetadataStore]] = None,
+        directory: Optional[PrincipalDirectory] = None,
+        obs: Optional[Observability] = None,
+        faults=None,
+        retry_policy: Optional[RetryPolicy] = None,
+        enable_cache: bool = True,
+        enable_fast_path: Optional[bool] = None,
+        read_version_check: bool = False,
+        request_timeout: Optional[float] = None,
+        breaker_failure_threshold: int = 3,
+        breaker_reset_timeout: float = 30.0,
+    ):
+        if shard_count < 1:
+            raise InvalidRequestError("shard_count must be >= 1")
+        self.clock = clock or SimClock()
+        self.obs = obs or Observability(clock=self.clock)
+        self.faults = faults
+        self.directory = directory or PrincipalDirectory()
+        self.retry_policy = retry_policy or RetryPolicy()
+        metrics = self.obs.metrics
+        # shared dependencies: one object store and one STS issuer, so a
+        # subtree migrated between shards keeps governing the same data
+        self.object_store = ObjectStore(faults=faults)
+        self.sts = StsTokenIssuer(
+            clock=self.clock, faults=faults,
+            retrier=Retrier(self.retry_policy, self.clock, metrics=metrics,
+                            tracer=self.obs.tracer, component="sts",
+                            seed=0x57A7),
+        )
+        self._shards: list[ShardNode] = []
+        for index in range(shard_count):
+            name = f"shard-{index}"
+            store = store_factory(index) if store_factory is not None else None
+            service = UnityCatalogService(
+                store=store,
+                directory=self.directory,
+                clock=self.clock,
+                object_store=self.object_store,
+                sts=self.sts,
+                obs=Observability(clock=self.clock),
+                retry_policy=self.retry_policy,
+                faults=faults,
+                enable_cache=enable_cache,
+                enable_fast_path=enable_fast_path,
+                read_version_check=read_version_check,
+                request_timeout=request_timeout,
+            )
+            breaker = CircuitBreaker(
+                self.clock,
+                failure_threshold=breaker_failure_threshold,
+                reset_timeout=breaker_reset_timeout,
+                metrics=metrics,
+                name=f"shard.{name}",
+                failure_types=(TransientError,),
+            )
+            self._shards.append(ShardNode(name, service, breaker))
+        self._by_name = {shard.name: shard for shard in self._shards}
+        self.router = ShardRouter([shard.name for shard in self._shards])
+        self.coordinator = TwoPhaseCoordinator(self.clock, metrics=metrics)
+        self.events = ChangeEventBus()
+        #: last-known-good responses for ``stale_ok`` reads, keyed by
+        #: (shard, api, frozen params); consulted only when the owning
+        #: shard is dark
+        self._stale: dict[tuple, Any] = {}
+        # a dedicated retrier so shard-dispatch retry jitter never
+        # perturbs the shards' own storage/STS retry streams
+        self._retrier = Retrier(self.retry_policy, self.clock,
+                                metrics=metrics, tracer=self.obs.tracer,
+                                component="shard", seed=0x5AAD)
+        self._requests = metrics.counter(
+            "uc_shard_requests_total",
+            "Requests dispatched to shards, by shard and routing mode.",
+            ("shard", "mode"),
+        )
+        self._fanout = metrics.counter(
+            "uc_shard_fanout_total",
+            "Requests fanned out to multiple shards, by routing mode.",
+            ("mode",),
+        )
+        self._stale_reads = metrics.counter(
+            "uc_shard_stale_reads_total",
+            "Reads served from the last-known-good cache (shard dark).",
+            ("shard",),
+        )
+        self._invalidations = metrics.counter(
+            "uc_shard_invalidation_events_total",
+            "Cross-shard invalidation events relayed, by source shard.",
+            ("shard",),
+        )
+        self._migration_stages = metrics.counter(
+            "uc_shard_migrations_total",
+            "Rebalance migration steps completed, by stage.",
+            ("stage",),
+        )
+        metrics.register_collector(self._collect_placement)
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+
+    @property
+    def shards(self) -> list[ShardNode]:
+        return list(self._shards)
+
+    @property
+    def home(self) -> ShardNode:
+        """The home shard: metastore-scope reads are answered here."""
+        return self._shards[0]
+
+    def shard_named(self, name: str) -> ShardNode:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise InvalidRequestError(f"no such shard: {name}")
+
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def metastore_id(self, name: str) -> str:
+        return self.home.service.metastore_id(name)
+
+    def count_migration_stage(self, stage: str) -> None:
+        self._migration_stages.labels(stage=stage).inc()
+
+    def _collect_placement(self) -> Iterator[tuple[str, dict, float]]:
+        """Scrape-time export: active catalogs resident on each shard."""
+        for shard in self._shards:
+            count = 0
+            for mid in shard.service.metastore_ids():
+                snapshot = shard.service.store.snapshot(mid)
+                count += sum(
+                    1 for _, value in snapshot.scan(Tables.ENTITIES)
+                    if value.get("kind") == "CATALOG"
+                    and value.get("state") == "ACTIVE"
+                )
+            yield ("uc_shard_catalogs", {"shard": shard.name}, float(count))
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def dispatch(self, api: str, **params: Any) -> Any:
+        """Route one endpoint call to the shard(s) that own its state."""
+        descriptor = self.home.service.api_registry.get(api)
+        binding = descriptor.cluster
+        decision = binding.plan(params) if binding is not None \
+            else RouteDecision.home()
+        with self.obs.tracer.span("uc.shard.dispatch", api=api,
+                                  mode=decision.kind):
+            if decision.kind == "home":
+                return self._single(self.home, descriptor, binding, params,
+                                    mode="home")
+            if decision.kind == "catalog":
+                shard = self._shard_for_key(params["metastore_id"],
+                                            decision.key,
+                                            write=descriptor.mutation)
+                return self._single(shard, descriptor, binding, params,
+                                    mode="catalog")
+            if decision.kind == "scatter":
+                return self._scatter(descriptor, binding, params, decision)
+            if decision.kind == "broadcast":
+                return self._broadcast(descriptor, binding, params)
+            if decision.kind == "probe":
+                return self._probe(descriptor, binding, params, decision)
+            if decision.kind == "partition":
+                return self._partition(descriptor, binding, params, decision)
+            if decision.kind == "move":
+                return CatalogMove(
+                    self, params["metastore_id"], params["principal"],
+                    decision.key, decision.new_key,
+                ).execute()
+            raise InvalidRequestError(
+                f"unknown route decision: {decision.kind}"
+            )  # pragma: no cover - registry invariant
+
+    def _shard_for_key(self, metastore_id: str, key: str,
+                       write: bool) -> ShardNode:
+        if write:
+            return self.shard_named(
+                self.router.resolve_for_write(metastore_id, key)
+            )
+        return self.shard_named(self.router.owner_for(metastore_id, key))
+
+    def _single(self, shard: ShardNode, descriptor: EndpointDescriptor,
+                binding: Optional[ClusterBinding], params: dict,
+                mode: str) -> Any:
+        """Dispatch to one shard through its breaker; ``stale_ok`` reads
+        degrade to the last-known-good response when the shard is dark."""
+        self._requests.labels(shard=shard.name, mode=mode).inc()
+
+        def attempt():
+            if self.faults is not None:
+                self.faults.raise_for(f"shard.{shard.name}.dispatch")
+            return shard.service.dispatch(descriptor.name, **params)
+
+        def guarded():
+            return shard.breaker.call(attempt)
+
+        stale_ok = (binding is not None and binding.stale_ok
+                    and not descriptor.mutation)
+        stale_key = (
+            (shard.name, descriptor.name, _freeze(params)) if stale_ok else None
+        )
+        try:
+            if descriptor.mutation:
+                # mutations are not replayed by the router: the shard's
+                # own commit loop already absorbs transient store faults,
+                # and a router-level replay could double-apply
+                result = guarded()
+            else:
+                result = self._retrier.call(guarded, retryable=_retryable)
+        except TransientError:
+            # breaker-open (or retries exhausted): a stale_ok read serves
+            # the last known good answer instead of surfacing the outage
+            if stale_key is not None and stale_key in self._stale:
+                self._stale_reads.labels(shard=shard.name).inc()
+                return self._stale[stale_key]
+            raise
+        if stale_key is not None:
+            self._stale[stale_key] = result
+        if descriptor.mutation:
+            self.after_mutation([shard], params.get("metastore_id"))
+        return result
+
+    def _scatter(self, descriptor, binding, params, decision) -> Any:
+        self._fanout.labels(mode="scatter").inc()
+        results = [
+            self._single(shard, descriptor, binding, params, mode="scatter")
+            for shard in self._shards
+        ]
+        return decision.merge(results, params)
+
+    def _broadcast(self, descriptor, binding, params) -> Any:
+        """A replicated write: prepare on the home shard (full
+        validation), commit on the rest. Ids are pre-minted so every
+        shard stores identical rows."""
+        if binding is not None:
+            for mint in binding.mint_params:
+                params.setdefault(mint, new_entity_id())
+        target = params.get(descriptor.target_param or "", descriptor.name)
+        txn = self.coordinator.begin(
+            "broadcast", descriptor.name,
+            keys=(f"broadcast:{descriptor.name}:{target}",),
+            participants=tuple(shard.name for shard in self._shards),
+        )
+        self._fanout.labels(mode="broadcast").inc()
+        try:
+            self._requests.labels(shard=self.home.name, mode="broadcast").inc()
+            result = self.home.service.dispatch(descriptor.name, **params)
+        except Exception as exc:
+            self.coordinator.abort(txn, f"{type(exc).__name__}: {exc}")
+            raise
+        for shard in self._shards[1:]:
+            self._requests.labels(shard=shard.name, mode="broadcast").inc()
+            shard.service.dispatch(descriptor.name, **params)
+        self.coordinator.commit(txn)
+        self.after_mutation(self._shards, params.get("metastore_id"))
+        return result
+
+    def _probe(self, descriptor, binding, params, decision) -> Any:
+        """Dispatch to the shard(s) whose local state recognises the
+        request; fall back to the home shard when none do, so the caller
+        gets the canonical error and exactly one error audit record."""
+        self._fanout.labels(mode="probe").inc()
+        metastore_id = params["metastore_id"]
+        matches = [
+            shard for shard in self._shards
+            if decision.probe(shard.service.view(metastore_id), params)
+        ]
+        if not matches:
+            return self._single(self.home, descriptor, binding, params,
+                                mode="probe")
+        if not decision.all_matches:
+            return self._single(matches[0], descriptor, binding, params,
+                                mode="probe")
+        result = None
+        for shard in matches:
+            result = self._single(shard, descriptor, binding, params,
+                                  mode="probe")
+        return result
+
+    def _partition(self, descriptor, binding, params, decision) -> Any:
+        """Split a multi-name request into per-catalog sub-requests."""
+        sub_params = decision.split(params)
+        if not sub_params:
+            return self._single(self.home, descriptor, binding, params,
+                                mode="partition")
+        self._fanout.labels(mode="partition").inc()
+        results = []
+        for key in sorted(sub_params):
+            shard = self._shard_for_key(params["metastore_id"], key,
+                                        write=descriptor.mutation)
+            results.append(
+                self._single(shard, descriptor, binding, sub_params[key],
+                             mode="partition")
+            )
+        return decision.merge(results, params)
+
+    # ------------------------------------------------------------------
+    # cross-shard invalidation
+    # ------------------------------------------------------------------
+
+    def after_mutation(self, shards, metastore_id: Optional[str]) -> None:
+        """Relay the involved shards' change events to the cluster bus
+        and drop their stale-read cache entries."""
+        names = {shard.name for shard in shards}
+        if self._stale:
+            self._stale = {
+                key: value for key, value in self._stale.items()
+                if key[0] not in names
+            }
+        if metastore_id is None:
+            return
+        for shard in shards:
+            events = shard.service.events.poll(
+                metastore_id, consumer="cluster-relay"
+            )
+            for event in events:
+                self._invalidations.labels(shard=shard.name).inc()
+                self.events.publish(
+                    metastore_id, event.metastore_version, event.change,
+                    event.securable_id, event.securable_kind,
+                    event.securable_name, event.timestamp, event.details,
+                )
+
+    # ------------------------------------------------------------------
+    # rebalancing
+    # ------------------------------------------------------------------
+
+    def migrate_catalog(self, metastore_id: str, catalog_name: str,
+                        target_shard: str) -> CatalogMigration:
+        """Plan an online migration of one catalog subtree (call
+        :meth:`CatalogMigration.run`, or drive the steps individually)."""
+        return CatalogMigration(self, metastore_id, catalog_name, target_shard)
+
+    def begin_catalog_move(self, metastore_id: str, principal: str,
+                           name: str, new_name: str) -> CatalogMove:
+        """A step-wise catalog rename (interleaving tests drive the
+        prepare/commit phases explicitly)."""
+        return CatalogMove(self, metastore_id, principal, name, new_name)
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+
+    def create_metastore(self, name: str, owner: str,
+                         region: str = "us-west") -> Entity:
+        return self.dispatch("create_metastore", name=name, owner=owner,
+                             region=region)
+
+
+def _retryable(exc: BaseException) -> bool:
+    # breaker-open must NOT be retried here: it propagates immediately so
+    # stale_ok reads can degrade instead of waiting out the backoff
+    return isinstance(exc, TransientError) and not isinstance(
+        exc, CircuitOpenError
+    )

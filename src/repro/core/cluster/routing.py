@@ -1,0 +1,76 @@
+"""Shard routing: catalog route keys to owning shard nodes.
+
+The router wraps the best-effort :class:`~repro.core.sharding.ShardingService`
+(rendezvous hashing + explicit pins) with the two pieces of state the
+cluster needs on every request:
+
+* the composite route key — ``{metastore_id}:{catalog}`` — so two
+  metastores that both own a catalog called ``sales`` shard
+  independently, and a pin or fence on one never moves the other;
+* cutover **fences**: while a catalog subtree migrates between shards,
+  its key is fenced. Reads keep flowing to the source shard (the copy is
+  not authoritative yet); a write arriving at a fenced key *cooperates*
+  — it completes the migration's cutover first, then lands on the new
+  owner. Single writers therefore never observe an error during a
+  rebalance, which is the "readable throughout, writable modulo one
+  cutover" contract the rebalance tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.core.sharding import ShardingService
+
+
+class _Completable(Protocol):  # a CatalogMigration, structurally
+    def complete(self) -> None: ...
+
+
+def route_key(metastore_id: str, catalog_key: str) -> str:
+    """The composite sharding key for one catalog of one metastore."""
+    return f"{metastore_id}:{catalog_key}"
+
+
+class ShardRouter:
+    """Maps route keys to shard names; tracks pins and cutover fences."""
+
+    def __init__(self, shard_names: list[str]):
+        self._sharding = ShardingService()
+        for name in shard_names:
+            self._sharding.add_node(name)
+        self._fences: dict[str, _Completable] = {}
+
+    @property
+    def sharding(self) -> ShardingService:
+        return self._sharding
+
+    def owner_for(self, metastore_id: str, catalog_key: str) -> str:
+        return self._sharding.owner_of(route_key(metastore_id, catalog_key))
+
+    def pin(self, metastore_id: str, catalog_key: str, shard_name: str) -> None:
+        self._sharding.pin(route_key(metastore_id, catalog_key), shard_name)
+
+    def unpin(self, metastore_id: str, catalog_key: str) -> None:
+        self._sharding.unpin(route_key(metastore_id, catalog_key))
+
+    # -- cutover fences --------------------------------------------------
+
+    def fence(self, metastore_id: str, catalog_key: str,
+              migration: _Completable) -> None:
+        self._fences[route_key(metastore_id, catalog_key)] = migration
+
+    def unfence(self, metastore_id: str, catalog_key: str) -> None:
+        self._fences.pop(route_key(metastore_id, catalog_key), None)
+
+    def fence_for(self, metastore_id: str,
+                  catalog_key: str) -> Optional[_Completable]:
+        return self._fences.get(route_key(metastore_id, catalog_key))
+
+    def resolve_for_write(self, metastore_id: str, catalog_key: str) -> str:
+        """The shard a *write* should land on: completes any in-flight
+        migration of the key first (cooperative cutover), then routes."""
+        fence = self.fence_for(metastore_id, catalog_key)
+        if fence is not None:
+            fence.complete()
+        return self.owner_for(metastore_id, catalog_key)

@@ -16,10 +16,15 @@ from repro.core.events import ChangeType
 from repro.core.model.entity import SecurableKind, new_entity_id
 from repro.core.persistence.store import Tables, WriteOp
 from repro.core.service.registry import (
+    ClusterBinding,
     EndpointDescriptor,
     ResolveSpec,
     RestBinding,
     RestRequest,
+    RouteDecision,
+    catalog_route_key,
+    route_securable_read,
+    route_securable_write,
 )
 from repro.core.view import MetastoreView
 from repro.errors import InvalidRequestError, NotFoundError
@@ -123,7 +128,7 @@ def create_abac_policy(svc, ctx) -> AbacPolicy:
             scope_name or "<metastore>",
         )
         policy = AbacPolicy(
-            policy_id=new_entity_id(),
+            policy_id=p.get("policy_id") or new_entity_id(),
             name=name,
             scope_id=scope.id,
             condition=condition,
@@ -168,6 +173,30 @@ def drop_abac_policy(svc, ctx) -> None:
         return ops, None, events
 
     svc._mutate(metastore_id, build)
+
+
+# ----------------------------------------------------------------------
+# cluster placement
+# ----------------------------------------------------------------------
+
+
+def _grant_write_plan(p: dict) -> RouteDecision:
+    return route_securable_write(p["kind"], p["name"])
+
+
+def _grant_read_plan(p: dict) -> RouteDecision:
+    return route_securable_read(p["kind"], p["name"])
+
+
+def _plan_create_abac(p: dict) -> RouteDecision:
+    # metastore-scope policies govern every catalog, so they replicate
+    if p["scope_kind"] is SecurableKind.METASTORE:
+        return RouteDecision.broadcast()
+    return RouteDecision.shard(catalog_route_key(p["scope_name"]))
+
+
+def _probe_abac(view, p: dict) -> bool:
+    return view.row(Tables.POLICIES, f"abac/{p['policy_id']}") is not None
 
 
 # ----------------------------------------------------------------------
@@ -231,6 +260,7 @@ ENDPOINTS = (
         domain="grants_policies",
         handler=grant,
         mutation=True,
+        cluster=ClusterBinding(plan=_grant_write_plan),
         rest=(
             RestBinding("POST", "grants", _bind_grant, status=201,
                         render=lambda result, kwargs: result.to_dict()),
@@ -242,6 +272,7 @@ ENDPOINTS = (
         domain="grants_policies",
         handler=revoke,
         mutation=True,
+        cluster=ClusterBinding(plan=_grant_write_plan),
         rest=(
             RestBinding("DELETE", "grants", _bind_grant,
                         render=lambda result, kwargs: {}),
@@ -254,6 +285,7 @@ ENDPOINTS = (
         handler=grants_on,
         resolve=ResolveSpec(),
         operation="read_metadata",
+        cluster=ClusterBinding(plan=_grant_read_plan, stale_ok=True),
         rest=(
             RestBinding(
                 "GET", "grants", _grant_target,
@@ -269,6 +301,7 @@ ENDPOINTS = (
         domain="grants_policies",
         handler=has_privilege,
         resolve=ResolveSpec(),
+        cluster=ClusterBinding(plan=_grant_read_plan, stale_ok=True),
         rest=(
             RestBinding(
                 "GET", "has-privilege", _bind_has_privilege,
@@ -283,6 +316,7 @@ ENDPOINTS = (
         handler=create_abac_policy,
         mutation=True,
         target_param="name",
+        cluster=ClusterBinding(plan=_plan_create_abac, mint_params=("policy_id",)),
         rest=(
             RestBinding("POST", "abac-policies", _bind_create_abac, status=201,
                         render=lambda result, kwargs: result.to_dict()),
@@ -295,6 +329,9 @@ ENDPOINTS = (
         handler=drop_abac_policy,
         mutation=True,
         target_param="policy_id",
+        cluster=ClusterBinding(
+            plan=lambda p: RouteDecision.probe_for(_probe_abac, all_matches=True)
+        ),
         rest=(
             RestBinding("DELETE", "abac-policies", _bind_drop_abac, named=True,
                         render=lambda result, kwargs: {}),

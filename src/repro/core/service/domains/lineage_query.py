@@ -13,9 +13,13 @@ from typing import Any, Callable
 
 from repro.core.model.entity import Entity, SecurableKind
 from repro.core.service.registry import (
+    ClusterBinding,
     EndpointDescriptor,
+    REPLICATED_ROOT_KINDS,
     RestBinding,
     RestRequest,
+    RouteDecision,
+    catalog_route_key,
 )
 from repro.errors import InvalidRequestError, NotFoundError
 
@@ -164,6 +168,83 @@ def filter_visible_entities(svc, ctx) -> list[Entity]:
 
 
 # ----------------------------------------------------------------------
+# cluster placement
+# ----------------------------------------------------------------------
+
+
+def _merge_name_sets(results: list, params: dict) -> set[str]:
+    # the lineage graph is replicated (record_lineage broadcasts), so each
+    # shard computes the same closure but can only vouch for the
+    # visibility of tables it owns; the union is the 1-node answer
+    merged: set[str] = set()
+    for shard_result in results:
+        merged |= shard_result
+    return merged
+
+
+def _merge_info_rows(results: list, params: dict) -> list[dict[str, Any]]:
+    rows = [row for shard_rows in results for row in shard_rows]
+    rows.sort(key=lambda row: row["full_name"])
+    limit = params.get("limit")
+    return rows[:limit] if limit is not None else rows
+
+
+def _plan_info_schema(p: dict) -> RouteDecision:
+    if p["kind"] in REPLICATED_ROOT_KINDS:
+        return RouteDecision.home()
+    if p.get("catalog") is not None:
+        return RouteDecision.shard(p["catalog"])
+    return RouteDecision.scatter(_merge_info_rows)
+
+
+def _split_resolve(p: dict) -> dict[str, dict]:
+    """Partition a batched resolution by catalog route key."""
+    subs: dict[str, dict] = {}
+
+    def sub(key: str) -> dict:
+        if key not in subs:
+            partial = dict(p)
+            partial["table_names"] = []
+            partial["write_tables"] = []
+            partial["function_names"] = []
+            subs[key] = partial
+        return subs[key]
+
+    for name in p["table_names"]:
+        sub(catalog_route_key(name))["table_names"].append(name)
+    for name in p.get("write_tables") or ():
+        sub(catalog_route_key(name))["write_tables"].append(name)
+    for name in p.get("function_names") or ():
+        sub(catalog_route_key(name))["function_names"].append(name)
+    return subs
+
+
+def _merge_resolutions(results: list, params: dict):
+    from repro.core.service.batch import QueryResolution
+
+    assets: dict = {}
+    functions: dict = {}
+    version = 0
+    for resolution in results:
+        assets.update(resolution.assets)
+        functions.update(resolution.functions)
+        version = max(version, resolution.metastore_version)
+    return QueryResolution(
+        metastore_version=version,
+        principal=results[0].principal,
+        assets=assets,
+        functions=functions,
+    )
+
+
+def _merge_visible(results: list, params: dict) -> list[Entity]:
+    visible_ids = {
+        entity.id for shard_result in results for entity in shard_result
+    }
+    return [e for e in params["entities"] if e.id in visible_ids]
+
+
+# ----------------------------------------------------------------------
 # REST marshalling
 # ----------------------------------------------------------------------
 
@@ -266,6 +347,7 @@ ENDPOINTS = (
         domain="lineage_query",
         handler=record_lineage,
         target_param="target",
+        cluster=ClusterBinding(plan=lambda p: RouteDecision.broadcast()),
         rest=(
             RestBinding("POST", "lineage", _bind_record_lineage,
                         render=lambda result, kwargs: {}),
@@ -277,6 +359,9 @@ ENDPOINTS = (
         domain="lineage_query",
         handler=lineage,
         target_param="asset",
+        cluster=ClusterBinding(
+            plan=lambda p: RouteDecision.scatter(_merge_name_sets)
+        ),
         rest=(
             RestBinding("GET", "lineage", _bind_lineage,
                         render=_render_lineage),
@@ -288,6 +373,7 @@ ENDPOINTS = (
         domain="lineage_query",
         handler=query_information_schema,
         target_param=None,
+        cluster=ClusterBinding(plan=_plan_info_schema, stale_ok=True),
         rest=(
             RestBinding("GET", "information-schema", _bind_information_schema,
                         render=lambda result, kwargs: {"rows": result}),
@@ -301,6 +387,12 @@ ENDPOINTS = (
         domain="lineage_query",
         handler=resolve_for_query,
         target_param=None,
+        cluster=ClusterBinding(
+            plan=lambda p: RouteDecision.partition(
+                _split_resolve, _merge_resolutions
+            ),
+            stale_ok=True,
+        ),
         rest=(
             RestBinding("POST", "resolve", _bind_resolve,
                         render=_render_resolution),
@@ -312,6 +404,9 @@ ENDPOINTS = (
         domain="lineage_query",
         handler=filter_visible_entities,
         target_param=None,
+        cluster=ClusterBinding(
+            plan=lambda p: RouteDecision.scatter(_merge_visible)
+        ),
         doc="Batch visibility filter for discovery services (§4.4).",
     ),
 )

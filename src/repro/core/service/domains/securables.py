@@ -25,11 +25,17 @@ from repro.core.model.entity import (
 from repro.core.model.naming import validate_identifier
 from repro.core.persistence.store import Tables, WriteOp
 from repro.core.service.registry import (
+    ClusterBinding,
     EndpointDescriptor,
     KIND_RESOURCES,
+    REPLICATED_ROOT_KINDS,
     ResolveSpec,
     RestBinding,
     RestRequest,
+    RouteDecision,
+    catalog_route_key,
+    route_securable_read,
+    route_securable_write,
 )
 from repro.core.view import MetastoreView
 from repro.errors import (
@@ -68,7 +74,8 @@ def create_metastore(svc, ctx) -> Entity:
     with svc._lock:
         if name in svc._metastore_names:
             raise AlreadyExistsError(f"metastore exists: {name}")
-        metastore_id = new_entity_id()
+        # a cluster pre-mints the id so every shard replica shares it
+        metastore_id = p.get("metastore_id") or new_entity_id()
         svc.store.create_metastore_slot(metastore_id)
         now = svc.clock.now()
         entity = Entity(
@@ -153,7 +160,7 @@ def create_securable(svc, ctx) -> Entity:
             )
 
         normalized = manifest.validate_create(dict(spec or {}))
-        entity_id = new_entity_id()
+        entity_id = p.get("entity_id") or new_entity_id()
         entity_storage = _prepare_storage(
             svc, view, metastore_id, manifest, normalized, storage_path,
             entity_id, parent, identities, principal,
@@ -538,6 +545,54 @@ def purge_deleted(svc, ctx) -> GcReport:
 
 
 # ----------------------------------------------------------------------
+# cluster placement
+# ----------------------------------------------------------------------
+
+
+def _merge_entity_lists(results: list, params: dict) -> list[Entity]:
+    return sorted((e for shard_result in results for e in shard_result),
+                  key=lambda e: e.name)
+
+
+def _merge_gc(results: list, params: dict) -> GcReport:
+    # note: replicated metastore-scope rows are purged once per shard, so
+    # cluster-wide entity/grant counts exceed the single-node numbers;
+    # object deletions go through the shared object store and stay exact.
+    total = GcReport()
+    for report in results:
+        total.purged_entities += report.purged_entities
+        total.purged_grants += report.purged_grants
+        total.deleted_objects += report.deleted_objects
+    return total
+
+
+def _plan_list(p: dict) -> RouteDecision:
+    kind = p["kind"]
+    if kind is SecurableKind.CATALOG:
+        return RouteDecision.scatter(_merge_entity_lists)
+    if kind in REPLICATED_ROOT_KINDS:
+        return RouteDecision.home()
+    parent_name = p.get("parent_name")
+    if parent_name is None:
+        return RouteDecision.home()
+    return RouteDecision.shard(catalog_route_key(parent_name))
+
+
+def _plan_rename(p: dict) -> RouteDecision:
+    if p["kind"] is SecurableKind.CATALOG:
+        return RouteDecision.move(p["name"], p["new_name"])
+    return route_securable_write(p["kind"], p["name"])
+
+
+def _write_plan(p: dict) -> RouteDecision:
+    return route_securable_write(p["kind"], p["name"])
+
+
+def _read_plan(p: dict) -> RouteDecision:
+    return route_securable_read(p["kind"], p["name"])
+
+
+# ----------------------------------------------------------------------
 # REST marshalling
 # ----------------------------------------------------------------------
 
@@ -624,6 +679,10 @@ ENDPOINTS = (
         handler=create_metastore,
         mutation=True,
         principal_param="owner",
+        cluster=ClusterBinding(
+            plan=lambda p: RouteDecision.broadcast(),
+            mint_params=("metastore_id",),
+        ),
         rest=(
             RestBinding("POST", "metastores", _bind_create_metastore, status=201,
                         render=lambda result, kwargs: result.to_dict()),
@@ -646,6 +705,7 @@ ENDPOINTS = (
         domain="securables",
         handler=create_securable,
         mutation=True,
+        cluster=ClusterBinding(plan=_write_plan, mint_params=("entity_id",)),
         rest=(
             RestBinding("POST", KIND_RESOURCES, _bind_create, status=201,
                         render=lambda result, kwargs: result.to_dict()),
@@ -658,6 +718,7 @@ ENDPOINTS = (
         handler=get_securable,
         resolve=ResolveSpec(),
         operation="read_metadata",
+        cluster=ClusterBinding(plan=_read_plan, stale_ok=True),
         rest=(
             RestBinding("GET", KIND_RESOURCES, _bind_named, named=True,
                         render=lambda result, kwargs: result.to_dict()),
@@ -669,6 +730,7 @@ ENDPOINTS = (
         domain="securables",
         handler=list_securables,
         target_param="parent_name",
+        cluster=ClusterBinding(plan=_plan_list, stale_ok=True),
         rest=(
             RestBinding(
                 "GET", KIND_RESOURCES, _bind_list,
@@ -684,6 +746,7 @@ ENDPOINTS = (
         domain="securables",
         handler=rename_securable,
         mutation=True,
+        cluster=ClusterBinding(plan=_plan_rename),
         rest=(
             RestBinding("PATCH", KIND_RESOURCES, _bind_rename, named=True,
                         when=lambda r: "new_name" in r.body,
@@ -696,6 +759,7 @@ ENDPOINTS = (
         domain="securables",
         handler=transfer_ownership,
         mutation=True,
+        cluster=ClusterBinding(plan=_write_plan),
         rest=(
             RestBinding("PATCH", KIND_RESOURCES, _bind_transfer, named=True,
                         when=lambda r: "new_owner" in r.body,
@@ -708,6 +772,7 @@ ENDPOINTS = (
         domain="securables",
         handler=update_securable,
         mutation=True,
+        cluster=ClusterBinding(plan=_write_plan),
         rest=(
             # registered after rename/transfer: their `when` guards get
             # first pick of the shared PATCH route
@@ -721,6 +786,7 @@ ENDPOINTS = (
         domain="securables",
         handler=delete_securable,
         mutation=True,
+        cluster=ClusterBinding(plan=_write_plan),
         rest=(
             RestBinding("DELETE", KIND_RESOURCES, _bind_delete, named=True,
                         render=lambda result, kwargs: {"deleted": len(result)}),
@@ -733,6 +799,7 @@ ENDPOINTS = (
         handler=purge_deleted,
         mutation=True,
         target_param=None,
+        cluster=ClusterBinding(plan=lambda p: RouteDecision.scatter(_merge_gc)),
         rest=(
             RestBinding(
                 "POST", "purge-deleted", _bind_purge,

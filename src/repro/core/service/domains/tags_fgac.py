@@ -15,10 +15,15 @@ from repro.core.events import ChangeType
 from repro.core.model.entity import SecurableKind
 from repro.core.persistence.store import Tables, WriteOp
 from repro.core.service.registry import (
+    ClusterBinding,
     EndpointDescriptor,
     ResolveSpec,
     RestBinding,
     RestRequest,
+    RouteDecision,
+    catalog_route_key,
+    route_securable_read,
+    route_securable_write,
 )
 from repro.core.view import MetastoreView
 from repro.errors import NotFoundError
@@ -195,6 +200,23 @@ def drop_column_mask(svc, ctx) -> None:
 
 
 # ----------------------------------------------------------------------
+# cluster placement
+# ----------------------------------------------------------------------
+
+
+def _tag_write_plan(p: dict) -> RouteDecision:
+    return route_securable_write(p["kind"], p["name"])
+
+
+def _tag_read_plan(p: dict) -> RouteDecision:
+    return route_securable_read(p["kind"], p["name"])
+
+
+def _table_plan(p: dict) -> RouteDecision:
+    return RouteDecision.shard(catalog_route_key(p["table_name"]))
+
+
+# ----------------------------------------------------------------------
 # REST marshalling
 # ----------------------------------------------------------------------
 
@@ -279,6 +301,7 @@ ENDPOINTS = (
         handler=set_column_tag,
         mutation=True,
         target_param="table_name",
+        cluster=ClusterBinding(plan=_table_plan),
         rest=(
             # registered before set_tag: a body carrying "column" means a
             # column tag, everything else on POST /tags is a securable tag
@@ -293,6 +316,7 @@ ENDPOINTS = (
         domain="tags_fgac",
         handler=set_tag,
         mutation=True,
+        cluster=ClusterBinding(plan=_tag_write_plan),
         rest=(
             RestBinding("POST", "tags", _bind_set_tag,
                         render=lambda result, kwargs: {}),
@@ -304,6 +328,7 @@ ENDPOINTS = (
         domain="tags_fgac",
         handler=unset_tag,
         mutation=True,
+        cluster=ClusterBinding(plan=_tag_write_plan),
         rest=(
             RestBinding("DELETE", "tags", _bind_unset_tag,
                         render=lambda result, kwargs: {}),
@@ -316,6 +341,7 @@ ENDPOINTS = (
         handler=tags_of,
         resolve=ResolveSpec(),
         operation="read_metadata",
+        cluster=ClusterBinding(plan=_tag_read_plan, stale_ok=True),
         rest=(
             RestBinding("GET", "tags", _tag_target,
                         render=lambda result, kwargs: {"tags": result}),
@@ -328,6 +354,7 @@ ENDPOINTS = (
         handler=set_row_filter,
         mutation=True,
         target_param="table_name",
+        cluster=ClusterBinding(plan=_table_plan),
         rest=(
             RestBinding("POST", "row-filters", _bind_set_row_filter, status=201,
                         render=lambda result, kwargs: result.to_dict()),
@@ -340,6 +367,7 @@ ENDPOINTS = (
         handler=drop_row_filter,
         mutation=True,
         target_param="table_name",
+        cluster=ClusterBinding(plan=_table_plan),
         rest=(
             RestBinding("DELETE", "row-filters", _bind_drop_row_filter,
                         render=lambda result, kwargs: {}),
@@ -352,6 +380,7 @@ ENDPOINTS = (
         handler=set_column_mask,
         mutation=True,
         target_param="table_name",
+        cluster=ClusterBinding(plan=_table_plan),
         rest=(
             RestBinding("POST", "column-masks", _bind_set_column_mask, status=201,
                         render=lambda result, kwargs: result.to_dict()),
@@ -364,6 +393,7 @@ ENDPOINTS = (
         handler=drop_column_mask,
         mutation=True,
         target_param="table_name",
+        cluster=ClusterBinding(plan=_table_plan),
         rest=(
             RestBinding("DELETE", "column-masks", _bind_drop_column_mask,
                         render=lambda result, kwargs: {}),

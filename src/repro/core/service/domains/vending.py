@@ -14,10 +14,13 @@ from repro.cloudstore.object_store import StoragePath
 from repro.cloudstore.sts import AccessLevel, TemporaryCredential
 from repro.core.model.entity import Entity, SecurableKind
 from repro.core.service.registry import (
+    ClusterBinding,
     EndpointDescriptor,
     ResolveSpec,
     RestBinding,
     RestRequest,
+    RouteDecision,
+    route_securable_read,
 )
 from repro.core.view import MetastoreView
 from repro.errors import PermissionDeniedError, UntrustedEngineError
@@ -82,6 +85,15 @@ def access_by_path(svc, ctx) -> tuple[Entity, TemporaryCredential]:
 
 
 # ----------------------------------------------------------------------
+# cluster placement
+# ----------------------------------------------------------------------
+
+
+def _probe_path(view, p: dict) -> bool:
+    return view.resolve_path(StoragePath.parse(p["url"])) is not None
+
+
+# ----------------------------------------------------------------------
 # REST marshalling
 # ----------------------------------------------------------------------
 
@@ -127,6 +139,9 @@ ENDPOINTS = (
         domain="vending",
         handler=access_by_path,
         target_param="url",
+        cluster=ClusterBinding(
+            plan=lambda p: RouteDecision.probe_for(_probe_path)
+        ),
         rest=(
             # registered before vend_credentials: a body carrying "path"
             # selects path-based access on the shared POST route
@@ -141,6 +156,9 @@ ENDPOINTS = (
         domain="vending",
         handler=vend_credentials,
         resolve=ResolveSpec(),
+        cluster=ClusterBinding(
+            plan=lambda p: route_securable_read(p["kind"], p["name"])
+        ),
         rest=(
             RestBinding(
                 "POST", "temporary-credentials", _bind_vend,

@@ -415,6 +415,13 @@ class ServiceKernel:
         binding carries every entity id the walk visited, so any change
         along the chain (rename, delete) drops it.
         """
+        if kind is SecurableKind.METASTORE:
+            # The metastore root has no parent row, so the container walk
+            # below cannot find it; resolve it directly by id.
+            root = view.entity_by_id(metastore_id)
+            if root is None or root.name != name:
+                raise NotFoundError(f"no such metastore: {name}")
+            return root
         cache = self._hot_caches_for(metastore_id, view)
         if cache is not None:
             hit = cache.get_resolution(kind, name)

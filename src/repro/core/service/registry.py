@@ -124,6 +124,129 @@ class RestBinding:
 
 
 @dataclass(frozen=True)
+class RouteDecision:
+    """How the shard router should place one request.
+
+    Produced by a :class:`ClusterBinding`'s ``plan`` callable and consumed
+    generically by :class:`~repro.core.cluster.CatalogCluster` — the same
+    pattern as :class:`RestBinding`: all endpoint-specific placement logic
+    lives next to the endpoint in its domain module, the cluster stays
+    generic.
+
+    Kinds:
+
+    ``catalog``
+        Route to the shard owning ``key`` (a catalog route key).
+    ``home``
+        Route to the home shard (shard 0) — used for metastore-scope
+        state, which is replicated to every shard.
+    ``broadcast``
+        A replicated write: two-phase prepare on the home shard, commit
+        on the rest. ``mint_params`` names id parameters the cluster
+        pre-mints so every replica stores identical rows.
+    ``scatter``
+        Fan out to every shard and fold the per-shard results with
+        ``merge(results, params)``.
+    ``move``
+        A catalog rename: may migrate the subtree between shards under
+        the two-phase protocol (``key`` = old name, ``new_key`` = new).
+    ``probe``
+        Dispatch only to shards whose local view passes
+        ``probe(view, params)`` (all of them when ``all_matches``); when
+        none match, dispatch to the home shard so the caller gets the
+        canonical error and exactly one error audit record.
+    ``partition``
+        Split the request into per-catalog sub-requests with
+        ``split(params) -> {route_key: sub_params}``, dispatch each to
+        its owner, fold with ``merge(results, params)``.
+    """
+
+    kind: str
+    key: Optional[str] = None
+    new_key: Optional[str] = None
+    merge: Optional[Callable[[list, dict], Any]] = None
+    probe: Optional[Callable[[Any, dict], bool]] = None
+    all_matches: bool = False
+    split: Optional[Callable[[dict], dict]] = None
+
+    @staticmethod
+    def shard(key: str) -> "RouteDecision":
+        return RouteDecision(kind="catalog", key=key)
+
+    @staticmethod
+    def home() -> "RouteDecision":
+        return RouteDecision(kind="home")
+
+    @staticmethod
+    def broadcast() -> "RouteDecision":
+        return RouteDecision(kind="broadcast")
+
+    @staticmethod
+    def scatter(merge: Callable[[list, dict], Any]) -> "RouteDecision":
+        return RouteDecision(kind="scatter", merge=merge)
+
+    @staticmethod
+    def move(key: str, new_key: str) -> "RouteDecision":
+        return RouteDecision(kind="move", key=key, new_key=new_key)
+
+    @staticmethod
+    def probe_for(
+        probe: Callable[[Any, dict], bool], all_matches: bool = False
+    ) -> "RouteDecision":
+        return RouteDecision(kind="probe", probe=probe, all_matches=all_matches)
+
+    @staticmethod
+    def partition(
+        split: Callable[[dict], dict], merge: Callable[[list, dict], Any]
+    ) -> "RouteDecision":
+        return RouteDecision(kind="partition", split=split, merge=merge)
+
+
+@dataclass(frozen=True)
+class ClusterBinding:
+    """How one endpoint is placed on a sharded cluster.
+
+    ``plan`` maps the request parameters to a :class:`RouteDecision`.
+    ``stale_ok`` marks reads that may be served from the router's
+    last-known-good cache when the owning shard is dark (breaker open);
+    writes never degrade. ``mint_params`` names id parameters that
+    replicated creates pre-mint cluster-side so every shard stores the
+    same row bytes.
+    """
+
+    plan: Callable[[dict[str, Any]], RouteDecision]
+    stale_ok: bool = False
+    mint_params: tuple[str, ...] = ()
+
+
+def catalog_route_key(full_name: str) -> str:
+    """The shard route key of a securable: its catalog (first segment)."""
+    return full_name.split(".", 1)[0]
+
+
+#: metastore-scope root kinds replicated to every shard (location/credential
+#: coverage checks and share/recipient lookups must work shard-locally)
+REPLICATED_ROOT_KINDS = frozenset(
+    kind for kind in SecurableKind
+    if kind.is_metastore_root and kind is not SecurableKind.CATALOG
+) | {SecurableKind.METASTORE}
+
+
+def route_securable_write(kind: SecurableKind, name: str) -> RouteDecision:
+    """Placement for a (kind, name)-addressed mutation."""
+    if kind in REPLICATED_ROOT_KINDS:
+        return RouteDecision.broadcast()
+    return RouteDecision.shard(catalog_route_key(name))
+
+
+def route_securable_read(kind: SecurableKind, name: str) -> RouteDecision:
+    """Placement for a (kind, name)-addressed read."""
+    if kind in REPLICATED_ROOT_KINDS:
+        return RouteDecision.home()
+    return RouteDecision.shard(catalog_route_key(name))
+
+
+@dataclass(frozen=True)
 class EndpointDescriptor:
     """One catalog API endpoint, as the pipeline and the router see it."""
 
@@ -141,6 +264,8 @@ class EndpointDescriptor:
     #: request parameter naming the audit target (for audit-on-error)
     target_param: Optional[str] = "name"
     rest: tuple[RestBinding, ...] = field(default=())
+    #: shard placement on a CatalogCluster (None = home shard)
+    cluster: Optional[ClusterBinding] = None
     doc: str = ""
 
 
@@ -199,9 +324,15 @@ class ApiRegistry:
 
 __all__ = [
     "ApiRegistry",
+    "ClusterBinding",
     "EndpointDescriptor",
     "KIND_RESOURCES",
+    "REPLICATED_ROOT_KINDS",
     "ResolveSpec",
     "RestBinding",
     "RestRequest",
+    "RouteDecision",
+    "catalog_route_key",
+    "route_securable_read",
+    "route_securable_write",
 ]

@@ -38,6 +38,8 @@ class ShardingService:
         #: metastore_id -> owner, valid for the current generation only
         #: (routing must not recompute a sha256 per node per request)
         self._owner_memo: dict[str, str] = {}
+        #: explicit key -> node overrides (rebalancer cutovers, renames)
+        self._pins: dict[str, str] = {}
 
     def add_node(self, name: str) -> None:
         if name in self._nodes:
@@ -52,12 +54,32 @@ class ShardingService:
         self._nodes.remove(name)
         self.generation += 1
         self._owner_memo.clear()
+        self._pins = {
+            key: node for key, node in self._pins.items() if node != name
+        }
 
     def nodes(self) -> list[str]:
         return sorted(self._nodes)
 
+    def pin(self, key: str, node: str) -> None:
+        """Override the hash assignment of one key (best-effort, like the
+        rest of the directory): used by the rebalancer at cutover and by
+        catalog renames whose new name hashes elsewhere."""
+        if node not in self._nodes:
+            raise NotFoundError(f"no such node: {node}")
+        self._pins[key] = node
+
+    def unpin(self, key: str) -> None:
+        self._pins.pop(key, None)
+
+    def pinned(self) -> dict[str, str]:
+        return dict(self._pins)
+
     def owner_of(self, metastore_id: str) -> str:
         """The node currently assigned to a metastore."""
+        pinned = self._pins.get(metastore_id)
+        if pinned is not None:
+            return pinned
         owner = self._owner_memo.get(metastore_id)
         if owner is not None:
             return owner

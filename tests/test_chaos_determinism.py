@@ -3,6 +3,7 @@
 import pytest
 
 from repro.bench.chaos import check_determinism, run_chaos_scenario
+from repro.bench.scaleout import fingerprint, run_scaleout
 
 SEEDS = [11, 23, 47]
 
@@ -35,3 +36,31 @@ def test_check_determinism_runs_every_seed_twice():
                                             fault_rate=0.10)
     assert mismatched == []
     assert [r.seed for r in reports] == SEEDS[:2]
+
+
+def test_sharded_scaleout_absorbs_faults_with_zero_user_errors():
+    """Chaos on the 4-shard cluster: a 10% shard-dispatch fault rate is
+    absorbed by the router's retries (and, when a breaker trips, by the
+    last-known-good cache) — the client never sees an error."""
+    report = run_scaleout(seed=SEEDS[0], shard_counts=(4,), clients=16,
+                          duration=0.1, fault_rate=0.10)
+    mode = report["modes"]["4"]
+    assert mode["user_errors"] == 0
+    assert mode["completed"] > 0
+    assert mode["faults_injected"] > 0  # chaos actually fired
+
+
+def test_sharded_scaleout_same_seed_is_byte_identical():
+    first = run_scaleout(seed=SEEDS[0], shard_counts=(4,), clients=16,
+                         duration=0.1, fault_rate=0.10)
+    second = run_scaleout(seed=SEEDS[0], shard_counts=(4,), clients=16,
+                          duration=0.1, fault_rate=0.10)
+    assert fingerprint(first) == fingerprint(second)
+
+
+def test_sharded_scaleout_different_seeds_diverge():
+    a = run_scaleout(seed=SEEDS[0], shard_counts=(4,), clients=16,
+                     duration=0.1, fault_rate=0.10)
+    b = run_scaleout(seed=SEEDS[1], shard_counts=(4,), clients=16,
+                     duration=0.1, fault_rate=0.10)
+    assert fingerprint(a) != fingerprint(b)

@@ -1,0 +1,240 @@
+"""Online rebalance edge cases: the catalog stays usable throughout.
+
+The migration state machine (PLANNED → COPIED → FENCED → CUT_OVER →
+DONE) is driven step by step here so the awkward moments are pinned
+down: writes racing the bulk copy, reads while the key is fenced, a
+write landing on a fenced key (which must cooperatively finish the
+cutover rather than fail), empty subtrees, and double migration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core.auth.privileges import Privilege
+from repro.core.cluster import CatalogCluster, export_subtree
+from repro.core.model.entity import SecurableKind
+from repro.core.persistence.store import Tables
+from repro.errors import InvalidRequestError
+
+ADMIN = "admin"
+READER = "reader"
+TABLE_SPEC = {
+    "table_type": "MANAGED",
+    "format": "DELTA",
+    "columns": [{"name": "id", "type": "BIGINT"}],
+}
+
+
+def build_cluster(shards=3):
+    cluster = CatalogCluster(shards, clock=SimClock())
+    directory = cluster.directory
+    directory.add_user(ADMIN)
+    directory.add_user(READER)
+    directory.add_group("analysts")
+    directory.add_member("analysts", READER)
+    mid = cluster.create_metastore("rebalance", owner=ADMIN).id
+    cluster.dispatch("create_securable", metastore_id=mid, principal=ADMIN,
+                     kind=SecurableKind.CATALOG, name="sales")
+    cluster.dispatch("create_securable", metastore_id=mid, principal=ADMIN,
+                     kind=SecurableKind.SCHEMA, name="sales.s")
+    cluster.dispatch("create_securable", metastore_id=mid, principal=ADMIN,
+                     kind=SecurableKind.TABLE, name="sales.s.t",
+                     spec=TABLE_SPEC)
+    for kind, target, privilege in [
+        (SecurableKind.CATALOG, "sales", Privilege.USE_CATALOG),
+        (SecurableKind.SCHEMA, "sales.s", Privilege.USE_SCHEMA),
+        (SecurableKind.TABLE, "sales.s.t", Privilege.SELECT),
+    ]:
+        cluster.dispatch("grant", metastore_id=mid, principal=ADMIN,
+                         kind=kind, name=target, grantee="analysts",
+                         privilege=privilege)
+    return cluster, mid
+
+
+def other_shard(cluster, mid, catalog="sales"):
+    owner = cluster.router.owner_for(mid, catalog)
+    return next(s.name for s in cluster.shards if s.name != owner)
+
+
+def subtree_row_count(cluster, shard_name, mid, catalog="sales"):
+    """Entity + grant rows for the catalog's subtree on one shard."""
+    shard = cluster.shard_named(shard_name)
+    snapshot = shard.service.store.snapshot(mid)
+    names = {catalog, "s", "t"}
+    ids = {
+        key for key, value in snapshot.scan(Tables.ENTITIES)
+        if value["name"] in names and value["kind"] != "METASTORE"
+    }
+    grants = sum(
+        1 for _, value in snapshot.scan(Tables.GRANTS)
+        if value["securable_id"] in ids
+    )
+    return len(ids) + grants
+
+
+def read_table(cluster, mid, name="sales.s.t"):
+    resolution = cluster.dispatch(
+        "resolve_for_query", metastore_id=mid, principal=READER,
+        table_names=[name], include_credentials=False)
+    return resolution.assets[name]
+
+
+def test_full_migration_moves_every_row():
+    cluster, mid = build_cluster()
+    source = cluster.router.owner_for(mid, "sales")
+    target = other_shard(cluster, mid)
+    assert subtree_row_count(cluster, source, mid) == 6  # 3 entities + 3 grants
+
+    migration = cluster.migrate_catalog(mid, "sales", target)
+    migration.run()
+    assert migration.state == "DONE"
+    assert cluster.router.owner_for(mid, "sales") == target
+    assert subtree_row_count(cluster, target, mid) == 6
+    assert subtree_row_count(cluster, source, mid) == 0
+    # reads and grants work on the new shard
+    assert read_table(cluster, mid).full_name == "sales.s.t"
+
+
+def test_write_between_copy_and_fence_survives_cutover():
+    cluster, mid = build_cluster()
+    target = other_shard(cluster, mid)
+    migration = cluster.migrate_catalog(mid, "sales", target)
+    migration.copy()
+
+    # the copy is done but the source still owns the key: this write
+    # lands on the source and is only carried over by the cutover delta
+    cluster.dispatch("create_securable", metastore_id=mid, principal=ADMIN,
+                     kind=SecurableKind.TABLE, name="sales.s.late",
+                     spec=TABLE_SPEC)
+    cluster.dispatch("grant", metastore_id=mid, principal=ADMIN,
+                     kind=SecurableKind.TABLE, name="sales.s.late",
+                     grantee="analysts", privilege=Privilege.SELECT)
+
+    migration.enter_fence()
+    migration.cutover()
+    migration.cleanup()
+    assert migration.state == "DONE"
+    assert read_table(cluster, mid, "sales.s.late").full_name == "sales.s.late"
+
+
+def test_drop_between_copy_and_fence_does_not_resurrect():
+    cluster, mid = build_cluster()
+    target = other_shard(cluster, mid)
+    migration = cluster.migrate_catalog(mid, "sales", target)
+    migration.copy()
+    cluster.dispatch("delete_securable", metastore_id=mid, principal=ADMIN,
+                     kind=SecurableKind.TABLE, name="sales.s.t")
+    migration.enter_fence()
+    migration.cutover()
+    migration.cleanup()
+    # the cutover delta carries the soft-delete; the stale copied row
+    # must not bring the table back
+    snapshot = cluster.shard_named(target).service.store.snapshot(mid)
+    states = [value["state"] for _, value in snapshot.scan(Tables.ENTITIES)
+              if value["name"] == "t"]
+    assert states == ["DELETED"]
+
+
+def test_reads_during_fence_are_served_from_source():
+    cluster, mid = build_cluster()
+    source = cluster.router.owner_for(mid, "sales")
+    target = other_shard(cluster, mid)
+    migration = cluster.migrate_catalog(mid, "sales", target)
+    migration.copy()
+    migration.enter_fence()
+    assert migration.state == "FENCED"
+    # the fence does not repoint reads: the copy is not authoritative yet
+    assert cluster.router.owner_for(mid, "sales") == source
+    assert read_table(cluster, mid).full_name == "sales.s.t"
+    assert migration.state == "FENCED"  # a read must not trigger cutover
+    migration.cutover()
+    migration.cleanup()
+
+
+def test_write_on_fenced_key_completes_migration_cooperatively():
+    cluster, mid = build_cluster()
+    target = other_shard(cluster, mid)
+    migration = cluster.migrate_catalog(mid, "sales", target)
+    migration.copy()
+    migration.enter_fence()
+
+    # no error, no retry loop: the write waits out the cutover and lands
+    # on the new owner
+    created = cluster.dispatch(
+        "create_securable", metastore_id=mid, principal=ADMIN,
+        kind=SecurableKind.TABLE, name="sales.s.t2", spec=TABLE_SPEC)
+    assert created.name == "t2"
+    assert migration.state == "DONE"
+    assert cluster.router.owner_for(mid, "sales") == target
+    snapshot = cluster.shard_named(target).service.store.snapshot(mid)
+    assert any(value["name"] == "t2"
+               for _, value in snapshot.scan(Tables.ENTITIES))
+
+
+def test_empty_subtree_migrates():
+    cluster, mid = build_cluster()
+    cluster.dispatch("create_securable", metastore_id=mid, principal=ADMIN,
+                     kind=SecurableKind.CATALOG, name="empty")
+    target = other_shard(cluster, mid, "empty")
+    migration = cluster.migrate_catalog(mid, "empty", target)
+    migration.run()
+    assert migration.state == "DONE"
+    assert cluster.router.owner_for(mid, "empty") == target
+    got = cluster.dispatch("get_securable", metastore_id=mid,
+                           principal=ADMIN, kind=SecurableKind.CATALOG,
+                           name="empty")
+    assert got.name == "empty"
+
+
+def test_double_migrate_is_idempotent():
+    cluster, mid = build_cluster()
+    target = other_shard(cluster, mid)
+    cluster.migrate_catalog(mid, "sales", target).run()
+
+    # already there: a second migration to the same shard is a noop
+    again = cluster.migrate_catalog(mid, "sales", target)
+    again.run()
+    assert again.state == "DONE"
+    assert again._first is None  # nothing was copied
+    assert read_table(cluster, mid).full_name == "sales.s.t"
+
+    # and migrating back is a full, clean round trip
+    home = next(s.name for s in cluster.shards if s.name != target)
+    cluster.migrate_catalog(mid, "sales", home).run()
+    assert cluster.router.owner_for(mid, "sales") == home
+    assert subtree_row_count(cluster, target, mid) == 0
+    assert read_table(cluster, mid).full_name == "sales.s.t"
+
+
+def test_state_machine_rejects_out_of_order_steps():
+    cluster, mid = build_cluster()
+    target = other_shard(cluster, mid)
+    migration = cluster.migrate_catalog(mid, "sales", target)
+    with pytest.raises(InvalidRequestError):
+        migration.cutover()  # not fenced yet
+    with pytest.raises(InvalidRequestError):
+        migration.enter_fence()  # not copied yet
+    migration.copy()
+    with pytest.raises(InvalidRequestError):
+        migration.copy()  # already copied
+    migration.enter_fence()
+    migration.cutover()
+    migration.cleanup()
+    with pytest.raises(InvalidRequestError):
+        migration.cleanup()  # already done
+
+
+def test_export_subtree_includes_soft_deleted_children():
+    cluster, mid = build_cluster()
+    cluster.dispatch("delete_securable", metastore_id=mid, principal=ADMIN,
+                     kind=SecurableKind.TABLE, name="sales.s.t")
+    source = cluster.shard_named(cluster.router.owner_for(mid, "sales"))
+    view = source.service.view(mid)
+    root = source.service._resolve(view, mid, SecurableKind.CATALOG, "sales")
+    export = export_subtree(source.service.store, mid, root.id)
+    names = {value["name"]: value["state"]
+             for table, _, value in export.rows if table == Tables.ENTITIES}
+    assert names["t"] == "DELETED"  # deleted rows still own storage
+    assert names["sales"] == "ACTIVE"

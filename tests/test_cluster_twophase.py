@@ -1,0 +1,298 @@
+"""Cross-shard two-phase commit: conflicts, replication, dark shards.
+
+The interesting interleavings of two conflicting cross-shard catalog
+moves are enumerated explicitly (both phases of each move, in every
+order that keeps prepare before commit): exactly one move wins, the
+loser aborts with a clean transaction record, and no shard is left with
+an orphaned subtree row. Replicated (broadcast) writes and breaker
+degradation under a dark shard are covered in the same file because all
+three behaviours share the coordinator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core.auth.privileges import Privilege
+from repro.core.cluster import CatalogCluster
+from repro.core.model.entity import SecurableKind
+from repro.core.persistence.store import Tables
+from repro.errors import (
+    AlreadyExistsError,
+    ConcurrentModificationError,
+    NotFoundError,
+    TransientError,
+    UnityCatalogError,
+)
+from repro.faults import FaultInjector
+from repro.obs import Observability
+
+ADMIN = "admin"
+READER = "reader"
+TABLE_SPEC = {
+    "table_type": "MANAGED",
+    "format": "DELTA",
+    "columns": [{"name": "id", "type": "BIGINT"}],
+}
+
+#: every order of {A,B} x {prepare,commit} with prepare before commit
+SCHEDULES = [
+    ("A.prepare", "B.prepare", "A.commit", "B.commit"),
+    ("A.prepare", "B.prepare", "B.commit", "A.commit"),
+    ("A.prepare", "A.commit", "B.prepare", "B.commit"),
+    ("B.prepare", "A.prepare", "A.commit", "B.commit"),
+    ("B.prepare", "A.prepare", "B.commit", "A.commit"),
+    ("B.prepare", "B.commit", "A.prepare", "A.commit"),
+]
+
+
+def build_cluster(shards=3, with_faults=False, breaker_reset_timeout=5.0):
+    clock = SimClock()
+    obs = Observability(clock=clock)
+    faults = FaultInjector(clock, seed=3, metrics=obs.metrics) \
+        if with_faults else None
+    cluster = CatalogCluster(shards, clock=clock, obs=obs, faults=faults,
+                             breaker_reset_timeout=breaker_reset_timeout)
+    directory = cluster.directory
+    directory.add_user(ADMIN)
+    directory.add_user(READER)
+    directory.add_group("analysts")
+    directory.add_member("analysts", READER)
+    mid = cluster.create_metastore("twophase", owner=ADMIN).id
+    return cluster, mid, faults
+
+
+def make_catalog(cluster, mid, name):
+    """A catalog with a schema, a table and reader grants riding along."""
+    cluster.dispatch("create_securable", metastore_id=mid, principal=ADMIN,
+                     kind=SecurableKind.CATALOG, name=name)
+    cluster.dispatch("create_securable", metastore_id=mid, principal=ADMIN,
+                     kind=SecurableKind.SCHEMA, name=f"{name}.s")
+    cluster.dispatch("create_securable", metastore_id=mid, principal=ADMIN,
+                     kind=SecurableKind.TABLE, name=f"{name}.s.t",
+                     spec=TABLE_SPEC)
+    for kind, target, privilege in [
+        (SecurableKind.CATALOG, name, Privilege.USE_CATALOG),
+        (SecurableKind.SCHEMA, f"{name}.s", Privilege.USE_SCHEMA),
+        (SecurableKind.TABLE, f"{name}.s.t", Privilege.SELECT),
+    ]:
+        cluster.dispatch("grant", metastore_id=mid, principal=ADMIN,
+                         kind=kind, name=target, grantee="analysts",
+                         privilege=privilege)
+
+
+def active_catalog_rows(cluster, mid, name):
+    """How many shards hold an ACTIVE row for catalog ``name``."""
+    count = 0
+    for shard in cluster.shards:
+        snapshot = shard.service.store.snapshot(mid)
+        count += sum(
+            1 for _, value in snapshot.scan(Tables.ENTITIES)
+            if value["kind"] == "CATALOG" and value["name"] == name
+            and value["state"] == "ACTIVE"
+        )
+    return count
+
+
+def run_schedule(cluster, mid, schedule, moves):
+    """Drive both moves through one interleaving; report per-move fate."""
+    errors = {"A": None, "B": None}
+    for step in schedule:
+        label, phase = step.split(".")
+        if errors[label] is not None:
+            continue  # a failed move has no further phase to run
+        try:
+            getattr(moves[label], phase)()
+        except UnityCatalogError as exc:
+            errors[label] = exc
+    return errors
+
+
+@pytest.mark.parametrize("schedule", SCHEDULES, ids=lambda s: ">".join(s))
+def test_conflicting_moves_same_source_one_winner(schedule):
+    cluster, mid, _ = build_cluster()
+    make_catalog(cluster, mid, "sales")
+    moves = {
+        "A": cluster.begin_catalog_move(mid, ADMIN, "sales", "archive"),
+        "B": cluster.begin_catalog_move(mid, ADMIN, "sales", "backup"),
+    }
+    errors = run_schedule(cluster, mid, schedule, moves)
+
+    losers = [label for label, exc in errors.items() if exc is not None]
+    assert len(losers) == 1, f"expected one loser, got {errors}"
+    loser = losers[0]
+    winner = "B" if loser == "A" else "A"
+    assert isinstance(
+        errors[loser], (ConcurrentModificationError, NotFoundError)
+    )
+
+    # the winner's name exists on exactly one shard, loser's on none
+    new_name = {"A": "archive", "B": "backup"}
+    assert active_catalog_rows(cluster, mid, new_name[winner]) == 1
+    assert active_catalog_rows(cluster, mid, new_name[loser]) == 0
+    assert active_catalog_rows(cluster, mid, "sales") == 0
+
+    # the subtree survived the move intact, grants included
+    resolution = cluster.dispatch(
+        "resolve_for_query", metastore_id=mid, principal=READER,
+        table_names=[f"{new_name[winner]}.s.t"], include_credentials=False)
+    assert f"{new_name[winner]}.s.t" in resolution.assets
+
+    committed = [r for r in cluster.coordinator.log
+                 if r.kind == "catalog_move" and r.state == "committed"]
+    assert len(committed) == 1
+    aborted = cluster.coordinator.aborted()
+    assert len(aborted) == 1
+    assert aborted[0].reason  # names the conflicting key or the cause
+
+
+@pytest.mark.parametrize("schedule", SCHEDULES, ids=lambda s: ">".join(s))
+def test_conflicting_moves_same_target_one_winner(schedule):
+    cluster, mid, _ = build_cluster()
+    make_catalog(cluster, mid, "sales")
+    make_catalog(cluster, mid, "ops")
+    moves = {
+        "A": cluster.begin_catalog_move(mid, ADMIN, "sales", "shared"),
+        "B": cluster.begin_catalog_move(mid, ADMIN, "ops", "shared"),
+    }
+    errors = run_schedule(cluster, mid, schedule, moves)
+
+    losers = [label for label, exc in errors.items() if exc is not None]
+    assert len(losers) == 1, f"expected one loser, got {errors}"
+    loser = losers[0]
+    winner = "B" if loser == "A" else "A"
+    assert isinstance(
+        errors[loser], (ConcurrentModificationError, AlreadyExistsError)
+    )
+
+    # exactly one "shared" catalog; the loser keeps its original name
+    assert active_catalog_rows(cluster, mid, "shared") == 1
+    old_name = {"A": "sales", "B": "ops"}
+    assert active_catalog_rows(cluster, mid, old_name[winner]) == 0
+    assert active_catalog_rows(cluster, mid, old_name[loser]) == 1
+
+    # the losing catalog is still fully usable under its old name
+    resolution = cluster.dispatch(
+        "resolve_for_query", metastore_id=mid, principal=READER,
+        table_names=[f"{old_name[loser]}.s.t"], include_credentials=False)
+    assert f"{old_name[loser]}.s.t" in resolution.assets
+    assert len(cluster.coordinator.aborted()) == 1
+
+
+def test_abort_record_names_conflicting_key_and_holder():
+    cluster, mid, _ = build_cluster()
+    make_catalog(cluster, mid, "sales")
+    winner = cluster.begin_catalog_move(mid, ADMIN, "sales", "archive")
+    winner.prepare()
+    loser = cluster.begin_catalog_move(mid, ADMIN, "sales", "backup")
+    with pytest.raises(ConcurrentModificationError):
+        loser.prepare()
+    record = cluster.coordinator.aborted()[0]
+    assert winner.txn.txn_id in record.reason
+    assert any("sales" in key for key in record.keys)
+    winner.commit()
+    # the winner's locks were released: a fresh move can run end to end
+    cluster.begin_catalog_move(mid, ADMIN, "archive", "sales").execute()
+    assert active_catalog_rows(cluster, mid, "sales") == 1
+
+
+def test_broadcast_write_replicates_to_every_shard():
+    cluster, mid, _ = build_cluster()
+    cluster.dispatch("create_securable", metastore_id=mid, principal=ADMIN,
+                     kind=SecurableKind.STORAGE_CREDENTIAL, name="cred",
+                     spec={"root_secret": cluster.sts.root_secret})
+    rows = []
+    for shard in cluster.shards:
+        snapshot = shard.service.store.snapshot(mid)
+        rows.append([
+            (key, value["name"]) for key, value in snapshot.scan(Tables.ENTITIES)
+            if value["kind"] == "STORAGE_CREDENTIAL"
+        ])
+    # pre-minted ids: every shard holds the byte-identical row
+    assert rows[0] and all(r == rows[0] for r in rows[1:])
+    committed = [r for r in cluster.coordinator.log
+                 if r.kind == "broadcast" and r.state == "committed"]
+    assert committed
+
+
+def test_broadcast_validation_failure_aborts_cleanly():
+    cluster, mid, _ = build_cluster()
+    cluster.dispatch("create_securable", metastore_id=mid, principal=ADMIN,
+                     kind=SecurableKind.STORAGE_CREDENTIAL, name="cred",
+                     spec={"root_secret": cluster.sts.root_secret})
+    with pytest.raises(AlreadyExistsError):
+        cluster.dispatch("create_securable", metastore_id=mid,
+                         principal=ADMIN,
+                         kind=SecurableKind.STORAGE_CREDENTIAL, name="cred",
+                         spec={"root_secret": cluster.sts.root_secret})
+    aborted = [r for r in cluster.coordinator.aborted()
+               if r.kind == "broadcast"]
+    assert len(aborted) == 1
+    assert "AlreadyExistsError" in aborted[0].reason
+    # no shard holds a second credential row
+    for shard in cluster.shards:
+        snapshot = shard.service.store.snapshot(mid)
+        count = sum(
+            1 for _, value in snapshot.scan(Tables.ENTITIES)
+            if value["kind"] == "STORAGE_CREDENTIAL"
+        )
+        assert count == 1
+
+
+def _stale_reads_total(cluster) -> float:
+    return sum(
+        value for key, value in cluster.obs.metrics.snapshot().items()
+        if key.startswith("uc_shard_stale_reads_total")
+    )
+
+
+def test_dark_shard_degrades_stale_ok_reads_instead_of_erroring():
+    cluster, mid, faults = build_cluster(with_faults=True)
+    make_catalog(cluster, mid, "sales")
+    make_catalog(cluster, mid, "ops")
+    owner = cluster.router.owner_for(mid, "sales")
+    other = cluster.router.owner_for(mid, "ops")
+
+    # warm the last-known-good cache while the shard is healthy
+    healthy = cluster.dispatch("get_securable", metastore_id=mid,
+                               principal=READER, kind=SecurableKind.TABLE,
+                               name="sales.s.t")
+
+    faults.inject(f"shard.{owner}.dispatch", 1.0, kind="unavailable")
+
+    # the warmed read degrades to the stale answer, and says so in metrics
+    stale = cluster.dispatch("get_securable", metastore_id=mid,
+                             principal=READER, kind=SecurableKind.TABLE,
+                             name="sales.s.t")
+    assert stale.id == healthy.id
+    assert _stale_reads_total(cluster) >= 1
+
+    # a read with no last-known-good answer still surfaces the outage
+    with pytest.raises(TransientError):
+        cluster.dispatch("get_securable", metastore_id=mid,
+                         principal=READER, kind=SecurableKind.SCHEMA,
+                         name="sales.s")
+
+    # writes are never served stale: they fail fast
+    with pytest.raises(TransientError):
+        cluster.dispatch("create_securable", metastore_id=mid,
+                         principal=ADMIN, kind=SecurableKind.TABLE,
+                         name="sales.s.t2", spec=TABLE_SPEC)
+    assert cluster.shard_named(owner).breaker.state == "open"
+
+    # unrelated shards keep serving fresh reads
+    if other != owner:
+        fresh = cluster.dispatch("get_securable", metastore_id=mid,
+                                 principal=READER, kind=SecurableKind.TABLE,
+                                 name="ops.s.t")
+        assert fresh.name == "t"
+
+    # recovery: faults stop, the breaker's reset window elapses, and the
+    # next read is fresh again
+    faults.clear()
+    cluster.clock.advance(6.0)
+    recovered = cluster.dispatch("get_securable", metastore_id=mid,
+                                 principal=READER, kind=SecurableKind.SCHEMA,
+                                 name="sales.s")
+    assert recovered.name == "s"
