@@ -45,7 +45,12 @@ from repro.core.service.registry import (
     EndpointDescriptor,
     RouteDecision,
 )
-from repro.errors import CircuitOpenError, InvalidRequestError, TransientError
+from repro.errors import (
+    CircuitOpenError,
+    InvalidRequestError,
+    PartialBroadcastError,
+    TransientError,
+)
 from repro.obs import Observability
 from repro.resilience import CircuitBreaker, Retrier, RetryPolicy
 
@@ -103,6 +108,7 @@ class CatalogCluster:
         request_timeout: Optional[float] = None,
         breaker_failure_threshold: int = 3,
         breaker_reset_timeout: float = 30.0,
+        stale_cache_size: int = 1024,
     ):
         if shard_count < 1:
             raise InvalidRequestError("shard_count must be >= 1")
@@ -154,8 +160,11 @@ class CatalogCluster:
         self.events = ChangeEventBus()
         #: last-known-good responses for ``stale_ok`` reads, keyed by
         #: (shard, api, frozen params); consulted only when the owning
-        #: shard is dark
+        #: shard is dark. LRU-bounded (insertion order + touch-on-use):
+        #: a long-lived read-heavy router must not accumulate one entry
+        #: per principal/param shape forever.
         self._stale: dict[tuple, Any] = {}
+        self._stale_cache_size = max(1, stale_cache_size)
         # a dedicated retrier so shard-dispatch retry jitter never
         # perturbs the shards' own storage/STS retry streams
         self._retrier = Retrier(self.retry_policy, self.clock,
@@ -308,13 +317,25 @@ class CatalogCluster:
             # the last known good answer instead of surfacing the outage
             if stale_key is not None and stale_key in self._stale:
                 self._stale_reads.labels(shard=shard.name).inc()
-                return self._stale[stale_key]
+                return self._stale_touch(stale_key)
             raise
         if stale_key is not None:
-            self._stale[stale_key] = result
+            self._stale_put(stale_key, result)
         if descriptor.mutation:
             self.after_mutation([shard], params.get("metastore_id"))
         return result
+
+    def _stale_touch(self, key: tuple) -> Any:
+        """Serve a cached answer, moving it to the LRU tail."""
+        value = self._stale.pop(key)
+        self._stale[key] = value
+        return value
+
+    def _stale_put(self, key: tuple, value: Any) -> None:
+        self._stale.pop(key, None)
+        self._stale[key] = value
+        while len(self._stale) > self._stale_cache_size:
+            self._stale.pop(next(iter(self._stale)))
 
     def _scatter(self, descriptor, binding, params, decision) -> Any:
         self._fanout.labels(mode="scatter").inc()
@@ -344,11 +365,44 @@ class CatalogCluster:
         except Exception as exc:
             self.coordinator.abort(txn, f"{type(exc).__name__}: {exc}")
             raise
+        # create_metastore mints its metastore id into params; every other
+        # replicated write carries it, but fall back to the result in case
+        # a future binding mints something else
+        metastore_id = params.get("metastore_id") or getattr(
+            result, "metastore_id", None
+        )
+        applied = [self.home]
         for shard in self._shards[1:]:
             self._requests.labels(shard=shard.name, mode="broadcast").inc()
-            shard.service.dispatch(descriptor.name, **params)
+            try:
+                shard.service.dispatch(descriptor.name, **params)
+            except Exception as exc:
+                # the home shard (and possibly earlier replicas) committed
+                # but this one did not. Roll nothing back — the applied
+                # writes are durable — but abort the txn so its key lock is
+                # released (later broadcasts of the key must not wedge),
+                # put the partial state on the transaction record, relay
+                # the applied shards' events, and surface the divergence
+                # as an explicit, non-retryable error.
+                txn.details.update(
+                    applied=tuple(s.name for s in applied),
+                    failed=shard.name,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                self.coordinator.abort(
+                    txn,
+                    f"partial commit: replica {shard.name} failed after "
+                    f"{len(applied)} shard(s): {type(exc).__name__}: {exc}",
+                )
+                self.after_mutation(applied, metastore_id)
+                raise PartialBroadcastError(
+                    f"{descriptor.name}: replica {shard.name} failed after "
+                    f"the write applied on "
+                    f"{', '.join(s.name for s in applied)}: {exc}"
+                ) from exc
+            applied.append(shard)
         self.coordinator.commit(txn)
-        self.after_mutation(self._shards, params.get("metastore_id"))
+        self.after_mutation(self._shards, metastore_id)
         return result
 
     def _probe(self, descriptor, binding, params, decision) -> Any:

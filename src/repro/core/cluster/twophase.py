@@ -292,5 +292,23 @@ class CatalogMove:
             ops = [WriteOp.delete(t, k) for t, k, _ in export.rows]
             return ops, None, []
 
-        source.service._mutate(mid, build_delete)
+        try:
+            source.service._mutate(mid, build_delete)
+        except Exception:
+            # the import committed but the source-side delete did not: the
+            # subtree would be resolvable under both names on two shards.
+            # Compensate by deleting the imported rows from the target —
+            # the old key is still routed to the source (commit() unpins
+            # only after both legs land), so the catalog stays fully
+            # usable under its old name and the abort is clean.
+            def build_undo(view):
+                ops = [WriteOp.delete(t, k) for t, k, _ in rows]
+                return ops, None, []
+
+            target.service._mutate(mid, build_undo)
+            # the import leg already published its rename event on the
+            # target's local bus; drain it so the relay consumer never
+            # forwards a change that was rolled back
+            target.service.events.poll(mid, consumer="cluster-relay")
+            raise
         return result

@@ -60,6 +60,13 @@ class QueryResolution:
     principal: str
     assets: dict[str, ResolvedAsset] = field(default_factory=dict)
     functions: dict[str, ResolvedAsset] = field(default_factory=dict)
+    #: Populated only on cluster-merged resolutions: catalog route key ->
+    #: the version of the shard store that resolved that catalog's assets.
+    #: Each shard versions its store independently, so the scalar
+    #: ``metastore_version`` of a merged resolution (the max over shards)
+    #: corresponds to no single shard's snapshot and MUST NOT be used for
+    #: version pinning — pin against the entry for the asset's catalog.
+    catalog_versions: dict[str, int] = field(default_factory=dict)
 
     @property
     def requires_trusted_engine(self) -> bool:
@@ -67,6 +74,14 @@ class QueryResolution:
 
     def asset(self, name: str) -> ResolvedAsset:
         return self.assets[name]
+
+    def pinnable_version(self, name: str) -> int:
+        """The store version to pin for ``name``'s catalog: per-catalog
+        on a cluster-merged resolution, the scalar one otherwise."""
+        if self.catalog_versions:
+            key = name.split(".", 1)[0]
+            return self.catalog_versions.get(key, self.metastore_version)
+        return self.metastore_version
 
 
 class QueryResolver:

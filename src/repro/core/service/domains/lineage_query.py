@@ -225,15 +225,23 @@ def _merge_resolutions(results: list, params: dict):
     assets: dict = {}
     functions: dict = {}
     version = 0
+    catalog_versions: dict[str, int] = {}
     for resolution in results:
         assets.update(resolution.assets)
         functions.update(resolution.functions)
+        # each shard's store versions independently: the scalar max is
+        # only an upper bound, so record the real per-catalog versions
+        # for clients that pin (fast path / read_version_check)
         version = max(version, resolution.metastore_version)
+        for name in list(resolution.assets) + list(resolution.functions):
+            catalog_versions[catalog_route_key(name)] = \
+                resolution.metastore_version
     return QueryResolution(
         metastore_version=version,
         principal=results[0].principal,
         assets=assets,
         functions=functions,
+        catalog_versions=catalog_versions,
     )
 
 
@@ -335,10 +343,13 @@ def _render_resolution(resolution, kwargs) -> dict[str, Any]:
             "view_definition": asset.view_definition,
             "dependencies": list(asset.dependencies),
         }
-    return {
+    rendered = {
         "metastore_version": resolution.metastore_version,
         "assets": assets,
     }
+    if resolution.catalog_versions:
+        rendered["catalog_versions"] = dict(resolution.catalog_versions)
+    return rendered
 
 
 ENDPOINTS = (

@@ -89,11 +89,16 @@ def create_metastore(svc, ctx) -> Entity:
             updated_at=now,
             spec={"region": region},
         )
-        svc.store.commit(
+        new_version = svc.store.commit(
             metastore_id, 0,
             [WriteOp.put(Tables.ENTITIES, metastore_id, entity.to_dict())],
         )
         svc._install_metastore(name, metastore_id)
+    svc.events.publish(
+        metastore_id, new_version, ChangeType.CREATED, metastore_id,
+        SecurableKind.METASTORE.value, name, svc.clock.now(),
+        {"region": region},
+    )
     svc._audit(metastore_id, owner, "create_metastore", name, True)
     return entity
 

@@ -146,6 +146,20 @@ class DeadlineExceededError(UnityCatalogError):
     code = "DEADLINE_EXCEEDED"
 
 
+class PartialBroadcastError(UnityCatalogError):
+    """A replicated (broadcast) write committed on some shards but failed
+    on a replica before reaching the rest.
+
+    The coordinator aborts the transaction — releasing its key locks and
+    recording which shards applied the write — but the applied shards are
+    *not* rolled back: the caller must treat the write as neither fully
+    applied nor fully absent. Not blindly retryable: re-issuing the same
+    write would collide with the shards that already hold it.
+    """
+
+    code = "PARTIAL_BROADCAST"
+
+
 class FederationError(UnityCatalogError):
     """The foreign catalog behind a federated catalog failed or refused."""
 

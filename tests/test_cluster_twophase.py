@@ -16,12 +16,14 @@ import pytest
 from repro.clock import SimClock
 from repro.core.auth.privileges import Privilege
 from repro.core.cluster import CatalogCluster
+from repro.core.events import ChangeType
 from repro.core.model.entity import SecurableKind
 from repro.core.persistence.store import Tables
 from repro.errors import (
     AlreadyExistsError,
     ConcurrentModificationError,
     NotFoundError,
+    PartialBroadcastError,
     TransientError,
     UnityCatalogError,
 )
@@ -238,6 +240,158 @@ def test_broadcast_validation_failure_aborts_cleanly():
             if value["kind"] == "STORAGE_CREDENTIAL"
         )
         assert count == 1
+
+
+def test_broadcast_replica_failure_aborts_with_partial_state():
+    """A replica dying mid-broadcast must not wedge the key lock."""
+    cluster, mid, _ = build_cluster()
+    victim = cluster.shards[1]
+    original = victim.service.dispatch
+
+    def failing(api, **params):
+        if api == "create_securable":
+            raise TransientError("replica down")
+        return original(api, **params)
+
+    victim.service.dispatch = failing
+    with pytest.raises(PartialBroadcastError) as exc_info:
+        cluster.dispatch("create_securable", metastore_id=mid,
+                         principal=ADMIN,
+                         kind=SecurableKind.STORAGE_CREDENTIAL, name="cred",
+                         spec={"root_secret": cluster.sts.root_secret})
+    assert victim.name in str(exc_info.value)
+
+    # the partial state is on the transaction record, not silent
+    record = [r for r in cluster.coordinator.aborted()
+              if r.kind == "broadcast"][-1]
+    assert "partial commit" in record.reason
+    assert record.details["failed"] == victim.name
+    assert record.details["applied"] == (cluster.home.name,)
+
+    # divergence is real (home committed, the victim did not) ...
+    def credential_rows(shard):
+        snapshot = shard.service.store.snapshot(mid)
+        return sum(1 for _, v in snapshot.scan(Tables.ENTITIES)
+                   if v["kind"] == "STORAGE_CREDENTIAL")
+
+    assert credential_rows(cluster.home) == 1
+    assert credential_rows(victim) == 0
+
+    # ... but the key lock was released: a later broadcast of the same
+    # key gets the canonical validation error, not a lock conflict
+    victim.service.dispatch = original
+    with pytest.raises(AlreadyExistsError):
+        cluster.dispatch("create_securable", metastore_id=mid,
+                         principal=ADMIN,
+                         kind=SecurableKind.STORAGE_CREDENTIAL, name="cred",
+                         spec={"root_secret": cluster.sts.root_secret})
+    # and an unrelated broadcast replicates everywhere, end to end
+    cluster.dispatch("create_securable", metastore_id=mid, principal=ADMIN,
+                     kind=SecurableKind.STORAGE_CREDENTIAL, name="cred2",
+                     spec={"root_secret": cluster.sts.root_secret})
+    for shard in cluster.shards:
+        snapshot = shard.service.store.snapshot(mid)
+        assert any(v["name"] == "cred2"
+                   for _, v in snapshot.scan(Tables.ENTITIES)
+                   if v["kind"] == "STORAGE_CREDENTIAL")
+
+
+def test_move_subtree_delete_failure_rolls_back_import():
+    """A fault between the import and delete legs of a cross-shard move
+    must compensate: the catalog stays under its old name on the source,
+    and the target holds no orphaned copy of the subtree."""
+    cluster, mid, _ = build_cluster()
+    make_catalog(cluster, mid, "sales")
+    source_name = cluster.router.owner_for(mid, "sales")
+    new_name = next(
+        name for name in ("archive", "backup", "vault", "annex", "ledger")
+        if cluster.router.owner_for(mid, name) != source_name
+    )
+    source = cluster.shard_named(source_name)
+    target = cluster.shard_named(cluster.router.owner_for(mid, new_name))
+    original = source.service._mutate
+
+    def failing(*args, **kwargs):
+        # during commit() the only source-side _mutate is the delete leg
+        raise TransientError("source store down")
+
+    source.service._mutate = failing
+    with pytest.raises(TransientError):
+        cluster.begin_catalog_move(mid, ADMIN, "sales", new_name).execute()
+    source.service._mutate = original
+
+    # clean abort: old name intact, new name resolvable nowhere
+    assert active_catalog_rows(cluster, mid, "sales") == 1
+    assert active_catalog_rows(cluster, mid, new_name) == 0
+    snapshot = target.service.store.snapshot(mid)
+    orphans = [v for _, v in snapshot.scan(Tables.ENTITIES)
+               if v["kind"] in ("CATALOG", "SCHEMA", "TABLE")]
+    assert orphans == []
+    record = [r for r in cluster.coordinator.aborted()
+              if r.kind == "catalog_move"][-1]
+    assert "TransientError" in record.reason
+
+    # the catalog is fully usable under the old name, and the locks were
+    # released: the same move now runs end to end
+    resolution = cluster.dispatch(
+        "resolve_for_query", metastore_id=mid, principal=READER,
+        table_names=["sales.s.t"], include_credentials=False)
+    assert "sales.s.t" in resolution.assets
+    cluster.begin_catalog_move(mid, ADMIN, "sales", new_name).execute()
+    assert active_catalog_rows(cluster, mid, new_name) == 1
+    assert active_catalog_rows(cluster, mid, "sales") == 0
+
+
+def test_metastore_creation_event_reaches_cluster_bus():
+    cluster, mid, _ = build_cluster()
+    events = cluster.events.peek(mid)
+    assert any(e.change is ChangeType.CREATED
+               and e.securable_kind == SecurableKind.METASTORE.value
+               and e.securable_id == mid
+               for e in events)
+
+
+def test_stale_read_cache_is_lru_bounded():
+    clock = SimClock()
+    cluster = CatalogCluster(2, clock=clock, stale_cache_size=3)
+    cluster.directory.add_user(ADMIN)
+    mid = cluster.create_metastore("lru", owner=ADMIN).id
+    cluster.dispatch("create_securable", metastore_id=mid, principal=ADMIN,
+                     kind=SecurableKind.CATALOG, name="c")
+    for index in range(6):
+        cluster.dispatch("create_securable", metastore_id=mid,
+                         principal=ADMIN, kind=SecurableKind.SCHEMA,
+                         name=f"c.s{index}")
+    # writes drop the written shard's entries, so read afterwards
+    for index in range(6):
+        cluster.dispatch("get_securable", metastore_id=mid, principal=ADMIN,
+                         kind=SecurableKind.SCHEMA, name=f"c.s{index}")
+    assert len(cluster._stale) == 3
+    # the survivors are the most recently used entries
+    cached_names = {key[2] for key in cluster._stale}
+    assert any("c.s5" in repr(entry) for entry in cached_names)
+
+
+def test_merged_resolution_carries_per_catalog_versions():
+    cluster, mid, _ = build_cluster()
+    make_catalog(cluster, mid, "sales")
+    make_catalog(cluster, mid, "ops")
+    resolution = cluster.dispatch(
+        "resolve_for_query", metastore_id=mid, principal=READER,
+        table_names=["sales.s.t", "ops.s.t"], include_credentials=False)
+    assert set(resolution.catalog_versions) == {"sales", "ops"}
+    for catalog in ("sales", "ops"):
+        shard = cluster.shard_named(cluster.router.owner_for(mid, catalog))
+        assert (resolution.catalog_versions[catalog]
+                == shard.service.view(mid).version)
+    # the scalar version is only an upper bound; pinning goes per catalog
+    assert resolution.metastore_version == max(
+        resolution.catalog_versions.values()
+    )
+    assert (resolution.pinnable_version("sales.s.t")
+            == resolution.catalog_versions["sales"])
+    assert (resolution.pinnable_version("ops.s.t")
+            == resolution.catalog_versions["ops"])
 
 
 def _stale_reads_total(cluster) -> float:
