@@ -34,6 +34,7 @@ from typing import Any, Optional
 
 from repro.bench.latency import DbServerModel, LatencyModel
 from repro.bench.loadgen import run_closed_loop
+from repro.bench.wallclock import run_threaded_loop
 from repro.clock import SimClock
 from repro.core.auth.abac import AbacEffect, TagCondition
 from repro.core.auth.privileges import Privilege
@@ -371,6 +372,57 @@ def _run_mode(fast_path: bool, args, query_sets) -> dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# wall-clock phase
+
+
+def _run_wallclock_mode(fast_path: bool, args, query_sets) -> dict[str, Any]:
+    """Measured req/s: real threads hammering ``resolve_for_query``.
+
+    Unlike the simulated phase there is no latency model here at all —
+    this is actual Python execution under the GIL, so the numbers are
+    machine-dependent and the fast-path speedup reflects CPU work
+    genuinely avoided (fewer authorization walks, fewer store reads).
+    """
+    service, mid, _, _ = _build_service(fast_path, args.tables)
+    for names in query_sets:  # warm every query shape once
+        service.resolve_for_query(mid, READER, names, engine_trusted=True)
+
+    def request_factory(index: int):
+        sequence = itertools.count(index * 7919)
+
+        def request() -> bool:
+            names = query_sets[next(sequence) % len(query_sets)]
+            try:
+                service.resolve_for_query(mid, READER, names,
+                                          engine_trusted=True)
+            except UnityCatalogError:
+                return False
+            return True
+
+        return request
+
+    result = run_threaded_loop(args.wallclock_threads,
+                               args.wallclock_duration, request_factory)
+    result["fast_path"] = fast_path
+    return result
+
+
+def run_wallclock(args, query_sets) -> dict[str, Any]:
+    section = {
+        "threads": args.wallclock_threads,
+        "duration_s": args.wallclock_duration,
+        "modes": {
+            "fast_path": _run_wallclock_mode(True, args, query_sets),
+            "no_fast_path": _run_wallclock_mode(False, args, query_sets),
+        },
+    }
+    slow = section["modes"]["no_fast_path"]["throughput_qps"]
+    fast = section["modes"]["fast_path"]["throughput_qps"]
+    section["speedup_x"] = fast / slow if slow else float("inf")
+    return section
+
+
+# ---------------------------------------------------------------------------
 
 
 def run_bench(args) -> dict[str, Any]:
@@ -413,6 +465,9 @@ def run_bench(args) -> dict[str, Any]:
         "identical_results": report["equivalence"]["identical_results"],
         "identical_audits": report["equivalence"]["identical_audits"],
     }
+    if getattr(args, "wallclock", False):
+        # measured, machine-dependent — reported but never a gate here
+        report["wallclock"] = run_wallclock(args, query_sets)
     return report
 
 
@@ -433,6 +488,12 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="run only the fast-path-off mode")
     parser.add_argument("--check", action="store_true",
                         help="exit 1 on hit-rate or equivalence failure")
+    parser.add_argument("--wallclock", action="store_true",
+                        help="also measure real-thread req/s for both "
+                             "modes (reported in a 'wallclock' section)")
+    parser.add_argument("--wallclock-threads", type=int, default=8)
+    parser.add_argument("--wallclock-duration", type=float, default=0.5,
+                        help="real seconds per wall-clock measurement")
     args = parser.parse_args(argv)
 
     report = run_bench(args)
@@ -458,6 +519,15 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"  equivalence: {e['queries']} queries, "
               f"results identical={e['identical_results']}, "
               f"audits identical={e['identical_audits']}")
+    if "wallclock" in report:
+        wc = report["wallclock"]
+        for mode, stats in wc["modes"].items():
+            print(f"wallclock {mode:>13}: "
+                  f"{stats['throughput_qps']:>8,.0f} req/s measured "
+                  f"({stats['completed']} requests, "
+                  f"{stats['errors']} errors)")
+        print(f"wallclock speedup: {wc['speedup_x']:.2f}x with "
+              f"{wc['threads']} threads")
     print(f"wrote {args.out}")
 
     if args.check:

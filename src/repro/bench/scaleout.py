@@ -28,14 +28,17 @@ last-known-good cache instead of failing).
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import os
 import sys
+import time
 from random import Random
 from typing import Any, Optional
 
 from repro.bench.latency import DbServerModel, LatencyModel
 from repro.bench.loadgen import run_closed_loop
+from repro.bench.wallclock import run_threaded_loop
 from repro.clock import SimClock
 from repro.core.auth.privileges import Privilege
 from repro.core.cluster import CatalogCluster
@@ -58,6 +61,17 @@ TABLES_PER_SCHEMA = 3
 QUERY_SETS_PER_CATALOG = 6
 TABLES_PER_QUERY = 3
 SCATTER_FRACTION = 0.05
+
+#: wall-clock mode: shard counts compared, load threads, measured window
+WALLCLOCK_SHARDS = (1, 4)
+WALLCLOCK_THREADS = 16
+WALLCLOCK_DURATION_S = 0.75
+#: emulated service-time floor per unit of shard work — pure-Python CPU
+#: cannot parallelize under the GIL, so the wall-clock mode sleeps each
+#: request's *modeled* service time on its shard's worker; overlap
+#: across shard workers is then genuine wall-clock concurrency
+WALLCLOCK_SERVICE_FLOOR_S = 0.002
+WALLCLOCK_MIN_SPEEDUP = 1.5
 
 
 class _ShardServer:
@@ -289,6 +303,114 @@ def run_mode(
     }
 
 
+def run_wallclock_mode(
+    shards: int,
+    seed: int,
+    *,
+    threads: int = WALLCLOCK_THREADS,
+    duration: float = WALLCLOCK_DURATION_S,
+) -> dict[str, Any]:
+    """Measured req/s with real threads against a parallel serving tier.
+
+    The cluster build, placement and warmup are identical to the
+    simulated mode. Each request's service time is *calibrated* from the
+    same measured work deltas the simulated mode charges (CPU model +
+    DB model), then emulated as a real sleep on the owning shard's
+    worker — so shard workers overlap exactly where the model says
+    independent shards would, and the measured speedup is honest on a
+    2-core CI runner where sleeping threads need no cores.
+    """
+    from repro.serve import ParallelServingTier
+
+    cluster, mid, catalog_names, query_sets, _ = _build_cluster(
+        shards, seed, breaker_reset_timeout=0.5
+    )
+    _warm(cluster, mid, catalog_names, query_sets)
+
+    # calibrate the mean modeled service time over every query shape
+    costs = []
+    for catalog in catalog_names:
+        owner = cluster.router.owner_for(mid, catalog)
+        service = cluster.shard_named(owner).service
+        for names in query_sets[catalog]:
+            before = _work_snapshot(service)
+            cluster.dispatch("resolve_for_query", metastore_id=mid,
+                             principal=READER, table_names=names,
+                             include_credentials=False)
+            cpu, queries, scans = _work_cost(before, _work_snapshot(service))
+            costs.append(cpu + queries * MODEL.db_point_read
+                         + scans * MODEL.db_scan_row)
+    service_time = max(sum(costs) / len(costs), WALLCLOCK_SERVICE_FLOOR_S)
+
+    def worker_wrap(shard_name: str, fn):
+        result = fn()
+        time.sleep(service_time)
+        return result
+
+    def request_factory(index: int):
+        rng = Random((seed << 8) ^ index)
+        sequence = itertools.count(index * 7919)
+
+        def request() -> bool:
+            i = next(sequence)
+            try:
+                if rng.random() < SCATTER_FRACTION:
+                    cluster.dispatch("list_securables", metastore_id=mid,
+                                     principal=READER,
+                                     kind=SecurableKind.CATALOG)
+                else:
+                    catalog = catalog_names[i % len(catalog_names)]
+                    names = query_sets[catalog][i % QUERY_SETS_PER_CATALOG]
+                    cluster.dispatch("resolve_for_query", metastore_id=mid,
+                                     principal=READER, table_names=names,
+                                     include_credentials=False)
+            except UnityCatalogError:
+                return False
+            return True
+
+        return request
+
+    with ParallelServingTier(cluster, workers_per_shard=1,
+                             front_door_workers=threads,
+                             worker_wrap=worker_wrap):
+        result = run_threaded_loop(threads, duration, request_factory)
+    result["shards"] = shards
+    result["service_time_ms"] = service_time * 1000
+    return result
+
+
+def run_wallclock(
+    seed: int = 11,
+    shard_counts: tuple[int, ...] = WALLCLOCK_SHARDS,
+    *,
+    threads: int = WALLCLOCK_THREADS,
+    duration: float = WALLCLOCK_DURATION_S,
+) -> dict[str, Any]:
+    """The measured-throughput sweep reported next to the simulated one."""
+    section: dict[str, Any] = {
+        "threads": threads,
+        "duration_s": duration,
+        "shard_counts": list(shard_counts),
+        "min_speedup": WALLCLOCK_MIN_SPEEDUP,
+        "modes": {},
+    }
+    for shards in shard_counts:
+        section["modes"][str(shards)] = run_wallclock_mode(
+            shards, seed, threads=threads, duration=duration
+        )
+    base = section["modes"][str(shard_counts[0])]["throughput_qps"]
+    section["speedup"] = {
+        str(shards): (
+            section["modes"][str(shards)]["throughput_qps"] / base
+            if base else float("inf")
+        )
+        for shards in shard_counts
+    }
+    top = str(max(shard_counts))
+    section["scaling_ok"] = section["speedup"][top] >= WALLCLOCK_MIN_SPEEDUP
+    return section
+
+
 def run_scaleout(
     seed: int = 11,
     shard_counts: tuple[int, ...] = (1, 2, 4, 8),
@@ -358,6 +480,15 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--out", default="BENCH_scaleout.json")
     parser.add_argument("--check", action="store_true",
                         help="run twice; fail on scaling or determinism")
+    parser.add_argument("--wallclock", action="store_true",
+                        help="also measure real-thread req/s at "
+                             f"{WALLCLOCK_SHARDS} shards (reported in a "
+                             "'wallclock' section, never fingerprinted)")
+    parser.add_argument("--wallclock-threads", type=int,
+                        default=WALLCLOCK_THREADS)
+    parser.add_argument("--wallclock-duration", type=float,
+                        default=WALLCLOCK_DURATION_S,
+                        help="real seconds per wall-clock measurement")
     args = parser.parse_args(argv)
 
     report = run_scaleout(
@@ -366,12 +497,22 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     deterministic = None
     if args.check:
+        # determinism is judged on the simulated report only, before any
+        # (inherently noisy) wall-clock section is attached
         second = run_scaleout(
             args.seed, tuple(args.shards), clients=args.clients,
             duration=args.duration, fault_rate=args.fault_rate,
         )
         deterministic = fingerprint(report) == fingerprint(second)
         report["checks"]["deterministic"] = deterministic
+
+    if args.wallclock:
+        report["wallclock"] = run_wallclock(
+            args.seed, threads=args.wallclock_threads,
+            duration=args.wallclock_duration,
+        )
+        report["checks"]["wallclock_scaling_ok"] = \
+            report["wallclock"]["scaling_ok"]
 
     out_dir = os.path.dirname(args.out)
     if out_dir:
@@ -386,6 +527,17 @@ def main(argv: Optional[list[str]] = None) -> int:
               f"  p50 {mode['p50_ms']:.3f} ms  p99 {mode['p99_ms']:.3f} ms"
               f"  scaling {report['scaling'][str(shards)]:.2f}x"
               f"  errors {mode['user_errors']}")
+    if "wallclock" in report:
+        wc = report["wallclock"]
+        for shards, mode in wc["modes"].items():
+            print(f"wallclock {shards:>2} shard(s): "
+                  f"{mode['throughput_qps']:>8,.0f} req/s measured"
+                  f"  ({mode['completed']} requests, "
+                  f"{mode['errors']} errors, "
+                  f"service {mode['service_time_ms']:.2f} ms)")
+        top = str(max(wc["shard_counts"]))
+        print(f"wallclock speedup: {wc['speedup'][top]:.2f}x at {top} "
+              f"shards (gate {wc['min_speedup']:.1f}x)")
     print(f"wrote {args.out}")
 
     if args.check:

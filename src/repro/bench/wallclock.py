@@ -1,0 +1,73 @@
+"""Wall-clock measurement loop shared by the ``--wallclock`` bench modes.
+
+Unlike :mod:`repro.bench.loadgen` — which simulates a closed loop on a
+:class:`~repro.clock.SimClock` for deterministic, seed-stable reports —
+this loop runs *real* threads against *real* time and reports measured
+req/s. The results are inherently noisy (scheduler, CI neighbors), which
+is why wallclock sections are reported alongside, never fingerprinted
+with, the simulated numbers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+#: a factory per load thread: ``factory(index)`` returns a zero-arg
+#: callable that issues one request and returns True on success
+RequestFactory = Callable[[int], Callable[[], bool]]
+
+
+def run_threaded_loop(
+    threads: int, duration_s: float, request_factory: RequestFactory
+) -> dict[str, Any]:
+    """Drive ``threads`` closed-loop clients for ``duration_s`` real
+    seconds; returns completed/error counts and measured throughput.
+
+    Every thread starts behind a barrier so the measured window never
+    includes thread-spawn time; requests in flight when the stop flag
+    rises still complete and count (the elapsed clock runs until the
+    last thread joins, so throughput is never overstated).
+    """
+    barrier = threading.Barrier(threads + 1)
+    stop = threading.Event()
+    completed = [0] * threads
+    errors = [0] * threads
+
+    def worker(index: int) -> None:
+        request = request_factory(index)
+        barrier.wait()
+        while not stop.is_set():
+            try:
+                ok = request()
+            except Exception:
+                ok = False
+            if ok:
+                completed[index] += 1
+            else:
+                errors[index] += 1
+
+    workers = [
+        threading.Thread(target=worker, args=(i,), name=f"uc-load-{i}",
+                         daemon=True)
+        for i in range(threads)
+    ]
+    for thread in workers:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    time.sleep(duration_s)
+    stop.set()
+    for thread in workers:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    total = sum(completed)
+    return {
+        "threads": threads,
+        "duration_s": duration_s,
+        "elapsed_s": elapsed,
+        "completed": total,
+        "errors": sum(errors),
+        "throughput_qps": total / elapsed if elapsed else 0.0,
+    }

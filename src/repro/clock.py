@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 import time
 from typing import Callable, Protocol
 
@@ -43,27 +44,36 @@ class SimClock:
         self._now = float(start)
         self._events: list[tuple[float, int, Callable[[], None]]] = []
         self._counter = itertools.count()
+        # Reentrant: a fired callback may schedule() or advance() again.
+        # Thread safety matters because components charge backoff to the
+        # clock from real worker threads under the parallel serving tier.
+        self._lock = threading.RLock()
 
     def now(self) -> float:
-        return self._now
+        with self._lock:
+            return self._now
 
     def advance(self, seconds: float) -> float:
         """Move time forward, firing any callbacks that come due."""
         if seconds < 0:
             raise ValueError("cannot advance time backwards")
-        deadline = self._now + seconds
-        while self._events and self._events[0][0] <= deadline:
-            when, _, callback = heapq.heappop(self._events)
-            self._now = when
-            callback()
-        self._now = deadline
-        return self._now
+        with self._lock:
+            deadline = self._now + seconds
+            while self._events and self._events[0][0] <= deadline:
+                when, _, callback = heapq.heappop(self._events)
+                self._now = when
+                callback()
+            self._now = deadline
+            return self._now
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` when the clock reaches ``now + delay``."""
         if delay < 0:
             raise ValueError("negative delay")
-        heapq.heappush(self._events, (self._now + delay, next(self._counter), callback))
+        with self._lock:
+            heapq.heappush(
+                self._events, (self._now + delay, next(self._counter), callback)
+            )
 
     def run_until(self, deadline: float) -> None:
         """Advance to an absolute time, firing scheduled callbacks."""

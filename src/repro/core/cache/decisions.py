@@ -323,10 +323,10 @@ class HotPathCaches:
     ) -> Optional["AccessDecision"]:
         with self._lock:
             value = self.decisions.get(key)
-        if value is not None:
-            self.stats.authz_hits += 1
-        else:
-            self.stats.authz_misses += 1
+            if value is not None:
+                self.stats.authz_hits += 1
+            else:
+                self.stats.authz_misses += 1
         return value
 
     def put_decision(
@@ -345,10 +345,10 @@ class HotPathCaches:
     def get_resolution(self, kind: SecurableKind, full_name: str) -> Optional[Entity]:
         with self._lock:
             entity = self.resolutions.get(kind, full_name)
-        if entity is not None:
-            self.stats.resolution_hits += 1
-        else:
-            self.stats.resolution_misses += 1
+            if entity is not None:
+                self.stats.resolution_hits += 1
+            else:
+                self.stats.resolution_misses += 1
         return entity
 
     def put_resolution(self, kind: SecurableKind, full_name: str, entity: Entity,

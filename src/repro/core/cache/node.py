@@ -420,6 +420,29 @@ class MetastoreCacheNode:
                     out.append((key, value))
             return out
 
+    # locked reads of the derived indexes — CachedView must never walk
+    # an index while a committing thread is re-indexing it
+
+    def _name_lookup(self, key: tuple) -> Optional[str]:
+        with self._lock:
+            return self._name_index.get(key)
+
+    def _children_of(self, parent_id: str) -> set[str]:
+        with self._lock:
+            return set(self._children.get(parent_id, ()))
+
+    def _trie_resolve(self, path: StoragePath) -> Optional[str]:
+        with self._lock:
+            return self._trie.resolve(path)
+
+    def _trie_overlapping(self, path: StoragePath) -> list[str]:
+        with self._lock:
+            return self._trie.find_overlapping(path)
+
+    def _grants_for(self, securable_id: str) -> list[PrivilegeGrant]:
+        with self._lock:
+            return list(self._grants_index.get(securable_id, {}).values())
+
     def cached_version_count(self) -> int:
         """Total cached row versions across all tables (pruning tests)."""
         with self._lock:
@@ -452,7 +475,7 @@ class CachedView(MetastoreView):
         self, parent_id: Optional[str], namespace_group: str, name: str
     ) -> Optional[Entity]:
         self._node._ensure_complete(Tables.ENTITIES)
-        entity_id = self._node._name_index.get((parent_id, namespace_group, name))
+        entity_id = self._node._name_lookup((parent_id, namespace_group, name))
         if entity_id is not None:
             entity = self.entity_by_id(entity_id)
             if (
@@ -483,7 +506,7 @@ class CachedView(MetastoreView):
         self, parent_id: str, kind: Optional[SecurableKind] = None
     ) -> list[Entity]:
         self._node._ensure_complete(Tables.ENTITIES)
-        child_ids = set(self._node._children.get(parent_id, set()))
+        child_ids = self._node._children_of(parent_id)
         out = []
         for child_id in child_ids:
             entity = self.entity_by_id(child_id)
@@ -500,17 +523,16 @@ class CachedView(MetastoreView):
 
     def resolve_path(self, path: StoragePath) -> Optional[Entity]:
         self._node._ensure_complete(Tables.ENTITIES)
-        asset_id = self._node._trie.resolve(path)
+        asset_id = self._node._trie_resolve(path)
         return self.entity_by_id(asset_id) if asset_id else None
 
     def overlapping_assets(self, path: StoragePath) -> list[str]:
         self._node._ensure_complete(Tables.ENTITIES)
-        return self._node._trie.find_overlapping(path)
+        return self._node._trie_overlapping(path)
 
     def grants_on(self, securable_id: str) -> list[PrivilegeGrant]:
         self._node._ensure_complete(Tables.GRANTS)
-        grants = self._node._grants_index.get(securable_id, {})
-        return list(grants.values())
+        return self._node._grants_for(securable_id)
 
     def prefetch_rows(self, table: str, keys: list[str]) -> None:
         self._node._prefetch_rows(table, keys)

@@ -123,7 +123,8 @@ class TtlCache(Generic[K, V]):
             stale = self._stale_value(key)
             if stale is None:
                 raise
-            self.stale_serves += 1
+            with self._lock:
+                self.stale_serves += 1
             return stale
         self.put(key, value, ttl_seconds)
         return value

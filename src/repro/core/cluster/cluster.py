@@ -30,6 +30,7 @@ owns what spans shards:
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterator, Optional
 
 from repro.clock import Clock, SimClock
@@ -165,6 +166,12 @@ class CatalogCluster:
         #: per principal/param shape forever.
         self._stale: dict[tuple, Any] = {}
         self._stale_cache_size = max(1, stale_cache_size)
+        #: guards the stale-read LRU — touched from every dispatching
+        #: thread once a serving runtime fans requests out in parallel
+        self._lock = threading.Lock()
+        #: optional parallel serving runtime (see :mod:`repro.serve`);
+        #: ``None`` keeps dispatch sequential and deterministic
+        self._runtime = None
         # a dedicated retrier so shard-dispatch retry jitter never
         # perturbs the shards' own storage/STS retry streams
         self._retrier = Retrier(self.retry_policy, self.clock,
@@ -224,6 +231,63 @@ class CatalogCluster:
 
     def count_migration_stage(self, stage: str) -> None:
         self._migration_stages.labels(stage=stage).inc()
+
+    # ------------------------------------------------------------------
+    # serving runtime
+    # ------------------------------------------------------------------
+
+    def attach_runtime(self, runtime) -> None:
+        """Install a parallel serving runtime (:mod:`repro.serve`).
+
+        With a runtime attached, per-shard work executes on that shard's
+        dedicated worker and scatter/broadcast fan-outs dispatch
+        concurrently and join. Without one (the default), dispatch stays
+        sequential and deterministic — simulated benches and the
+        enumerated-interleaving tests rely on that.
+        """
+        self._runtime = runtime
+
+    def detach_runtime(self) -> None:
+        self._runtime = None
+
+    def run_on_shard(self, name: str, fn: Callable[[], Any]) -> Any:
+        """Execute ``fn`` on the named shard's worker (inline when no
+        runtime is attached, or when already on that shard's worker)."""
+        runtime = self._runtime
+        if runtime is None:
+            return fn()
+        return runtime.run_on(name, fn)
+
+    def _run_fanout(self, tasks, *, stop_on_error: bool = False):
+        """Run ``(shard_name, thunk)`` tasks, returning ordered
+        ``(ok, value_or_exc)`` pairs.
+
+        Sequential without a runtime — short-circuiting after the first
+        failure when ``stop_on_error`` so partial-broadcast semantics
+        match the single-threaded cluster exactly. With a runtime, every
+        task is submitted to its shard's worker up front and joined in
+        task order; all legs run even if an early one fails, but the
+        caller still sees failures in deterministic task order.
+        """
+        runtime = self._runtime
+        if runtime is None:
+            outcomes = []
+            for name, thunk in tasks:
+                try:
+                    outcomes.append((True, thunk()))
+                except Exception as exc:
+                    outcomes.append((False, exc))
+                    if stop_on_error:
+                        break
+            return outcomes
+        futures = [runtime.submit_on(name, thunk) for name, thunk in tasks]
+        outcomes = []
+        for future in futures:
+            try:
+                outcomes.append((True, future.result()))
+            except Exception as exc:
+                outcomes.append((False, exc))
+        return outcomes
 
     def _collect_placement(self) -> Iterator[tuple[str, dict, float]]:
         """Scrape-time export: active catalogs resident on each shard."""
@@ -299,6 +363,11 @@ class CatalogCluster:
         def guarded():
             return shard.breaker.call(attempt)
 
+        def placed():
+            # with a serving runtime attached, the shard's work runs on
+            # that shard's dedicated worker thread
+            return self.run_on_shard(shard.name, guarded)
+
         stale_ok = (binding is not None and binding.stale_ok
                     and not descriptor.mutation)
         stale_key = (
@@ -309,15 +378,17 @@ class CatalogCluster:
                 # mutations are not replayed by the router: the shard's
                 # own commit loop already absorbs transient store faults,
                 # and a router-level replay could double-apply
-                result = guarded()
+                result = placed()
             else:
-                result = self._retrier.call(guarded, retryable=_retryable)
+                result = self._retrier.call(placed, retryable=_retryable)
         except TransientError:
             # breaker-open (or retries exhausted): a stale_ok read serves
             # the last known good answer instead of surfacing the outage
-            if stale_key is not None and stale_key in self._stale:
-                self._stale_reads.labels(shard=shard.name).inc()
-                return self._stale_touch(stale_key)
+            if stale_key is not None:
+                hit, value = self._stale_touch(stale_key)
+                if hit:
+                    self._stale_reads.labels(shard=shard.name).inc()
+                    return value
             raise
         if stale_key is not None:
             self._stale_put(stale_key, result)
@@ -325,24 +396,38 @@ class CatalogCluster:
             self.after_mutation([shard], params.get("metastore_id"))
         return result
 
-    def _stale_touch(self, key: tuple) -> Any:
-        """Serve a cached answer, moving it to the LRU tail."""
-        value = self._stale.pop(key)
-        self._stale[key] = value
-        return value
+    def _stale_touch(self, key: tuple) -> tuple[bool, Any]:
+        """Serve a cached answer (moving it to the LRU tail) if present.
+        The lookup and touch are one critical section — another thread
+        may evict the key between a bare check and the pop."""
+        with self._lock:
+            if key not in self._stale:
+                return False, None
+            value = self._stale.pop(key)
+            self._stale[key] = value
+            return True, value
 
     def _stale_put(self, key: tuple, value: Any) -> None:
-        self._stale.pop(key, None)
-        self._stale[key] = value
-        while len(self._stale) > self._stale_cache_size:
-            self._stale.pop(next(iter(self._stale)))
+        with self._lock:
+            self._stale.pop(key, None)
+            self._stale[key] = value
+            while len(self._stale) > self._stale_cache_size:
+                self._stale.pop(next(iter(self._stale)))
 
     def _scatter(self, descriptor, binding, params, decision) -> Any:
         self._fanout.labels(mode="scatter").inc()
-        results = [
-            self._single(shard, descriptor, binding, params, mode="scatter")
+        tasks = [
+            (shard.name,
+             lambda shard=shard: self._single(shard, descriptor, binding,
+                                              params, mode="scatter"))
             for shard in self._shards
         ]
+        outcomes = self._run_fanout(tasks, stop_on_error=True)
+        results = []
+        for ok, value in outcomes:
+            if not ok:
+                raise value
+            results.append(value)
         return decision.merge(results, params)
 
     def _broadcast(self, descriptor, binding, params) -> Any:
@@ -361,7 +446,10 @@ class CatalogCluster:
         self._fanout.labels(mode="broadcast").inc()
         try:
             self._requests.labels(shard=self.home.name, mode="broadcast").inc()
-            result = self.home.service.dispatch(descriptor.name, **params)
+            result = self.run_on_shard(
+                self.home.name,
+                lambda: self.home.service.dispatch(descriptor.name, **params),
+            )
         except Exception as exc:
             self.coordinator.abort(txn, f"{type(exc).__name__}: {exc}")
             raise
@@ -371,36 +459,49 @@ class CatalogCluster:
         metastore_id = params.get("metastore_id") or getattr(
             result, "metastore_id", None
         )
-        applied = [self.home]
-        for shard in self._shards[1:]:
+        replicas = self._shards[1:]
+
+        def leg(shard: ShardNode):
             self._requests.labels(shard=shard.name, mode="broadcast").inc()
-            try:
-                shard.service.dispatch(descriptor.name, **params)
-            except Exception as exc:
-                # the home shard (and possibly earlier replicas) committed
-                # but this one did not. Roll nothing back — the applied
-                # writes are durable — but abort the txn so its key lock is
-                # released (later broadcasts of the key must not wedge),
-                # put the partial state on the transaction record, relay
-                # the applied shards' events, and surface the divergence
-                # as an explicit, non-retryable error.
-                txn.details.update(
-                    applied=tuple(s.name for s in applied),
-                    failed=shard.name,
-                    error=f"{type(exc).__name__}: {exc}",
-                )
-                self.coordinator.abort(
-                    txn,
-                    f"partial commit: replica {shard.name} failed after "
-                    f"{len(applied)} shard(s): {type(exc).__name__}: {exc}",
-                )
-                self.after_mutation(applied, metastore_id)
-                raise PartialBroadcastError(
-                    f"{descriptor.name}: replica {shard.name} failed after "
-                    f"the write applied on "
-                    f"{', '.join(s.name for s in applied)}: {exc}"
-                ) from exc
-            applied.append(shard)
+            return shard.service.dispatch(descriptor.name, **params)
+
+        outcomes = self._run_fanout(
+            [(shard.name, lambda shard=shard: leg(shard))
+             for shard in replicas],
+            stop_on_error=True,
+        )
+        applied = [self.home]
+        failure: Optional[tuple[ShardNode, Exception]] = None
+        for shard, (ok, value) in zip(replicas, outcomes):
+            if ok:
+                applied.append(shard)
+            elif failure is None:
+                failure = (shard, value)
+        if failure is not None:
+            # the home shard (and possibly other replicas) committed but
+            # this one did not. Roll nothing back — the applied writes
+            # are durable — but abort the txn so its key lock is released
+            # (later broadcasts of the key must not wedge), put the
+            # partial state on the transaction record, relay the applied
+            # shards' events, and surface the divergence as an explicit,
+            # non-retryable error.
+            shard, exc = failure
+            txn.details.update(
+                applied=tuple(s.name for s in applied),
+                failed=shard.name,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            self.coordinator.abort(
+                txn,
+                f"partial commit: replica {shard.name} failed after "
+                f"{len(applied)} shard(s): {type(exc).__name__}: {exc}",
+            )
+            self.after_mutation(applied, metastore_id)
+            raise PartialBroadcastError(
+                f"{descriptor.name}: replica {shard.name} failed after "
+                f"the write applied on "
+                f"{', '.join(s.name for s in applied)}: {exc}"
+            ) from exc
         self.coordinator.commit(txn)
         self.after_mutation(self._shards, metastore_id)
         return result
@@ -452,11 +553,12 @@ class CatalogCluster:
         """Relay the involved shards' change events to the cluster bus
         and drop their stale-read cache entries."""
         names = {shard.name for shard in shards}
-        if self._stale:
-            self._stale = {
-                key: value for key, value in self._stale.items()
-                if key[0] not in names
-            }
+        with self._lock:
+            if self._stale:
+                self._stale = {
+                    key: value for key, value in self._stale.items()
+                    if key[0] not in names
+                }
         if metastore_id is None:
             return
         for shard in shards:

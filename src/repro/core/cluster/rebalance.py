@@ -22,6 +22,7 @@ reference rewriting is needed.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
@@ -104,6 +105,11 @@ class CatalogMigration:
         self._first: Optional[SubtreeExport] = None
         self._second: Optional[SubtreeExport] = None
         self._root_id: Optional[str] = None
+        #: serializes state transitions — two parallel writers hitting a
+        #: fenced key both call :meth:`complete`; the loser must observe
+        #: the cutover as already done, not double-fire it. Reentrant so
+        #: :meth:`run`/:meth:`complete` can drive the individual steps.
+        self._lock = threading.RLock()
 
     def _count(self, stage: str) -> None:
         self._cluster.count_migration_stage(stage)
@@ -129,84 +135,94 @@ class CatalogMigration:
 
     def copy(self) -> "CatalogMigration":
         """Bulk-copy the subtree; source stays fully readable/writable."""
-        self._require(PLANNED)
-        cluster, mid = self._cluster, self.metastore_id
-        root_id = self._resolve_root()
-        source = cluster.shard_named(self.source_name)
-        target = cluster.shard_named(self.target_name)
-        self._first = export_subtree(source.service.store, mid, root_id)
+        with self._lock:
+            self._require(PLANNED)
+            cluster, mid = self._cluster, self.metastore_id
+            root_id = self._resolve_root()
+            source = cluster.shard_named(self.source_name)
+            target = cluster.shard_named(self.target_name)
+            self._first = export_subtree(source.service.store, mid, root_id)
 
-        def build(view):
-            ops = [WriteOp.put(t, k, v) for t, k, v in self._first.rows]
-            return ops, None, []
+            def build(view):
+                ops = [WriteOp.put(t, k, v) for t, k, v in self._first.rows]
+                return ops, None, []
 
-        target.service._mutate(mid, build)
-        self.state = COPIED
+            target.service._mutate(mid, build)
+            self.state = COPIED
         self._count("copy")
         return self
 
     def enter_fence(self) -> "CatalogMigration":
         """Fence the key: reads stay on the source, the next write
         triggers :meth:`complete` before it lands."""
-        self._require(COPIED)
-        self._cluster.router.fence(self.metastore_id, self.catalog_name, self)
-        self.state = FENCED
+        with self._lock:
+            self._require(COPIED)
+            self._cluster.router.fence(self.metastore_id, self.catalog_name,
+                                       self)
+            self.state = FENCED
         self._count("fence")
         return self
 
     def cutover(self) -> "CatalogMigration":
         """Apply the delta since :meth:`copy`, repoint the route key."""
-        self._require(FENCED)
-        cluster, mid = self._cluster, self.metastore_id
-        source = cluster.shard_named(self.source_name)
-        target = cluster.shard_named(self.target_name)
-        self._second = export_subtree(source.service.store, mid, self._root_id)
-        vanished = self._first.keys() - self._second.keys()
+        with self._lock:
+            self._require(FENCED)
+            cluster, mid = self._cluster, self.metastore_id
+            source = cluster.shard_named(self.source_name)
+            target = cluster.shard_named(self.target_name)
+            self._second = export_subtree(source.service.store, mid,
+                                          self._root_id)
+            vanished = self._first.keys() - self._second.keys()
 
-        def build(view):
-            ops = [WriteOp.put(t, k, v) for t, k, v in self._second.rows]
-            ops.extend(WriteOp.delete(t, k) for t, k in sorted(vanished))
-            return ops, None, []
+            def build(view):
+                ops = [WriteOp.put(t, k, v) for t, k, v in self._second.rows]
+                ops.extend(WriteOp.delete(t, k) for t, k in sorted(vanished))
+                return ops, None, []
 
-        target.service._mutate(mid, build)
-        cluster.router.pin(mid, self.catalog_name, self.target_name)
-        cluster.router.unfence(mid, self.catalog_name)
-        self.state = CUT_OVER
+            target.service._mutate(mid, build)
+            cluster.router.pin(mid, self.catalog_name, self.target_name)
+            cluster.router.unfence(mid, self.catalog_name)
+            self.state = CUT_OVER
         self._count("cutover")
         cluster.after_mutation([target], mid)
         return self
 
     def cleanup(self) -> "CatalogMigration":
         """Drop the now-stale subtree rows from the source shard."""
-        self._require(CUT_OVER)
-        cluster, mid = self._cluster, self.metastore_id
-        source = cluster.shard_named(self.source_name)
-        stale = sorted(self._second.keys())
+        with self._lock:
+            self._require(CUT_OVER)
+            cluster, mid = self._cluster, self.metastore_id
+            source = cluster.shard_named(self.source_name)
+            stale = sorted(self._second.keys())
 
-        def build(view):
-            return [WriteOp.delete(t, k) for t, k in stale], None, []
+            def build(view):
+                return [WriteOp.delete(t, k) for t, k in stale], None, []
 
-        source.service._mutate(mid, build)
-        self.state = DONE
+            source.service._mutate(mid, build)
+            self.state = DONE
         self._count("cleanup")
         cluster.after_mutation([source], mid)
         return self
 
     def complete(self) -> "CatalogMigration":
-        """Cooperative finish, called by the write path on a fenced key."""
-        if self.state == FENCED:
-            self.cutover()
-            self.cleanup()
+        """Cooperative finish, called by the write path on a fenced key.
+        Under the reentrant lock the loser of a two-writer race observes
+        the winner's cutover instead of double-firing it."""
+        with self._lock:
+            if self.state == FENCED:
+                self.cutover()
+                self.cleanup()
         return self
 
     def run(self) -> "CatalogMigration":
         """The whole migration, start to finish."""
-        if self.source_name == self.target_name:
-            self.state = DONE  # already where it should be
-            return self
-        self._resolve_root()
-        self.copy()
-        self.enter_fence()
-        self.cutover()
-        self.cleanup()
-        return self
+        with self._lock:
+            if self.source_name == self.target_name:
+                self.state = DONE  # already where it should be
+                return self
+            self._resolve_root()
+            self.copy()
+            self.enter_fence()
+        # idempotent finish: a cooperating writer may have already cut
+        # over the fenced key between the two critical sections
+        return self.complete()

@@ -18,6 +18,7 @@ cluster needs on every request:
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Protocol
 
 from repro.core.sharding import ShardingService
@@ -39,6 +40,9 @@ class ShardRouter:
         self._sharding = ShardingService()
         for name in shard_names:
             self._sharding.add_node(name)
+        #: guards the fence table; parallel writers racing a cutover must
+        #: each observe either the fence or the post-cutover routing
+        self._lock = threading.Lock()
         self._fences: dict[str, _Completable] = {}
 
     @property
@@ -58,14 +62,17 @@ class ShardRouter:
 
     def fence(self, metastore_id: str, catalog_key: str,
               migration: _Completable) -> None:
-        self._fences[route_key(metastore_id, catalog_key)] = migration
+        with self._lock:
+            self._fences[route_key(metastore_id, catalog_key)] = migration
 
     def unfence(self, metastore_id: str, catalog_key: str) -> None:
-        self._fences.pop(route_key(metastore_id, catalog_key), None)
+        with self._lock:
+            self._fences.pop(route_key(metastore_id, catalog_key), None)
 
     def fence_for(self, metastore_id: str,
                   catalog_key: str) -> Optional[_Completable]:
-        return self._fences.get(route_key(metastore_id, catalog_key))
+        with self._lock:
+            return self._fences.get(route_key(metastore_id, catalog_key))
 
     def resolve_for_write(self, metastore_id: str, catalog_key: str) -> str:
         """The shard a *write* should land on: completes any in-flight

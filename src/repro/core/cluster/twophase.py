@@ -11,11 +11,15 @@ all-or-nothing **key locks** acquired at prepare, and an append-only
 transaction log. A prepare that loses the lock race aborts immediately
 with a record naming the conflicting key and holder — the "exactly one
 winner, clean abort for the loser" contract the interleaving tests
-enumerate.
+enumerate. Since the parallel serving tier drives prepare/commit legs
+from real threads, the check-and-acquire over the key-lock table is a
+single critical section under the coordinator's ``_lock``: two racing
+prepares can never both observe a key as free.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
@@ -63,6 +67,10 @@ class TwoPhaseCoordinator:
 
     def __init__(self, clock, metrics=None):
         self._clock = clock
+        #: serializes check-and-acquire over the key-lock table and log
+        #: appends — prepare legs race from real threads under the
+        #: parallel serving tier.
+        self._lock = threading.Lock()
         self._locks: dict[str, str] = {}   # route key -> holding txn id
         self._sequence = 0
         self.log: list[TxnRecord] = []
@@ -87,31 +95,32 @@ class TwoPhaseCoordinator:
     ) -> TxnRecord:
         """Acquire every key lock or none: a conflict aborts immediately
         with a log record naming the key and the holding transaction."""
-        self._sequence += 1
-        txn_id = f"txn-{self._sequence:06d}"
-        for key in keys:
-            holder = self._locks.get(key)
-            if holder is not None:
-                record = TxnRecord(
-                    txn_id=txn_id, kind=kind, api=api, keys=keys,
-                    participants=participants, state=ABORTED,
-                    reason=f"prepare conflict: {key} is locked by {holder}",
-                    prepared_at=self._clock.now(),
-                    finished_at=self._clock.now(),
-                )
-                self.log.append(record)
-                self._count(ABORTED)
-                raise ConcurrentModificationError(
-                    f"{api}: {key} is locked by transaction {holder}"
-                )
-        record = TxnRecord(
-            txn_id=txn_id, kind=kind, api=api, keys=keys,
-            participants=participants, prepared_at=self._clock.now(),
-        )
-        for key in keys:
-            self._locks[key] = txn_id
-        self.log.append(record)
-        return record
+        with self._lock:
+            self._sequence += 1
+            txn_id = f"txn-{self._sequence:06d}"
+            for key in keys:
+                holder = self._locks.get(key)
+                if holder is not None:
+                    record = TxnRecord(
+                        txn_id=txn_id, kind=kind, api=api, keys=keys,
+                        participants=participants, state=ABORTED,
+                        reason=f"prepare conflict: {key} is locked by {holder}",
+                        prepared_at=self._clock.now(),
+                        finished_at=self._clock.now(),
+                    )
+                    self.log.append(record)
+                    self._count(ABORTED)
+                    raise ConcurrentModificationError(
+                        f"{api}: {key} is locked by transaction {holder}"
+                    )
+            record = TxnRecord(
+                txn_id=txn_id, kind=kind, api=api, keys=keys,
+                participants=participants, prepared_at=self._clock.now(),
+            )
+            for key in keys:
+                self._locks[key] = txn_id
+            self.log.append(record)
+            return record
 
     def _release(self, record: TxnRecord) -> None:
         for key in record.keys:
@@ -119,20 +128,28 @@ class TwoPhaseCoordinator:
                 del self._locks[key]
 
     def commit(self, record: TxnRecord) -> None:
-        self._release(record)
-        record.state = COMMITTED
-        record.finished_at = self._clock.now()
+        with self._lock:
+            self._release(record)
+            record.state = COMMITTED
+            record.finished_at = self._clock.now()
         self._count(COMMITTED)
 
     def abort(self, record: TxnRecord, reason: str) -> None:
-        self._release(record)
-        record.state = ABORTED
-        record.reason = reason
-        record.finished_at = self._clock.now()
+        with self._lock:
+            self._release(record)
+            record.state = ABORTED
+            record.reason = reason
+            record.finished_at = self._clock.now()
         self._count(ABORTED)
 
+    def held_keys(self) -> dict[str, str]:
+        """The key locks currently held (race tests assert emptiness)."""
+        with self._lock:
+            return dict(self._locks)
+
     def aborted(self) -> list[TxnRecord]:
-        return [r for r in self.log if r.state == ABORTED]
+        with self._lock:
+            return [r for r in self.log if r.state == ABORTED]
 
 
 class CatalogMove:

@@ -358,9 +358,12 @@ class ServiceKernel:
                 transient_failures += 1
                 if transient_failures >= self.retry_policy.max_attempts:
                     raise
-                delay = self.retry_policy.backoff(
-                    transient_failures - 1, self._store_retry_rng
-                )
+                with self._lock:
+                    # the jitter stream is shared by every mutating
+                    # thread; Random must not interleave draws
+                    delay = self.retry_policy.backoff(
+                        transient_failures - 1, self._store_retry_rng
+                    )
                 request_deadline = ambient_deadline()
                 if (request_deadline is not None
                         and self.clock.now() + delay > request_deadline):

@@ -135,6 +135,9 @@ class Retrier:
         self.policy = policy
         self._clock = clock
         self._rng = Random(seed)
+        #: guards the jitter rng and the retry counters — a retrier is
+        #: shared per component and failures may race from many threads
+        self._lock = threading.Lock()
         self._tracer = tracer
         self.component = component
         self.retries = 0
@@ -185,7 +188,8 @@ class Retrier:
             if attempt >= policy.max_attempts:
                 self._give_up(attempt)
                 raise pending
-            delay = policy.backoff(attempt - 1, self._rng)
+            with self._lock:
+                delay = policy.backoff(attempt - 1, self._rng)
             if policy.deadline is not None:
                 elapsed = self._clock.now() - start
                 if elapsed + delay > policy.deadline:
@@ -202,7 +206,8 @@ class Retrier:
                         f"{self.component}: request deadline exhausted "
                         f"after {attempt} attempt(s): {pending}"
                     ) from pending
-            self.retries += 1
+            with self._lock:
+                self.retries += 1
             if self._retries_metric is not None:
                 self._retries_metric.inc()
             if on_retry is not None:
@@ -220,7 +225,8 @@ class Retrier:
             return result
 
     def _give_up(self, attempts: int) -> None:
-        self.exhausted += 1
+        with self._lock:
+            self.exhausted += 1
         if self._exhausted_metric is not None:
             self._exhausted_metric.inc()
         self._annotate(attempts)
@@ -271,6 +277,9 @@ class CircuitBreaker:
         self._half_open_probes = half_open_probes
         self._failure_types = failure_types
         self.name = name
+        #: one breaker fronts each shard; admissions and outcome
+        #: recording race from every serving thread
+        self._lock = threading.Lock()
         self.state = self.CLOSED
         self._failures = 0
         self._opened_at = 0.0
@@ -302,35 +311,41 @@ class CircuitBreaker:
 
     def before_call(self) -> None:
         """Admit or reject one call; may move open → half-open."""
-        if self.state == self.OPEN:
-            remaining = self._opened_at + self._reset_timeout - self._clock.now()
-            if remaining > 0:
-                raise CircuitOpenError(
-                    f"circuit {self.name!r} is open for another {remaining:.3f}s",
-                    retry_after_seconds=remaining,
-                )
-            self._transition(self.HALF_OPEN)
-            self._probes_in_flight = 0
-        if self.state == self.HALF_OPEN:
-            if self._probes_in_flight >= self._half_open_probes:
-                raise CircuitOpenError(
-                    f"circuit {self.name!r} is half-open and probe slots are taken",
-                    retry_after_seconds=self._reset_timeout,
-                )
-            self._probes_in_flight += 1
+        with self._lock:
+            if self.state == self.OPEN:
+                remaining = (self._opened_at + self._reset_timeout
+                             - self._clock.now())
+                if remaining > 0:
+                    raise CircuitOpenError(
+                        f"circuit {self.name!r} is open for another "
+                        f"{remaining:.3f}s",
+                        retry_after_seconds=remaining,
+                    )
+                self._transition(self.HALF_OPEN)
+                self._probes_in_flight = 0
+            if self.state == self.HALF_OPEN:
+                if self._probes_in_flight >= self._half_open_probes:
+                    raise CircuitOpenError(
+                        f"circuit {self.name!r} is half-open and probe "
+                        f"slots are taken",
+                        retry_after_seconds=self._reset_timeout,
+                    )
+                self._probes_in_flight += 1
 
     def record_success(self) -> None:
-        self._failures = 0
-        if self.state != self.CLOSED:
-            self._transition(self.CLOSED)
+        with self._lock:
+            self._failures = 0
+            if self.state != self.CLOSED:
+                self._transition(self.CLOSED)
 
     def record_failure(self) -> None:
-        if self.state == self.HALF_OPEN:
-            self._open()
-            return
-        self._failures += 1
-        if self._failures >= self._threshold:
-            self._open()
+        with self._lock:
+            if self.state == self.HALF_OPEN:
+                self._open()
+                return
+            self._failures += 1
+            if self._failures >= self._threshold:
+                self._open()
 
     def _open(self) -> None:
         self._opened_at = self._clock.now()

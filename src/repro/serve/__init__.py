@@ -1,0 +1,23 @@
+"""True-parallel serving tier for the sharded catalog cluster.
+
+``repro.serve`` turns the single-threaded :class:`CatalogCluster` into a
+real concurrent server: each shard's ``UnityCatalogService`` gets its own
+worker executor (so the SQLite backend and per-shard kernels remain
+isolation units), and the cluster's scatter/broadcast fan-outs and 2PC
+prepare/commit legs dispatch to those workers concurrently and join.
+
+The tier is strictly additive — a cluster without a runtime attached
+keeps its sequential, deterministic dispatch, which the simulated
+benches and the enumerated-interleaving tests depend on.
+"""
+
+from .jitter import jitter_enabled, maybe_jitter
+from .pool import ShardWorkerPool
+from .tier import ParallelServingTier
+
+__all__ = [
+    "ParallelServingTier",
+    "ShardWorkerPool",
+    "jitter_enabled",
+    "maybe_jitter",
+]

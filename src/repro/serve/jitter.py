@@ -1,0 +1,52 @@
+"""Seeded timing jitter for race-stress runs.
+
+The enumerated-interleaving tests prove specific schedules; the
+race-stress CI job instead perturbs *real* thread timing so the
+scheduler explores interleavings the enumeration never wrote down.
+``sys.settrace`` would serialize everything through the tracing hook
+(and mask the very races we hunt), so the jitter is plain micro-sleeps:
+each thread draws from its own deterministic-seeded stream and sleeps
+0–500µs at the callsites sprinkled through the serving tier.
+
+Enable by setting ``UC_RACE_JITTER`` to a non-zero integer seed::
+
+    UC_RACE_JITTER=3 python -m pytest tests/test_parallel_serving.py
+
+Disabled (the default) the hook is a near-free attribute check.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+
+_ENV = "UC_RACE_JITTER"
+_MAX_SLEEP = 0.0005  # 500µs: enough to shuffle thread order, cheap in CI
+
+_STATE = threading.local()
+
+
+def jitter_enabled() -> bool:
+    value = os.environ.get(_ENV, "")
+    return value not in ("", "0")
+
+
+def maybe_jitter() -> None:
+    """Sleep a few hundred microseconds when race jitter is enabled.
+
+    Each thread owns an rng seeded from the env seed and its ident, so a
+    given (seed, thread) pair replays the same sleep sequence while
+    different threads still diverge.
+    """
+    if not jitter_enabled():
+        return
+    rng = getattr(_STATE, "rng", None)
+    if rng is None:
+        try:
+            seed = int(os.environ.get(_ENV, "1"))
+        except ValueError:
+            seed = 1
+        rng = _STATE.rng = random.Random((seed << 20) ^ threading.get_ident())
+    time.sleep(rng.random() * _MAX_SLEEP)

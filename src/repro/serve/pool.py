@@ -1,0 +1,84 @@
+"""Per-shard worker executors.
+
+One ``ThreadPoolExecutor`` per shard keeps each shard an isolation unit:
+its SQLite connection, cache node and fast-path bundle are only ever
+driven from that shard's worker thread(s), so per-shard state sees the
+same serialization a real deployment gets from one process per shard.
+
+The subtle requirement is **reentrancy**: a task already running on a
+shard's worker may need that same shard again (a 2PC commit leg lands on
+the source shard from inside a move that the source shard is executing).
+Submitting to your own executor and blocking on the future deadlocks a
+single-worker pool, so the pool records each worker thread's ident at
+startup and runs such calls inline instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.errors import InvalidRequestError
+
+
+class ShardWorkerPool:
+    """A named executor per shard, with deadlock-safe inline reentry."""
+
+    def __init__(self, shard_names: list[str], workers_per_shard: int = 1,
+                 thread_name_prefix: str = "uc-shard"):
+        if workers_per_shard < 1:
+            raise InvalidRequestError("workers_per_shard must be >= 1")
+        self._lock = threading.Lock()
+        #: worker thread ident -> shard name, filled by the initializer
+        #: as each worker thread starts
+        self._idents: dict[int, str] = {}
+        self._executors: dict[str, ThreadPoolExecutor] = {}
+        for name in shard_names:
+            self._executors[name] = ThreadPoolExecutor(
+                max_workers=workers_per_shard,
+                thread_name_prefix=f"{thread_name_prefix}-{name}",
+                initializer=self._register_worker,
+                initargs=(name,),
+            )
+
+    def _register_worker(self, shard_name: str) -> None:
+        with self._lock:
+            self._idents[threading.get_ident()] = shard_name
+
+    def current_shard(self) -> str | None:
+        """The shard whose worker is executing the calling thread."""
+        with self._lock:
+            return self._idents.get(threading.get_ident())
+
+    def _executor_for(self, name: str) -> ThreadPoolExecutor:
+        try:
+            return self._executors[name]
+        except KeyError:
+            raise InvalidRequestError(f"no worker pool for shard: {name}")
+
+    def submit_on(self, name: str, fn: Callable[[], Any]) -> Future:
+        """Queue ``fn`` on the named shard's worker.
+
+        Called from that shard's own worker, the call runs inline and
+        returns an already-resolved future — blocking on a future queued
+        behind yourself would wedge a single-worker executor.
+        """
+        if self.current_shard() == name:
+            future: Future = Future()
+            try:
+                future.set_result(fn())
+            except BaseException as exc:  # propagate through the future
+                future.set_exception(exc)
+            return future
+        return self._executor_for(name).submit(fn)
+
+    def run_on(self, name: str, fn: Callable[[], Any]) -> Any:
+        """Execute ``fn`` on the named shard's worker and wait."""
+        if self.current_shard() == name:
+            return fn()
+        return self._executor_for(name).submit(fn).result()
+
+    def shutdown(self, wait: bool = True) -> None:
+        for executor in self._executors.values():
+            executor.shutdown(wait=wait)

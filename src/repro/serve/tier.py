@@ -1,0 +1,120 @@
+"""The thread-safe front door over a :class:`CatalogCluster`.
+
+``ParallelServingTier`` attaches itself to the cluster as its *serving
+runtime*: cluster dispatch then places every shard's work on that
+shard's dedicated worker (see :class:`~repro.serve.pool.ShardWorkerPool`)
+and runs scatter/broadcast fan-outs concurrently. The tier's own front
+door is a small executor that lets callers issue requests from many
+client threads at once — or, in the wall-clock benches, hammer
+``dispatch`` directly from their own thread pools.
+
+Lock hierarchy (outermost first) for anyone extending the tier::
+
+    migration RLock  >  router/sharding locks  >  cluster stale-LRU lock
+    service kernel RLock  >  cache-node RLock  >  hot-bundle RLock
+    coordinator lock, metrics locks, SimClock lock   (leaves)
+
+No component calls *up* this list while holding a lock lower in it, so
+the hierarchy is acyclic and the tier cannot deadlock on catalog state.
+
+``worker_wrap`` is a hook around every unit of shard work — the
+wall-clock scale-out bench uses it to sleep each request's *modeled*
+service time on the shard worker, so cross-shard overlap shows up as
+genuine wall-clock speedup even though pure-Python CPU work cannot
+parallelize under the GIL.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Optional
+
+from repro.core.cluster.cluster import CatalogCluster
+
+from .jitter import maybe_jitter
+from .pool import ShardWorkerPool
+
+#: (shard_name, fn) -> result; wraps every unit of shard work
+WorkerWrap = Callable[[str, Callable[[], Any]], Any]
+
+
+class ParallelServingTier:
+    """Runs a cluster's shards on real threads behind one front door."""
+
+    def __init__(
+        self,
+        cluster: CatalogCluster,
+        *,
+        workers_per_shard: int = 1,
+        front_door_workers: int = 8,
+        worker_wrap: Optional[WorkerWrap] = None,
+    ):
+        self._cluster = cluster
+        self._worker_wrap = worker_wrap
+        #: guards against double-applying worker_wrap when placed work
+        #: re-enters run_on for the same shard (it runs inline there)
+        self._wrapping = threading.local()
+        self._pool = ShardWorkerPool(
+            [shard.name for shard in cluster.shards],
+            workers_per_shard=workers_per_shard,
+        )
+        self._front = ThreadPoolExecutor(
+            max_workers=front_door_workers, thread_name_prefix="uc-front"
+        )
+        cluster.attach_runtime(self)
+
+    # -- the runtime interface the cluster dispatches through ------------
+
+    def run_on(self, shard_name: str, fn: Callable[[], Any]) -> Any:
+        maybe_jitter()
+        return self._pool.run_on(shard_name, self._wrapped(shard_name, fn))
+
+    def submit_on(self, shard_name: str, fn: Callable[[], Any]) -> Future:
+        maybe_jitter()
+        return self._pool.submit_on(shard_name, self._wrapped(shard_name, fn))
+
+    def _wrapped(self, shard_name: str, fn: Callable[[], Any]):
+        wrap = self._worker_wrap
+        if wrap is None:
+            return fn
+
+        def run():
+            if getattr(self._wrapping, "active", False):
+                return fn()  # inner placement of already-wrapped work
+            self._wrapping.active = True
+            try:
+                return wrap(shard_name, fn)
+            finally:
+                self._wrapping.active = False
+
+        return run
+
+    # -- front door ------------------------------------------------------
+
+    @property
+    def cluster(self) -> CatalogCluster:
+        return self._cluster
+
+    def dispatch(self, api: str, **params: Any) -> Any:
+        """Serve one request on the calling thread (shard work still
+        lands on the shard workers)."""
+        maybe_jitter()
+        return self._cluster.dispatch(api, **params)
+
+    def submit(self, api: str, **params: Any) -> Future:
+        """Serve one request asynchronously via the front-door pool."""
+        return self._front.submit(self.dispatch, api, **params)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        self._cluster.detach_runtime()
+        self._front.shutdown(wait=True)
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelServingTier":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -54,3 +54,106 @@ def test_endpoint_names_are_discovered_from_domains():
     names = arch_lint._registered_endpoint_names()
     assert "create_securable" in names
     assert "vend_credentials" in names
+
+
+# -- rule 4: concurrency guards ---------------------------------------------
+
+
+def _method(source: str) -> ast.FunctionDef:
+    node = ast.parse(source).body[0]
+    assert isinstance(node, ast.FunctionDef)
+    return node
+
+
+def test_unguarded_subscript_store_is_flagged():
+    method = _method(
+        "def put(self, k, v):\n"
+        "    self._entries[k] = v\n"
+    )
+    assert arch_lint._unguarded_mutations(method) == [(2, "_entries")]
+
+
+def test_unguarded_augassign_counter_is_flagged():
+    method = _method(
+        "def touch(self):\n"
+        "    self.hits += 1\n"
+    )
+    assert arch_lint._unguarded_mutations(method) == [(2, "hits")]
+
+
+def test_unguarded_mutator_call_and_delete_are_flagged():
+    method = _method(
+        "def evict(self, k):\n"
+        "    self._order.pop(k, None)\n"
+        "    del self._entries[k]\n"
+    )
+    attrs = {attr for _, attr in arch_lint._unguarded_mutations(method)}
+    assert attrs == {"_order", "_entries"}
+
+
+def test_mutation_under_self_lock_passes():
+    method = _method(
+        "def put(self, k, v):\n"
+        "    with self._lock:\n"
+        "        self._entries[k] = v\n"
+        "        self.hits += 1\n"
+        "        self._order.append(k)\n"
+    )
+    assert arch_lint._unguarded_mutations(method) == []
+
+
+def test_other_context_managers_do_not_count_as_the_lock():
+    method = _method(
+        "def put(self, k, v):\n"
+        "    with self._tracer.span('put'):\n"
+        "        self._entries[k] = v\n"
+    )
+    assert arch_lint._unguarded_mutations(method) == [(3, "_entries")]
+
+
+def test_nested_defs_do_not_inherit_the_enclosing_lock():
+    # a closure built under the lock runs later, on another thread
+    method = _method(
+        "def plan(self, k):\n"
+        "    with self._lock:\n"
+        "        def apply():\n"
+        "            self._entries[k] = 1\n"
+        "        return apply\n"
+    )
+    assert arch_lint._unguarded_mutations(method) == [(4, "_entries")]
+
+
+def test_plain_attribute_rebind_is_not_flagged():
+    # one STORE_ATTR is atomic; only read-modify-write races matter
+    method = _method(
+        "def attach(self, runtime):\n"
+        "    self._runtime = runtime\n"
+    )
+    assert arch_lint._unguarded_mutations(method) == []
+
+
+def test_local_variable_mutations_are_not_flagged():
+    method = _method(
+        "def merge(self, rows):\n"
+        "    out = []\n"
+        "    out.append(rows)\n"
+        "    rows['k'] = 1\n"
+    )
+    assert arch_lint._unguarded_mutations(method) == []
+
+
+def test_concurrency_allowlist_entries_all_name_real_methods():
+    """A stale allowlist entry silently disables the rule — forbid it."""
+    known: set[str] = set()
+    for package in arch_lint.CONCURRENT_PACKAGES:
+        for path in sorted(package.glob("*.py")):
+            module = arch_lint._module_name(path)
+            tree = arch_lint._parse(path)
+            for cls in [
+                n for n in tree.body if isinstance(n, ast.ClassDef)
+            ]:
+                for node in cls.body:
+                    if isinstance(node, ast.FunctionDef):
+                        known.add(f"{module}:{cls.name}.{node.name}")
+    stale = set(arch_lint.CONCURRENCY_ALLOWLIST) - known
+    assert stale == set()

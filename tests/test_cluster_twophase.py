@@ -450,3 +450,53 @@ def test_dark_shard_degrades_stale_ok_reads_instead_of_erroring():
                                  principal=READER, kind=SecurableKind.SCHEMA,
                                  name="sales.s")
     assert recovered.name == "s"
+
+
+# -- real-thread races -------------------------------------------------------
+#
+# The schedules above enumerate interleavings by hand; these let the OS
+# scheduler pick one. They need no serving tier: the coordinator's
+# key-lock table is the contended object, and two bare threads racing
+# `execute()` hit its check-and-acquire critical section directly.
+
+
+def test_threaded_conflicting_moves_exactly_one_winner_each_round():
+    import threading
+
+    cluster, mid, _ = build_cluster()
+    for i in range(5):
+        source = f"race{i}"
+        make_catalog(cluster, mid, source)
+        moves = {
+            "A": cluster.begin_catalog_move(mid, ADMIN, source, f"left{i}"),
+            "B": cluster.begin_catalog_move(mid, ADMIN, source, f"right{i}"),
+        }
+        barrier = threading.Barrier(2)
+        errors = {}
+
+        def run(label):
+            barrier.wait()
+            try:
+                moves[label].execute()
+                errors[label] = None
+            except UnityCatalogError as exc:
+                errors[label] = exc
+
+        threads = [
+            threading.Thread(target=run, args=(label,))
+            for label in ("A", "B")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        losers = [label for label, exc in errors.items() if exc is not None]
+        assert len(losers) == 1, f"round {i}: {errors}"
+        assert isinstance(
+            errors[losers[0]], (ConcurrentModificationError, NotFoundError)
+        )
+        winner_name = f"left{i}" if losers[0] == "B" else f"right{i}"
+        assert cluster.coordinator.held_keys() == {}
+        assert active_catalog_rows(cluster, mid, winner_name) == 1
+        assert active_catalog_rows(cluster, mid, source) == 0

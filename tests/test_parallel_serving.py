@@ -1,0 +1,401 @@
+"""Race hunting on real threads: the parallel serving tier under fire.
+
+The enumerated-interleaving tests in ``test_cluster_twophase`` prove
+specific schedules; here the scheduler itself picks the interleaving.
+Two kinds of assertions matter:
+
+* **Exactly-one-winner.** Conflicting cross-shard catalog moves raced
+  from real threads must end every iteration with one committed rename,
+  one clean abort, and an empty coordinator key-lock table.
+* **No stale positives.** A storm of readers hammering the decision
+  cache while a writer revokes the underlying grant must never see an
+  *allow* for a request issued after the revoke was acknowledged.
+
+Both families run against the in-memory store and SQLite, because the
+two backends serialize commits differently. The CI ``race-stress`` job
+repeats this file with ``UC_RACE_JITTER`` seeds to shuffle thread
+timing between runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core.auth.privileges import Privilege
+from repro.core.cluster import CatalogCluster
+from repro.core.model.entity import SecurableKind
+from repro.core.persistence.sqlite import SqliteMetadataStore
+from repro.core.persistence.store import Tables
+from repro.errors import (
+    ConcurrentModificationError,
+    InvalidRequestError,
+    NotFoundError,
+    PermissionDeniedError,
+    UnityCatalogError,
+)
+from repro.obs import Observability
+from repro.serve import ParallelServingTier, ShardWorkerPool, jitter_enabled
+from repro.serve.jitter import maybe_jitter
+
+ADMIN = "admin"
+READER = "reader"
+TABLE_SPEC = {
+    "table_type": "MANAGED",
+    "format": "DELTA",
+    "columns": [{"name": "id", "type": "BIGINT"}],
+}
+
+BACKENDS = {
+    "memory": None,
+    "sqlite": lambda index: SqliteMetadataStore(),
+}
+
+#: real-thread races per test; the CI race-stress job multiplies this
+#: by re-running the file under several jitter seeds
+RACE_ITERATIONS = 5
+
+
+def build_cluster(shards=3, backend="memory"):
+    clock = SimClock()
+    obs = Observability(clock=clock)
+    cluster = CatalogCluster(shards, clock=clock, obs=obs,
+                             store_factory=BACKENDS[backend])
+    directory = cluster.directory
+    directory.add_user(ADMIN)
+    directory.add_user(READER)
+    directory.add_group("analysts")
+    directory.add_member("analysts", READER)
+    mid = cluster.create_metastore("parallel", owner=ADMIN).id
+    return cluster, mid
+
+
+def make_catalog(cluster, mid, name):
+    cluster.dispatch("create_securable", metastore_id=mid, principal=ADMIN,
+                     kind=SecurableKind.CATALOG, name=name)
+    cluster.dispatch("create_securable", metastore_id=mid, principal=ADMIN,
+                     kind=SecurableKind.SCHEMA, name=f"{name}.s")
+    cluster.dispatch("create_securable", metastore_id=mid, principal=ADMIN,
+                     kind=SecurableKind.TABLE, name=f"{name}.s.t",
+                     spec=TABLE_SPEC)
+    for kind, target, privilege in [
+        (SecurableKind.CATALOG, name, Privilege.USE_CATALOG),
+        (SecurableKind.SCHEMA, f"{name}.s", Privilege.USE_SCHEMA),
+        (SecurableKind.TABLE, f"{name}.s.t", Privilege.SELECT),
+    ]:
+        cluster.dispatch("grant", metastore_id=mid, principal=ADMIN,
+                         kind=kind, name=target, grantee="analysts",
+                         privilege=privilege)
+
+
+def active_catalog_rows(cluster, mid, name):
+    count = 0
+    for shard in cluster.shards:
+        snapshot = shard.service.store.snapshot(mid)
+        count += sum(
+            1 for _, value in snapshot.scan(Tables.ENTITIES)
+            if value["kind"] == "CATALOG" and value["name"] == name
+            and value["state"] == "ACTIVE"
+        )
+    return count
+
+
+# -- racing 2PC conflicts ----------------------------------------------------
+
+
+def race_threads(jobs):
+    """Run one callable per thread behind a barrier; returns their
+    results as ``(value, error)`` pairs in job order."""
+    barrier = threading.Barrier(len(jobs))
+    outcomes = [(None, None)] * len(jobs)
+
+    def runner(index, job):
+        barrier.wait()
+        try:
+            outcomes[index] = (job(), None)
+        except UnityCatalogError as exc:
+            outcomes[index] = (None, exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(i, job), name=f"racer-{i}")
+        for i, job in enumerate(jobs)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return outcomes
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_racing_conflicting_moves_exactly_one_winner(backend):
+    """Two real threads race conflicting renames of the same catalog:
+    every iteration ends with one winner, one clean abort, and no key
+    lock left behind."""
+    cluster, mid = build_cluster(backend=backend)
+    with ParallelServingTier(cluster):
+        for i in range(RACE_ITERATIONS):
+            source = f"sales{i}"
+            targets = (f"archive{i}", f"backup{i}")
+            make_catalog(cluster, mid, source)
+            outcomes = race_threads([
+                cluster.begin_catalog_move(mid, ADMIN, source, new).execute
+                for new in targets
+            ])
+
+            winners = [
+                (target, value)
+                for target, (value, error) in zip(targets, outcomes)
+                if error is None
+            ]
+            losers = [
+                (target, error)
+                for target, (value, error) in zip(targets, outcomes)
+                if error is not None
+            ]
+            assert len(winners) == 1, (
+                f"iteration {i}: expected exactly one winner, got "
+                f"{[(t, type(e).__name__) for t, e in losers]}"
+            )
+            won_name, won_entity = winners[0]
+            assert won_entity.name == won_name
+            assert isinstance(
+                losers[0][1], (ConcurrentModificationError, NotFoundError)
+            )
+            # the loser's abort is clean: no dangling key locks, and its
+            # transaction record (if it got far enough to have one) is
+            # finished with a reason
+            assert cluster.coordinator.held_keys() == {}
+            for record in cluster.coordinator.aborted():
+                assert record.finished_at is not None
+                assert record.reason
+            # exactly one ACTIVE subtree root cluster-wide, renamed
+            assert active_catalog_rows(cluster, mid, won_name) == 1
+            assert active_catalog_rows(cluster, mid, source) == 0
+            assert active_catalog_rows(cluster, mid, losers[0][0]) == 0
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_racing_moves_of_distinct_catalogs_both_win(backend):
+    """Non-conflicting moves raced on real threads never interfere."""
+    cluster, mid = build_cluster(backend=backend)
+    make_catalog(cluster, mid, "red")
+    make_catalog(cluster, mid, "blue")
+    with ParallelServingTier(cluster):
+        outcomes = race_threads([
+            cluster.begin_catalog_move(mid, ADMIN, "red", "crimson").execute,
+            cluster.begin_catalog_move(mid, ADMIN, "blue", "navy").execute,
+        ])
+    assert [error for _, error in outcomes] == [None, None]
+    assert cluster.coordinator.held_keys() == {}
+    assert active_catalog_rows(cluster, mid, "crimson") == 1
+    assert active_catalog_rows(cluster, mid, "navy") == 1
+
+
+# -- cache-invalidation storm ------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_invalidation_storm_no_stale_positive_authz(backend):
+    """Readers hammer the decision cache while the writer revokes the
+    grant: any read *issued after the revoke returned* must be denied.
+
+    The happens-before edge is explicit: the writer sets ``revoked``
+    only after its dispatch returns, and each reader samples the flag
+    *before* issuing its request — an allow observed with the flag up
+    is a genuine stale-positive served past the invalidating version.
+    """
+    cluster, mid = build_cluster(shards=2, backend=backend)
+    make_catalog(cluster, mid, "web")
+    table_names = ["web.s.t"]
+    readers = 8
+    revoked = threading.Event()
+    stop = threading.Event()
+    stale_positives = [0] * readers
+    post_revoke_denials = [0] * readers
+
+    with ParallelServingTier(cluster, front_door_workers=readers) as tier:
+        barrier = threading.Barrier(readers + 1)
+
+        def reader(index):
+            barrier.wait()
+            while not stop.is_set():
+                flag_up = revoked.is_set()
+                try:
+                    tier.dispatch("resolve_for_query", metastore_id=mid,
+                                  principal=READER, table_names=table_names,
+                                  include_credentials=False)
+                    allowed = True
+                except PermissionDeniedError:
+                    allowed = False
+                if flag_up:
+                    if allowed:
+                        stale_positives[index] += 1
+                    else:
+                        post_revoke_denials[index] += 1
+
+        threads = [
+            threading.Thread(target=reader, args=(i,), name=f"storm-{i}")
+            for i in range(readers)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        time.sleep(0.05)  # let every reader warm the decision cache
+        tier.dispatch("revoke", metastore_id=mid, principal=ADMIN,
+                      kind=SecurableKind.TABLE, name="web.s.t",
+                      grantee="analysts", privilege=Privilege.SELECT)
+        revoked.set()
+        time.sleep(0.1)  # post-revoke traffic that must all be denied
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+    assert sum(stale_positives) == 0, (
+        f"stale positive authorizations after revoke: {stale_positives}"
+    )
+    # the assertion above is vacuous unless readers actually issued
+    # requests after the revoke — require evidence from every thread
+    assert all(count > 0 for count in post_revoke_denials), (
+        f"some readers issued no post-revoke requests: {post_revoke_denials}"
+    )
+
+
+# -- tier semantics ----------------------------------------------------------
+
+
+def test_tier_scatter_results_match_sequential_dispatch():
+    cluster, mid = build_cluster()
+    for name in ("alpha", "beta", "gamma", "delta"):
+        make_catalog(cluster, mid, name)
+    sequential = cluster.dispatch("list_securables", metastore_id=mid,
+                                  principal=READER,
+                                  kind=SecurableKind.CATALOG)
+    with ParallelServingTier(cluster):
+        threaded = cluster.dispatch("list_securables", metastore_id=mid,
+                                    principal=READER,
+                                    kind=SecurableKind.CATALOG)
+    assert threaded == sequential
+
+
+def test_cross_shard_move_through_the_tier_does_not_deadlock():
+    """A 2PC move whose commit legs land back on shard workers must run
+    inline there (single-worker executors would otherwise wedge)."""
+    cluster, mid = build_cluster()
+    make_catalog(cluster, mid, "ledger")
+    with ParallelServingTier(cluster):
+        moved = cluster.dispatch("rename_securable", metastore_id=mid,
+                                 principal=ADMIN, kind=SecurableKind.CATALOG,
+                                 name="ledger", new_name="journal")
+    assert moved.name == "journal"
+    assert cluster.coordinator.held_keys() == {}
+    assert active_catalog_rows(cluster, mid, "journal") == 1
+    assert active_catalog_rows(cluster, mid, "ledger") == 0
+
+
+def test_worker_wrap_applies_once_per_shard_placement():
+    cluster, mid = build_cluster()
+    make_catalog(cluster, mid, "wrapped")
+    calls = []
+    lock = threading.Lock()
+
+    def wrap(shard_name, fn):
+        with lock:
+            calls.append(shard_name)
+        return fn()
+
+    with ParallelServingTier(cluster, worker_wrap=wrap):
+        cluster.dispatch("list_securables", metastore_id=mid,
+                         principal=READER, kind=SecurableKind.CATALOG)
+    # one scatter = one placement per shard, each wrapped exactly once
+    assert sorted(calls) == sorted(s.name for s in cluster.shards)
+
+
+def test_detach_restores_sequential_dispatch():
+    cluster, mid = build_cluster()
+    make_catalog(cluster, mid, "transient")
+    tier = ParallelServingTier(cluster)
+    assert cluster._runtime is tier
+    tier.close()
+    assert cluster._runtime is None
+    # dispatch still works sequentially after the tier is gone
+    result = cluster.dispatch("list_securables", metastore_id=mid,
+                              principal=READER, kind=SecurableKind.CATALOG)
+    assert result
+
+
+def test_front_door_submit_serves_concurrent_callers():
+    cluster, mid = build_cluster()
+    make_catalog(cluster, mid, "front")
+    with ParallelServingTier(cluster, front_door_workers=4) as tier:
+        futures = [
+            tier.submit("resolve_for_query", metastore_id=mid,
+                        principal=READER, table_names=["front.s.t"],
+                        include_credentials=False)
+            for _ in range(8)
+        ]
+        resolutions = [future.result() for future in futures]
+    assert len(resolutions) == 8
+
+
+# -- worker pool -------------------------------------------------------------
+
+
+def test_pool_rejects_unknown_shard_and_bad_sizing():
+    pool = ShardWorkerPool(["s0"])
+    try:
+        with pytest.raises(InvalidRequestError):
+            pool.run_on("nope", lambda: None)
+    finally:
+        pool.shutdown()
+    with pytest.raises(InvalidRequestError):
+        ShardWorkerPool(["s0"], workers_per_shard=0)
+
+
+def test_pool_reentrant_run_on_executes_inline():
+    pool = ShardWorkerPool(["s0"])
+    try:
+        outer_ident = pool.run_on("s0", threading.get_ident)
+        nested = pool.run_on(
+            "s0", lambda: pool.run_on("s0", threading.get_ident)
+        )
+        assert nested == outer_ident  # ran inline on the same worker
+    finally:
+        pool.shutdown()
+
+
+def test_pool_reentrant_submit_returns_resolved_future():
+    pool = ShardWorkerPool(["s0"])
+    try:
+        def boom():
+            raise InvalidRequestError("from the worker")
+
+        future = pool.run_on("s0", lambda: pool.submit_on("s0", boom))
+        assert future.done()
+        with pytest.raises(InvalidRequestError):
+            future.result()
+    finally:
+        pool.shutdown()
+
+
+# -- race jitter -------------------------------------------------------------
+
+
+def test_jitter_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("UC_RACE_JITTER", raising=False)
+    assert not jitter_enabled()
+    maybe_jitter()  # no-op, must not raise
+
+
+def test_jitter_enabled_by_env_seed(monkeypatch):
+    monkeypatch.setenv("UC_RACE_JITTER", "7")
+    assert jitter_enabled()
+    start = time.perf_counter()
+    for _ in range(3):
+        maybe_jitter()
+    assert time.perf_counter() - start < 0.5  # micro-sleeps, not stalls
+    monkeypatch.setenv("UC_RACE_JITTER", "0")
+    assert not jitter_enabled()

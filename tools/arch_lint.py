@@ -18,6 +18,18 @@ The request-pipeline refactor established hard layering rules:
    literals — its route table is *generated* from the registry, so any
    hard-coded endpoint name means business logic is creeping back in.
 
+The parallel serving tier added a concurrency rule:
+
+4. **Shared hot-path state mutates under a lock.** Modules under
+   ``repro.core.cache`` and ``repro.core.cluster`` are reached from
+   every serving thread at once. Any method that mutates instance
+   container state (``self.x[k] = v``, ``self.x += 1``,
+   ``self.x.append(...)``, ``del self.x[k]``…) must do so inside
+   ``with self._lock:`` on a declared ``_lock`` attribute. Helpers
+   that run entirely under a caller's lock are exempted by the
+   explicit allowlist below — adding to it is a code-review decision,
+   not a convenience.
+
 Run from the repository root::
 
     python tools/arch_lint.py
@@ -172,11 +184,216 @@ def check_rest_stays_generic() -> list[str]:
     return errors
 
 
+# -- rule 4: concurrency guards ---------------------------------------------
+
+#: directories whose classes serve every request thread concurrently
+CONCURRENT_PACKAGES = (
+    REPO / "src" / "repro" / "core" / "cache",
+    REPO / "src" / "repro" / "core" / "cluster",
+)
+
+#: ``module:Class.method`` entries exempt from rule 4, each with the
+#: reason it is safe. Every entry is a *helper that only runs while its
+#: caller already holds the guarding lock* — extending this list is a
+#: review decision, not a convenience.
+CONCURRENCY_ALLOWLIST: dict[str, str] = {
+    # AuthDecisionCache / ResolutionCache are deliberately lock-free:
+    # every access goes through the owning HotPathCaches bundle, whose
+    # RLock wraps get/put/invalidate/sync end to end.
+    "repro.core.cache.decisions:AuthDecisionCache.put":
+        "only reached via HotPathCaches under its RLock",
+    "repro.core.cache.decisions:AuthDecisionCache.clear":
+        "only reached via HotPathCaches under its RLock",
+    "repro.core.cache.decisions:AuthDecisionCache.invalidate":
+        "only reached via HotPathCaches under its RLock",
+    "repro.core.cache.decisions:ResolutionCache.put":
+        "only reached via HotPathCaches under its RLock",
+    "repro.core.cache.decisions:ResolutionCache.clear":
+        "only reached via HotPathCaches under its RLock",
+    "repro.core.cache.decisions:ResolutionCache.invalidate":
+        "only reached via HotPathCaches under its RLock",
+    "repro.core.cache.decisions:HotPathCaches._apply_changes":
+        "called only from sync()/note_commit(), both inside self._lock",
+    # Eviction policies are owned 1:1 by a MetastoreCacheNode, which
+    # invokes them only inside its own RLock.
+    "repro.core.cache.eviction:LruPolicy.record_access":
+        "driven by MetastoreCacheNode under the node RLock",
+    "repro.core.cache.eviction:LruPolicy.forget":
+        "driven by MetastoreCacheNode under the node RLock",
+    "repro.core.cache.eviction:LfuPolicy.record_access":
+        "driven by MetastoreCacheNode under the node RLock",
+    "repro.core.cache.eviction:LfuPolicy.forget":
+        "driven by MetastoreCacheNode under the node RLock",
+    # MetastoreCacheNode internals: every public entry point takes the
+    # node RLock before reaching these helpers.
+    "repro.core.cache.node:_VersionedRow.append":
+        "rows are private to a node; mutated only in _apply under RLock",
+    "repro.core.cache.node:MetastoreCacheNode._reconcile":
+        "called from view()/commit()/reconcile() inside self._lock",
+    "repro.core.cache.node:MetastoreCacheNode._evict_all":
+        "called from _reconcile inside self._lock",
+    "repro.core.cache.node:MetastoreCacheNode._apply":
+        "write-through helper; all call sites hold self._lock",
+    "repro.core.cache.node:MetastoreCacheNode._reindex_entity":
+        "called from _apply/_maybe_evict inside self._lock",
+    "repro.core.cache.node:MetastoreCacheNode._reindex_grant":
+        "called from _apply inside self._lock",
+    "repro.core.cache.node:MetastoreCacheNode._maybe_evict":
+        "called from _apply inside self._lock",
+    "repro.core.cache.ttl:TtlCache._reap":
+        "called from put() inside self._lock",
+    "repro.core.cluster.twophase:TwoPhaseCoordinator._release":
+        "called from commit()/abort() inside self._lock (plain Lock)",
+}
+
+#: method names that mutate their receiver in place
+_MUTATOR_CALLS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "insert", "move_to_end", "pop", "popitem", "remove", "setdefault",
+    "update",
+})
+
+
+def _is_self_attr(node: ast.expr, attr: str) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == attr
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _self_state_root(node: ast.expr) -> str | None:
+    """The attribute name if ``node`` is rooted at ``self.<attr>``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        node = node.value
+    return None
+
+
+def _mutated_self_state(node: ast.AST) -> str | None:
+    """The ``self.<attr>`` container this node mutates, if any.
+
+    Plain rebinds (``self.x = v``) are excluded — a single STORE_ATTR
+    is atomic under the interpreter — but subscript stores, augmented
+    assignments (read-modify-write), deletions, and in-place mutator
+    calls are all genuine races without a lock.
+    """
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            if isinstance(target, (ast.Subscript, ast.Tuple)):
+                elements = (
+                    target.elts if isinstance(target, ast.Tuple) else [target]
+                )
+                for element in elements:
+                    if isinstance(element, ast.Subscript):
+                        root = _self_state_root(element)
+                        if root:
+                            return root
+    elif isinstance(node, ast.AugAssign):
+        root = _self_state_root(node.target)
+        if root:
+            return root
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                root = _self_state_root(target)
+                if root:
+                    return root
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _MUTATOR_CALLS:
+            root = _self_state_root(node.func.value)
+            if root:
+                return root
+    return None
+
+
+def _unguarded_mutations(method: ast.FunctionDef) -> list[tuple[int, str]]:
+    """(lineno, attr) for each self-state mutation outside ``self._lock``."""
+    found: list[tuple[int, str]] = []
+
+    def visit(node: ast.AST, locked: bool) -> None:
+        if isinstance(node, ast.With):
+            holds = locked or any(
+                _is_self_attr(item.context_expr, "_lock")
+                for item in node.items
+            )
+            for child in ast.iter_child_nodes(node):
+                visit(child, holds)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            # a nested def/lambda runs later, on whichever thread calls
+            # it — it inherits no lock from the enclosing body
+            for child in ast.iter_child_nodes(node):
+                visit(child, False)
+            return
+        if not locked:
+            attr = _mutated_self_state(node)
+            if attr is not None:
+                found.append((node.lineno, attr))
+        for child in ast.iter_child_nodes(node):
+            visit(child, locked)
+
+    for statement in method.body:
+        visit(statement, False)
+    return found
+
+
+def check_concurrency_guards() -> list[str]:
+    """Rule 4: cache/cluster instance state only mutates under _lock."""
+    errors = []
+    for package in CONCURRENT_PACKAGES:
+        for path in sorted(package.glob("*.py")):
+            module = _module_name(path)
+            tree = _parse(path)
+            for cls in [n for n in tree.body if isinstance(n, ast.ClassDef)]:
+                methods = [
+                    n for n in cls.body
+                    if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                ]
+                declares_lock = any(
+                    isinstance(node, ast.Assign)
+                    and any(_is_self_attr(t, "_lock") for t in node.targets)
+                    for method in methods
+                    for node in ast.walk(method)
+                )
+                for method in methods:
+                    if method.name == "__init__":
+                        continue  # construction happens-before sharing
+                    key = f"{module}:{cls.name}.{method.name}"
+                    if key in CONCURRENCY_ALLOWLIST:
+                        continue
+                    for lineno, attr in _unguarded_mutations(method):
+                        where = f"{path.relative_to(REPO)}:{lineno}"
+                        if not declares_lock:
+                            errors.append(
+                                f"{where}: {cls.name}.{method.name} mutates "
+                                f"self.{attr} but {cls.name} declares no "
+                                "_lock — concurrent serving threads race on "
+                                "this state"
+                            )
+                        else:
+                            errors.append(
+                                f"{where}: {cls.name}.{method.name} mutates "
+                                f"self.{attr} outside `with self._lock:` — "
+                                "guard it or allowlist the helper with a "
+                                "reason"
+                            )
+    return errors
+
+
 def run() -> list[str]:
     errors = []
     errors += check_domain_isolation()
     errors += check_kernel_points_inward()
     errors += check_rest_stays_generic()
+    errors += check_concurrency_guards()
     return errors
 
 
