@@ -23,6 +23,15 @@ The run is deterministic end to end: same seed → byte-identical report.
 re-runs the 4-shard mode at a 10% injected fault rate and requires zero
 user-visible errors (dark-shard reads degrade to the router's
 last-known-good cache instead of failing).
+
+``--failover`` switches to the replica-group chaos bench: a 2-shard,
+3-replica cluster serves a mixed read/write trace on simulated time; the
+leader of the hot catalog's shard is killed mid-trace via a fault-rule
+crash. Gates: **zero** user-visible read errors across the whole trace,
+a write-unavailability window bounded by 1.5x the leader lease, a
+fencing-token rejection for the deposed leader's in-flight write, and a
+final state byte-identical (modulo random uuids) to a no-failure twin
+run fed only the accepted writes.
 """
 
 from __future__ import annotations
@@ -43,7 +52,12 @@ from repro.clock import SimClock
 from repro.core.auth.privileges import Privilege
 from repro.core.cluster import CatalogCluster
 from repro.core.model.entity import SecurableKind
-from repro.errors import UnityCatalogError
+from repro.core.persistence.store import Tables
+from repro.errors import (
+    FencingTokenError,
+    LeaseExpiredError,
+    UnityCatalogError,
+)
 from repro.faults import FaultInjector
 from repro.obs import Observability
 
@@ -72,6 +86,19 @@ WALLCLOCK_DURATION_S = 0.75
 #: across shard workers is then genuine wall-clock concurrency
 WALLCLOCK_SERVICE_FLOOR_S = 0.002
 WALLCLOCK_MIN_SPEEDUP = 1.5
+
+#: failover chaos mode: fleet shape, trace length and the availability gate
+FAILOVER_SHARDS = 2
+FAILOVER_REPLICAS = 3
+FAILOVER_LEASE_S = 0.25
+FAILOVER_OPS = 400
+FAILOVER_CRASH_AT = 150
+FAILOVER_STEP_S = 0.005
+FAILOVER_WRITE_EVERY = 10
+FAILOVER_SCATTER_EVERY = 16
+#: the write-unavailability window may span the (jittered) remaining
+#: lease plus the gap to the next write attempt, never more
+FAILOVER_WINDOW_FACTOR = 1.5
 
 
 class _ShardServer:
@@ -463,6 +490,265 @@ def run_scaleout(
     return report
 
 
+# -- failover chaos mode -----------------------------------------------------
+
+
+_FAILOVER_TABLES = (Tables.ENTITIES, Tables.GRANTS, Tables.TAGS,
+                    Tables.POLICIES, Tables.COMMITS, Tables.SHARES)
+
+
+def _normalized_state(replica, mid: str) -> str:
+    """One replica's full governed state with every random uuid rewritten
+    to a stable ``<kind:name>`` token — byte-comparable across two
+    separately built clusters, and fingerprint-stable across runs."""
+    store = replica.store.inner
+    snap = store.snapshot(mid)
+    ids = {mid: "<metastore>"}
+    for _, value in snap.scan(Tables.ENTITIES):
+        if isinstance(value, dict) and "id" in value and "kind" in value:
+            ids[value["id"]] = f"<{value['kind']}:{value.get('name')}>"
+
+    def norm(obj):
+        if isinstance(obj, str):
+            for raw, token in ids.items():
+                if raw in obj:
+                    obj = obj.replace(raw, token)
+            return obj
+        if isinstance(obj, dict):
+            return {norm(k): norm(v) for k, v in sorted(obj.items())}
+        if isinstance(obj, (list, tuple)):
+            return [norm(v) for v in obj]
+        return obj
+
+    state = {
+        "version": store.current_version(mid),
+        "rows": {
+            table: sorted(
+                ([norm(key), norm(value)] for key, value in snap.scan(table)),
+                key=lambda kv: repr(kv[0]),
+            )
+            for table in _FAILOVER_TABLES
+        },
+    }
+    return json.dumps(state, sort_keys=True)
+
+
+def _cluster_state(cluster, mid: str) -> str:
+    """The whole cluster's governed rows, uuid-normalized and merged
+    across shards. Shard placement hashes on the (random) metastore id,
+    so two separately built clusters are only comparable cluster-wide —
+    per-shard contents and version counters legitimately differ."""
+    merged: dict[str, dict[str, Any]] = {t: {} for t in _FAILOVER_TABLES}
+    for shard in cluster.shards:
+        state = json.loads(_normalized_state(shard.group.leader(), mid))
+        for table, rows in state["rows"].items():
+            for key, value in rows:
+                # broadcast rows (the metastore root) repeat identically
+                # on every shard; everything else lives on exactly one
+                merged[table][json.dumps(key, sort_keys=True)] = value
+    return json.dumps({table: sorted(rows.items())
+                       for table, rows in merged.items()}, sort_keys=True)
+
+
+def _build_failover_cluster(seed: int) -> tuple:
+    clock = SimClock()
+    obs = Observability(clock=clock)
+    faults = FaultInjector(clock, seed=seed, metrics=obs.metrics)
+    cluster = CatalogCluster(
+        FAILOVER_SHARDS, clock=clock, obs=obs, faults=faults,
+        replicas_per_shard=FAILOVER_REPLICAS,
+        lease_duration=FAILOVER_LEASE_S,
+        read_preference="nearest_fresh",
+    )
+    directory = cluster.directory
+    directory.add_user(ADMIN)
+    directory.add_user(READER)
+    directory.add_group("analysts")
+    directory.add_member("analysts", READER)
+    # a seeded metastore id: placement hashes on it, and the trace (which
+    # writes land on the crashed shard, how many lease draws happen) must
+    # be identical run to run and between the chaos run and its twin
+    mid = cluster.dispatch("create_metastore", name="failbench",
+                           owner=ADMIN, region="us-west",
+                           metastore_id=f"{0xFA11BE4C ^ seed:032x}").id
+    for c in range(4):
+        catalog = f"cat{c}"
+        cluster.dispatch("create_securable", metastore_id=mid,
+                         principal=ADMIN, kind=SecurableKind.CATALOG,
+                         name=catalog)
+        cluster.dispatch("grant", metastore_id=mid, principal=ADMIN,
+                         kind=SecurableKind.CATALOG, name=catalog,
+                         grantee="analysts", privilege=Privilege.USE_CATALOG)
+        cluster.dispatch("create_securable", metastore_id=mid,
+                         principal=ADMIN, kind=SecurableKind.SCHEMA,
+                         name=f"{catalog}.s0")
+        cluster.dispatch("grant", metastore_id=mid, principal=ADMIN,
+                         kind=SecurableKind.SCHEMA, name=f"{catalog}.s0",
+                         grantee="analysts", privilege=Privilege.USE_SCHEMA)
+        cluster.dispatch(
+            "create_securable", metastore_id=mid, principal=ADMIN,
+            kind=SecurableKind.TABLE, name=f"{catalog}.s0.t0",
+            spec={"table_type": "MANAGED", "format": "DELTA",
+                  "columns": [{"name": "id", "type": "BIGINT"}]},
+        )
+        cluster.dispatch("grant", metastore_id=mid, principal=ADMIN,
+                         kind=SecurableKind.TABLE, name=f"{catalog}.s0.t0",
+                         grantee="analysts", privilege=Privilege.SELECT)
+    return cluster, mid, faults
+
+
+def run_failover_trace(seed: int, *, crash: bool,
+                       skip_writes: frozenset = frozenset()) -> dict[str, Any]:
+    """One kill-the-leader trace on simulated time.
+
+    ``crash=False`` with ``skip_writes`` set to a prior crash run's
+    rejected writes is the *twin*: the same trace and clock advances
+    minus the failure — the two runs must end byte-identical.
+    """
+    cluster, mid, faults = _build_failover_cluster(seed)
+    target = "cat0"
+    owner = cluster.router.owner_for(mid, target)
+    group = cluster.shard_named(owner).group
+    session = cluster.read_session()
+
+    reads = read_errors = writes_accepted = 0
+    rejected: list[str] = []
+    crash_time = first_accept_time = None
+    old_leader = crash_op = None
+
+    for i in range(FAILOVER_OPS):
+        if crash and i == FAILOVER_CRASH_AT:
+            old_leader = group.leader()
+            crash_op = f"replica.{owner}.{old_leader.name}.serve"
+            faults.crash(crash_op)
+            crash_time = cluster.clock.now()
+        if i % FAILOVER_WRITE_EVERY == 0:
+            name = f"{target}.s0.w{i}"
+            if name not in skip_writes:
+                try:
+                    cluster.dispatch(
+                        "create_securable", metastore_id=mid,
+                        principal=ADMIN, kind=SecurableKind.TABLE, name=name,
+                        spec={"table_type": "MANAGED", "format": "DELTA",
+                              "columns": [{"name": "id", "type": "BIGINT"}]},
+                        _session=session,
+                    )
+                    writes_accepted += 1
+                    if crash_time is not None and first_accept_time is None:
+                        first_accept_time = cluster.clock.now()
+                except LeaseExpiredError:
+                    rejected.append(name)
+        elif i % FAILOVER_SCATTER_EVERY == 0:
+            try:
+                cluster.dispatch("list_securables", metastore_id=mid,
+                                 principal=READER,
+                                 kind=SecurableKind.CATALOG,
+                                 _session=session)
+                reads += 1
+            except UnityCatalogError:
+                read_errors += 1
+        else:
+            try:
+                cluster.dispatch("get_securable", metastore_id=mid,
+                                 principal=READER, kind=SecurableKind.TABLE,
+                                 name=f"{target}.s0.t0", _session=session)
+                reads += 1
+            except UnityCatalogError:
+                read_errors += 1
+        cluster.clock.advance(FAILOVER_STEP_S)
+
+    # a deposed leader's in-flight mutation must die on its stale
+    # fencing token, not fork history
+    fenced_rejection = False
+    if old_leader is not None:
+        try:
+            old_leader.service.dispatch(
+                "create_securable", metastore_id=mid, principal=ADMIN,
+                kind=SecurableKind.CATALOG, name="zombie",
+            )
+        except FencingTokenError as exc:
+            fenced_rejection = exc.code == "FENCED_LEADER"
+        except UnityCatalogError:
+            fenced_rejection = False
+
+    # lift the crash and stream the old leader back up, then require
+    # every replica of every shard to agree byte-for-byte
+    if crash_op is not None:
+        faults.restore(crash_op)
+    converged = True
+    for shard in cluster.shards:
+        shard.group.replicate()
+        states = {_normalized_state(replica, mid)
+                  for replica in shard.group.replicas}
+        converged = converged and len(states) == 1
+
+    snapshot = cluster.obs.metrics.snapshot()
+
+    def total(prefix: str, *needles: str) -> float:
+        return sum(v for k, v in snapshot.items()
+                   if k.startswith(prefix) and all(n in k for n in needles))
+
+    window = None
+    if crash_time is not None and first_accept_time is not None:
+        window = first_accept_time - crash_time
+    return {
+        "reads": reads,
+        "read_errors": read_errors,
+        "writes_accepted": writes_accepted,
+        "writes_rejected": rejected,
+        "write_window_s": window,
+        "epoch": group.epoch,
+        "failovers": total("uc_replica_failovers_total"),
+        "fenced_writes": total("uc_replica_fenced_writes_total"),
+        "fenced_rejection": fenced_rejection,
+        "replicas_converged": converged,
+        "follower_reads": total("uc_replica_reads_total", 'role="follower"'),
+        "state": _cluster_state(cluster, mid),
+    }
+
+
+def run_failover(seed: int = 11) -> dict[str, Any]:
+    """Kill-the-leader chaos run + its no-failure twin, with gates."""
+    chaos = run_failover_trace(seed, crash=True)
+    twin = run_failover_trace(
+        seed, crash=False, skip_writes=frozenset(chaos["writes_rejected"])
+    )
+    window_bound = FAILOVER_LEASE_S * FAILOVER_WINDOW_FACTOR
+    report: dict[str, Any] = {
+        "bench": "failover",
+        "config": {
+            "seed": seed,
+            "shards": FAILOVER_SHARDS,
+            "replicas_per_shard": FAILOVER_REPLICAS,
+            "lease_duration_s": FAILOVER_LEASE_S,
+            "ops": FAILOVER_OPS,
+            "crash_at_op": FAILOVER_CRASH_AT,
+            "step_s": FAILOVER_STEP_S,
+            "write_window_bound_s": window_bound,
+        },
+        "chaos": {k: v for k, v in chaos.items() if k != "state"},
+        "twin": {
+            "writes_accepted": twin["writes_accepted"],
+            "writes_rejected": twin["writes_rejected"],
+            "read_errors": twin["read_errors"],
+        },
+    }
+    report["checks"] = {
+        "zero_read_errors": (chaos["read_errors"] == 0
+                             and twin["read_errors"] == 0),
+        "write_window_bounded": (chaos["write_window_s"] is not None
+                                 and chaos["write_window_s"] <= window_bound),
+        "failover_completed": (chaos["failovers"] == 1
+                               and chaos["epoch"] == 2),
+        "deposed_leader_fenced": chaos["fenced_rejection"],
+        "replicas_converged": (chaos["replicas_converged"]
+                               and twin["replicas_converged"]),
+        "twin_state_identical": chaos["state"] == twin["state"],
+        "twin_rejected_nothing": twin["writes_rejected"] == [],
+    }
+    return report
+
+
 def fingerprint(report: dict[str, Any]) -> str:
     return json.dumps(report, sort_keys=True)
 
@@ -477,9 +763,14 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--duration", type=float, default=0.3,
                         help="simulated seconds per closed-loop run")
     parser.add_argument("--fault-rate", type=float, default=0.0)
-    parser.add_argument("--out", default="BENCH_scaleout.json")
+    parser.add_argument("--out", default=None,
+                        help="report path (default BENCH_scaleout.json, or "
+                             "BENCH_failover.json with --failover)")
     parser.add_argument("--check", action="store_true",
                         help="run twice; fail on scaling or determinism")
+    parser.add_argument("--failover", action="store_true",
+                        help="run the kill-the-leader replica-group chaos "
+                             "bench instead of the scale-out sweep")
     parser.add_argument("--wallclock", action="store_true",
                         help="also measure real-thread req/s at "
                              f"{WALLCLOCK_SHARDS} shards (reported in a "
@@ -491,6 +782,9 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="real seconds per wall-clock measurement")
     args = parser.parse_args(argv)
 
+    if args.failover:
+        return _main_failover(args)
+    args.out = args.out or "BENCH_scaleout.json"
     report = run_scaleout(
         args.seed, tuple(args.shards), clients=args.clients,
         duration=args.duration, fault_rate=args.fault_rate,
@@ -546,6 +840,39 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(f"CHECK FAILED: {', '.join(failed)}", file=sys.stderr)
             return 1
         print("checks OK")
+    return 0
+
+
+def _main_failover(args) -> int:
+    out = args.out or "BENCH_failover.json"
+    report = run_failover(args.seed)
+    if args.check:
+        second = run_failover(args.seed)
+        report["checks"]["deterministic"] = \
+            fingerprint(report) == fingerprint(second)
+
+    out_dir = os.path.dirname(out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    chaos = report["chaos"]
+    print(f"failover: {chaos['reads']} reads, {chaos['read_errors']} read "
+          f"errors, {chaos['writes_accepted']} writes accepted, "
+          f"{len(chaos['writes_rejected'])} rejected in the failure window")
+    print(f"write-unavailability window: {chaos['write_window_s']:.3f}s "
+          f"(bound {report['config']['write_window_bound_s']:.3f}s), "
+          f"epoch {chaos['epoch']}, "
+          f"fenced rejection: {chaos['fenced_rejection']}")
+    print(f"wrote {out}")
+
+    failed = [name for name, ok in report["checks"].items() if not ok]
+    if failed:
+        print(f"CHECK FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("checks OK")
     return 0
 
 

@@ -6,6 +6,13 @@ from repro.core.cluster.rebalance import (
     SubtreeExport,
     export_subtree,
 )
+from repro.core.cluster.replication import (
+    ReadSession,
+    Replica,
+    ReplicaGroup,
+    ReplicatedChangeLog,
+    ReplicatingStore,
+)
 from repro.core.cluster.routing import ShardRouter, route_key
 from repro.core.cluster.twophase import (
     CatalogMove,
@@ -17,6 +24,11 @@ __all__ = [
     "CatalogCluster",
     "CatalogMigration",
     "CatalogMove",
+    "ReadSession",
+    "Replica",
+    "ReplicaGroup",
+    "ReplicatedChangeLog",
+    "ReplicatingStore",
     "ShardNode",
     "ShardRouter",
     "SubtreeExport",

@@ -30,6 +30,7 @@ owns what spans shards:
 
 from __future__ import annotations
 
+import inspect
 import threading
 from typing import Any, Callable, Iterator, Optional
 
@@ -39,6 +40,7 @@ from repro.cloudstore.sts import StsTokenIssuer
 from repro.core.auth.principals import PrincipalDirectory
 from repro.core.events import ChangeEventBus
 from repro.core.model.entity import Entity, new_entity_id
+from repro.core.persistence.memory import InMemoryMetadataStore
 from repro.core.persistence.store import MetadataStore, Tables
 from repro.core.service.catalog_service import UnityCatalogService
 from repro.core.service.registry import (
@@ -49,13 +51,16 @@ from repro.core.service.registry import (
 from repro.errors import (
     CircuitOpenError,
     InvalidRequestError,
+    NotFoundError,
     PartialBroadcastError,
+    StorageUnavailableError,
     TransientError,
 )
 from repro.obs import Observability
 from repro.resilience import CircuitBreaker, Retrier, RetryPolicy
 
 from .rebalance import CatalogMigration
+from .replication import ReadSession, ReplicaGroup, ReplicatingStore
 from .routing import ShardRouter
 from .twophase import CatalogMove, TwoPhaseCoordinator
 
@@ -76,15 +81,27 @@ def _freeze(value: Any) -> Any:
 
 
 class ShardNode:
-    """One shard: a full catalog service behind a circuit breaker."""
+    """One shard: a replica group of full catalog services.
 
-    __slots__ = ("name", "service", "breaker")
+    ``service`` and ``breaker`` resolve to the *current leader's*, so
+    every existing call site (2PC legs, probes, migrations) follows a
+    failover transparently; reads may additionally fan out over the
+    group's followers via the cluster's read path.
+    """
 
-    def __init__(self, name: str, service: UnityCatalogService,
-                 breaker: CircuitBreaker):
+    __slots__ = ("name", "group")
+
+    def __init__(self, name: str, group: ReplicaGroup):
         self.name = name
-        self.service = service
-        self.breaker = breaker
+        self.group = group
+
+    @property
+    def service(self) -> UnityCatalogService:
+        return self.group.leader().service
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        return self.group.leader().breaker
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ShardNode({self.name!r})"
@@ -109,10 +126,19 @@ class CatalogCluster:
         request_timeout: Optional[float] = None,
         breaker_failure_threshold: int = 3,
         breaker_reset_timeout: float = 30.0,
+        breaker_half_open_max_probes: int = 1,
         stale_cache_size: int = 1024,
+        replicas_per_shard: int = 1,
+        read_preference: str = "leader",
+        lease_duration: float = 2.0,
+        lease_jitter: float = 0.25,
+        replica_log_capacity: int = 4096,
+        txn_log_retention: int = 1024,
     ):
         if shard_count < 1:
             raise InvalidRequestError("shard_count must be >= 1")
+        if replicas_per_shard < 1:
+            raise InvalidRequestError("replicas_per_shard must be >= 1")
         self.clock = clock or SimClock()
         self.obs = obs or Observability(clock=self.clock)
         self.faults = faults
@@ -128,36 +154,76 @@ class CatalogCluster:
                             tracer=self.obs.tracer, component="sts",
                             seed=0x57A7),
         )
+        # a 1-arg factory is called once per replica (each call must
+        # return a fresh store); a 2-arg factory also sees the replica
+        # index, for backends that need distinct paths per replica
+        factory_arity = 0
+        if store_factory is not None:
+            try:
+                factory_arity = len(
+                    inspect.signature(store_factory).parameters
+                )
+            except (TypeError, ValueError):  # pragma: no cover - builtins
+                factory_arity = 1
         self._shards: list[ShardNode] = []
         for index in range(shard_count):
             name = f"shard-{index}"
-            store = store_factory(index) if store_factory is not None else None
-            service = UnityCatalogService(
-                store=store,
-                directory=self.directory,
+            group = ReplicaGroup(
+                name,
                 clock=self.clock,
-                object_store=self.object_store,
-                sts=self.sts,
-                obs=Observability(clock=self.clock),
-                retry_policy=self.retry_policy,
-                faults=faults,
-                enable_cache=enable_cache,
-                enable_fast_path=enable_fast_path,
-                read_version_check=read_version_check,
-                request_timeout=request_timeout,
-            )
-            breaker = CircuitBreaker(
-                self.clock,
-                failure_threshold=breaker_failure_threshold,
-                reset_timeout=breaker_reset_timeout,
                 metrics=metrics,
-                name=f"shard.{name}",
-                failure_types=(TransientError,),
+                tracer=self.obs.tracer,
+                faults=faults,
+                lease_duration=lease_duration,
+                lease_jitter=lease_jitter,
+                seed=0x1EA5E ^ (index * 0x9E37),
+                log_capacity=replica_log_capacity,
             )
-            self._shards.append(ShardNode(name, service, breaker))
+            for rindex in range(replicas_per_shard):
+                rname = f"r{rindex}"
+                if store_factory is None:
+                    inner = InMemoryMetadataStore()
+                elif factory_arity >= 2:
+                    inner = store_factory(index, rindex)
+                else:
+                    inner = store_factory(index)
+                wrapped = ReplicatingStore(inner, group, rname)
+                service = UnityCatalogService(
+                    store=wrapped,
+                    directory=self.directory,
+                    clock=self.clock,
+                    object_store=self.object_store,
+                    sts=self.sts,
+                    obs=Observability(clock=self.clock),
+                    retry_policy=self.retry_policy,
+                    faults=faults,
+                    enable_cache=enable_cache,
+                    enable_fast_path=enable_fast_path,
+                    read_version_check=read_version_check,
+                    request_timeout=request_timeout,
+                )
+                breaker = CircuitBreaker(
+                    self.clock,
+                    failure_threshold=breaker_failure_threshold,
+                    reset_timeout=breaker_reset_timeout,
+                    metrics=metrics,
+                    name=(f"shard.{name}" if rindex == 0
+                          else f"shard.{name}.{rname}"),
+                    failure_types=(TransientError,),
+                    half_open_max_probes=breaker_half_open_max_probes,
+                )
+                # replica 0 serves on the shard's own worker so worker
+                # placement (and worker_wrap hooks) stay shard-keyed
+                worker = name if rindex == 0 else f"{name}:{rname}"
+                group.add_replica(rname, worker, wrapped, service, breaker)
+            group.seal()
+            self._shards.append(ShardNode(name, group))
         self._by_name = {shard.name: shard for shard in self._shards}
-        self.router = ShardRouter([shard.name for shard in self._shards])
-        self.coordinator = TwoPhaseCoordinator(self.clock, metrics=metrics)
+        self.router = ShardRouter([shard.name for shard in self._shards],
+                                  read_preference=read_preference)
+        self.coordinator = TwoPhaseCoordinator(
+            self.clock, metrics=metrics, log_retention=txn_log_retention
+        )
         self.events = ChangeEventBus()
         #: last-known-good responses for ``stale_ok`` reads, keyed by
         #: (shard, api, frozen params); consulted only when the owning
@@ -202,7 +268,13 @@ class CatalogCluster:
             "Rebalance migration steps completed, by stage.",
             ("stage",),
         )
+        self._replica_reads = metrics.counter(
+            "uc_replica_reads_total",
+            "Reads served per replica, by its role at serving time.",
+            ("shard", "replica", "role"),
+        )
         metrics.register_collector(self._collect_placement)
+        metrics.register_collector(self._collect_replicas)
 
     # ------------------------------------------------------------------
     # topology
@@ -225,6 +297,19 @@ class CatalogCluster:
 
     def shard_count(self) -> int:
         return len(self._shards)
+
+    def worker_names(self) -> list[str]:
+        """Serving-tier worker names: one per replica (replica 0 of each
+        shard keeps the shard's own name, so shard-keyed placement and
+        ``worker_wrap`` hooks are unchanged for single-replica clusters)."""
+        return [replica.worker for shard in self._shards
+                for replica in shard.group.replicas]
+
+    def read_session(self) -> ReadSession:
+        """A read-your-writes session token: pass it to :meth:`dispatch`
+        as ``_session`` and follower reads will never serve state older
+        than the session's last write."""
+        return ReadSession()
 
     def metastore_id(self, name: str) -> str:
         return self.home.service.metastore_id(name)
@@ -302,12 +387,37 @@ class CatalogCluster:
                 )
             yield ("uc_shard_catalogs", {"shard": shard.name}, float(count))
 
+    def _collect_replicas(self) -> Iterator[tuple[str, dict, float]]:
+        """Scrape-time export of replica-group health (only when shards
+        actually run replicated — single-replica clusters stay silent)."""
+        for shard in self._shards:
+            if not shard.group.replicated:
+                continue
+            for status in shard.group.status():
+                labels = {"shard": shard.name, "replica": status["replica"]}
+                yield ("uc_replica_role", labels,
+                       1.0 if status["role"] == "leader" else 0.0)
+                yield ("uc_replica_lag_entries", labels,
+                       float(status["lag"]))
+                yield ("uc_replica_crashed", labels,
+                       1.0 if status["crashed"] else 0.0)
+
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
 
     def dispatch(self, api: str, **params: Any) -> Any:
-        """Route one endpoint call to the shard(s) that own its state."""
+        """Route one endpoint call to the shard(s) that own its state.
+
+        Two reserved kwargs thread replica-read semantics through without
+        touching endpoint signatures: ``_session`` (a
+        :class:`~repro.core.cluster.replication.ReadSession`, giving the
+        caller read-your-writes across follower reads) and
+        ``_read_preference`` (``leader`` / ``follower`` /
+        ``nearest_fresh``, overriding the router's default for this call).
+        """
+        session = params.pop("_session", None)
+        preference = params.pop("_read_preference", None)
         descriptor = self.home.service.api_registry.get(api)
         binding = descriptor.cluster
         decision = binding.plan(params) if binding is not None \
@@ -316,21 +426,26 @@ class CatalogCluster:
                                   mode=decision.kind):
             if decision.kind == "home":
                 return self._single(self.home, descriptor, binding, params,
-                                    mode="home")
+                                    mode="home", session=session,
+                                    preference=preference)
             if decision.kind == "catalog":
                 shard = self._shard_for_key(params["metastore_id"],
                                             decision.key,
                                             write=descriptor.mutation)
                 return self._single(shard, descriptor, binding, params,
-                                    mode="catalog")
+                                    mode="catalog", session=session,
+                                    preference=preference)
             if decision.kind == "scatter":
-                return self._scatter(descriptor, binding, params, decision)
+                return self._scatter(descriptor, binding, params, decision,
+                                     session, preference)
             if decision.kind == "broadcast":
-                return self._broadcast(descriptor, binding, params)
+                return self._broadcast(descriptor, binding, params, session)
             if decision.kind == "probe":
-                return self._probe(descriptor, binding, params, decision)
+                return self._probe(descriptor, binding, params, decision,
+                                   session, preference)
             if decision.kind == "partition":
-                return self._partition(descriptor, binding, params, decision)
+                return self._partition(descriptor, binding, params, decision,
+                                       session, preference)
             if decision.kind == "move":
                 return CatalogMove(
                     self, params["metastore_id"], params["principal"],
@@ -350,51 +465,110 @@ class CatalogCluster:
 
     def _single(self, shard: ShardNode, descriptor: EndpointDescriptor,
                 binding: Optional[ClusterBinding], params: dict,
-                mode: str) -> Any:
-        """Dispatch to one shard through its breaker; ``stale_ok`` reads
-        degrade to the last-known-good response when the shard is dark."""
+                mode: str, session=None, preference=None) -> Any:
+        """Dispatch to one shard: mutations go to the replica group's
+        fenced leader, reads walk the group's read candidates and —
+        when every replica is dark — ``stale_ok`` reads degrade to the
+        last-known-good response."""
         self._requests.labels(shard=shard.name, mode=mode).inc()
+        if descriptor.mutation:
+            return self._write_single(shard, descriptor, params, session)
+        return self._read_single(shard, descriptor, binding, params,
+                                 session, preference)
+
+    def _write_single(self, shard: ShardNode,
+                      descriptor: EndpointDescriptor, params: dict,
+                      session) -> Any:
+        """One-shard mutation: dispatched to the current leader, whose
+        store-level fencing token rejects it if leadership moved while it
+        was in flight. When the leader is down and no successor can be
+        promoted yet, this fails fast with ``LeaseExpiredError`` — the
+        write-unavailability window is the lease window, not a retry
+        budget. Mutations are never replayed by the router: the shard's
+        own commit loop absorbs transient store faults, and a
+        router-level replay could double-apply."""
+        leader = shard.group.leader_for_write()
 
         def attempt():
             if self.faults is not None:
                 self.faults.raise_for(f"shard.{shard.name}.dispatch")
-            return shard.service.dispatch(descriptor.name, **params)
+            return leader.service.dispatch(descriptor.name, **params)
 
         def guarded():
-            return shard.breaker.call(attempt)
+            return leader.breaker.call(attempt)
 
-        def placed():
-            # with a serving runtime attached, the shard's work runs on
-            # that shard's dedicated worker thread
-            return self.run_on_shard(shard.name, guarded)
+        # with a serving runtime attached, the work runs on the leader
+        # replica's dedicated worker thread
+        result = self.run_on_shard(leader.worker, guarded)
+        self.after_mutation([shard], params.get("metastore_id"),
+                            session=session)
+        return result
 
-        stale_ok = (binding is not None and binding.stale_ok
-                    and not descriptor.mutation)
+    def _read_single(self, shard: ShardNode,
+                     descriptor: EndpointDescriptor,
+                     binding: Optional[ClusterBinding], params: dict,
+                     session, preference) -> Any:
+        """One-shard read over the replica group.
+
+        Candidates are tried in preference order; each gets the shard
+        retrier's full transient budget (for a single-replica group this
+        is byte-identical to the pre-replication read path). A follower
+        candidate first passes the group's read-lease / read-your-writes
+        check — waiting (catching up from the log) when it is behind, and
+        failing over to the next candidate (proxy) when it cannot.
+        """
+        group = shard.group
+        stale_ok = binding is not None and binding.stale_ok
         stale_key = (
             (shard.name, descriptor.name, _freeze(params)) if stale_ok else None
         )
-        try:
-            if descriptor.mutation:
-                # mutations are not replayed by the router: the shard's
-                # own commit loop already absorbs transient store faults,
-                # and a router-level replay could double-apply
-                result = placed()
-            else:
+        metastore_id = params.get("metastore_id")
+        min_version = (session.min_version(metastore_id, shard.name)
+                       if session is not None else None)
+        candidates = group.read_candidates(
+            preference or self.router.read_preference
+        )
+        last_exc: Optional[TransientError] = None
+        for replica in candidates:
+            def attempt(replica=replica):
+                if self.faults is not None:
+                    self.faults.raise_for(f"shard.{shard.name}.dispatch")
+                group.check_read(replica, metastore_id, min_version)
+                return replica.service.dispatch(descriptor.name, **params)
+
+            def guarded(replica=replica, attempt=attempt):
+                return replica.breaker.call(attempt)
+
+            def placed(replica=replica, guarded=guarded):
+                return self.run_on_shard(replica.worker, guarded)
+
+            try:
                 result = self._retrier.call(placed, retryable=_retryable)
-        except TransientError:
-            # breaker-open (or retries exhausted): a stale_ok read serves
-            # the last known good answer instead of surfacing the outage
+            except TransientError as exc:
+                last_exc = exc
+                continue
+            if group.replicated:
+                role = ("leader" if replica is group.leader()
+                        else "follower")
+                self._replica_reads.labels(
+                    shard=shard.name, replica=replica.name, role=role,
+                ).inc()
             if stale_key is not None:
-                hit, value = self._stale_touch(stale_key)
-                if hit:
-                    self._stale_reads.labels(shard=shard.name).inc()
-                    return value
-            raise
+                self._stale_put(stale_key, result)
+            return result
+        # every candidate failed (or none was live): a stale_ok read
+        # serves the last known good answer instead of surfacing the
+        # outage
         if stale_key is not None:
-            self._stale_put(stale_key, result)
-        if descriptor.mutation:
-            self.after_mutation([shard], params.get("metastore_id"))
-        return result
+            hit, value = self._stale_touch(stale_key)
+            if hit:
+                self._stale_reads.labels(shard=shard.name).inc()
+                return value
+        if last_exc is not None:
+            raise last_exc
+        raise StorageUnavailableError(
+            f"shard {shard.name}: no live replicas"
+        )
 
     def _stale_touch(self, key: tuple) -> tuple[bool, Any]:
         """Serve a cached answer (moving it to the LRU tail) if present.
@@ -414,12 +588,15 @@ class CatalogCluster:
             while len(self._stale) > self._stale_cache_size:
                 self._stale.pop(next(iter(self._stale)))
 
-    def _scatter(self, descriptor, binding, params, decision) -> Any:
+    def _scatter(self, descriptor, binding, params, decision,
+                 session=None, preference=None) -> Any:
         self._fanout.labels(mode="scatter").inc()
         tasks = [
             (shard.name,
              lambda shard=shard: self._single(shard, descriptor, binding,
-                                              params, mode="scatter"))
+                                              params, mode="scatter",
+                                              session=session,
+                                              preference=preference))
             for shard in self._shards
         ]
         outcomes = self._run_fanout(tasks, stop_on_error=True)
@@ -430,10 +607,11 @@ class CatalogCluster:
             results.append(value)
         return decision.merge(results, params)
 
-    def _broadcast(self, descriptor, binding, params) -> Any:
+    def _broadcast(self, descriptor, binding, params, session=None) -> Any:
         """A replicated write: prepare on the home shard (full
         validation), commit on the rest. Ids are pre-minted so every
-        shard stores identical rows."""
+        shard stores identical rows. Every per-shard leg lands on that
+        shard's *leader*, whose fencing token is checked at commit time."""
         if binding is not None:
             for mint in binding.mint_params:
                 params.setdefault(mint, new_entity_id())
@@ -446,9 +624,11 @@ class CatalogCluster:
         self._fanout.labels(mode="broadcast").inc()
         try:
             self._requests.labels(shard=self.home.name, mode="broadcast").inc()
+            home_leader = self.home.group.leader()
             result = self.run_on_shard(
-                self.home.name,
-                lambda: self.home.service.dispatch(descriptor.name, **params),
+                home_leader.worker,
+                lambda: home_leader.service.dispatch(descriptor.name,
+                                                     **params),
             )
         except Exception as exc:
             self.coordinator.abort(txn, f"{type(exc).__name__}: {exc}")
@@ -466,7 +646,7 @@ class CatalogCluster:
             return shard.service.dispatch(descriptor.name, **params)
 
         outcomes = self._run_fanout(
-            [(shard.name, lambda shard=shard: leg(shard))
+            [(shard.group.leader().worker, lambda shard=shard: leg(shard))
              for shard in replicas],
             stop_on_error=True,
         )
@@ -496,17 +676,18 @@ class CatalogCluster:
                 f"partial commit: replica {shard.name} failed after "
                 f"{len(applied)} shard(s): {type(exc).__name__}: {exc}",
             )
-            self.after_mutation(applied, metastore_id)
+            self.after_mutation(applied, metastore_id, session=session)
             raise PartialBroadcastError(
                 f"{descriptor.name}: replica {shard.name} failed after "
                 f"the write applied on "
                 f"{', '.join(s.name for s in applied)}: {exc}"
             ) from exc
         self.coordinator.commit(txn)
-        self.after_mutation(self._shards, metastore_id)
+        self.after_mutation(self._shards, metastore_id, session=session)
         return result
 
-    def _probe(self, descriptor, binding, params, decision) -> Any:
+    def _probe(self, descriptor, binding, params, decision,
+               session=None, preference=None) -> Any:
         """Dispatch to the shard(s) whose local state recognises the
         request; fall back to the home shard when none do, so the caller
         gets the canonical error and exactly one error audit record."""
@@ -518,22 +699,27 @@ class CatalogCluster:
         ]
         if not matches:
             return self._single(self.home, descriptor, binding, params,
-                                mode="probe")
+                                mode="probe", session=session,
+                                preference=preference)
         if not decision.all_matches:
             return self._single(matches[0], descriptor, binding, params,
-                                mode="probe")
+                                mode="probe", session=session,
+                                preference=preference)
         result = None
         for shard in matches:
             result = self._single(shard, descriptor, binding, params,
-                                  mode="probe")
+                                  mode="probe", session=session,
+                                  preference=preference)
         return result
 
-    def _partition(self, descriptor, binding, params, decision) -> Any:
+    def _partition(self, descriptor, binding, params, decision,
+                   session=None, preference=None) -> Any:
         """Split a multi-name request into per-catalog sub-requests."""
         sub_params = decision.split(params)
         if not sub_params:
             return self._single(self.home, descriptor, binding, params,
-                                mode="partition")
+                                mode="partition", session=session,
+                                preference=preference)
         self._fanout.labels(mode="partition").inc()
         results = []
         for key in sorted(sub_params):
@@ -541,7 +727,8 @@ class CatalogCluster:
                                         write=descriptor.mutation)
             results.append(
                 self._single(shard, descriptor, binding, sub_params[key],
-                             mode="partition")
+                             mode="partition", session=session,
+                             preference=preference)
             )
         return decision.merge(results, params)
 
@@ -549,9 +736,12 @@ class CatalogCluster:
     # cross-shard invalidation
     # ------------------------------------------------------------------
 
-    def after_mutation(self, shards, metastore_id: Optional[str]) -> None:
-        """Relay the involved shards' change events to the cluster bus
-        and drop their stale-read cache entries."""
+    def after_mutation(self, shards, metastore_id: Optional[str],
+                       session=None) -> None:
+        """Relay the involved shards' change events to the cluster bus,
+        drop their stale-read cache entries, stream the new change-log
+        entries to their followers, and stamp the caller's read session
+        for read-your-writes."""
         names = {shard.name for shard in shards}
         with self._lock:
             if self._stale:
@@ -559,6 +749,8 @@ class CatalogCluster:
                     key: value for key, value in self._stale.items()
                     if key[0] not in names
                 }
+        for shard in shards:
+            shard.group.replicate()
         if metastore_id is None:
             return
         for shard in shards:
@@ -572,6 +764,15 @@ class CatalogCluster:
                     event.securable_id, event.securable_kind,
                     event.securable_name, event.timestamp, event.details,
                 )
+        if session is not None:
+            for shard in shards:
+                try:
+                    version = shard.group.leader().store.current_version(
+                        metastore_id
+                    )
+                except NotFoundError:
+                    continue
+                session.note_write(metastore_id, shard.name, version)
 
     # ------------------------------------------------------------------
     # rebalancing

@@ -21,7 +21,9 @@ from __future__ import annotations
 import threading
 from typing import Optional, Protocol
 
+from repro.core.cluster.replication import READ_PREFERENCES
 from repro.core.sharding import ShardingService
+from repro.errors import InvalidRequestError
 
 
 class _Completable(Protocol):  # a CatalogMigration, structurally
@@ -34,12 +36,26 @@ def route_key(metastore_id: str, catalog_key: str) -> str:
 
 
 class ShardRouter:
-    """Maps route keys to shard names; tracks pins and cutover fences."""
+    """Maps route keys to shard names; tracks pins and cutover fences.
 
-    def __init__(self, shard_names: list[str]):
+    ``read_preference`` is the cluster-wide default for which replica of
+    a shard's group serves a read — ``leader`` (strongest), ``follower``
+    (offload the leader), or ``nearest_fresh`` (lowest replication lag).
+    A single dispatch can override it with the ``_read_preference``
+    kwarg.
+    """
+
+    def __init__(self, shard_names: list[str],
+                 read_preference: str = "leader"):
+        if read_preference not in READ_PREFERENCES:
+            raise InvalidRequestError(
+                f"unknown read preference: {read_preference!r} "
+                f"(expected one of {', '.join(READ_PREFERENCES)})"
+            )
         self._sharding = ShardingService()
         for name in shard_names:
             self._sharding.add_node(name)
+        self.read_preference = read_preference
         #: guards the fence table; parallel writers racing a cutover must
         #: each observe either the fence or the post-cutover routing
         self._lock = threading.Lock()

@@ -63,9 +63,20 @@ class TxnRecord:
 
 
 class TwoPhaseCoordinator:
-    """Key-locked prepare/commit with a deterministic, append-only log."""
+    """Key-locked prepare/commit with a deterministic, bounded log.
 
-    def __init__(self, clock, metrics=None):
+    The log is append-only in spirit but bounded in memory: once more
+    than ``log_retention`` *finished* (committed/aborted) records have
+    accumulated, the oldest finished records are compacted away.
+    ``PREPARED`` records are never compacted (they hold live key locks),
+    and neither is an aborted record whose conflict attribution names a
+    still-live transaction — the "who held my key" breadcrumb the
+    interleaving tests rely on must outlive the loser.
+    """
+
+    def __init__(self, clock, metrics=None, log_retention: int = 1024):
+        if log_retention < 1:
+            raise InvalidRequestError("log_retention must be >= 1")
         self._clock = clock
         #: serializes check-and-acquire over the key-lock table and log
         #: appends — prepare legs race from real threads under the
@@ -74,13 +85,20 @@ class TwoPhaseCoordinator:
         self._locks: dict[str, str] = {}   # route key -> holding txn id
         self._sequence = 0
         self.log: list[TxnRecord] = []
+        self._retention = log_retention
+        self.compacted_records = 0
         self._outcomes = None
+        self._compactions = None
         if metrics is not None:
             self._outcomes = metrics.counter(
                 "uc_shard_2pc_total",
                 "Cross-shard two-phase transactions by outcome.",
                 ("outcome",),
             )
+            self._compactions = metrics.counter(
+                "uc_2pc_log_compactions_total",
+                "Compaction passes over the 2PC transaction log.",
+            ).labels()
 
     def _count(self, outcome: str) -> None:
         if self._outcomes is not None:
@@ -132,6 +150,7 @@ class TwoPhaseCoordinator:
             self._release(record)
             record.state = COMMITTED
             record.finished_at = self._clock.now()
+            self._compact_locked()
         self._count(COMMITTED)
 
     def abort(self, record: TxnRecord, reason: str) -> None:
@@ -140,7 +159,43 @@ class TwoPhaseCoordinator:
             record.state = ABORTED
             record.reason = reason
             record.finished_at = self._clock.now()
+            self._compact_locked()
         self._count(ABORTED)
+
+    def _compact_locked(self) -> None:
+        """Drop the oldest finished records past the retention bound
+        (called from commit()/abort() inside ``self._lock``).
+
+        Never dropped: ``PREPARED`` records (their key locks are live),
+        and aborted records whose conflict reason names a transaction
+        that is still ``PREPARED`` — the loser's abort attribution stays
+        readable until the winner finishes.
+        """
+        finished = sum(1 for r in self.log if r.state != PREPARED)
+        excess = finished - self._retention
+        if excess <= 0:
+            return
+        live = {r.txn_id for r in self.log if r.state == PREPARED}
+        kept: list[TxnRecord] = []
+        dropped = 0
+        for record in self.log:
+            if (dropped < excess and record.state != PREPARED
+                    and not self._attributes_live(record, live)):
+                dropped += 1
+                continue
+            kept.append(record)
+        if not dropped:
+            return
+        self.log[:] = kept
+        self.compacted_records += dropped
+        if self._compactions is not None:
+            self._compactions.inc()
+
+    @staticmethod
+    def _attributes_live(record: TxnRecord, live: set[str]) -> bool:
+        if record.state != ABORTED or not record.reason or not live:
+            return False
+        return any(txn_id in record.reason for txn_id in live)
 
     def held_keys(self) -> dict[str, str]:
         """The key locks currently held (race tests assert emptiness)."""

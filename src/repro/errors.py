@@ -138,6 +138,32 @@ class CircuitOpenError(TransientError):
         self.retry_after_seconds = retry_after_seconds
 
 
+class LeaseExpiredError(TransientError):
+    """A replica group's leader lease lapsed (leader crashed or could not
+    renew) and no successor has been promoted yet. Writes during this
+    window fail fast; retrying after the lease duration normally lands on
+    the newly promoted leader."""
+
+    code = "LEASE_EXPIRED"
+
+    def __init__(self, message: str, retry_after_seconds: float = 2.0):
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class FencingTokenError(UnityCatalogError):
+    """A deposed leader tried to write with a stale fencing token (epoch).
+
+    Raised by the replication layer when a replica that lost leadership —
+    because its lease expired and a follower was promoted — attempts a
+    mutation or a 2PC prepare/commit leg. Deliberately **not** retryable:
+    the caller is talking to the wrong replica and must re-route, not
+    repeat the same call.
+    """
+
+    code = "FENCED_LEADER"
+
+
 class DeadlineExceededError(UnityCatalogError):
     """A per-call deadline elapsed before the operation (including its
     retries) could complete. Not retryable as-is: the caller chose the

@@ -49,7 +49,9 @@ _KINDS = {
 
 
 def _matches(pattern: str, op: str) -> bool:
-    return pattern == "*" or pattern == op
+    if pattern == "*" or pattern == op:
+        return True
+    return pattern.endswith("*") and op.startswith(pattern[:-1])
 
 
 @dataclass
@@ -92,6 +94,22 @@ class ThrottleBurst:
 
 
 @dataclass
+class CrashRule:
+    """A component is *down*: every matching op fails until :meth:`restore`.
+
+    Unlike probabilistic rules, crashes consume no RNG draws, so adding
+    or lifting one never perturbs the fault stream of unrelated ops —
+    exactly what kill-the-leader chaos scenarios need.
+    """
+
+    op: str
+    kind: str = "unavailable"
+
+    def covers(self, op: str) -> bool:
+        return _matches(self.op, op)
+
+
+@dataclass
 class _InjectorStats:
     by_op_kind: dict = field(default_factory=dict)  # (op, kind) -> count
     total: int = 0
@@ -122,6 +140,7 @@ class FaultInjector:
         self._rules: list[FaultRule] = []
         self._schedules: list[FaultSchedule] = []
         self._bursts: list[ThrottleBurst] = []
+        self._crashes: list[CrashRule] = []
         self.enabled = True
         self.stats = _InjectorStats()
         self._counter = None
@@ -176,11 +195,30 @@ class FaultInjector:
         self._bursts.append(burst)
         return burst
 
+    def crash(self, op: str, kind: str = "unavailable") -> CrashRule:
+        """Take a component down: every op matching ``op`` fails until
+        :meth:`restore`. ``op`` may end in ``*`` to cover a prefix (e.g.
+        ``replica.shard-0.r0.*`` downs one replica's every operation)."""
+        if kind not in _KINDS:
+            raise InvalidRequestError(f"unknown fault kind: {kind!r}")
+        rule = CrashRule(op, kind)
+        self._crashes.append(rule)
+        return rule
+
+    def restore(self, op: str) -> None:
+        """Lift every crash rule registered with exactly ``op``."""
+        self._crashes = [rule for rule in self._crashes if rule.op != op]
+
+    def crashed(self, op: str) -> bool:
+        """True when a crash rule currently covers ``op``."""
+        return self.enabled and any(rule.covers(op) for rule in self._crashes)
+
     def clear(self) -> None:
         """Drop all configured faults (counters are preserved)."""
         self._rules.clear()
         self._schedules.clear()
         self._bursts.clear()
+        self._crashes.clear()
 
     # -- the hook --------------------------------------------------------
 
@@ -193,6 +231,9 @@ class FaultInjector:
         """
         if not self.enabled:
             return
+        for crash in self._crashes:
+            if crash.covers(op):
+                self._fire(op, crash.kind, path)
         for schedule in self._schedules:
             if schedule.remaining > 0 and schedule.covers(op, path):
                 schedule.remaining -= 1
@@ -235,6 +276,7 @@ def _as_path(prefix: Optional[StoragePath | str]) -> Optional[StoragePath]:
 
 
 __all__ = [
+    "CrashRule",
     "FaultInjector",
     "FaultRule",
     "FaultSchedule",

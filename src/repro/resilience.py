@@ -249,8 +249,16 @@ class CircuitBreaker:
       open the circuit.
     * **open**: calls fail fast with :class:`CircuitOpenError` until
       ``reset_timeout`` elapses on the injected clock.
-    * **half-open**: up to ``half_open_probes`` trial calls pass; one
-      success closes the circuit, one failure re-opens it.
+    * **half-open**: up to ``half_open_max_probes`` trial calls pass at
+      a time; one success closes the circuit, one failure re-opens it.
+
+    The probe budget matters under the parallel serving tier: when the
+    reset timeout elapses, every waiter that raced into ``before_call``
+    used to be admitted at once if the budget was set high — a thundering
+    herd onto a dependency that may still be down. The budget is counted
+    in *in-flight* probes, and a probe slot is always released, even when
+    the probe dies with an exception outside ``failure_types`` (that leak
+    used to wedge the breaker half-open forever).
     """
 
     CLOSED = "closed"
@@ -268,13 +276,20 @@ class CircuitBreaker:
         metrics=None,
         name: str = "default",
         failure_types: tuple[type[BaseException], ...] = (Exception,),
+        half_open_max_probes: Optional[int] = None,
     ):
         if failure_threshold < 1:
             raise InvalidRequestError("failure_threshold must be >= 1")
+        if half_open_max_probes is not None and half_open_max_probes < 1:
+            raise InvalidRequestError("half_open_max_probes must be >= 1")
         self._clock = clock
         self._threshold = failure_threshold
         self._reset_timeout = reset_timeout
-        self._half_open_probes = half_open_probes
+        # `half_open_max_probes` is the explicit knob; `half_open_probes`
+        # is the legacy positional name kept for existing callers.
+        self._half_open_probes = (
+            half_open_max_probes if half_open_max_probes is not None else half_open_probes
+        )
         self._failure_types = failure_types
         self.name = name
         #: one breaker fronts each shard; admissions and outcome
@@ -352,6 +367,19 @@ class CircuitBreaker:
         self._failures = 0
         self._transition(self.OPEN)
 
+    def _release_probe(self) -> None:
+        """Give back a half-open probe slot without recording an outcome.
+
+        Needed when a probe dies with an exception the breaker does not
+        count as a dependency failure (e.g. a validation error raised by
+        the caller's own code): without this, the slot stays occupied
+        forever — ``before_call`` only resets the count on the
+        open → half-open transition, which never happens again.
+        """
+        with self._lock:
+            if self.state == self.HALF_OPEN and self._probes_in_flight > 0:
+                self._probes_in_flight -= 1
+
     def call(self, fn: Callable[[], T]) -> T:
         """Run ``fn`` through the breaker, recording the outcome."""
         self.before_call()
@@ -359,6 +387,9 @@ class CircuitBreaker:
             result = fn()
         except self._failure_types:
             self.record_failure()
+            raise
+        except BaseException:
+            self._release_probe()
             raise
         self.record_success()
         return result

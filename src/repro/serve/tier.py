@@ -55,8 +55,11 @@ class ParallelServingTier:
         #: guards against double-applying worker_wrap when placed work
         #: re-enters run_on for the same shard (it runs inline there)
         self._wrapping = threading.local()
+        # one worker group per *replica* (cluster.worker_names covers
+        # every replica of every shard; replica 0 keeps the shard's own
+        # name, so single-replica clusters are unchanged)
         self._pool = ShardWorkerPool(
-            [shard.name for shard in cluster.shards],
+            cluster.worker_names(),
             workers_per_shard=workers_per_shard,
         )
         self._front = ThreadPoolExecutor(

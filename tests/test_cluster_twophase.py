@@ -22,6 +22,7 @@ from repro.core.persistence.store import Tables
 from repro.errors import (
     AlreadyExistsError,
     ConcurrentModificationError,
+    InvalidRequestError,
     NotFoundError,
     PartialBroadcastError,
     TransientError,
@@ -500,3 +501,79 @@ def test_threaded_conflicting_moves_exactly_one_winner_each_round():
         assert cluster.coordinator.held_keys() == {}
         assert active_catalog_rows(cluster, mid, winner_name) == 1
         assert active_catalog_rows(cluster, mid, source) == 0
+
+
+# -- bounded transaction log -------------------------------------------
+# The coordinator's log is append-only in spirit but compacted in
+# memory: finished records past the retention bound are dropped, while
+# PREPARED records (live key locks) and abort records whose conflict
+# attribution names a still-live transaction always survive.
+
+
+def build_coordinator(retention):
+    from repro.core.cluster.twophase import TwoPhaseCoordinator
+
+    clock = SimClock()
+    obs = Observability(clock=clock)
+    coord = TwoPhaseCoordinator(clock, metrics=obs.metrics,
+                                log_retention=retention)
+    return coord, obs
+
+
+def test_txn_log_compacts_finished_records_past_retention():
+    coord, obs = build_coordinator(retention=5)
+    for i in range(20):
+        record = coord.begin("broadcast", "t", (f"k{i}",), ("shard-0",))
+        coord.commit(record)
+    assert len(coord.log) == 5
+    # the newest finished records survive, oldest were dropped
+    assert [r.txn_id for r in coord.log] == \
+        [f"txn-{i:06d}" for i in range(16, 21)]
+    assert coord.compacted_records == 15
+    snap = obs.metrics.snapshot()
+    assert sum(v for k, v in snap.items()
+               if k.startswith("uc_2pc_log_compactions_total")) >= 1
+
+
+def test_txn_log_below_retention_never_compacts():
+    coord, obs = build_coordinator(retention=50)
+    for i in range(20):
+        record = coord.begin("broadcast", "t", (f"k{i}",), ("shard-0",))
+        coord.commit(record)
+    assert len(coord.log) == 20
+    assert coord.compacted_records == 0
+    snap = obs.metrics.snapshot()
+    assert sum(v for k, v in snap.items()
+               if k.startswith("uc_2pc_log_compactions_total")) == 0
+
+
+def test_txn_log_compaction_keeps_prepared_and_live_attribution():
+    from repro.core.cluster.twophase import ABORTED, PREPARED
+
+    coord, _ = build_coordinator(retention=1)
+    winner = coord.begin("catalog_move", "move", ("hot",), ("shard-0",))
+    with pytest.raises(ConcurrentModificationError):
+        coord.begin("catalog_move", "move", ("hot",), ("shard-1",))
+    # churn well past retention: the PREPARED winner and the loser's
+    # abort record (which names the winner) must both survive
+    for i in range(10):
+        record = coord.begin("broadcast", "t", (f"k{i}",), ("shard-0",))
+        coord.commit(record)
+    states = {r.txn_id: r.state for r in coord.log}
+    assert states[winner.txn_id] == PREPARED
+    loser = [r for r in coord.log if r.state == ABORTED]
+    assert len(loser) == 1
+    assert winner.txn_id in loser[0].reason
+    # once the winner finishes, its loser's breadcrumb becomes fair game
+    coord.commit(winner)
+    record = coord.begin("broadcast", "t", ("kx",), ("shard-0",))
+    coord.commit(record)
+    assert all(r.state != ABORTED for r in coord.log)
+    assert len(coord.log) == 1
+
+
+def test_txn_log_retention_must_be_positive():
+    from repro.core.cluster.twophase import TwoPhaseCoordinator
+
+    with pytest.raises(InvalidRequestError):
+        TwoPhaseCoordinator(SimClock(), log_retention=0)

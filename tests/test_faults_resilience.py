@@ -4,7 +4,6 @@ from http.client import HTTPConnection
 
 import pytest
 
-from repro.clock import SimClock
 from repro.cloudstore.client import StorageClient
 from repro.cloudstore.object_store import ObjectStore, StoragePath
 from repro.cloudstore.sts import AccessLevel, StsTokenIssuer
@@ -302,6 +301,53 @@ class TestCircuitBreaker:
             with pytest.raises(NotFoundError):
                 breaker.call(lambda: (_ for _ in ()).throw(NotFoundError("x")))
         assert breaker.state == CircuitBreaker.CLOSED
+
+    def _trip_open(self, breaker):
+        for _ in range(3):
+            with pytest.raises(StorageUnavailableError):
+                breaker.call(self._boom)
+        assert breaker.state == CircuitBreaker.OPEN
+
+    def test_half_open_probe_budget_admits_exactly_n(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=3,
+                                 reset_timeout=30.0, name="budget",
+                                 failure_types=(TransientError,),
+                                 half_open_max_probes=2)
+        self._trip_open(breaker)
+        clock.advance(31)
+        # two in-flight probes admitted, the third is shed
+        breaker.before_call()
+        breaker.before_call()
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_default_budget_is_single_probe(self, clock):
+        breaker = self._breaker(clock)
+        self._trip_open(breaker)
+        clock.advance(31)
+        breaker.before_call()
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+
+    def test_non_failure_exception_releases_probe_slot(self, clock):
+        """A probe dying outside failure_types must hand back its slot —
+        this used to wedge the breaker half-open forever."""
+        breaker = self._breaker(clock)
+        self._trip_open(breaker)
+        clock.advance(31)
+        with pytest.raises(NotFoundError):
+            breaker.call(lambda: (_ for _ in ()).throw(NotFoundError("x")))
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        # slot released: the next probe is admitted and closes the circuit
+        assert breaker.call(lambda: "ok") == "ok"
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_max_probes_validated(self, clock):
+        with pytest.raises(InvalidRequestError):
+            CircuitBreaker(clock, half_open_max_probes=0)
 
     def test_state_gauge_and_transition_counters(self, clock):
         obs = Observability(clock=clock)

@@ -264,6 +264,66 @@ def test_invalidation_storm_no_stale_positive_authz(backend):
     )
 
 
+def test_stale_lru_storm_bounded_no_resurrection():
+    """Threads racing the router's dark-shard stale LRU: put/evict/touch
+    storms must keep the cache within its bound, and an entry evicted by
+    ``after_mutation`` must never resurrect via a concurrent
+    check-and-touch (the touch is a single critical section, not a bare
+    check followed by a pop)."""
+    clock = SimClock()
+    cluster = CatalogCluster(2, clock=clock, stale_cache_size=16)
+    shard0 = cluster.shards[0]
+    cap = cluster._stale_cache_size
+    dead_keys = [("shard-0", "get_securable", ("k", i)) for i in range(8)]
+    for key in dead_keys:
+        cluster._stale_put(key, {"row": key[2]})
+
+    evicted = threading.Event()   # set after the shard-0 purge completes
+    failures: list[str] = []
+
+    def putter(tid):
+        # churn shard-1 entries well past capacity to force LRU eviction
+        for i in range(1500):
+            cluster._stale_put(("shard-1", "get_securable", (tid, i)), i)
+
+    def toucher(tid):
+        for i in range(3000):
+            # read the flag BEFORE touching: if the purge already
+            # finished, nothing re-puts shard-0 keys, so a hit can only
+            # be a resurrected entry
+            purge_done = evicted.is_set()
+            hit, _ = cluster._stale_touch(dead_keys[i % len(dead_keys)])
+            if purge_done and hit:
+                failures.append(f"toucher-{tid}: evicted entry resurrected")
+
+    def size_checker():
+        for _ in range(2000):
+            with cluster._lock:
+                size = len(cluster._stale)
+            if size > cap:
+                failures.append(f"stale LRU over capacity: {size} > {cap}")
+
+    threads = [threading.Thread(target=putter, args=(t,)) for t in range(3)]
+    threads += [threading.Thread(target=toucher, args=(t,)) for t in range(3)]
+    threads.append(threading.Thread(target=size_checker))
+    for thread in threads:
+        thread.start()
+    time.sleep(0.02)  # let the storm build before purging shard-0
+    cluster.after_mutation([shard0], None)
+    evicted.set()
+    cluster.after_mutation([shard0], None)
+    for thread in threads:
+        thread.join()
+
+    assert failures == []
+    with cluster._lock:
+        assert len(cluster._stale) <= cap
+        assert all(key[0] != "shard-0" for key in cluster._stale)
+    for key in dead_keys:
+        hit, _ = cluster._stale_touch(key)
+        assert not hit, "touch after purge must miss, not resurrect"
+
+
 # -- tier semantics ----------------------------------------------------------
 
 

@@ -244,6 +244,15 @@ CONCURRENCY_ALLOWLIST: dict[str, str] = {
         "called from put() inside self._lock",
     "repro.core.cluster.twophase:TwoPhaseCoordinator._release":
         "called from commit()/abort() inside self._lock (plain Lock)",
+    "repro.core.cluster.twophase:TwoPhaseCoordinator._compact_locked":
+        "called from commit()/abort() inside self._lock (plain Lock)",
+    # The replicated change log is appended to only inside the group's
+    # _commit_lock critical section (fence + store commit + log append
+    # are atomic); ReplicatedChangeLog also guards its deque internally.
+    "repro.core.cluster.replication:ReplicaGroup.commit_through":
+        "log.append serialized under self._commit_lock; log has own lock",
+    "repro.core.cluster.replication:ReplicaGroup.slot_through":
+        "log.append serialized under self._commit_lock; log has own lock",
 }
 
 #: method names that mutate their receiver in place
