@@ -380,11 +380,17 @@ class CatalogCluster:
             count = 0
             for mid in shard.service.metastore_ids():
                 snapshot = shard.service.store.snapshot(mid)
-                count += sum(
-                    1 for _, value in snapshot.scan(Tables.ENTITIES)
-                    if value.get("kind") == "CATALOG"
-                    and value.get("state") == "ACTIVE"
-                )
+                # catalogs hang directly off the metastore root, so a
+                # tree-indexed backend answers with one range count
+                indexed = snapshot.count_children(mid, "CATALOG")
+                if indexed is not None:
+                    count += indexed
+                else:
+                    count += sum(
+                        1 for _, value in snapshot.scan(Tables.ENTITIES)
+                        if value.get("kind") == "CATALOG"
+                        and value.get("state") == "ACTIVE"
+                    )
             yield ("uc_shard_catalogs", {"shard": shard.name}, float(count))
 
     def _collect_replicas(self) -> Iterator[tuple[str, dict, float]]:

@@ -9,7 +9,10 @@ uses for selective invalidation. Two implementations are provided:
   store used by tests and benchmarks,
 * :class:`~repro.core.persistence.sqlite.SqliteMetadataStore` — a durable
   SQLite-backed store demonstrating that the contract maps onto a
-  standard relational database, as in the production system.
+  standard relational database, as in the production system,
+* :class:`~repro.core.persistence.treecat.TreeCatMetadataStore` — a
+  TreeCat-style hierarchical store with prefix-ordered keys, range
+  scans, and a transactional tree index for list/resolve fast paths.
 """
 
 from repro.core.persistence.store import (
@@ -21,6 +24,7 @@ from repro.core.persistence.store import (
 )
 from repro.core.persistence.memory import InMemoryMetadataStore
 from repro.core.persistence.sqlite import SqliteMetadataStore
+from repro.core.persistence.treecat import TreeCatMetadataStore
 
 __all__ = [
     "ChangeRecord",
@@ -29,5 +33,6 @@ __all__ = [
     "Snapshot",
     "SqliteMetadataStore",
     "Tables",
+    "TreeCatMetadataStore",
     "WriteOp",
 ]

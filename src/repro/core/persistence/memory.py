@@ -83,6 +83,51 @@ class _MemorySnapshot(Snapshot):
             self._store.scan_row_count += len(out)
         return iter(out)
 
+    def scan_prefix(self, table: str, prefix: str):
+        # no key ordering to exploit: this is a filtered full scan that
+        # examines every row of the table (and is charged as one)
+        with self._slot.lock:
+            rows = self._slot.tables.get(table, {})
+            examined = len(rows)
+            out = []
+            for key in sorted(k for k in rows if k.startswith(prefix)):
+                value = _visible(rows[key], self.version)
+                if value is not None:
+                    out.append((key, copy.deepcopy(value)))
+        if self._store is not None:
+            self._store.scan_row_count += examined
+        return iter(out)
+
+    def scan_range(self, table: str, start: str, end):
+        with self._slot.lock:
+            rows = self._slot.tables.get(table, {})
+            examined = len(rows)
+            out = []
+            keys = sorted(
+                k for k in rows if k >= start and (end is None or k < end)
+            )
+            for key in keys:
+                value = _visible(rows[key], self.version)
+                if value is not None:
+                    out.append((key, copy.deepcopy(value)))
+        if self._store is not None:
+            self._store.scan_row_count += examined
+        return iter(out)
+
+    def count(self, table: str, prefix: str = "") -> int:
+        # cheaper than scan (no deepcopy) but still O(table size)
+        with self._slot.lock:
+            rows = self._slot.tables.get(table, {})
+            examined = len(rows)
+            counted = sum(
+                1 for key, versions in rows.items()
+                if key.startswith(prefix)
+                and _visible(versions, self.version) is not None
+            )
+        if self._store is not None:
+            self._store.scan_row_count += examined
+        return counted
+
 
 def _visible(versions: list[tuple[int, Optional[dict]]], at: int) -> Optional[dict]:
     """Newest value committed at or before ``at`` (None if deleted/absent)."""
@@ -107,6 +152,9 @@ class InMemoryMetadataStore(MetadataStore):
         self.commit_count = 0
         self.scan_row_count = 0
         self.multi_get_count = 0
+        #: flat backend: never issues true range reads (fallback scans
+        #: are charged to scan_row_count above)
+        self.range_scan_count = 0
 
     def _slot(self, metastore_id: str) -> _MetastoreSlot:
         try:

@@ -40,7 +40,15 @@ CREATE TABLE IF NOT EXISTS rows (
 );
 CREATE INDEX IF NOT EXISTS rows_by_table
     ON rows (metastore_id, tbl, version);
+-- key-ordered range index: (metastore_id, tbl, key) prefixes of the PK
+-- make scan_prefix/scan_range single index-range reads; version rides
+-- along so MVCC max-version resolution stays inside the index.
+CREATE INDEX IF NOT EXISTS rows_key_range
+    ON rows (metastore_id, tbl, key, version DESC);
 """
+
+#: upper bound sentinel for prefix ranges: every valid key char < ￿
+_PREFIX_CEILING = "￿"
 
 
 class _SqliteSnapshot(Snapshot):
@@ -86,9 +94,55 @@ class _SqliteSnapshot(Snapshot):
             "     AND key=r.key AND version<=?)",
             (self.metastore_id, table, self.version),
         )
-        for key, value in rows:
-            if value is not None:
-                yield key, json.loads(value)
+        live = [(k, v) for k, v in rows if v is not None]
+        self._store.scan_row_count += len(live)
+        for key, value in live:
+            yield key, json.loads(value)
+
+    def scan_range(
+        self, table: str, start: str, end: Optional[str]
+    ) -> Iterator[tuple[str, dict[str, Any]]]:
+        where_end = " AND key<?" if end is not None else ""
+        params: tuple = (self.metastore_id, table, start)
+        if end is not None:
+            params += (end,)
+        rows = self._store._query_all(
+            "SELECT key, value FROM rows r"
+            f" WHERE metastore_id=? AND tbl=? AND key>=?{where_end}"
+            "   AND version = ("
+            "   SELECT MAX(version) FROM rows"
+            "   WHERE metastore_id=r.metastore_id AND tbl=r.tbl"
+            "     AND key=r.key AND version<=?)"
+            " ORDER BY key",
+            params + (self.version,),
+        )
+        live = [(k, v) for k, v in rows if v is not None]
+        self._store.range_scan_count += 1
+        self._store.scan_row_count += len(live)
+        for key, value in live:
+            yield key, json.loads(value)
+
+    def scan_prefix(
+        self, table: str, prefix: str
+    ) -> Iterator[tuple[str, dict[str, Any]]]:
+        return self.scan_range(table, prefix, prefix + _PREFIX_CEILING)
+
+    def count(self, table: str, prefix: str = "") -> int:
+        where_end = " AND key<?" if prefix else ""
+        params: tuple = (self.metastore_id, table, prefix)
+        if prefix:
+            params += (prefix + _PREFIX_CEILING,)
+        row = self._store._query_one(
+            "SELECT COUNT(*) FROM rows r"
+            f" WHERE metastore_id=? AND tbl=? AND key>=?{where_end}"
+            "   AND value IS NOT NULL AND version = ("
+            "   SELECT MAX(version) FROM rows"
+            "   WHERE metastore_id=r.metastore_id AND tbl=r.tbl"
+            "     AND key=r.key AND version<=?)",
+            params + (self.version,),
+        )
+        self._store.range_scan_count += 1
+        return int(row[0])
 
 
 class SqliteMetadataStore(MetadataStore):
@@ -100,6 +154,8 @@ class SqliteMetadataStore(MetadataStore):
         self._conn = sqlite3.connect(path, check_same_thread=False)
         self._lock = threading.RLock()
         self.multi_get_count = 0
+        self.scan_row_count = 0
+        self.range_scan_count = 0
         with self._lock:
             self._conn.executescript(_SCHEMA)
             self._conn.commit()

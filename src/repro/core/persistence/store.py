@@ -63,6 +63,13 @@ class Snapshot(abc.ABC):
     isolation.
     """
 
+    #: True when the backend maintains the hierarchical
+    #: ``(parent_id, kind, name) -> entity_id`` tree index, making
+    #: :meth:`child_id` / :meth:`children_ids` / :meth:`count_children`
+    #: single range reads (TreeCat-style backends). Flat backends leave
+    #: this False and callers fall back to filtered scans.
+    has_tree_index = False
+
     def __init__(self, metastore_id: str, version: int):
         self.metastore_id = metastore_id
         self.version = version
@@ -91,6 +98,76 @@ class Snapshot(abc.ABC):
             if value is not None:
                 out[key] = value
         return out
+
+    # -- range reads (TreeCat-style prefix-ordered access) -------------------
+
+    def scan_prefix(
+        self, table: str, prefix: str
+    ) -> Iterator[tuple[str, dict[str, Any]]]:
+        """Live rows whose key starts with ``prefix``, ascending key order.
+
+        Prefix-ordered backends satisfy this with one range read over
+        their sorted key space; the default falls back to a filtered full
+        scan so flat backends stay correct (they just keep paying the
+        O(table size) cost the range-read backends avoid).
+        """
+        matched = [kv for kv in self.scan(table) if kv[0].startswith(prefix)]
+        matched.sort(key=lambda kv: kv[0])
+        return iter(matched)
+
+    def scan_range(
+        self, table: str, start: str, end: Optional[str]
+    ) -> Iterator[tuple[str, dict[str, Any]]]:
+        """Live rows with ``start <= key < end``, ascending key order.
+
+        ``end=None`` means unbounded. Default: filtered full scan.
+        """
+        matched = [
+            kv for kv in self.scan(table)
+            if kv[0] >= start and (end is None or kv[0] < end)
+        ]
+        matched.sort(key=lambda kv: kv[0])
+        return iter(matched)
+
+    def count(self, table: str, prefix: str = "") -> int:
+        """Number of live rows (optionally under a key prefix).
+
+        Backends override with a counting read that skips row
+        materialization entirely; the default walks the scan.
+        """
+        if prefix:
+            return sum(1 for _ in self.scan_prefix(table, prefix))
+        return sum(1 for _ in self.scan(table))
+
+    # -- tree-index reads (meaningful only when ``has_tree_index``) ----------
+
+    def child_id(self, parent_id: str, kind: str, name: str) -> Optional[str]:
+        """Id of the ACTIVE entity ``(parent_id, kind, name)``, or None.
+
+        Flat backends return None (callers must fall back to a scan).
+        """
+        return None
+
+    def children_ids(
+        self,
+        parent_id: str,
+        kind: Optional[str] = None,
+        include_deleted: bool = False,
+    ) -> Optional[list[str]]:
+        """Entity ids of ``parent_id``'s direct children via the tree
+        index (one range read), or None when the backend has no index.
+
+        ``include_deleted`` also returns soft-deleted/provisioning
+        children — subtree exports need every row, not just the visible
+        namespace.
+        """
+        return None
+
+    def count_children(
+        self, parent_id: str, kind: Optional[str] = None
+    ) -> Optional[int]:
+        """Range-count of ACTIVE children, or None without a tree index."""
+        return None
 
 
 class MetadataStore(abc.ABC):

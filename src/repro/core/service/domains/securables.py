@@ -521,11 +521,14 @@ def purge_deleted(svc, ctx) -> GcReport:
                 continue
             ops.append(WriteOp.delete(Tables.ENTITIES, entity.id))
             report.purged_entities += 1
-            # drop grants on the purged securable
-            for grant_key, grant_value in snapshot.scan(Tables.GRANTS):
-                if grant_value["securable_id"] == entity.id:
-                    ops.append(WriteOp.delete(Tables.GRANTS, grant_key))
-                    report.purged_grants += 1
+            # drop grants on the purged securable (grant keys start with
+            # the securable id, so this is one range read on prefix-
+            # ordered backends)
+            for grant_key, _ in snapshot.scan_prefix(
+                Tables.GRANTS, f"{entity.id}/"
+            ):
+                ops.append(WriteOp.delete(Tables.GRANTS, grant_key))
+                report.purged_grants += 1
             # drop tags and per-table policies
             if snapshot.get(Tables.TAGS, entity.id) is not None:
                 ops.append(WriteOp.delete(Tables.TAGS, entity.id))

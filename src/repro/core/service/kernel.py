@@ -197,6 +197,10 @@ class ServiceKernel:
         yield ("uc_objectstore_bytes_written_total", {}, store_stats.bytes_written)
         yield ("uc_store_multi_get_total", {},
                getattr(self.store, "multi_get_count", 0))
+        yield ("uc_store_range_scans_total", {},
+               getattr(self.store, "range_scan_count", 0))
+        yield ("uc_store_scan_rows_total", {},
+               getattr(self.store, "scan_row_count", 0))
 
     def _register_node_collector(self, name: str, node: MetastoreCacheNode) -> None:
         """Export one cache node's tier stats, labelled by metastore."""

@@ -109,6 +109,8 @@ class SnapshotView(MetastoreView):
         self._registry = registry
         #: rows pulled in by prefetch_rows; absent keys memoized as None
         self._prefetched: dict[tuple[str, str], Optional[dict]] = {}
+        #: path trie built lazily, once — snapshots are immutable
+        self._trie: Optional[PathTrie] = None
 
     @property
     def version(self) -> int:
@@ -130,6 +132,17 @@ class SnapshotView(MetastoreView):
     def entity_by_name(
         self, parent_id: Optional[str], namespace_group: str, name: str
     ) -> Optional[Entity]:
+        if self._snapshot.has_tree_index:
+            # one point-range read per kind sharing the namespace group
+            for manifest in self._registry:
+                if manifest.namespace_group != namespace_group:
+                    continue
+                child = self._snapshot.child_id(
+                    parent_id, manifest.kind.value, name
+                )
+                if child is not None:
+                    return self.entity_by_id(child)
+            return None
         for entity in self._iter_entities():
             if entity.parent_id != parent_id or entity.name != name:
                 continue
@@ -141,6 +154,16 @@ class SnapshotView(MetastoreView):
     def children(
         self, parent_id: str, kind: Optional[SecurableKind] = None
     ) -> list[Entity]:
+        child_ids = self._snapshot.children_ids(
+            parent_id, kind.value if kind is not None else None
+        )
+        if child_ids is not None:
+            rows = self._snapshot.multi_get(Tables.ENTITIES, child_ids)
+            return [
+                entity
+                for entity in (Entity.from_dict(v) for v in rows.values())
+                if entity.is_active
+            ]
         return [
             entity
             for entity in self._iter_entities()
@@ -153,11 +176,13 @@ class SnapshotView(MetastoreView):
                 yield entity
 
     def _build_trie(self) -> PathTrie:
-        trie = PathTrie()
-        for entity in self._iter_entities():
-            if entity.storage_path and entity.kind in PATH_GOVERNED_KINDS:
-                trie.register(StoragePath.parse(entity.storage_path), entity.id)
-        return trie
+        if self._trie is None:
+            trie = PathTrie()
+            for entity in self._iter_entities():
+                if entity.storage_path and entity.kind in PATH_GOVERNED_KINDS:
+                    trie.register(StoragePath.parse(entity.storage_path), entity.id)
+            self._trie = trie
+        return self._trie
 
     def resolve_path(self, path: StoragePath) -> Optional[Entity]:
         asset_id = self._build_trie().resolve(path)
@@ -167,11 +192,13 @@ class SnapshotView(MetastoreView):
         return self._build_trie().find_overlapping(path)
 
     def grants_on(self, securable_id: str) -> list[PrivilegeGrant]:
-        prefix = f"{securable_id}/"
+        # one range read on prefix-ordered backends (grant keys start with
+        # the securable id); a filtered full scan on flat ones
         return [
             PrivilegeGrant.from_dict(value)
-            for key, value in self._snapshot.scan(Tables.GRANTS)
-            if key.startswith(prefix)
+            for _, value in self._snapshot.scan_prefix(
+                Tables.GRANTS, f"{securable_id}/"
+            )
         ]
 
     def prefetch_rows(self, table: str, keys: list[str]) -> None:

@@ -25,6 +25,7 @@ from repro.core.cluster import CatalogCluster
 from repro.core.model.entity import Entity, SecurableKind
 from repro.core.persistence.sqlite import SqliteMetadataStore
 from repro.core.persistence.store import Tables
+from repro.core.persistence.treecat import TreeCatMetadataStore
 from repro.errors import UnityCatalogError
 
 ADMIN = "admin"
@@ -51,6 +52,8 @@ def build_cluster(shards: int, backend: str) -> tuple[CatalogCluster, str]:
     factory = None
     if backend == "sqlite":
         factory = lambda index: SqliteMetadataStore()  # noqa: E731
+    elif backend == "treecat":
+        factory = lambda index: TreeCatMetadataStore()  # noqa: E731
     cluster = CatalogCluster(shards, clock=SimClock(), store_factory=factory)
     directory = cluster.directory
     directory.add_user(ADMIN)
@@ -319,6 +322,27 @@ def test_sharded_cluster_equivalent_to_single_shard_memory(seed):
 
 def test_sharded_cluster_equivalent_to_single_shard_sqlite():
     assert_equivalent(seed=5, count=30, shards=3, backend="sqlite")
+
+
+def test_sharded_cluster_equivalent_to_single_shard_treecat():
+    assert_equivalent(seed=9, count=40, shards=3, backend="treecat")
+
+
+def test_treecat_backend_equivalent_to_memory_backend():
+    """The tree-indexed fast paths must be invisible: a treecat-backed
+    catalog and a flat-memory one driven by the same ops agree on every
+    outcome, the final state, and the audited decisions."""
+    ops = generate_ops(13, 60)
+    flat, mid_flat = build_cluster(1, "memory")
+    tree, mid_tree = build_cluster(1, "treecat")
+    for index, op in enumerate(ops):
+        out_flat = apply_op(flat, mid_flat, op)
+        out_tree = apply_op(tree, mid_tree, op)
+        assert out_flat == out_tree, (
+            f"op {index} {op!r} diverged: flat={out_flat!r} tree={out_tree!r}"
+        )
+    assert state_fingerprint(flat, mid_flat) == state_fingerprint(tree, mid_tree)
+    assert audit_fingerprint(flat) == audit_fingerprint(tree)
 
 
 def test_equivalence_holds_on_five_shards():

@@ -1,23 +1,28 @@
-"""Metadata store contract: both backends must provide per-metastore
-snapshot isolation and serializable (CAS) writes."""
+"""Metadata store contract: every backend must provide per-metastore
+snapshot isolation, serializable (CAS) writes, and key-ordered range
+reads (natively or via the filtered-scan fallback)."""
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.persistence.memory import InMemoryMetadataStore
 from repro.core.persistence.sqlite import SqliteMetadataStore
+from repro.core.persistence.treecat import TreeCatMetadataStore
 from repro.core.persistence.store import Tables, WriteOp
 from repro.errors import AlreadyExistsError, ConcurrentModificationError, NotFoundError
 
 MID = "ms-1"
 
+BACKENDS = {
+    "memory": lambda: InMemoryMetadataStore(),
+    "sqlite": lambda: SqliteMetadataStore(":memory:"),
+    "treecat": lambda: TreeCatMetadataStore(),
+}
 
-@pytest.fixture(params=["memory", "sqlite"])
+
+@pytest.fixture(params=sorted(BACKENDS))
 def store(request):
-    if request.param == "memory":
-        backend = InMemoryMetadataStore()
-    else:
-        backend = SqliteMetadataStore(":memory:")
+    backend = BACKENDS[request.param]()
     backend.create_metastore_slot(MID)
     yield backend
     if request.param == "sqlite":
@@ -130,6 +135,196 @@ class TestContract:
         assert store.snapshot(MID).get(Tables.ENTITIES, "a") == {"x": 3}
 
 
+class TestRangeScans:
+    """scan_prefix / scan_range / count: ordering, MVCC pinning,
+    tombstones, and empty ranges — identical on all three backends."""
+
+    KEYS = ["a/1", "a/2", "a/10", "b/1", "b/2", "c"]
+
+    def _seed(self, store):
+        store.commit(MID, 0, [put(k) for k in self.KEYS])
+
+    def test_prefix_matches_and_orders(self, store):
+        self._seed(store)
+        snapshot = store.snapshot(MID)
+        keys = [k for k, _ in snapshot.scan_prefix(Tables.ENTITIES, "a/")]
+        assert keys == ["a/1", "a/10", "a/2"]  # lexicographic, not numeric
+
+    def test_prefix_no_match_is_empty(self, store):
+        self._seed(store)
+        snapshot = store.snapshot(MID)
+        assert list(snapshot.scan_prefix(Tables.ENTITIES, "zz")) == []
+
+    def test_range_half_open(self, store):
+        self._seed(store)
+        snapshot = store.snapshot(MID)
+        keys = [k for k, _ in snapshot.scan_range(Tables.ENTITIES, "a/2", "b/2")]
+        assert keys == ["a/2", "b/1"]  # start inclusive, end exclusive
+
+    def test_range_unbounded_end(self, store):
+        self._seed(store)
+        snapshot = store.snapshot(MID)
+        keys = [k for k, _ in snapshot.scan_range(Tables.ENTITIES, "b/2", None)]
+        assert keys == ["b/2", "c"]
+
+    def test_range_empty_interval(self, store):
+        self._seed(store)
+        snapshot = store.snapshot(MID)
+        assert list(snapshot.scan_range(Tables.ENTITIES, "b/1", "b/1")) == []
+
+    def test_range_values_round_trip(self, store):
+        store.commit(MID, 0, [put("a/1", x=1), put("a/2", x=2)])
+        snapshot = store.snapshot(MID)
+        assert dict(snapshot.scan_prefix(Tables.ENTITIES, "a/")) == {
+            "a/1": {"x": 1},
+            "a/2": {"x": 2},
+        }
+
+    def test_range_is_version_pinned(self, store):
+        store.commit(MID, 0, [put("a/1", x=1)])
+        old = store.snapshot(MID)
+        store.commit(MID, 1, [put("a/1", x=2), put("a/2", x=9)])
+        assert dict(old.scan_prefix(Tables.ENTITIES, "a/")) == {"a/1": {"x": 1}}
+        assert dict(store.snapshot(MID).scan_prefix(Tables.ENTITIES, "a/")) == {
+            "a/1": {"x": 2},
+            "a/2": {"x": 9},
+        }
+
+    def test_range_skips_tombstones(self, store):
+        self._seed(store)
+        store.commit(MID, 1, [WriteOp.delete(Tables.ENTITIES, "a/2")])
+        snapshot = store.snapshot(MID)
+        keys = [k for k, _ in snapshot.scan_prefix(Tables.ENTITIES, "a/")]
+        assert keys == ["a/1", "a/10"]
+        # a snapshot before the delete still sees the row
+        before = store.snapshot(MID, at_version=1)
+        assert "a/2" in dict(before.scan_prefix(Tables.ENTITIES, "a/"))
+
+    def test_count_total_and_prefix(self, store):
+        self._seed(store)
+        snapshot = store.snapshot(MID)
+        assert snapshot.count(Tables.ENTITIES) == len(self.KEYS)
+        assert snapshot.count(Tables.ENTITIES, "a/") == 3
+        assert snapshot.count(Tables.ENTITIES, "zz") == 0
+
+    def test_count_excludes_tombstones(self, store):
+        self._seed(store)
+        store.commit(MID, 1, [WriteOp.delete(Tables.ENTITIES, "b/1")])
+        assert store.snapshot(MID).count(Tables.ENTITIES, "b/") == 1
+
+    def test_flat_backends_report_no_tree_index(self, store):
+        self._seed(store)
+        snapshot = store.snapshot(MID)
+        if isinstance(store, TreeCatMetadataStore):
+            assert snapshot.has_tree_index
+        else:
+            assert not snapshot.has_tree_index
+            assert snapshot.child_id("p", "TABLE", "t") is None
+            assert snapshot.children_ids("p") is None
+            assert snapshot.count_children("p") is None
+
+
+def entity(key, parent, kind, name, state="ACTIVE"):
+    return WriteOp.put(
+        Tables.ENTITIES, key,
+        {"id": key, "parent_id": parent, "kind": kind, "name": name,
+         "state": state},
+    )
+
+
+class TestTreeIndex:
+    """The treecat backend's transactional (parent, kind, name) index."""
+
+    @pytest.fixture
+    def tree(self):
+        backend = TreeCatMetadataStore()
+        backend.create_metastore_slot(MID)
+        backend.commit(MID, 0, [
+            entity("cat1", None, "CATALOG", "sales"),
+            entity("sch1", "cat1", "SCHEMA", "raw"),
+            entity("sch2", "cat1", "SCHEMA", "curated"),
+            entity("tbl1", "sch1", "TABLE", "orders"),
+            entity("vol1", "sch1", "VOLUME", "orders"),  # same name, other kind
+        ])
+        return backend
+
+    def test_child_id_resolves(self, tree):
+        snapshot = tree.snapshot(MID)
+        assert snapshot.child_id("cat1", "SCHEMA", "raw") == "sch1"
+        assert snapshot.child_id("sch1", "TABLE", "orders") == "tbl1"
+        assert snapshot.child_id("sch1", "VOLUME", "orders") == "vol1"
+        assert snapshot.child_id("cat1", "SCHEMA", "nope") is None
+
+    def test_children_ids_by_kind(self, tree):
+        snapshot = tree.snapshot(MID)
+        assert snapshot.children_ids("cat1", "SCHEMA") == ["sch2", "sch1"]  # by name
+        assert set(snapshot.children_ids("sch1")) == {"tbl1", "vol1"}
+        assert snapshot.count_children("cat1") == 2
+
+    def test_rename_moves_index_slot(self, tree):
+        tree.commit(MID, 1, [entity("sch1", "cat1", "SCHEMA", "bronze")])
+        snapshot = tree.snapshot(MID)
+        assert snapshot.child_id("cat1", "SCHEMA", "raw") is None
+        assert snapshot.child_id("cat1", "SCHEMA", "bronze") == "sch1"
+        # the pre-rename snapshot still resolves the old name
+        old = tree.snapshot(MID, at_version=1)
+        assert old.child_id("cat1", "SCHEMA", "raw") == "sch1"
+        assert old.child_id("cat1", "SCHEMA", "bronze") is None
+
+    def test_soft_delete_hides_unless_included(self, tree):
+        tree.commit(MID, 1, [entity("tbl1", "sch1", "TABLE", "orders",
+                                    state="DELETED")])
+        snapshot = tree.snapshot(MID)
+        assert snapshot.child_id("sch1", "TABLE", "orders") is None
+        assert snapshot.children_ids("sch1", "TABLE") == []
+        assert snapshot.children_ids("sch1", "TABLE",
+                                     include_deleted=True) == ["tbl1"]
+        assert snapshot.count_children("sch1") == 1  # the volume
+
+    def test_recreate_after_soft_delete_coexists(self, tree):
+        tree.commit(MID, 1, [entity("tbl1", "sch1", "TABLE", "orders",
+                                    state="DELETED")])
+        tree.commit(MID, 2, [entity("tbl2", "sch1", "TABLE", "orders")])
+        snapshot = tree.snapshot(MID)
+        assert snapshot.child_id("sch1", "TABLE", "orders") == "tbl2"
+        assert set(snapshot.children_ids("sch1", "TABLE",
+                                         include_deleted=True)) == {"tbl1", "tbl2"}
+
+    def test_hard_delete_tombstones_index(self, tree):
+        tree.commit(MID, 1, [WriteOp.delete(Tables.ENTITIES, "vol1")])
+        snapshot = tree.snapshot(MID)
+        assert snapshot.child_id("sch1", "VOLUME", "orders") is None
+        assert snapshot.children_ids("sch1", include_deleted=True) == ["tbl1"]
+
+    def test_same_batch_rename_indexes_final_state(self, tree):
+        tree.commit(MID, 1, [
+            entity("sch1", "cat1", "SCHEMA", "tmp"),
+            entity("sch1", "cat1", "SCHEMA", "final"),
+        ])
+        snapshot = tree.snapshot(MID)
+        assert snapshot.child_id("cat1", "SCHEMA", "raw") is None
+        assert snapshot.child_id("cat1", "SCHEMA", "tmp") is None
+        assert snapshot.child_id("cat1", "SCHEMA", "final") == "sch1"
+
+    def test_index_rows_absent_from_changelog(self, tree):
+        tables = {c.table for c in tree.changes_since(MID, 0)}
+        assert tables == {Tables.ENTITIES}
+
+    def test_index_survives_compaction(self, tree):
+        tree.commit(MID, 1, [entity("sch1", "cat1", "SCHEMA", "bronze")])
+        tree.compact(MID, min_version=2)
+        snapshot = tree.snapshot(MID)
+        assert snapshot.child_id("cat1", "SCHEMA", "bronze") == "sch1"
+        assert snapshot.child_id("cat1", "SCHEMA", "raw") is None
+
+    def test_range_scan_counters(self, tree):
+        snapshot = tree.snapshot(MID)
+        before = tree.range_scan_count
+        snapshot.child_id("cat1", "SCHEMA", "raw")
+        list(snapshot.scan_prefix(Tables.ENTITIES, "sch"))
+        assert tree.range_scan_count == before + 2
+
+
 class TestMemorySpecific:
     def test_read_and_commit_counters(self):
         store = InMemoryMetadataStore()
@@ -172,19 +367,28 @@ class TestMemorySpecific:
 )
 def test_memory_store_matches_naive_model(ops):
     """Applying a serial history, every intermediate snapshot must match a
-    naive dict replayed to that version."""
-    store = InMemoryMetadataStore()
-    store.create_metastore_slot(MID)
+    naive dict replayed to that version — on the flat and the
+    prefix-ordered backend alike (treecat additionally must scan in key
+    order)."""
+    stores = [InMemoryMetadataStore(), TreeCatMetadataStore()]
+    for store in stores:
+        store.create_metastore_slot(MID)
     model_history = [{}]
     model = {}
     for i, (op, key, value) in enumerate(ops):
         if op == "put":
-            store.commit(MID, i, [WriteOp.put(Tables.ENTITIES, key, {"v": value})])
+            write = [WriteOp.put(Tables.ENTITIES, key, {"v": value})]
             model[key] = {"v": value}
         else:
-            store.commit(MID, i, [WriteOp.delete(Tables.ENTITIES, key)])
+            write = [WriteOp.delete(Tables.ENTITIES, key)]
             model.pop(key, None)
+        for store in stores:
+            store.commit(MID, i, write)
         model_history.append(dict(model))
     for version, expected in enumerate(model_history):
-        snapshot = store.snapshot(MID, at_version=version)
-        assert dict(snapshot.scan(Tables.ENTITIES)) == expected
+        for store in stores:
+            snapshot = store.snapshot(MID, at_version=version)
+            rows = list(snapshot.scan(Tables.ENTITIES))
+            assert dict(rows) == expected
+            if isinstance(store, TreeCatMetadataStore):
+                assert [k for k, _ in rows] == sorted(expected)

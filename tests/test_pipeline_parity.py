@@ -29,6 +29,7 @@ from repro.core.auth.abac import AbacEffect, TagCondition
 from repro.core.auth.privileges import Privilege
 from repro.core.model.entity import SecurableKind
 from repro.core.persistence.sqlite import SqliteMetadataStore
+from repro.core.persistence.treecat import TreeCatMetadataStore
 from repro.core.service.catalog_service import UnityCatalogService
 from repro.core.service.rest import ServiceRouter
 
@@ -72,7 +73,12 @@ def deterministic_ids(monkeypatch):
 
 
 def _build_service(backend: str) -> UnityCatalogService:
-    store = SqliteMetadataStore(path=":memory:") if backend == "sqlite" else None
+    if backend == "sqlite":
+        store = SqliteMetadataStore(path=":memory:")
+    elif backend == "treecat":
+        store = TreeCatMetadataStore()
+    else:
+        store = None
     svc = UnityCatalogService(store=store, clock=SimClock())
     directory = svc.directory
     directory.add_user("alice")
@@ -448,7 +454,7 @@ def _run_facade_side(backend: str) -> tuple[list[tuple[int, Any]], list[str]]:
     return responses, _audit_trail(svc)
 
 
-@pytest.mark.parametrize("backend", ["memory", "sqlite"])
+@pytest.mark.parametrize("backend", ["memory", "sqlite", "treecat"])
 def test_rest_and_facade_are_byte_identical(backend, deterministic_ids):
     """Same script, two surfaces: identical payloads and audit trails.
 

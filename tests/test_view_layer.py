@@ -7,15 +7,21 @@ from repro.core.assets.builtin import builtin_registry
 from repro.core.auth.privileges import Privilege, PrivilegeGrant
 from repro.core.model.entity import Entity, SecurableKind, new_entity_id
 from repro.core.persistence.memory import InMemoryMetadataStore
+from repro.core.persistence.treecat import TreeCatMetadataStore
 from repro.core.persistence.store import Tables, WriteOp
 from repro.core.view import SnapshotView
 
 MID = "m1"
 
 
-@pytest.fixture
-def world():
-    store = InMemoryMetadataStore()
+@pytest.fixture(params=["memory", "treecat"])
+def world(request):
+    # same view semantics whether lookups are full scans (memory) or
+    # tree-index range reads (treecat)
+    if request.param == "memory":
+        store = InMemoryMetadataStore()
+    else:
+        store = TreeCatMetadataStore()
     store.create_metastore_slot(MID)
     registry = builtin_registry()
 
@@ -109,6 +115,30 @@ class TestSnapshotView:
             ("bob", Privilege.SELECT)
         ]
         assert view.grants_on(entities["schema"].id) == []
+
+    def test_resolve_path_builds_trie_once(self, world):
+        view, entities = world
+        store = view._snapshot._store
+        view.resolve_path(StoragePath.parse("s3://b/tables/t"))
+        rows_after_first = store.scan_row_count
+        # the trie is memoized on the (immutable) snapshot view: repeated
+        # path lookups must not rescan the entity table
+        view.resolve_path(StoragePath.parse("s3://b/tables/t/part"))
+        view.overlapping_assets(StoragePath.parse("s3://b/tables"))
+        assert store.scan_row_count == rows_after_first
+
+    def test_tree_backend_resolves_without_full_scans(self, world):
+        view, entities = world
+        if not view._snapshot.has_tree_index:
+            pytest.skip("flat backend has no tree index")
+        store = view._snapshot._store
+        before = store.scan_row_count
+        view.entity_by_name(entities["schema"].id, "tabular", "t")
+        view.children(entities["schema"].id)
+        view.grants_on(entities["table"].id)
+        assert store.range_scan_count > 0
+        # range reads touch a handful of index rows, not the whole estate
+        assert store.scan_row_count - before <= 8
 
     def test_soft_deleted_entities_hidden(self, world):
         view, entities = world
