@@ -32,6 +32,7 @@ from repro.core.cache.eviction import EvictionPolicy, LruPolicy
 from repro.core.model.entity import Entity, SecurableKind
 from repro.core.model.registry import AssetTypeRegistry
 from repro.core.paths import PATH_GOVERNED_KINDS, PathTrie
+from repro.core.persistence.branching import is_branch_table
 from repro.core.persistence.store import MetadataStore, Tables, WriteOp
 from repro.core.view import MetastoreView
 from repro.errors import ConcurrentModificationError, PathConflictError
@@ -221,7 +222,11 @@ class MetastoreCacheNode:
             return
         changes = self._store.changes_since(self.metastore_id, self.known_version)
         snapshot = self._store.snapshot(self.metastore_id)
-        changed_keys = {(c.table, c.key) for c in changes}
+        # branch overlay / ref rows are invisible on the trunk: skip them
+        # so branch churn never populates (or evicts from) the node cache
+        changed_keys = {
+            (c.table, c.key) for c in changes if not is_branch_table(c.table)
+        }
         # one batched read per touched table instead of one get per key
         keys_by_table: dict[str, list[str]] = {}
         for table, key in sorted(changed_keys):

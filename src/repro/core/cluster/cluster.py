@@ -43,6 +43,7 @@ from repro.core.model.entity import Entity, new_entity_id
 from repro.core.persistence.memory import InMemoryMetadataStore
 from repro.core.persistence.store import MetadataStore, Tables
 from repro.core.service.catalog_service import UnityCatalogService
+from repro.core.service.pipeline import extract_branch_params
 from repro.core.service.registry import (
     ClusterBinding,
     EndpointDescriptor,
@@ -424,6 +425,12 @@ class CatalogCluster:
         """
         session = params.pop("_session", None)
         preference = params.pop("_read_preference", None)
+        # normalize catalog@branch name suffixes BEFORE placement, so the
+        # route key is the plain catalog and the branch context travels as
+        # the explicit reserved kwarg to whichever shard owns the catalog
+        branch = extract_branch_params(params)
+        if branch is not None:
+            params["_branch"] = branch
         descriptor = self.home.service.api_registry.get(api)
         binding = descriptor.cluster
         decision = binding.plan(params) if binding is not None \

@@ -45,6 +45,13 @@ CREATE INDEX IF NOT EXISTS rows_by_table
 -- along so MVCC max-version resolution stays inside the index.
 CREATE INDEX IF NOT EXISTS rows_key_range
     ON rows (metastore_id, tbl, key, version DESC);
+-- changelog floor: compaction rewrites history below this version, so
+-- changes_since must not re-derive records from the surviving rows
+-- (memory/treecat truncate their changelogs; this is the SQL analogue).
+CREATE TABLE IF NOT EXISTS compactions (
+    metastore_id TEXT PRIMARY KEY,
+    floor        INTEGER NOT NULL
+);
 """
 
 #: upper bound sentinel for prefix ranges: every valid key char < ￿
@@ -239,10 +246,15 @@ class SqliteMetadataStore(MetadataStore):
                 raise
 
     def changes_since(self, metastore_id: str, from_version: int) -> list[ChangeRecord]:
+        floor = self._query_one(
+            "SELECT floor FROM compactions WHERE metastore_id=?",
+            (metastore_id,),
+        )
+        since = max(from_version, int(floor[0]) if floor else 0)
         rows = self._query_all(
             "SELECT version, tbl, key, value IS NULL FROM rows"
             " WHERE metastore_id=? AND version>? ORDER BY version",
-            (metastore_id, from_version),
+            (metastore_id, since),
         )
         return [
             ChangeRecord(version=int(v), table=t, key=k, deleted=bool(d))
@@ -258,8 +270,25 @@ class SqliteMetadataStore(MetadataStore):
                 "    AND r2.key=rows.key AND r2.version<=?)",
                 (metastore_id, min_version),
             )
+            removed = cursor.rowcount
+            # a sole tombstone older than min_version can go entirely
+            cursor = self._conn.execute(
+                "DELETE FROM rows WHERE metastore_id=? AND value IS NULL"
+                "  AND version<=? AND NOT EXISTS ("
+                "  SELECT 1 FROM rows r2"
+                "  WHERE r2.metastore_id=rows.metastore_id AND r2.tbl=rows.tbl"
+                "    AND r2.key=rows.key AND r2.version>rows.version)",
+                (metastore_id, min_version),
+            )
+            removed += cursor.rowcount
+            self._conn.execute(
+                "INSERT INTO compactions (metastore_id, floor) VALUES (?, ?)"
+                " ON CONFLICT (metastore_id)"
+                " DO UPDATE SET floor=MAX(floor, excluded.floor)",
+                (metastore_id, min_version),
+            )
             self._conn.commit()
-            return cursor.rowcount
+            return removed
 
     def close(self) -> None:
         with self._lock:

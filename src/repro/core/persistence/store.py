@@ -22,6 +22,9 @@ class Tables:
     POLICIES = "policies"          # FGAC row filters / column masks, ABAC rules
     COMMITS = "commits"            # catalog-owned table commit pointers
     SHARES = "share_bindings"      # share -> asset membership rows
+    #: branch refs for the commit DAG (see ``persistence.branching``);
+    #: reserved name so it never collides with a legacy table
+    BRANCHES = "__branches__"
 
 
 @dataclass(frozen=True)

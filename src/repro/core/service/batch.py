@@ -67,6 +67,10 @@ class QueryResolution:
     #: corresponds to no single shard's snapshot and MUST NOT be used for
     #: version pinning — pin against the entry for the asset's catalog.
     catalog_versions: dict[str, int] = field(default_factory=dict)
+    #: branch the resolution was taken on (``None`` = trunk/main). A
+    #: branched resolution pins per ``catalog@branch`` so merged cluster
+    #: responses never mix trunk and branch versions under one key.
+    branch: Optional[str] = None
 
     @property
     def requires_trusted_engine(self) -> bool:
@@ -75,12 +79,22 @@ class QueryResolution:
     def asset(self, name: str) -> ResolvedAsset:
         return self.assets[name]
 
+    def pin_key(self, name: str) -> str:
+        """``catalog_versions`` key for ``name``: the catalog route key,
+        branch-qualified when the resolution was taken on a branch."""
+        key = name.split(".", 1)[0]
+        if self.branch is not None:
+            key = f"{key}@{self.branch}"
+        return key
+
     def pinnable_version(self, name: str) -> int:
         """The store version to pin for ``name``'s catalog: per-catalog
-        on a cluster-merged resolution, the scalar one otherwise."""
+        (and per-branch) on a cluster-merged resolution, the scalar one
+        otherwise."""
         if self.catalog_versions:
-            key = name.split(".", 1)[0]
-            return self.catalog_versions.get(key, self.metastore_version)
+            return self.catalog_versions.get(
+                self.pin_key(name), self.metastore_version
+            )
         return self.metastore_version
 
 
@@ -113,8 +127,13 @@ class QueryResolver:
         if engine_trusted is None:
             engine_trusted = service.directory.is_trusted_engine(principal)
 
+        # a branch-pinned view stamps the resolution, so version pins key
+        # per (catalog, branch) instead of colliding with trunk pins
+        branch_key = getattr(view, "branch", None)
         resolution = QueryResolution(
-            metastore_version=view.version, principal=principal
+            metastore_version=view.version,
+            principal=principal,
+            branch=branch_key.split("@", 1)[1] if branch_key else None,
         )
         write_set = set(write_tables)
         for name in write_set - set(table_names):

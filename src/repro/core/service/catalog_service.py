@@ -172,6 +172,46 @@ class UnityCatalogService(ServiceKernel):
                              older_than_seconds=older_than_seconds)
 
     # ------------------------------------------------------------------
+    # branching & time travel
+    # ------------------------------------------------------------------
+
+    def create_branch(
+        self, metastore_id: str, principal: str, catalog: str, branch: str
+    ) -> dict[str, Any]:
+        """Fork a zero-copy branch of a catalog at the current version."""
+        return self.dispatch("create_branch", metastore_id=metastore_id,
+                             principal=principal, catalog=catalog,
+                             branch=branch)
+
+    def list_branches(
+        self, metastore_id: str, principal: str, catalog: str
+    ) -> list[dict[str, Any]]:
+        return self.dispatch("list_branches", metastore_id=metastore_id,
+                             principal=principal, catalog=catalog)
+
+    def diff_branch(
+        self, metastore_id: str, principal: str, catalog: str, branch: str
+    ) -> dict[str, Any]:
+        """Securable-level diff between a branch and main since the fork."""
+        return self.dispatch("diff_branch", metastore_id=metastore_id,
+                             principal=principal, catalog=catalog,
+                             branch=branch)
+
+    def merge_branch(
+        self, metastore_id: str, principal: str, catalog: str, branch: str
+    ) -> dict[str, Any]:
+        """Merge a branch into main; conflicts raise MergeConflictError."""
+        return self.dispatch("merge_branch", metastore_id=metastore_id,
+                             principal=principal, catalog=catalog,
+                             branch=branch)
+
+    def delete_branch(
+        self, metastore_id: str, principal: str, catalog: str, branch: str
+    ) -> None:
+        self.dispatch("delete_branch", metastore_id=metastore_id,
+                      principal=principal, catalog=catalog, branch=branch)
+
+    # ------------------------------------------------------------------
     # grants and policies
     # ------------------------------------------------------------------
 

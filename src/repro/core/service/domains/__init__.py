@@ -15,6 +15,7 @@ layers — never on each other and never on the facade or the REST router.
 from __future__ import annotations
 
 from repro.core.service.domains import (
+    branching,
     grants_policies,
     lineage_query,
     securables,
@@ -22,7 +23,9 @@ from repro.core.service.domains import (
     vending,
 )
 
-ALL_DOMAINS = (securables, grants_policies, tags_fgac, vending, lineage_query)
+ALL_DOMAINS = (
+    securables, grants_policies, tags_fgac, vending, lineage_query, branching,
+)
 
 
 def all_endpoints():

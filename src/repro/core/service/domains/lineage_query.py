@@ -234,7 +234,9 @@ def _merge_resolutions(results: list, params: dict):
         # for clients that pin (fast path / read_version_check)
         version = max(version, resolution.metastore_version)
         for name in list(resolution.assets) + list(resolution.functions):
-            catalog_versions[catalog_route_key(name)] = \
+            # branched shard resolutions pin under catalog@branch so a
+            # trunk pin for the same catalog can coexist in one response
+            catalog_versions[resolution.pin_key(name)] = \
                 resolution.metastore_version
     return QueryResolution(
         metastore_version=version,
@@ -242,6 +244,7 @@ def _merge_resolutions(results: list, params: dict):
         assets=assets,
         functions=functions,
         catalog_versions=catalog_versions,
+        branch=results[0].branch,
     )
 
 

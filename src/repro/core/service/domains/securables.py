@@ -512,7 +512,10 @@ def purge_deleted(svc, ctx) -> GcReport:
     def build(view: MetastoreView):
         ops: list[WriteOp] = []
         events = []
-        snapshot = svc.store.snapshot(metastore_id)
+        # raw_snapshot (not store.snapshot): purge must observe the
+        # request's branch overlay, and soft-deleted rows live below
+        # the entity view
+        snapshot = svc.raw_snapshot(metastore_id)
         for key, value in snapshot.scan(Tables.ENTITIES):
             entity = Entity.from_dict(value)
             if entity.state is not EntityState.DELETED:

@@ -41,14 +41,16 @@ from repro.core.lineage import LineageGraph
 from repro.core.model.entity import Entity, SecurableKind
 from repro.core.model.naming import split_full_name
 from repro.core.model.registry import AssetTypeRegistry
+from repro.core.persistence import branching as _branching
 from repro.core.persistence.memory import InMemoryMetadataStore
-from repro.core.persistence.store import MetadataStore, WriteOp
-from repro.core.service.pipeline import note_audit_record
+from repro.core.persistence.store import MetadataStore, Snapshot, WriteOp
+from repro.core.service.pipeline import current_context, note_audit_record
 from repro.core.vending import CredentialVendor
 from repro.core.view import MetastoreView, SnapshotView
 from repro.errors import (
     ConcurrentModificationError,
     DeadlineExceededError,
+    InvalidRequestError,
     NotFoundError,
     PermissionDeniedError,
     TransientError,
@@ -148,6 +150,10 @@ class ServiceKernel:
         )
         self._nodes: dict[str, MetastoreCacheNode] = {}
         self._hot_caches: dict[str, HotPathCaches] = {}
+        #: per-(metastore, branch-key) fast-path bundles — the branch
+        #: dimension of the decision/resolution caches, built lazily on
+        #: first branch read and dropped on merge/delete
+        self._branch_hot_caches: dict[tuple[str, str], HotPathCaches] = {}
         self._metastore_names: dict[str, str] = {}
         self._read_version_check = read_version_check
         self._lock = threading.RLock()
@@ -294,11 +300,46 @@ class ServiceKernel:
     ) -> Optional[HotPathCaches]:
         """The fast-path bundle, synced to ``view``'s version — or None
         when the fast path is off or the view is pinned behind the bundle
-        (then the caller recomputes; correctness never needs the cache)."""
-        bundle = self._hot_caches.get(metastore_id)
+        (then the caller recomputes; correctness never needs the cache).
+
+        Branch views get their own per-branch bundle whose keys and
+        ``changes_since`` replay carry the branch dimension: a branch
+        bundle replays only the branch's overlay writes (main commits
+        after the fork are invisible to the branch and must not touch
+        its entries), and the main bundle never sees overlay records."""
+        branch = getattr(view, "branch", None)
+        if branch is not None:
+            bundle = self._branch_caches_for(metastore_id, branch)
+        else:
+            bundle = self._hot_caches.get(metastore_id)
         if bundle is None:
             return None
         return bundle if bundle.sync(view.version) else None
+
+    def _branch_caches_for(
+        self, metastore_id: str, bkey: str
+    ) -> Optional[HotPathCaches]:
+        """The lazily-built fast-path bundle of one branch."""
+        if not self.enable_fast_path:
+            return None
+        key = (metastore_id, bkey)
+        with self._lock:
+            bundle = self._branch_hot_caches.get(key)
+            if bundle is None:
+                bundle = HotPathCaches(
+                    metastore_id,
+                    _branching.resolve_head(self.store, metastore_id),
+                    lambda v, mid=metastore_id, bk=bkey:
+                        _branching.branch_changes_since(self.store, mid, bk, v),
+                    lambda: self.directory.generation,
+                )
+                self._branch_hot_caches[key] = bundle
+        return bundle
+
+    def _drop_branch_caches(self, metastore_id: str, bkey: str) -> None:
+        """Forget a merged/deleted branch's fast-path bundle."""
+        with self._lock:
+            self._branch_hot_caches.pop((metastore_id, bkey), None)
 
     def governed_client(self, credential: TemporaryCredential) -> StorageClient:
         """A storage client bound to ``credential`` and the service's
@@ -313,12 +354,63 @@ class ServiceKernel:
     # view / commit plumbing
     # ------------------------------------------------------------------
 
+    def _request_pin(self) -> tuple[Optional[str], Optional[int]]:
+        """The active request's ``(branch key, AS OF version)`` pin.
+
+        Read from the thread's :func:`current_context`, so every legacy
+        ``view()`` / ``_mutate()`` call site became branch-aware without
+        a signature change. Off-request callers get the trunk head.
+        """
+        ctx = current_context()
+        if ctx is None:
+            return None, None
+        return getattr(ctx, "branch", None), getattr(ctx, "at_version", None)
+
+    def head_version(self, metastore_id: str, branch: Optional[str] = None) -> int:
+        """The head version of a branch (``None`` = trunk) — the
+        branch-resolution gate layers above persistence must use instead
+        of ``store.current_version`` (``tools/arch_lint.py`` rule 5)."""
+        return _branching.resolve_head(self.store, metastore_id, branch)
+
+    def raw_snapshot(self, metastore_id: str) -> Snapshot:
+        """A raw store snapshot honoring the request's branch/AS OF pin.
+
+        Handlers that must read *below* the entity view (soft-deleted
+        rows, key prefixes) go through this instead of
+        ``store.snapshot`` so branch requests see their overlay.
+        """
+        branch, at_version = self._request_pin()
+        if branch is None:
+            return self.store.snapshot(metastore_id, at_version)
+        return _branching.branch_snapshot(
+            self.store, metastore_id, branch, at_version
+        )
+
     def view(self, metastore_id: str) -> MetastoreView:
-        """A consistent read view (cached or snapshot-backed)."""
-        node = self._nodes.get(metastore_id)
-        if node is not None:
-            return node.view(check_version=self._read_version_check)
-        return SnapshotView(self.store.snapshot(metastore_id), self.registry)
+        """A consistent read view (cached or snapshot-backed).
+
+        On the trunk with no ``AS OF`` pin this is exactly the legacy
+        path (cache node or head snapshot — single-branch operation is a
+        strict no-op). A branch or version pin resolves through
+        :func:`~repro.core.persistence.branching.branch_snapshot`,
+        falling through the overlay to the fork point.
+        """
+        branch, at_version = self._request_pin()
+        if branch is None and at_version is None:
+            node = self._nodes.get(metastore_id)
+            if node is not None:
+                return node.view(check_version=self._read_version_check)
+            return SnapshotView(self.store.snapshot(metastore_id), self.registry)
+        if branch is None:
+            return SnapshotView(
+                self.store.snapshot(metastore_id, at_version), self.registry
+            )
+        snapshot = _branching.branch_snapshot(
+            self.store, metastore_id, branch, at_version
+        )
+        view = SnapshotView(snapshot, self.registry)
+        view.branch = branch
+        return view
 
     def _mutate(
         self,
@@ -338,7 +430,19 @@ class ServiceKernel:
         ``build`` returns ``(ops, result, events)`` where each event is a
         ``(ChangeType, entity_id, kind, name, details)`` tuple published
         after the commit succeeds.
+
+        On a branch request the same loop runs against the branch view
+        and commits copy-on-write through
+        :func:`~repro.core.persistence.branching.commit_to_branch`: the
+        ops land in the branch's overlay tables (never touching main's
+        rows or its caches) but still CAS the shared version counter, so
+        branch and main writes serialize identically.
         """
+        branch, at_version = self._request_pin()
+        if at_version is not None:
+            raise InvalidRequestError(
+                "cannot mutate through an AS OF (version-pinned) request"
+            )
         last_error: Optional[Exception] = None
         transient_failures = 0
         for _ in range(_MAX_COMMIT_RETRIES):
@@ -346,11 +450,15 @@ class ServiceKernel:
             ops, result, events = build(view)
             if not ops:
                 return result
-            node = self._nodes.get(metastore_id)
+            node = self._nodes.get(metastore_id) if branch is None else None
             try:
                 if self.faults is not None:
                     self.faults.raise_for("store.commit")
-                if node is not None:
+                if branch is not None:
+                    new_version = _branching.commit_to_branch(
+                        self.store, metastore_id, branch, view.version, ops
+                    )
+                elif node is not None:
                     new_version = node.commit(ops)
                 else:
                     new_version = self.store.commit(metastore_id, view.version, ops)
@@ -380,10 +488,19 @@ class ServiceKernel:
                 last_error = exc
                 continue
             self._commits_total.inc()
-            bundle = self._hot_caches.get(metastore_id)
+            if branch is None:
+                bundle = self._hot_caches.get(metastore_id)
+            else:
+                # fold into the branch's own bundle; main's bundle never
+                # sees overlay writes (its changes_since replay skips
+                # branch tables, so it stays coherent by construction)
+                bundle = self._branch_hot_caches.get((metastore_id, branch))
             if bundle is not None:
                 bundle.note_commit(ops, new_version)
             for change, entity_id, kind, name, details in events:
+                if branch is not None:
+                    details = dict(details or {})
+                    details["branch"] = branch
                 self.events.publish(
                     metastore_id,
                     new_version,

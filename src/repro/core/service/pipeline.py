@@ -50,10 +50,89 @@ import threading
 from typing import Any, Callable, Optional
 
 from repro.core.auth.privileges import SYSTEM_PRINCIPAL
-from repro.errors import DeadlineExceededError
+from repro.core.persistence.branching import (
+    BRANCH_SEP,
+    MAIN_BRANCH,
+    split_branch_key,
+)
+from repro.errors import DeadlineExceededError, InvalidRequestError
 from repro.resilience import deadline_scope
 
 _ACTIVE = threading.local()
+
+#: Request parameters carrying fully qualified securable names (or lists
+#: of them) that may arrive with a ``catalog@branch`` first segment.
+_BRANCHABLE_NAME_PARAMS = (
+    "name",
+    "parent_name",
+    "new_name",
+    "table_name",
+    "scope_name",
+    "asset",
+    "target",
+    "sources",
+    "table_names",
+    "write_tables",
+    "function_names",
+)
+
+
+def split_branch_suffix(full_name: str) -> tuple[str, Optional[str]]:
+    """Strip a ``catalog@branch`` first segment from a dotted name.
+
+    ``"sales@dev.web.orders"`` -> ``("sales.web.orders", "sales@dev")``;
+    names without a branch suffix come back unchanged with ``None``.
+    """
+    head, sep, rest = full_name.partition(".")
+    if BRANCH_SEP not in head:
+        return full_name, None
+    catalog, _branch = split_branch_key(head)
+    return catalog + sep + rest, head
+
+
+def extract_branch_params(params: dict[str, Any]) -> Optional[str]:
+    """Normalize a request's branch context to one branch key.
+
+    Pops the reserved ``_branch`` kwarg and strips ``catalog@branch``
+    suffixes from every name parameter (so shard routing and name
+    resolution see plain catalog names). All sources must agree; two
+    different branches in one request is an error. ``main`` (and
+    ``None``) mean the trunk.
+    """
+    branch = params.pop("_branch", None)
+    if branch == MAIN_BRANCH:
+        branch = None
+    if branch is not None:
+        split_branch_key(branch)  # validate catalog@branch shape
+
+    def fold(current: Optional[str], bkey: str) -> str:
+        if current is not None and current != bkey:
+            raise InvalidRequestError(
+                f"conflicting branches in one request: {current} vs {bkey}"
+            )
+        return bkey
+
+    for key in _BRANCHABLE_NAME_PARAMS:
+        value = params.get(key)
+        if isinstance(value, str):
+            stripped, bkey = split_branch_suffix(value)
+            if bkey is not None:
+                params[key] = stripped
+                branch = fold(branch, bkey)
+        elif isinstance(value, (list, tuple)):
+            items = []
+            changed = False
+            for item in value:
+                if isinstance(item, str):
+                    stripped, bkey = split_branch_suffix(item)
+                    if bkey is not None:
+                        branch = fold(branch, bkey)
+                        item = stripped
+                        changed = True
+                items.append(item)
+            if changed:
+                params[key] = type(value)(items)
+    return branch
 
 
 def current_context() -> Optional["RequestContext"]:
@@ -80,11 +159,15 @@ class RequestContext:
         "entity",
         "audit_records",
         "span",
+        "branch",
+        "at_version",
     )
 
     def __init__(self, api: str, principal: Optional[str],
                  metastore_id: Optional[str], params: dict[str, Any],
-                 deadline: Optional[float] = None):
+                 deadline: Optional[float] = None,
+                 branch: Optional[str] = None,
+                 at_version: Optional[int] = None):
         self.api = api
         self.principal = principal
         self.metastore_id = metastore_id
@@ -95,6 +178,11 @@ class RequestContext:
         self.entity = None
         self.audit_records = 0
         self.span = None
+        #: branch key (``catalog@branch``) this request reads/writes, or
+        #: None for the trunk — consumed by the kernel's view/commit path
+        self.branch = branch
+        #: ``AS OF`` pin: resolve reads at this past metastore version
+        self.at_version = at_version
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"RequestContext(api={self.api!r}, principal="
@@ -280,7 +368,9 @@ class RequestPipeline:
 
         ``params["_timeout"]`` (relative seconds) overrides the service's
         default request timeout for this call; either arms the deadline
-        interceptor.
+        interceptor. ``params["_branch"]`` (or a ``catalog@branch`` name
+        suffix) pins the request to a branch; ``params["_at_version"]``
+        pins reads ``AS OF`` a past metastore version.
         """
         timeout = params.pop("_timeout", None)
         if timeout is None:
@@ -288,12 +378,16 @@ class RequestPipeline:
         deadline = None
         if timeout is not None:
             deadline = self._service.clock.now() + float(timeout)
+        branch = extract_branch_params(params)
+        at_version = params.pop("_at_version", None)
         ctx = RequestContext(
             api=descriptor.name,
             principal=params.get(descriptor.principal_param),
             metastore_id=params.get("metastore_id"),
             params=params,
             deadline=deadline,
+            branch=branch,
+            at_version=int(at_version) if at_version is not None else None,
         )
         return self.chain_for(descriptor)(ctx)
 
@@ -316,5 +410,7 @@ __all__ = [
     "RequestContext",
     "RequestPipeline",
     "current_context",
+    "extract_branch_params",
     "note_audit_record",
+    "split_branch_suffix",
 ]

@@ -45,6 +45,7 @@ _STATUS = {
     "PATH_CONFLICT": 409,
     "CONCURRENT_MODIFICATION": 409,
     "TRANSACTION_CONFLICT": 409,
+    "MERGE_CONFLICT": 409,
     "CREDENTIAL_DENIED": 403,
     "FEDERATION_ERROR": 502,
     "THROTTLED": 429,
@@ -176,6 +177,12 @@ class ServiceRouter:
                 kwargs = binding.bind(request)
                 if "timeout" in params:
                     kwargs["_timeout"] = float(params["timeout"])
+                # ?branch=catalog@branch pins the request to a branch;
+                # ?at_version=N pins reads AS OF a past metastore version
+                if "branch" in params:
+                    kwargs["_branch"] = params["branch"]
+                if "at_version" in params:
+                    kwargs["_at_version"] = int(params["at_version"])
                 result = self._service.pipeline.dispatch(descriptor, kwargs)
                 return binding.status, binding.render(result, kwargs)
         raise InvalidRequestError(

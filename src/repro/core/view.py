@@ -23,6 +23,10 @@ from repro.core.persistence.store import Snapshot, Tables
 class MetastoreView(abc.ABC):
     """A consistent read view over one metastore at a known version."""
 
+    #: branch key (``catalog@branch``) when the view reads a branch's
+    #: overlay; None on the trunk. Set by the kernel's view constructor.
+    branch: Optional[str] = None
+
     @property
     @abc.abstractmethod
     def version(self) -> int:

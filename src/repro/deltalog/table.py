@@ -24,7 +24,11 @@ from repro.deltalog.actions import (
 from repro.deltalog.deletion_vectors import DeletionVector, read_dv, write_dv
 from repro.deltalog.files import read_data_file, write_data_file
 from repro.deltalog.log import DeltaLog, LogSnapshot
-from repro.errors import ConcurrentModificationError, InvalidRequestError
+from repro.errors import (
+    ConcurrentModificationError,
+    InvalidRequestError,
+    NotFoundError,
+)
 
 #: (column, operator, value) predicates supported by the scan pushdown.
 Filter = tuple[str, str, object]
@@ -187,6 +191,27 @@ class DeltaTable:
 
     def version(self) -> int:
         return self._log.latest_version()
+
+    def version_at_timestamp(self, timestamp: float) -> int:
+        """The latest version whose commit timestamp is at or before
+        ``timestamp`` — the TIMESTAMP AS OF resolution rule."""
+        best: Optional[int] = None
+        earliest: Optional[float] = None
+        for version, info in self._log.history():
+            if earliest is None or info.timestamp < earliest:
+                earliest = info.timestamp
+            if info.timestamp <= timestamp and (best is None or version > best):
+                best = version
+        if best is None:
+            detail = (
+                f" (earliest commit at {earliest})"
+                if earliest is not None else " (empty history)"
+            )
+            raise NotFoundError(
+                f"no commit at or before timestamp {timestamp} on "
+                f"{self._root.url()}{detail}"
+            )
+        return best
 
     def scan(
         self,

@@ -30,6 +30,9 @@ class TableRef:
     alias: Optional[str] = None
     #: time travel: read the table as of this log version
     version: Optional[int] = None
+    #: time travel: read the table as of this commit timestamp (ISO-8601
+    #: or epoch seconds; resolved to a log version at execution time)
+    timestamp: Optional[str] = None
 
     @property
     def binding(self) -> str:
@@ -357,6 +360,7 @@ class _SqlParser:
     def _table_ref(self) -> TableRef:
         name = self._qualified_name()
         version = None
+        timestamp = None
         if self._accept_word("VERSION"):
             self._expect_word("AS")
             self._expect_word("OF")
@@ -364,6 +368,15 @@ class _SqlParser:
             if not isinstance(value, int):
                 raise InvalidRequestError("VERSION AS OF takes an integer")
             version = value
+        elif self._accept_word("TIMESTAMP"):
+            self._expect_word("AS")
+            self._expect_word("OF")
+            value = self._literal()
+            if not isinstance(value, str):
+                raise InvalidRequestError(
+                    "TIMESTAMP AS OF takes a quoted timestamp string"
+                )
+            timestamp = value
         alias = None
         if self._accept_word("AS"):
             alias = self._identifier()
@@ -371,11 +384,13 @@ class _SqlParser:
             self._peek() is not None
             and self._peek().kind == "name"
             and not self._at_word(
-                "JOIN", "WHERE", "GROUP", "ORDER", "LIMIT", "ON", "VERSION"
+                "JOIN", "WHERE", "GROUP", "ORDER", "LIMIT", "ON",
+                "VERSION", "TIMESTAMP",
             )
         ):
             alias = self._identifier()
-        return TableRef(name=name, alias=alias, version=version)
+        return TableRef(name=name, alias=alias, version=version,
+                        timestamp=timestamp)
 
     def _insert(self) -> InsertStmt:
         self._expect_word("INTO")

@@ -13,6 +13,7 @@ back to the catalog.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from typing import Any, Callable, Optional
 
 from repro.clock import Clock, WallClock
@@ -80,6 +81,28 @@ class QueryResult:
 
 def _truthy(value: Any) -> bool:
     return value is not None and bool(value)
+
+
+def _timestamp_to_epoch(value: str) -> float:
+    """``TIMESTAMP AS OF`` argument → epoch seconds.
+
+    Accepts ISO-8601 (naive timestamps are read as UTC so resolution does
+    not depend on the host timezone) or raw epoch seconds, which is what
+    simulated clocks stamp commits with."""
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    try:
+        parsed = datetime.fromisoformat(value)
+    except ValueError:
+        raise InvalidRequestError(
+            f"TIMESTAMP AS OF {value!r} is neither an ISO-8601 timestamp "
+            "nor epoch seconds"
+        )
+    if parsed.tzinfo is None:
+        parsed = parsed.replace(tzinfo=timezone.utc)
+    return parsed.timestamp()
 
 
 class EngineSession:
@@ -378,7 +401,8 @@ class EngineSession:
     ) -> tuple[list[dict], list[str]]:
         asset = self._lookup_asset(resolution, ref.name)
         raw, columns = self._asset_rows(asset, resolution, depth, filters,
-                                        version=ref.version)
+                                        version=ref.version,
+                                        timestamp=ref.timestamp)
         raw = self._apply_fgac(raw, asset.fgac)
         binding = ref.binding
         namespaced = [
@@ -394,9 +418,10 @@ class EngineSession:
         depth: int,
         filters: Optional[list[Filter]],
         version: Optional[int] = None,
+        timestamp: Optional[str] = None,
     ) -> tuple[list[dict], list[str]]:
-        if version is not None and asset.table_type in (
-            "VIEW", "MATERIALIZED_VIEW", "FOREIGN"
+        if (version is not None or timestamp is not None) and (
+            asset.table_type in ("VIEW", "MATERIALIZED_VIEW", "FOREIGN")
         ):
             raise InvalidRequestError(
                 f"{asset.full_name} does not support VERSION AS OF"
@@ -426,6 +451,8 @@ class EngineSession:
             )
             return rows, columns
         table = self._delta_table(asset)
+        if timestamp is not None:
+            version = table.version_at_timestamp(_timestamp_to_epoch(timestamp))
         metrics = ScanMetrics()
         with self._span("scan", asset=asset.full_name) as span:
             rows = list(table.scan(filters, version=version, metrics=metrics))

@@ -186,6 +186,33 @@ class PartialBroadcastError(UnityCatalogError):
     code = "PARTIAL_BROADCAST"
 
 
+class MergeConflictError(UnityCatalogError):
+    """A branch merge was rejected: both the branch and main touched the
+    same securable since the fork.
+
+    Deliberately not retryable as-is — the caller must rebase the branch
+    (or resolve the conflict) before merging. ``conflicts`` lists the
+    contested securables as ``(table, key, name)`` triples; the message
+    names the first one.
+    """
+
+    code = "MERGE_CONFLICT"
+
+    def __init__(self, message: str,
+                 conflicts: tuple[tuple[str, str, str], ...] = ()):
+        super().__init__(message)
+        self.conflicts = conflicts
+
+    def to_dict(self) -> dict:
+        out = super().to_dict()
+        if self.conflicts:
+            out["conflicts"] = [
+                {"table": table, "key": key, "securable": name}
+                for table, key, name in self.conflicts
+            ]
+        return out
+
+
 class FederationError(UnityCatalogError):
     """The foreign catalog behind a federated catalog failed or refused."""
 

@@ -157,3 +157,47 @@ def test_concurrency_allowlist_entries_all_name_real_methods():
                         known.add(f"{module}:{cls.name}.{node.name}")
     stale = set(arch_lint.CONCURRENCY_ALLOWLIST) - known
     assert stale == set()
+
+
+def test_receiver_mentions_store_matches_store_chains():
+    def recv(source: str) -> ast.expr:
+        call = ast.parse(source).body[0].value
+        return call.func.value
+
+    assert arch_lint._receiver_mentions_store(recv("store.snapshot(m)"))
+    assert arch_lint._receiver_mentions_store(recv("self.store.snapshot(m)"))
+    assert arch_lint._receiver_mentions_store(
+        recv("shard.service.store.current_version(m)"))
+    assert not arch_lint._receiver_mentions_store(recv("self.snapshot(m)"))
+    assert not arch_lint._receiver_mentions_store(recv("log.snapshot(v)"))
+
+
+def test_raw_version_allowlist_entries_all_name_real_sites():
+    """A stale rule-5 exemption silently disables the rule — forbid it."""
+    known: set[str] = set()
+    for package in arch_lint.VERSION_GATED_PACKAGES:
+        for path in sorted(package.glob("*.py")):
+            module = arch_lint._module_name(path)
+            known.add(module)
+            tree = arch_lint._parse(path)
+            for top in tree.body:
+                if isinstance(top, ast.ClassDef):
+                    for node in top.body:
+                        if isinstance(node, ast.FunctionDef):
+                            known.add(f"{module}:{top.name}.{node.name}")
+                elif isinstance(top, ast.FunctionDef):
+                    known.add(f"{module}:{top.name}")
+    stale = set(arch_lint.RAW_VERSION_ALLOWLIST) - known
+    assert stale == set()
+
+
+def test_raw_store_read_outside_allowlist_is_flagged():
+    removed = arch_lint.RAW_VERSION_ALLOWLIST.pop(
+        "repro.core.cluster.rebalance:export_subtree")
+    try:
+        errors = arch_lint.check_branch_version_gates()
+        assert any("rebalance.py" in e and "store.snapshot" in e
+                   for e in errors)
+    finally:
+        arch_lint.RAW_VERSION_ALLOWLIST[
+            "repro.core.cluster.rebalance:export_subtree"] = removed

@@ -23,6 +23,7 @@ from repro.clock import SimClock
 from repro.core.auth.privileges import Privilege
 from repro.core.cluster import CatalogCluster
 from repro.core.model.entity import Entity, SecurableKind
+from repro.core.persistence import branching as br
 from repro.core.persistence.sqlite import SqliteMetadataStore
 from repro.core.persistence.store import Tables
 from repro.core.persistence.treecat import TreeCatMetadataStore
@@ -131,6 +132,53 @@ def _kindname(pair: tuple[SecurableKind, str]) -> dict:
     return {"kind": pair[0], "name": pair[1]}
 
 
+BRANCH_POOL = ("dev", "wip")
+
+
+def generate_branched_ops(seed: int, count: int) -> list[dict]:
+    """The base op stream with branch lifecycle and branch-content ops
+    interleaved — forks, ``catalog@branch``-suffixed reads and writes,
+    diffs, merges (clean and conflicting, as the interleaving lands),
+    and deletes, all drawn from the same small pools so collisions and
+    missing-branch errors occur naturally."""
+    rng = Random(seed)
+    ops: list[dict] = []
+
+    def bkey() -> str:
+        return f"{rng.choice(CATALOG_POOL)}@{rng.choice(BRANCH_POOL)}"
+
+    def branch_pair() -> dict:
+        return {"catalog": rng.choice(CATALOG_POOL),
+                "branch": rng.choice(BRANCH_POOL)}
+
+    for op in generate_ops(seed ^ 0x5EED, count):
+        ops.append(op)
+        roll = rng.random()
+        if roll < 0.10:
+            ops.append({"op": "create_branch", **branch_pair()})
+        elif roll < 0.24:
+            ops.append({
+                "op": "branch_update",
+                "name": f"{bkey()}.{rng.choice(SCHEMA_POOL)}"
+                        f".{rng.choice(TABLE_POOL)}",
+                "comment": f"b{rng.randint(0, 3)}",
+            })
+        elif roll < 0.30:
+            ops.append({"op": "branch_get",
+                        "name": f"{bkey()}.{rng.choice(SCHEMA_POOL)}"
+                                f".{rng.choice(TABLE_POOL)}"})
+        elif roll < 0.34:
+            ops.append({"op": "list_branches",
+                        "catalog": rng.choice(CATALOG_POOL)})
+        elif roll < 0.38:
+            ops.append({"op": "diff_branch", **branch_pair()})
+        elif roll < 0.42:
+            ops.append({"op": "merge_branch", **branch_pair()})
+        elif roll < 0.45:
+            ops.append({"op": "delete_branch", **branch_pair()})
+    return ops
+
+
 # ---------------------------------------------------------------------------
 # applying one operation, with a comparable outcome
 # ---------------------------------------------------------------------------
@@ -181,6 +229,45 @@ def apply_op(cluster: CatalogCluster, mid: str, op: dict) -> Any:
             result = cluster.dispatch(
                 "resolve_for_query", metastore_id=mid, principal=READER,
                 table_names=op["names"], include_credentials=False)
+        # -- branch ops: fingerprints must be shard-count independent, so
+        # raw store versions (per-shard counters) never appear in them
+        elif op["op"] == "create_branch":
+            ref = cluster.dispatch(
+                "create_branch", metastore_id=mid, principal=ADMIN,
+                catalog=op["catalog"], branch=op["branch"])
+            result = ("branch", ref["catalog"], ref["branch"], ref["parent"])
+        elif op["op"] == "branch_update":
+            result = cluster.dispatch(
+                "update_securable", metastore_id=mid, principal=ADMIN,
+                kind=SecurableKind.TABLE, name=op["name"],
+                comment=op["comment"])
+        elif op["op"] == "branch_get":
+            result = cluster.dispatch(
+                "get_securable", metastore_id=mid, principal=ADMIN,
+                kind=SecurableKind.TABLE, name=op["name"])
+        elif op["op"] == "list_branches":
+            refs = cluster.dispatch(
+                "list_branches", metastore_id=mid, principal=ADMIN,
+                catalog=op["catalog"])
+            result = tuple((r["catalog"], r["branch"]) for r in refs)
+        elif op["op"] == "diff_branch":
+            diff = cluster.dispatch(
+                "diff_branch", metastore_id=mid, principal=ADMIN,
+                catalog=op["catalog"], branch=op["branch"])
+            # change keys are entity uuids and main_touched counts shared
+            # version-counter traffic — both cluster-shape dependent
+            result = ("diff", len(diff["changes"]),
+                      sum(c["deleted"] for c in diff["changes"]),
+                      sorted(c["securable"] for c in diff["conflicts"]))
+        elif op["op"] == "merge_branch":
+            merged = cluster.dispatch(
+                "merge_branch", metastore_id=mid, principal=ADMIN,
+                catalog=op["catalog"], branch=op["branch"])
+            result = ("merged", merged["merged_changes"])
+        elif op["op"] == "delete_branch":
+            result = cluster.dispatch(
+                "delete_branch", metastore_id=mid, principal=ADMIN,
+                catalog=op["catalog"], branch=op["branch"])
         else:  # pragma: no cover - generator invariant
             raise AssertionError(f"unknown op {op['op']}")
     except UnityCatalogError as exc:
@@ -214,12 +301,19 @@ def _result_fingerprint(result: Any) -> Any:
 def state_fingerprint(cluster: CatalogCluster, mid: str) -> tuple:
     entities: dict[str, dict] = {}
     grant_rows: list[dict] = []
+    refs: dict[str, dict] = {}
+    overlays: dict[str, dict[str, dict]] = {}
     for shard in cluster.shards:
         snapshot = shard.service.store.snapshot(mid)
         for key, value in snapshot.scan(Tables.ENTITIES):
             entities.setdefault(key, value)
         for _, value in snapshot.scan(Tables.GRANTS):
             grant_rows.append(value)
+        for bkey, value in snapshot.scan(Tables.BRANCHES):
+            refs.setdefault(bkey, value)
+            for key, row in snapshot.scan(
+                    br.overlay_table(Tables.ENTITIES, bkey)):
+                overlays.setdefault(bkey, {}).setdefault(key, row)
 
     def full_name(entity_id: str) -> str:
         parts = []
@@ -238,7 +332,18 @@ def state_fingerprint(cluster: CatalogCluster, mid: str) -> tuple:
         (full_name(row["securable_id"]), row["principal"], row["privilege"])
         for row in grant_rows
     })
-    return (tuple(ents), tuple(grants))
+    # the branch dimension: refs (sans per-shard version counters) and
+    # overlay rows by resolved name — sharding must not change either
+    branches = sorted((value["catalog"], value["branch"], value["parent"])
+                      for value in refs.values())
+    overlay_rows = sorted(
+        (bkey, full_name(key),
+         "tombstone" if br.is_tombstone(row) else
+         (row["kind"], row["state"], row.get("comment")))
+        for bkey, rows in overlays.items()
+        for key, row in rows.items()
+    )
+    return (tuple(ents), tuple(grants), tuple(branches), tuple(overlay_rows))
 
 
 def audit_fingerprint(cluster: CatalogCluster) -> set:
@@ -298,9 +403,10 @@ def shrink(ops: list[dict],
     return ops
 
 
-def assert_equivalent(seed: int, count: int, shards: int,
-                      backend: str) -> None:
-    ops = generate_ops(seed, count)
+def assert_equivalent(seed: int, count: int, shards: int, backend: str,
+                      generator: Callable[[int, int], list[dict]]
+                      = generate_ops) -> None:
+    ops = generator(seed, count)
     failure = run_sequence(ops, shards, backend)
     if failure is None:
         return
@@ -347,6 +453,33 @@ def test_treecat_backend_equivalent_to_memory_backend():
 
 def test_equivalence_holds_on_five_shards():
     assert_equivalent(seed=11, count=40, shards=5, backend="memory")
+
+
+# -- branched state: sharding must stay invisible with forks in play --------
+
+
+@pytest.mark.parametrize("seed", [3, 17])
+def test_branched_equivalence_memory(seed):
+    assert_equivalent(seed, count=50, shards=3, backend="memory",
+                      generator=generate_branched_ops)
+
+
+def test_branched_equivalence_sqlite():
+    assert_equivalent(seed=5, count=30, shards=3, backend="sqlite",
+                      generator=generate_branched_ops)
+
+
+def test_branched_equivalence_treecat():
+    assert_equivalent(seed=9, count=30, shards=3, backend="treecat",
+                      generator=generate_branched_ops)
+
+
+def test_branched_generator_is_deterministic():
+    ops = generate_branched_ops(42, 50)
+    assert ops == generate_branched_ops(42, 50)
+    assert any(op["op"] == "create_branch" for op in ops)
+    assert any(op["op"] == "branch_update" for op in ops)
+    assert any(op["op"] == "merge_branch" for op in ops)
 
 
 def test_shrinker_finds_minimal_core():

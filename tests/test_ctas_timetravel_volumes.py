@@ -100,6 +100,46 @@ class TestTimeTravel:
         ).rows
         assert len(rows) == 4
 
+    def test_timestamp_as_of_resolves_commit_times(self, service, clock,
+                                                   populated):
+        session = populated["session"]
+        # the seed commits land at t=0; the delete lands at t=100
+        clock.advance(100.0)
+        session.sql(f"DELETE FROM {TABLE} WHERE id = 1")
+        before = session.sql(f"SELECT COUNT(*) AS n FROM {TABLE} "
+                             f"TIMESTAMP AS OF '50'").rows
+        assert before == [{"n": 4}]
+        after = session.sql(f"SELECT COUNT(*) AS n FROM {TABLE} "
+                            f"TIMESTAMP AS OF '100'").rows
+        assert after == [{"n": 3}]
+
+    def test_timestamp_as_of_accepts_iso(self, service, clock, populated):
+        session = populated["session"]
+        clock.advance(100.0)
+        session.sql(f"DELETE FROM {TABLE} WHERE id = 1")
+        # epoch seconds 60, spelled as an ISO instant
+        rows = session.sql(
+            f"SELECT COUNT(*) AS n FROM {TABLE} "
+            f"TIMESTAMP AS OF '1970-01-01T00:01:00+00:00'"
+        ).rows
+        assert rows == [{"n": 4}]
+
+    def test_timestamp_before_history_rejected(self, service, populated):
+        session = populated["session"]
+        with pytest.raises(NotFoundError, match="no commit at or before"):
+            session.sql(f"SELECT * FROM {TABLE} TIMESTAMP AS OF '-5'")
+
+    def test_unparseable_timestamp_rejected(self, service, populated):
+        session = populated["session"]
+        with pytest.raises(InvalidRequestError, match="ISO-8601"):
+            session.sql(f"SELECT * FROM {TABLE} TIMESTAMP AS OF 'yesterday'")
+
+    def test_views_reject_timestamp_travel(self, service, populated):
+        session = populated["session"]
+        session.sql(f"CREATE VIEW sales.q1.tv AS SELECT id FROM {TABLE}")
+        with pytest.raises(InvalidRequestError):
+            session.sql("SELECT * FROM sales.q1.tv TIMESTAMP AS OF '0'")
+
 
 class TestVolumeFiles:
     VOLUME = "sales.q1.raw_files"

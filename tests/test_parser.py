@@ -78,6 +78,21 @@ class TestSelect:
         with pytest.raises(InvalidRequestError):
             parse_sql("SELECT a FROM t VERSION AS OF 'yesterday'")
 
+    def test_timestamp_as_of(self):
+        stmt = parse_sql(
+            "SELECT a FROM c.s.t TIMESTAMP AS OF '2026-01-01T00:00:00'")
+        assert stmt.table.timestamp == "2026-01-01T00:00:00"
+        assert stmt.table.version is None
+
+    def test_timestamp_as_of_with_alias(self):
+        stmt = parse_sql("SELECT x.a FROM c.s.t TIMESTAMP AS OF '100' x")
+        assert stmt.table.timestamp == "100"
+        assert stmt.table.alias == "x"
+
+    def test_timestamp_as_of_requires_string(self):
+        with pytest.raises(InvalidRequestError):
+            parse_sql("SELECT a FROM t TIMESTAMP AS OF 5")
+
     def test_ctas(self):
         stmt = parse_sql("CREATE TABLE c.s.t AS SELECT a FROM c.s.src")
         assert stmt.as_select is not None

@@ -384,6 +384,54 @@ def _script() -> list[Step]:
                 env["mid"], "alice", "sales.q1.orders", "id"),
         ),
         Step(
+            "create_branch", "POST", lambda env: f"{BASE}/branches",
+            body=lambda env: {"metastore": "main", "catalog": "sales",
+                              "branch": "dev"},
+            facade=lambda svc, env: svc.create_branch(
+                env["mid"], "alice", "sales", "dev"),
+        ),
+        # branch content writes reuse the ordinary endpoints via the
+        # catalog@branch name suffix — no branch-specific CRUD surface
+        Step(
+            "update_securable", "PATCH",
+            lambda env: f"{BASE}/tables/sales@dev.q1.orders", params=_MS,
+            body=lambda env: {"comment": "branch experiment"},
+            facade=lambda svc, env: svc.update_securable(
+                env["mid"], "alice", SecurableKind.TABLE,
+                "sales@dev.q1.orders", comment="branch experiment"),
+        ),
+        Step(
+            "create_branch", "POST", lambda env: f"{BASE}/branches",
+            body=lambda env: {"metastore": "main", "catalog": "sales",
+                              "branch": "scratchpad"},
+            facade=lambda svc, env: svc.create_branch(
+                env["mid"], "alice", "sales", "scratchpad"),
+        ),
+        Step(
+            "list_branches", "GET", lambda env: f"{BASE}/branches",
+            params=lambda env: {"metastore": "main", "catalog": "sales"},
+            facade=lambda svc, env: svc.list_branches(
+                env["mid"], "alice", "sales"),
+        ),
+        Step(
+            "diff_branch", "GET",
+            lambda env: f"{BASE}/branches/sales@dev", params=_MS,
+            facade=lambda svc, env: svc.diff_branch(
+                env["mid"], "alice", "sales", "dev"),
+        ),
+        Step(
+            "merge_branch", "PATCH",
+            lambda env: f"{BASE}/branches/sales@dev", params=_MS,
+            facade=lambda svc, env: svc.merge_branch(
+                env["mid"], "alice", "sales", "dev"),
+        ),
+        Step(
+            "delete_branch", "DELETE",
+            lambda env: f"{BASE}/branches/sales@scratchpad", params=_MS,
+            facade=lambda svc, env: svc.delete_branch(
+                env["mid"], "alice", "sales", "scratchpad"),
+        ),
+        Step(
             "delete_securable", "DELETE",
             lambda env: f"{BASE}/tables/sales.q1.scratch", params=_MS,
             facade=lambda svc, env: svc.delete_securable(

@@ -30,6 +30,20 @@ The parallel serving tier added a concurrency rule:
    explicit allowlist below — adding to it is a code-review decision,
    not a convenience.
 
+The branching refactor added a version-resolution rule:
+
+5. **Layers above persistence resolve versions through the branch
+   gates.** With branches in the store, ``store.current_version`` /
+   ``store.snapshot`` name the *trunk's* raw head — code above the
+   persistence layer that calls them directly silently ignores the
+   request's branch and AS OF pins. Service and cluster code must go
+   through the kernel gates (``view`` / ``raw_snapshot`` /
+   ``head_version``) or :mod:`repro.core.persistence.branching`'s
+   ``resolve_head``. Version-machinery internals (replication,
+   rebalancing exports, the trunk cache node) are exempted by the
+   explicit allowlist below — they move raw stores, overlay rows
+   included, by design.
+
 Run from the repository root::
 
     python tools/arch_lint.py
@@ -397,12 +411,107 @@ def check_concurrency_guards() -> list[str]:
     return errors
 
 
+# -- rule 5: branch-aware version resolution --------------------------------
+
+#: packages above persistence whose raw store reads are checked
+VERSION_GATED_PACKAGES = (
+    REPO / "src" / "repro" / "core" / "service",
+    REPO / "src" / "repro" / "core" / "service" / "domains",
+    REPO / "src" / "repro" / "core" / "cluster",
+)
+
+#: ``module`` or ``module:qualname`` entries exempt from rule 5, each
+#: with the reason the raw read is correct. Every entry deals in whole
+#: stores or the trunk head *by design* — extending this list is a
+#: review decision, not a convenience.
+RAW_VERSION_ALLOWLIST: dict[str, str] = {
+    "repro.core.service.kernel:ServiceKernel._install_metastore":
+        "seeds the trunk cache bundle at install time; no request exists",
+    "repro.core.service.kernel:ServiceKernel.raw_snapshot":
+        "IS the branch gate: applies the request pin before reading",
+    "repro.core.service.kernel:ServiceKernel.view":
+        "IS the branch gate: applies the request pin before reading",
+    "repro.core.cluster.cluster:CatalogCluster._collect_placement":
+        "metrics export counts whole-store rows, branch-agnostic",
+    "repro.core.cluster.cluster:CatalogCluster.after_mutation":
+        "session read-your-writes tracks the shard's raw commit counter",
+    "repro.core.cluster.rebalance:export_subtree":
+        "migration moves raw rows between shards, overlay rows included",
+    "repro.core.cluster.replication":
+        "replication ships the raw global change log; the branch layer "
+        "rides on top of it",
+}
+
+
+def _receiver_mentions_store(node: ast.expr) -> bool:
+    """True if the call receiver is rooted at something named ``store``
+    (``store``, ``self.store``, ``shard.service.store``, ``_store``…)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Call)):
+        if isinstance(node, ast.Attribute) and "store" in node.attr:
+            return True
+        node = getattr(node, "value", None) or getattr(node, "func", None)
+        if node is None:
+            return False
+    return isinstance(node, ast.Name) and "store" in node.id
+
+
+def check_branch_version_gates() -> list[str]:
+    """Rule 5: no raw head-version reads above the persistence layer."""
+    errors = []
+    seen: set[Path] = set()
+    for package in VERSION_GATED_PACKAGES:
+        for path in sorted(package.glob("*.py")):
+            if path in seen:
+                continue
+            seen.add(path)
+            module = _module_name(path)
+            if module in RAW_VERSION_ALLOWLIST:
+                continue
+            tree = _parse(path)
+            # map each node to its enclosing class/function qualname
+            for top in tree.body:
+                qualnames: list[tuple[str, ast.AST]] = []
+                if isinstance(top, ast.ClassDef):
+                    for method in top.body:
+                        if isinstance(method, (ast.FunctionDef,
+                                               ast.AsyncFunctionDef)):
+                            qualnames.append(
+                                (f"{top.name}.{method.name}", method)
+                            )
+                elif isinstance(top, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualnames.append((top.name, top))
+                else:
+                    qualnames.append(("<module>", top))
+                for qualname, scope in qualnames:
+                    if f"{module}:{qualname}" in RAW_VERSION_ALLOWLIST:
+                        continue
+                    for node in ast.walk(scope):
+                        if not (
+                            isinstance(node, ast.Call)
+                            and isinstance(node.func, ast.Attribute)
+                            and node.func.attr in ("current_version",
+                                                   "snapshot")
+                            and _receiver_mentions_store(node.func.value)
+                        ):
+                            continue
+                        errors.append(
+                            f"{path.relative_to(REPO)}:{node.lineno}: "
+                            f"{qualname} reads store.{node.func.attr} "
+                            "directly — above persistence, resolve through "
+                            "the kernel gates (view / raw_snapshot / "
+                            "head_version) or branching.resolve_head so "
+                            "branch and AS OF pins apply"
+                        )
+    return errors
+
+
 def run() -> list[str]:
     errors = []
     errors += check_domain_isolation()
     errors += check_kernel_points_inward()
     errors += check_rest_stays_generic()
     errors += check_concurrency_guards()
+    errors += check_branch_version_gates()
     return errors
 
 
