@@ -44,6 +44,7 @@ from repro.core.persistence.memory import InMemoryMetadataStore
 from repro.core.persistence.store import MetadataStore, Tables
 from repro.core.service.catalog_service import UnityCatalogService
 from repro.core.service.pipeline import extract_branch_params
+from repro.core.service.qos import QosConfig, QosScheduler, work_snapshot
 from repro.core.service.registry import (
     ClusterBinding,
     EndpointDescriptor,
@@ -58,7 +59,7 @@ from repro.errors import (
     TransientError,
 )
 from repro.obs import Observability
-from repro.resilience import CircuitBreaker, Retrier, RetryPolicy
+from repro.resilience import CircuitBreaker, Retrier, RetryPolicy, charge
 
 from .rebalance import CatalogMigration
 from .replication import ReadSession, ReplicaGroup, ReplicatingStore
@@ -135,6 +136,7 @@ class CatalogCluster:
         lease_jitter: float = 0.25,
         replica_log_capacity: int = 4096,
         txn_log_retention: int = 1024,
+        qos=None,
     ):
         if shard_count < 1:
             raise InvalidRequestError("shard_count must be >= 1")
@@ -222,6 +224,17 @@ class CatalogCluster:
         self._by_name = {shard.name: shard for shard in self._shards}
         self.router = ShardRouter([shard.name for shard in self._shards],
                                   read_preference=read_preference)
+        # one cluster-wide scheduler, one lane per shard: a tenant's
+        # token bucket is global (scatter fan-outs charge once), while
+        # queue accounting — depth bounds, DRR drains, saturation — is
+        # per shard lane. Shard services are built with qos=None above,
+        # so admission happens exactly once, here at the router.
+        if isinstance(qos, QosConfig):
+            qos = QosScheduler(
+                qos, self.clock, metrics=metrics,
+                lanes=[shard.name for shard in self._shards],
+            ) if qos.enabled else None
+        self.qos = qos
         self.coordinator = TwoPhaseCoordinator(
             self.clock, metrics=metrics, log_retention=txn_log_retention
         )
@@ -425,6 +438,7 @@ class CatalogCluster:
         """
         session = params.pop("_session", None)
         preference = params.pop("_read_preference", None)
+        qos_class = params.pop("_qos_class", None)
         # normalize catalog@branch name suffixes BEFORE placement, so the
         # route key is the plain catalog and the branch context travels as
         # the explicit reserved kwarg to whichever shard owns the catalog
@@ -435,6 +449,54 @@ class CatalogCluster:
         binding = descriptor.cluster
         decision = binding.plan(params) if binding is not None \
             else RouteDecision.home()
+        # QoS admission happens once per *logical* request, here at the
+        # router, with the involved shards as lanes — a scatter fan-out
+        # charges the tenant's (global) bucket once, split across lanes
+        grant = None
+        involved: Optional[list[ShardNode]] = None
+        if self.qos is not None and self.qos.enabled:
+            lanes = self._qos_lanes(decision, descriptor, params)
+            involved = ([self._by_name[name] for name in lanes]
+                        if lanes is not None else list(self._shards))
+            grant = self.qos.acquire(
+                params.get(descriptor.principal_param), api,
+                mutation=descriptor.mutation,
+                requested_class=qos_class, lanes=lanes,
+            )
+            if grant.wait > 0:
+                charge(self.clock, grant.wait)
+            before = [work_snapshot(shard.service) for shard in involved]
+        try:
+            result = self._route_decision(
+                api, descriptor, binding, decision, params,
+                session, preference,
+            )
+        finally:
+            if grant is not None:
+                after = [work_snapshot(shard.service) for shard in involved]
+                measured = sum(
+                    self.qos.config.measured_cost(b, a)
+                    for b, a in zip(before, after)
+                ) - (len(involved) - 1) * self.qos.config.cost_base
+                self.qos.settle(grant, measured)
+        return result
+
+    def _qos_lanes(self, decision, descriptor,
+                   params: dict[str, Any]) -> Optional[list[str]]:
+        """Lane names (shards) a routed request will occupy; None = all."""
+        if decision.kind == "home":
+            return [self.home.name]
+        if decision.kind == "catalog":
+            shard = self._shard_for_key(params["metastore_id"],
+                                        decision.key,
+                                        write=descriptor.mutation)
+            return [shard.name]
+        # scatter / broadcast / probe / partition / move touch (up to)
+        # every shard — charge each lane its share
+        return None
+
+    def _route_decision(self, api, descriptor, binding, decision,
+                        params, session, preference):
         with self.obs.tracer.span("uc.shard.dispatch", api=api,
                                   mode=decision.kind):
             if decision.kind == "home":

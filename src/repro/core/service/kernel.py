@@ -45,6 +45,7 @@ from repro.core.persistence import branching as _branching
 from repro.core.persistence.memory import InMemoryMetadataStore
 from repro.core.persistence.store import MetadataStore, Snapshot, WriteOp
 from repro.core.service.pipeline import current_context, note_audit_record
+from repro.core.service.qos import QosConfig, QosScheduler
 from repro.core.vending import CredentialVendor
 from repro.core.view import MetastoreView, SnapshotView
 from repro.errors import (
@@ -89,6 +90,7 @@ class ServiceKernel:
         faults=None,
         enable_fast_path: Optional[bool] = None,
         request_timeout: Optional[float] = None,
+        qos=None,
     ):
         """``read_version_check=False`` lets a node that knows it owns a
         metastore (sharding assignment) skip the per-read DB version probe
@@ -109,7 +111,15 @@ class ServiceKernel:
 
         ``request_timeout`` is the default per-request deadline (seconds)
         applied by the pipeline's deadline interceptor; individual calls
-        can override it with the reserved ``_timeout`` dispatch kwarg."""
+        can override it with the reserved ``_timeout`` dispatch kwarg.
+
+        ``qos`` installs multi-tenant admission control: pass a
+        :class:`~repro.core.service.qos.QosConfig` (a single-lane
+        scheduler is built over this service's clock and metrics) or a
+        ready :class:`~repro.core.service.qos.QosScheduler` (the cluster
+        router shares one scheduler across shards; shard-local services
+        then receive ``qos=None`` so a request is charged exactly
+        once)."""
         self.clock = clock or WallClock()
         self.obs = obs or Observability(clock=self.clock)
         self.faults = faults
@@ -178,6 +188,10 @@ class ServiceKernel:
             ("component",),
         ).labels(component="metastore")
         self._store_retry_rng = _random.Random(0xCA7)
+        if isinstance(qos, QosConfig):
+            qos = QosScheduler(qos, self.clock, metrics=metrics) \
+                if qos.enabled else None
+        self.qos = qos
         metrics.register_collector(self._collect_core_stats)
 
     # ------------------------------------------------------------------

@@ -27,6 +27,15 @@ Interceptor responsibilities:
   errored request leaves an audit entry with error status: if the
   request raised and nothing was audited yet, it appends one record with
   ``allowed=False`` and the machine-readable error code.
+* **QoS admission** (when the service has a
+  :class:`~repro.core.service.qos.QosScheduler`) — meters the request
+  against the tenant's token bucket, queues over-budget work in the
+  weighted fair queues (the wait is charged to the injected clock), or
+  sheds with :class:`~repro.errors.TenantThrottledError` (HTTP 429 +
+  ``Retry-After``). Placed *after* audit-commit so shed requests are
+  metered and leave an ``allowed=False`` audit record, and *before*
+  authn so rejected work costs nothing downstream; after the handler
+  runs the tenant's bucket is reconciled with the measured work cost.
 * **Authn** — expands the caller to its identity set (the request
   gateway upstream authenticated the principal, paper §3.4; this stage
   is where a token validator would slot in).
@@ -55,8 +64,9 @@ from repro.core.persistence.branching import (
     MAIN_BRANCH,
     split_branch_key,
 )
+from repro.core.service.qos import work_snapshot
 from repro.errors import DeadlineExceededError, InvalidRequestError
-from repro.resilience import deadline_scope
+from repro.resilience import charge, deadline_scope
 
 _ACTIVE = threading.local()
 
@@ -161,13 +171,15 @@ class RequestContext:
         "span",
         "branch",
         "at_version",
+        "qos_class",
     )
 
     def __init__(self, api: str, principal: Optional[str],
                  metastore_id: Optional[str], params: dict[str, Any],
                  deadline: Optional[float] = None,
                  branch: Optional[str] = None,
-                 at_version: Optional[int] = None):
+                 at_version: Optional[int] = None,
+                 qos_class: Optional[str] = None):
         self.api = api
         self.principal = principal
         self.metastore_id = metastore_id
@@ -183,6 +195,9 @@ class RequestContext:
         self.branch = branch
         #: ``AS OF`` pin: resolve reads at this past metastore version
         self.at_version = at_version
+        #: explicit QoS priority class (``_qos_class`` request kwarg),
+        #: overriding the scheduler's per-tenant assignment
+        self.qos_class = qos_class
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"RequestContext(api={self.api!r}, principal="
@@ -231,9 +246,14 @@ class RequestPipeline:
         stages = [
             self._observation_stage(instruments),
             self._audit_commit_stage(descriptor),
+        ]
+        qos = getattr(service, "qos", None)
+        if qos is not None and qos.enabled:
+            stages.append(self._qos_stage(descriptor, qos))
+        stages.extend([
             self._authn_stage(),
             self._deadline_stage(),
-        ]
+        ])
         if descriptor.resolve is not None and not descriptor.mutation:
             stages.append(self._resolution_stage(descriptor.resolve))
             if descriptor.operation is not None:
@@ -311,6 +331,30 @@ class RequestPipeline:
 
         return audit_commit
 
+    def _qos_stage(self, descriptor, qos):
+        service = self._service
+        mutation = descriptor.mutation
+
+        def admit(ctx: RequestContext, proceed):
+            grant = qos.acquire(
+                ctx.principal,
+                ctx.api,
+                mutation=mutation,
+                requested_class=ctx.qos_class,
+            )
+            if grant.wait > 0:
+                # queued (or band-contended): the wait is simulated time,
+                # charged to the injected clock — never a real sleep
+                charge(service.clock, grant.wait)
+            before = work_snapshot(service)
+            try:
+                return proceed(ctx)
+            finally:
+                after = work_snapshot(service)
+                qos.settle(grant, qos.config.measured_cost(before, after))
+
+        return admit
+
     def _authn_stage(self):
         service = self._service
 
@@ -370,7 +414,8 @@ class RequestPipeline:
         default request timeout for this call; either arms the deadline
         interceptor. ``params["_branch"]`` (or a ``catalog@branch`` name
         suffix) pins the request to a branch; ``params["_at_version"]``
-        pins reads ``AS OF`` a past metastore version.
+        pins reads ``AS OF`` a past metastore version;
+        ``params["_qos_class"]`` requests an explicit QoS priority class.
         """
         timeout = params.pop("_timeout", None)
         if timeout is None:
@@ -380,6 +425,7 @@ class RequestPipeline:
             deadline = self._service.clock.now() + float(timeout)
         branch = extract_branch_params(params)
         at_version = params.pop("_at_version", None)
+        qos_class = params.pop("_qos_class", None)
         ctx = RequestContext(
             api=descriptor.name,
             principal=params.get(descriptor.principal_param),
@@ -388,6 +434,7 @@ class RequestPipeline:
             deadline=deadline,
             branch=branch,
             at_version=int(at_version) if at_version is not None else None,
+            qos_class=qos_class,
         )
         return self.chain_for(descriptor)(ctx)
 

@@ -49,6 +49,7 @@ _STATUS = {
     "CREDENTIAL_DENIED": 403,
     "FEDERATION_ERROR": 502,
     "THROTTLED": 429,
+    "TENANT_THROTTLED": 429,
     "STORAGE_UNAVAILABLE": 503,
     "TEMPORARILY_UNAVAILABLE": 503,
     "CIRCUIT_OPEN": 503,
@@ -183,6 +184,9 @@ class ServiceRouter:
                     kwargs["_branch"] = params["branch"]
                 if "at_version" in params:
                     kwargs["_at_version"] = int(params["at_version"])
+                # ?qos_class=batch requests an explicit priority class
+                if "qos_class" in params:
+                    kwargs["_qos_class"] = params["qos_class"]
                 result = self._service.pipeline.dispatch(descriptor, kwargs)
                 return binding.status, binding.render(result, kwargs)
         raise InvalidRequestError(

@@ -116,6 +116,28 @@ class ThrottledError(TransientError):
         self.retry_after_seconds = retry_after_seconds
 
 
+class TenantThrottledError(ThrottledError):
+    """The *tenant* is over its admission budget and the QoS scheduler
+    shed the request (token bucket empty and the weighted fair queue for
+    the tenant's priority class is full, or the simulated DB is
+    saturated). Maps to HTTP 429 with a ``Retry-After`` header.
+
+    Unlike the generic :class:`ThrottledError` (the backend rate-limiting
+    *us*), the server hint here is authoritative: the scheduler computed
+    when the tenant's bucket will have refilled, so retry loops honor
+    ``retry_after_seconds`` verbatim instead of exponential backoff.
+    """
+
+    code = "TENANT_THROTTLED"
+
+    def __init__(self, message: str, retry_after_seconds: float = 1.0,
+                 reason: str = "over_budget"):
+        super().__init__(message, retry_after_seconds=retry_after_seconds)
+        #: machine-readable shed cause: ``queue_full`` | ``saturated`` |
+        #: ``over_budget`` (diagnostic only; not serialized)
+        self.reason = reason
+
+
 class StorageUnavailableError(TransientError):
     """The storage backend failed transiently (5xx-style). Maps to HTTP
     503 with a ``Retry-After`` header."""

@@ -35,6 +35,7 @@ from repro.errors import (
     CircuitOpenError,
     DeadlineExceededError,
     InvalidRequestError,
+    TenantThrottledError,
     TransientError,
 )
 
@@ -188,8 +189,15 @@ class Retrier:
             if attempt >= policy.max_attempts:
                 self._give_up(attempt)
                 raise pending
-            with self._lock:
-                delay = policy.backoff(attempt - 1, self._rng)
+            if isinstance(pending, TenantThrottledError) and \
+                    pending.retry_after_seconds is not None:
+                # the QoS scheduler computed exactly when the tenant's
+                # bucket refills — honor the server hint verbatim rather
+                # than guessing with exponential backoff
+                delay = pending.retry_after_seconds
+            else:
+                with self._lock:
+                    delay = policy.backoff(attempt - 1, self._rng)
             if policy.deadline is not None:
                 elapsed = self._clock.now() - start
                 if elapsed + delay > policy.deadline:

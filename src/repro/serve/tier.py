@@ -12,10 +12,17 @@ Lock hierarchy (outermost first) for anyone extending the tier::
 
     migration RLock  >  router/sharding locks  >  cluster stale-LRU lock
     service kernel RLock  >  cache-node RLock  >  hot-bundle RLock
+    QoS scheduler lock  >  token-bucket locks
     coordinator lock, metrics locks, SimClock lock   (leaves)
 
 No component calls *up* this list while holding a lock lower in it, so
 the hierarchy is acyclic and the tier cannot deadlock on catalog state.
+The QoS scheduler's lock (see :mod:`repro.core.service.qos`) is taken
+only for one admit/settle bookkeeping step, nests its per-tenant bucket
+locks strictly inside itself, and never calls out while held — it sits
+just above the leaf tier. Cluster dispatch admits *before* placing work
+on shard workers, so queue waits are charged to the injected clock on
+the dispatching thread, never inside a worker.
 
 ``worker_wrap`` is a hook around every unit of shard work — the
 wall-clock scale-out bench uses it to sleep each request's *modeled*

@@ -14,13 +14,21 @@ from repro.workloads.deployment import (
     SyntheticDeployment,
     generate_deployment,
 )
+from repro.workloads.tenants import (
+    TenantRequest,
+    TenantTraceConfig,
+    generate_tenant_trace,
+)
 from repro.workloads.traces import AccessEvent, TraceConfig, generate_trace
 
 __all__ = [
     "AccessEvent",
     "DeploymentConfig",
     "SyntheticDeployment",
+    "TenantRequest",
+    "TenantTraceConfig",
     "TraceConfig",
     "generate_deployment",
+    "generate_tenant_trace",
     "generate_trace",
 ]

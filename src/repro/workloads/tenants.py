@@ -1,0 +1,155 @@
+"""Heavy-tailed multi-tenant request traces for the QoS bench.
+
+The account-scale serving scenario (paper §serving at scale): thousands
+of tenants share one metadata hot path, their request rates are heavy
+tailed — a handful of engines and pipelines dominate — and occasionally
+one tenant goes abusive (a runaway job hammering the write path). The
+QoS bench replays such a trace against the admission scheduler and
+checks the abuser absorbs the shedding while everyone else's p99 stays
+inside its class SLO.
+
+Generation is one seeded pass, so the same config always yields a
+byte-identical trace.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from itertools import accumulate
+from random import Random
+from typing import Iterator
+
+#: priority-class mix assigned to tenants (deterministic by tenant rank)
+_CLASS_CYCLE = (
+    "interactive", "interactive", "interactive", "interactive",
+    "interactive", "interactive", "batch", "batch", "batch", "background",
+)
+
+
+@dataclass(frozen=True)
+class TenantRequest:
+    """One request in a multi-tenant trace."""
+
+    timestamp: float
+    tenant: str
+    qos_class: str
+    is_write: bool
+    #: admission cost in scheduler cost units (point-read equivalents)
+    cost: float
+
+
+@dataclass(frozen=True)
+class TenantTraceConfig:
+    """Knobs for :func:`generate_tenant_trace`."""
+
+    tenants: int = 9000
+    events: int = 16000
+    duration: float = 60.0
+    #: Pareto shape for per-tenant request-rate weights: lower = heavier
+    #: tail (1.2 puts most traffic on a few hundred tenants)
+    rate_alpha: float = 1.2
+    write_fraction: float = 0.1
+    #: scan-heavy reads: fraction of reads that examine many rows
+    heavy_read_fraction: float = 0.05
+    read_cost: float = 1.0
+    write_cost: float = 3.0
+    heavy_read_cost: float = 8.0
+    #: the abusive tenant: extra write-path events injected in a burst
+    abuser: str = "tenant-0666"
+    abuse_events: int = 4000
+    abuse_start: float = 15.0
+    abuse_duration: float = 20.0
+    seed: int = 11
+
+    def __post_init__(self):
+        if self.tenants < 1 or self.events < 0 or self.abuse_events < 0:
+            raise ValueError("tenants/events/abuse_events out of range")
+        if self.duration <= 0 or self.abuse_duration <= 0:
+            raise ValueError("durations must be positive")
+
+
+def tenant_name(index: int) -> str:
+    return f"tenant-{index:04d}"
+
+
+def class_of_tenant(index: int) -> str:
+    """Deterministic class assignment: ~60% interactive, 30% batch,
+    10% background, interleaved so every rate tier sees every class."""
+    return _CLASS_CYCLE[index % len(_CLASS_CYCLE)]
+
+
+def generate_tenant_trace(
+    config: TenantTraceConfig,
+) -> list[TenantRequest]:
+    """One merged, time-ordered request trace.
+
+    Baseline traffic: ``events`` arrivals spread uniformly over
+    ``duration``, each attributed to a tenant drawn from a Pareto
+    weight distribution (heavy-tailed rates). On top, the ``abuser``
+    floods the write path with ``abuse_events`` arrivals concentrated
+    in ``[abuse_start, abuse_start + abuse_duration)``.
+    """
+    rng = Random(config.seed)
+    weights = [rng.paretovariate(config.rate_alpha)
+               for _ in range(config.tenants)]
+    cum = list(accumulate(weights))
+    total = cum[-1]
+
+    def draw_tenant() -> int:
+        return bisect_right(cum, rng.random() * total)
+
+    out: list[TenantRequest] = []
+    for _ in range(config.events):
+        ts = rng.uniform(0.0, config.duration)
+        index = min(draw_tenant(), config.tenants - 1)
+        name = tenant_name(index)
+        if name == config.abuser:
+            # keep the baseline stream pure victim traffic; the abuser's
+            # entire load arrives via the burst below
+            index = (index + 1) % config.tenants
+            name = tenant_name(index)
+        is_write = rng.random() < config.write_fraction
+        if is_write:
+            cost = config.write_cost
+        elif rng.random() < config.heavy_read_fraction:
+            cost = config.heavy_read_cost
+        else:
+            cost = config.read_cost
+        out.append(TenantRequest(
+            timestamp=round(ts, 6),
+            tenant=name,
+            qos_class=class_of_tenant(index),
+            is_write=is_write,
+            cost=cost,
+        ))
+    for _ in range(config.abuse_events):
+        ts = config.abuse_start + rng.uniform(0.0, config.abuse_duration)
+        out.append(TenantRequest(
+            timestamp=round(ts, 6),
+            tenant=config.abuser,
+            qos_class="interactive",  # the abuser *claims* interactive
+            is_write=True,
+            cost=config.write_cost,
+        ))
+    out.sort(key=lambda r: (r.timestamp, r.tenant))
+    return out
+
+
+def victim_tenants(trace: list[TenantRequest],
+                   abuser: str) -> Iterator[str]:
+    seen = set()
+    for request in trace:
+        if request.tenant != abuser and request.tenant not in seen:
+            seen.add(request.tenant)
+            yield request.tenant
+
+
+__all__ = [
+    "TenantRequest",
+    "TenantTraceConfig",
+    "class_of_tenant",
+    "generate_tenant_trace",
+    "tenant_name",
+    "victim_tenants",
+]

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.bench.chaos import check_determinism, run_chaos_scenario
+from repro.bench.qos import fingerprint as qos_fingerprint
+from repro.bench.qos import run_qos_scenario
 from repro.bench.scaleout import fingerprint, run_scaleout
 
 SEEDS = [11, 23, 47]
@@ -64,3 +66,31 @@ def test_sharded_scaleout_different_seeds_diverge():
     b = run_scaleout(seed=SEEDS[1], shard_counts=(4,), clients=16,
                      duration=0.1, fault_rate=0.10)
     assert fingerprint(a) != fingerprint(b)
+
+
+def test_qos_chaos_in_budget_tenants_see_no_errors():
+    """QoS + 10% storage faults + one abusive tenant: the abuser soaks
+    up every 429 while in-budget tenants' paced reads all succeed —
+    faults are retried away and throttling never bleeds across
+    tenants."""
+    report = run_qos_scenario(seed=SEEDS[0], fault_rate=0.10)
+    assert report["victim_errors"] == 0
+    assert report["victim_ok"] > 0
+    assert report["abuser_throttled"] > 0
+    assert report["abuser_other_errors"] == 0
+    # every shed was audited (allowed=False, TENANT_THROTTLED)
+    assert report["audit_denied"] == report["abuser_throttled"]
+    shed = report["qos"]["shed"]
+    assert set(shed) == {"abuser"}
+
+
+def test_qos_chaos_same_seed_is_byte_identical():
+    first = run_qos_scenario(seed=SEEDS[0], fault_rate=0.10)
+    second = run_qos_scenario(seed=SEEDS[0], fault_rate=0.10)
+    assert qos_fingerprint(first) == qos_fingerprint(second)
+
+
+def test_qos_chaos_different_seeds_diverge():
+    a = run_qos_scenario(seed=SEEDS[0], fault_rate=0.10)
+    b = run_qos_scenario(seed=SEEDS[1], fault_rate=0.10)
+    assert qos_fingerprint(a) != qos_fingerprint(b)

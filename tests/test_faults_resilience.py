@@ -23,6 +23,7 @@ from repro.errors import (
     InvalidRequestError,
     NotFoundError,
     StorageUnavailableError,
+    TenantThrottledError,
     ThrottledError,
     TransientError,
 )
@@ -231,6 +232,40 @@ class TestRetrier:
             retrier.call(lambda: (_ for _ in ()).throw(ThrottledError("x")))
         # first retry (1s backoff) fit the budget, the second (2s) did not
         assert retrier.retries == 1
+
+    def test_tenant_throttle_retry_after_overrides_backoff(self, clock):
+        """A 429's server-side Retry-After hint beats the exponential
+        schedule: waiting longer (or shorter) than the scheduler asked
+        for just wastes budget or hammers the shed path."""
+        retrier = self._retrier(clock)
+        attempts = []
+
+        def throttled():
+            attempts.append(clock.now())
+            if len(attempts) < 3:
+                raise TenantThrottledError("slow down",
+                                           retry_after_seconds=0.25)
+            return "ok"
+
+        assert retrier.call(throttled) == "ok"
+        # the hint (0.25s) replaced the 1s/2s exponential backoff
+        assert attempts[1] - attempts[0] == 0.25
+        assert attempts[2] - attempts[1] == 0.25
+        assert retrier.retries == 2
+
+    def test_tenant_throttle_hint_never_passes_deadline(self, clock):
+        retrier = self._retrier(clock, deadline=1.0)
+        calls = []
+
+        def throttled():
+            calls.append(clock.now())
+            raise TenantThrottledError("slow down", retry_after_seconds=5.0)
+
+        with pytest.raises(DeadlineExceededError):
+            retrier.call(throttled)
+        # the 5s hint would land past the 1s deadline: fail fast, no sleep
+        assert len(calls) == 1
+        assert clock.now() == calls[0]
 
     def test_metrics_exported(self, clock):
         obs = Observability(clock=clock)

@@ -30,11 +30,17 @@ from repro.core.cluster import CatalogCluster
 from repro.core.model.entity import SecurableKind
 from repro.core.persistence.sqlite import SqliteMetadataStore
 from repro.core.persistence.store import Tables
+from repro.core.service.qos import (
+    PRIORITY_CLASSES,
+    QosConfig,
+    QosScheduler,
+)
 from repro.errors import (
     ConcurrentModificationError,
     InvalidRequestError,
     NotFoundError,
     PermissionDeniedError,
+    TenantThrottledError,
     UnityCatalogError,
 )
 from repro.obs import Observability
@@ -439,6 +445,96 @@ def test_pool_reentrant_submit_returns_resolved_future():
             future.result()
     finally:
         pool.shutdown()
+
+
+# -- QoS scheduler under real-thread fire ------------------------------------
+
+
+def test_racing_qos_scheduler_counters_reconcile():
+    """Threads hammering one scheduler across shared tenants: every
+    submission ends up in exactly one of admitted/queued/shed, queue
+    depth never exceeds the bound, and sheds surface only as
+    ``TenantThrottledError``."""
+    clock = SimClock()
+    config = QosConfig(refill_rate=5.0, burst=10.0, capacity_rate=200.0,
+                       excess_rate=50.0, max_queue_depth=8,
+                       max_tenant_queue_share=1.0)
+    scheduler = QosScheduler(config, clock)
+    tenants = ["t-a", "t-b", "t-c", "t-d"]
+    per_thread = 40
+
+    def hammer(index):
+        ok = throttled = 0
+        for step in range(per_thread):
+            tenant = tenants[(index + step) % len(tenants)]
+            try:
+                grant = scheduler.acquire(
+                    tenant, "get_securable",
+                    mutation=(step % 5 == 0),
+                    requested_class=PRIORITY_CLASSES[step % 3])
+                maybe_jitter()
+                scheduler.settle(grant, grant.cost)
+                ok += 1
+            except TenantThrottledError as exc:
+                assert exc.retry_after_seconds > 0
+                throttled += 1
+            if step % 8 == 0:
+                clock.advance(0.05)  # refill pressure from racing threads
+        return ok, throttled
+
+    outcomes = race_threads([lambda i=i: hammer(i) for i in range(8)])
+    assert all(error is None for _, error in outcomes)
+    totals = scheduler.snapshot()
+    reconciled = sum(sum(bucket.values()) for bucket in totals.values())
+    assert reconciled == 8 * per_thread
+    assert sum(totals["shed"].values()) == sum(t for (_, t), _ in outcomes)
+    now = clock.now()
+    for lane in scheduler.lane_names:
+        for cls in PRIORITY_CLASSES:
+            assert scheduler.queue_depth(lane, cls) <= config.max_queue_depth
+    assert now > 0
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_racing_dispatch_through_tier_with_qos(backend):
+    """Full-stack race: threaded reads through the parallel tier on a
+    QoS-limited cluster either succeed or shed with 429 — never a
+    partial failure — and the router's admission counters reconcile."""
+    clock = SimClock()
+    obs = Observability(clock=clock)
+    cluster = CatalogCluster(
+        3, clock=clock, obs=obs, store_factory=BACKENDS[backend],
+        qos=QosConfig(refill_rate=2.0, burst=6.0, max_queue_depth=0))
+    cluster.directory.add_user(ADMIN)
+    mid = cluster.create_metastore("qos-race", owner=ADMIN).id
+    for name in ("alpha", "beta", "gamma"):
+        clock.advance(5.0)  # refill between setup mutations
+        cluster.dispatch("create_securable", metastore_id=mid,
+                         principal=ADMIN, kind=SecurableKind.CATALOG,
+                         name=name)
+    clock.advance(5.0)
+
+    def read(name):
+        return cluster.dispatch("get_securable", metastore_id=mid,
+                                principal=ADMIN, kind=SecurableKind.CATALOG,
+                                name=name)
+
+    with ParallelServingTier(cluster):
+        outcomes = race_threads(
+            [lambda n=name: read(n)
+             for name in ("alpha", "beta", "gamma") * 4])
+    ok = [value for value, error in outcomes if error is None]
+    shed = [error for _, error in outcomes if error is not None]
+    assert all(isinstance(error, TenantThrottledError) for error in shed)
+    assert all(value.name in {"alpha", "beta", "gamma"} for value in ok)
+    totals = cluster.qos.snapshot()
+    admitted = sum(totals["admitted"].values())
+    assert admitted + sum(totals["shed"].values()) >= len(outcomes)
+    assert sum(totals["shed"].values()) == len(shed)
+    # the coordinator-side lanes drained: nothing left queued anywhere
+    for lane in cluster.qos.lane_names:
+        for cls in PRIORITY_CLASSES:
+            assert cluster.qos.queue_depth(lane, cls) == 0
 
 
 # -- race jitter -------------------------------------------------------------

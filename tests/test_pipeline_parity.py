@@ -31,7 +31,9 @@ from repro.core.model.entity import SecurableKind
 from repro.core.persistence.sqlite import SqliteMetadataStore
 from repro.core.persistence.treecat import TreeCatMetadataStore
 from repro.core.service.catalog_service import UnityCatalogService
+from repro.core.service.qos import QosConfig
 from repro.core.service.rest import ServiceRouter
+from repro.errors import TenantThrottledError
 
 BASE = "api/2.1/unity-catalog"
 
@@ -552,3 +554,104 @@ def test_script_covers_every_rest_binding(deterministic_ids):
         for binding in d.rest
     }
     assert exercised == declared
+
+
+# ----------------------------------------------------------------------
+# throttle parity: the 429 surface is part of the API contract
+# ----------------------------------------------------------------------
+
+
+def _build_throttled_service(backend: str) -> UnityCatalogService:
+    """Same directory as :func:`_build_service`, plus a budget tight
+    enough that a short drive deterministically runs dry (and, with
+    ``max_queue_depth=0``, sheds instead of queueing)."""
+    if backend == "sqlite":
+        store = SqliteMetadataStore(path=":memory:")
+    elif backend == "treecat":
+        store = TreeCatMetadataStore()
+    else:
+        store = None
+    svc = UnityCatalogService(
+        store=store, clock=SimClock(),
+        qos=QosConfig(refill_rate=0.01, burst=12.0, max_queue_depth=0))
+    svc.directory.add_user("alice")
+    return svc
+
+
+def _drive_throttled_rest(backend: str):
+    svc = _build_throttled_service(backend)
+    router = ServiceRouter(svc)
+    responses = [router.handle("POST", f"{BASE}/metastores",
+                               principal="alice",
+                               body={"name": "main", "owner": "alice"})]
+    responses.append(router.handle("POST", f"{BASE}/catalogs",
+                                   principal="alice",
+                                   body={"metastore": "main",
+                                         "name": "sales"}))
+    for _ in range(8):
+        responses.append(router.handle("GET", f"{BASE}/catalogs/sales",
+                                       principal="alice",
+                                       params={"metastore": "main"}))
+    return responses, _audit_trail(svc)
+
+
+def _drive_throttled_facade(backend: str):
+    svc = _build_throttled_service(backend)
+    responses = []
+
+    def call(endpoint, method, fn):
+        binding = _binding_for(svc, Step(endpoint, method,
+                                         lambda env: "", facade=None))
+        try:
+            result = fn()
+        except TenantThrottledError as exc:
+            responses.append((429, exc.to_dict()))
+            return None
+        responses.append((binding.status, binding.render(result, {})))
+        return result
+
+    metastore = call("create_metastore", "POST",
+                     lambda: svc.create_metastore("main", owner="alice"))
+    mid = metastore.id
+    call("create_securable", "POST",
+         lambda: svc.create_securable(mid, "alice", SecurableKind.CATALOG,
+                                      "sales"))
+    for _ in range(8):
+        call("get_securable", "GET",
+             lambda: svc.get_securable(mid, "alice", SecurableKind.CATALOG,
+                                       "sales"))
+    return responses, _audit_trail(svc)
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite", "treecat"])
+def test_throttle_parity_rest_and_facade(backend, deterministic_ids):
+    """Overload looks the same on both surfaces: the 429 payload
+    (``TENANT_THROTTLED`` + ``retry_after_seconds``) and the
+    audit-on-error record are byte-identical REST vs in-process."""
+    deterministic_ids()
+    rest_responses, rest_trail = _drive_throttled_rest(backend)
+    deterministic_ids()
+    facade_responses, facade_trail = _drive_throttled_facade(backend)
+
+    assert len(rest_responses) == len(facade_responses)
+    for index, (rest, facade) in enumerate(
+        zip(rest_responses, facade_responses)
+    ):
+        assert rest[0] == facade[0], f"op {index}: {rest} != {facade}"
+        assert _canon(rest[1]) == _canon(facade[1]), (
+            f"op {index} payloads diverge"
+        )
+
+    sheds = [payload for status, payload in rest_responses if status == 429]
+    assert sheds, "the tight budget never ran dry"
+    for payload in sheds:
+        assert payload["error_code"] == "TENANT_THROTTLED"
+        assert payload["retryable"] is True
+        assert payload["retry_after_seconds"] > 0
+
+    assert rest_trail == facade_trail
+    denied = [json.loads(line) for line in rest_trail
+              if not json.loads(line)["allowed"]]
+    assert len(denied) == len(sheds)
+    for record in denied:
+        assert record["details"]["error"] == "TENANT_THROTTLED"
